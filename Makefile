@@ -1,0 +1,34 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench tables examples lint-descriptions clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PYTHON) examples/reproduce_tables.py all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/profiling_tool.py
+	$(PYTHON) examples/custom_machine.py
+	$(PYTHON) examples/visualize_schedule.py
+	$(PYTHON) examples/error_checking.py
+	$(PYTHON) examples/overhead_study.py
+
+lint-descriptions:
+	$(PYTHON) -m repro.tools.qpt_cli validate --machine hypersparc
+	$(PYTHON) -m repro.tools.qpt_cli validate --machine supersparc
+	$(PYTHON) -m repro.tools.qpt_cli validate --machine ultrasparc
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Ablation: Spawn-generated pipeline_stalls vs the generic interpreter.
+
+Spawn's whole reason to generate code is that the specialized routine is
+cheap; this bench measures both implementations issuing the same
+instruction stream (a real pytest-benchmark timing comparison, not a
+one-shot experiment)."""
+
+import pytest
+
+from repro.isa import Instruction, f, r
+from repro.pipeline import PipelineState, issue
+from repro.spawn import load_machine
+from repro.spawn.codegen import compile_machine
+
+MODEL = load_machine("ultrasparc")
+GENERATED = compile_machine(MODEL)
+
+STREAM = [
+    Instruction("sethi", rd=r(1), imm=0x40),
+    Instruction("ld", rd=r(2), rs1=r(1), imm=8),
+    Instruction("add", rd=r(2), rs1=r(2), imm=1),
+    Instruction("st", rd=r(2), rs1=r(1), imm=8),
+    Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4)),
+    Instruction("fmuld", rd=f(6), rs1=f(0), rs2=f(8)),
+    Instruction("subcc", rd=r(0), rs1=r(2), imm=10),
+    Instruction("bne", imm=-7),
+    Instruction("nop", imm=0),
+] * 50
+
+
+def _interpreted():
+    state = PipelineState(MODEL)
+    cycle = 0
+    for inst in STREAM:
+        cycle = issue(cycle, state, inst).issue_cycle
+    return cycle
+
+
+def _generated():
+    state = GENERATED.GeneratedPipelineState()
+    cycle = 0
+    for inst in STREAM:
+        cycle = GENERATED.issue(cycle, state, inst)
+    return cycle
+
+
+def test_interpreted_pipeline(benchmark):
+    cycles = benchmark(_interpreted)
+    assert cycles > 0
+
+
+def test_generated_pipeline(benchmark):
+    cycles = benchmark(_generated)
+    assert cycles == _interpreted()

@@ -1,0 +1,78 @@
+"""Extension: "a more accurate and aggressive instrumentation scheduler"
+(the paper's conclusion, §5).
+
+Replaces EEL's greedy list scheduler with the random-restart +
+hill-climbing :class:`~repro.core.optimizer.ImprovedScheduler` as the
+*instrumentation* scheduler and measures the additional overhead it
+hides over the paper's algorithm."""
+
+from conftest import save_result
+
+from repro.core import BlockScheduler, ImprovedScheduler
+from repro.eel import Editor
+from repro.pipeline import timed_run
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads import generate_benchmark
+
+BENCHES = ("126.gcc", "104.hydro2d", "101.tomcatv")
+TRIPS = 30
+
+
+def _run():
+    model = load_machine("ultrasparc")
+    rows = {}
+    for name in BENCHES:
+        program = generate_benchmark(name, trip_count=TRIPS)
+        compiled = Editor(program.executable).build(
+            ImprovedScheduler(model, seed=program.spec.seed)
+        )
+        uninst = timed_run(model, compiled).cycles
+        plain = timed_run(
+            model, SlowProfiler(compiled).instrument().executable
+        ).cycles
+        eel = timed_run(
+            model,
+            SlowProfiler(compiled).instrument(BlockScheduler(model)).executable,
+        ).cycles
+        aggressive = timed_run(
+            model,
+            SlowProfiler(compiled)
+            .instrument(ImprovedScheduler(model, seed=7))
+            .executable,
+        ).cycles
+        rows[name] = (uninst, plain, eel, aggressive)
+    return rows
+
+
+def _hidden(uninst, plain, sched):
+    return (plain - sched) / (plain - uninst) if plain > uninst else 0.0
+
+
+def test_aggressive_scheduler(once):
+    rows = once(_run)
+    lines = ["benchmark        EEL-hidden  aggressive-hidden"]
+    for name, (uninst, plain, eel, aggressive) in rows.items():
+        lines.append(
+            f"{name:15s} {_hidden(uninst, plain, eel):10.1%} "
+            f"{_hidden(uninst, plain, aggressive):17.1%}"
+        )
+    save_result("ablation_optimizer.txt", "\n".join(lines) + "\n")
+    once.extra_info["eel"] = {
+        n: round(_hidden(r[0], r[1], r[2]), 3) for n, r in rows.items()
+    }
+    once.extra_info["aggressive"] = {
+        n: round(_hidden(r[0], r[1], r[3]), 3) for n, r in rows.items()
+    }
+
+    # Both schedulers hide a real fraction everywhere; in aggregate the
+    # two are close (the aggressive search optimizes blocks in
+    # isolation, which does not always transfer to the dynamic trace —
+    # the same gap the paper observed between EEL and the Sun
+    # compilers, in miniature).
+    for name, (uninst, plain, eel, aggressive) in rows.items():
+        assert _hidden(uninst, plain, eel) > 0.0, name
+        assert _hidden(uninst, plain, aggressive) > 0.0, name
+    total_eel = sum(r[2] for r in rows.values())
+    total_aggr = sum(r[3] for r in rows.values())
+    assert abs(total_aggr - total_eel) <= 0.15 * total_eel

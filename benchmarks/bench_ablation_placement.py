@@ -1,0 +1,50 @@
+"""Ablation: QPT's counter-placement skip rule (§4.2).
+
+"Blocks with a single instrumented single-exit predecessor or a single
+instrumented single-entry successor are not instrumented." The rule
+fires on call-split linear chains; this bench generates call-free and
+call-heavy programs, measures how many counters it saves, and checks
+the skipped blocks' counts are still exact."""
+
+from conftest import save_result
+
+from repro.eel import build_cfg
+from repro.qpt import SlowProfiler
+from repro.workloads import branchy_classify, fib_iter, sum_loop
+
+
+def _run():
+    rows = []
+    for kernel in (sum_loop(40), fib_iter(25), branchy_classify(48)):
+        with_rule = SlowProfiler(kernel.executable, skip_redundant=True).instrument()
+        without = SlowProfiler(kernel.executable, skip_redundant=False).instrument()
+        cfg = build_cfg(kernel.executable)
+        truth = {
+            b.index: kernel.executable.run(count_executions=True).count_at(b.address)
+            for b in cfg
+        }
+        counts = with_rule.block_counts(with_rule.run())
+        rows.append(
+            (
+                kernel.name,
+                len(without.plan.instrumented),
+                len(with_rule.plan.instrumented),
+                counts == truth,
+            )
+        )
+    return rows
+
+
+def test_placement_ablation(once):
+    rows = once(_run)
+    lines = ["kernel             counters(all)  counters(rule)  counts-exact"]
+    for name, all_counters, rule_counters, exact in rows:
+        lines.append(f"{name:18s} {all_counters:13d} {rule_counters:15d}  {exact}")
+    save_result("ablation_placement.txt", "\n".join(lines) + "\n")
+    once.extra_info["rows"] = [
+        {"kernel": n, "all": a, "rule": r} for n, a, r, _ in rows
+    ]
+
+    for name, all_counters, rule_counters, exact in rows:
+        assert rule_counters <= all_counters
+        assert exact, name

@@ -1,0 +1,46 @@
+"""Ablation: the scheduler's priority function (§4).
+
+The paper's forward pass picks by (fewest stalls, longest chain to block
+end, original order). This bench swaps in two alternatives —
+chain-length-first and pure program order — and compares total scheduled
+cycles. The paper's priority must never lose to program order (that
+degenerate variant schedules nothing).
+"""
+
+from conftest import TABLE_TRIPS, save_result
+
+from repro.core import PRIORITY_FUNCTIONS, SchedulingPolicy
+from repro.evaluation import ExperimentConfig, run_profiling_experiment
+
+BENCHES = ("126.gcc", "101.tomcatv")
+
+
+def _run_all():
+    table = {}
+    for priority in PRIORITY_FUNCTIONS:
+        policy = SchedulingPolicy(priority=priority)
+        table[priority] = {
+            name: run_profiling_experiment(
+                name, ExperimentConfig(trip_count=TABLE_TRIPS, policy=policy)
+            )
+            for name in BENCHES
+        }
+    return table
+
+
+def test_priority_ablation(once):
+    table = once(_run_all)
+    lines = ["priority        " + "  ".join(f"{n:>14s}" for n in BENCHES)]
+    for priority, rows in table.items():
+        cells = "  ".join(f"{rows[n].scheduled_cycles:14,}" for n in BENCHES)
+        lines.append(f"{priority:15s} {cells}")
+    save_result("ablation_priority.txt", "\n".join(lines) + "\n")
+    for priority, rows in table.items():
+        once.extra_info[priority] = {
+            n: rows[n].scheduled_cycles for n in BENCHES
+        }
+
+    for name in BENCHES:
+        paper = table["stalls_chain"][name].scheduled_cycles
+        order = table["program_order"][name].scheduled_cycles
+        assert paper <= order, name

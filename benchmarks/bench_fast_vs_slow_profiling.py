@@ -1,0 +1,79 @@
+"""Extension: QPT's fast (edge) profiling vs the paper's slow profiling.
+
+The paper instruments with QPT2's *slow* mode (a counter in almost every
+block). QPT's real product was Ball–Larus *fast* profiling [2]: counters
+only on edges off a maximum spanning tree, everything else derived by
+flow conservation. This bench compares the two — counter count and
+run-time overhead, both unscheduled and scheduled — on the SPEC95
+stand-ins. Fast profiling uses fewer counters and costs less; scheduling
+then hides part of what remains, compounding the savings.
+"""
+
+from conftest import save_result
+
+from repro.core import BlockScheduler
+from repro.pipeline import timed_run
+from repro.qpt import FastProfiler, SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads import generate_benchmark
+
+BENCHES = ("126.gcc", "104.hydro2d")
+TRIPS = 30
+
+
+def _run():
+    model = load_machine("ultrasparc")
+    rows = {}
+    for name in BENCHES:
+        program = generate_benchmark(name, trip_count=TRIPS)
+        base = timed_run(model, program.executable).cycles
+
+        slow = SlowProfiler(program.executable).instrument()
+        fast = FastProfiler(program.executable).instrument()
+        slow_sched = SlowProfiler(program.executable).instrument(
+            BlockScheduler(model)
+        )
+        fast_sched = FastProfiler(program.executable).instrument(
+            BlockScheduler(model)
+        )
+
+        rows[name] = {
+            "base": base,
+            "slow_counters": len(slow.plan.instrumented),
+            "fast_counters": fast.counters_used,
+            "slow": timed_run(model, slow.executable).cycles,
+            "fast": timed_run(model, fast.executable).cycles,
+            "slow_sched": timed_run(model, slow_sched.executable).cycles,
+            "fast_sched": timed_run(model, fast_sched.executable).cycles,
+        }
+    return rows
+
+
+def test_fast_vs_slow_profiling(once):
+    rows = once(_run)
+    lines = [
+        "benchmark        counters(slow/fast)  slow-ratio fast-ratio "
+        "slow+sched fast+sched"
+    ]
+    for name, row in rows.items():
+        base = row["base"]
+        lines.append(
+            f"{name:15s} {row['slow_counters']:10d}/{row['fast_counters']:<8d} "
+            f"{row['slow'] / base:10.2f} {row['fast'] / base:10.2f} "
+            f"{row['slow_sched'] / base:10.2f} {row['fast_sched'] / base:10.2f}"
+        )
+    save_result("fast_vs_slow_profiling.txt", "\n".join(lines) + "\n")
+    for name, row in rows.items():
+        once.extra_info[name] = {
+            "counters": f"{row['slow_counters']}/{row['fast_counters']}",
+            "slow_ratio": round(row["slow"] / row["base"], 2),
+            "fast_ratio": round(row["fast"] / row["base"], 2),
+        }
+
+    for name, row in rows.items():
+        # Fast profiling uses fewer counters and costs less.
+        assert row["fast_counters"] < row["slow_counters"], name
+        assert row["fast"] < row["slow"], name
+        # Scheduling helps both modes.
+        assert row["slow_sched"] <= row["slow"], name
+        assert row["fast_sched"] <= row["fast"], name

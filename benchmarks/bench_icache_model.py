@@ -1,0 +1,58 @@
+"""The Lebeck–Wood i-cache claim (§4.1).
+
+"Instrumentation that increases a program's size by a factor of E will
+increase cache misses by E × E. Profiling increases a program's text
+size by a factor of 2–3."
+
+The bench (a) checks the measured text-expansion factors land in the
+paper's 2–3x band for small-block integer codes, and (b) shows the
+E² miss model diluting % hidden as the base miss rate grows — the
+paper's reason scheduling cannot help cache-bound programs.
+"""
+
+from conftest import save_result
+
+from repro.cache import ICacheModel
+from repro.evaluation import ExperimentConfig, run_profiling_experiment
+from repro.qpt import SlowProfiler
+from repro.workloads import generate_benchmark
+
+
+def _expansions():
+    rows = {}
+    for bench_name in ("126.gcc", "130.li", "102.swim"):
+        program = generate_benchmark(bench_name, trip_count=8)
+        profiled = SlowProfiler(program.executable).instrument()
+        rows[bench_name] = profiled.text_expansion
+    return rows
+
+
+def _dilution():
+    rows = []
+    for miss_rate in (0.0, 0.01, 0.03):
+        config = ExperimentConfig(trip_count=20, model_icache=miss_rate > 0)
+        result = run_profiling_experiment("126.gcc", config)
+        rows.append((miss_rate, result.pct_hidden))
+    return rows
+
+
+def test_icache_expansion_and_dilution(once):
+    def run():
+        return _expansions(), _dilution()
+
+    expansions, dilution = once(run)
+    lines = ["text expansion factors:"]
+    lines += [f"  {name}: {e:.2f}x" for name, e in expansions.items()]
+    lines.append("hidden vs base miss rate:")
+    lines += [f"  {rate:.2%}: {hidden:.1%}" for rate, hidden in dilution]
+    save_result("icache_model.txt", "\n".join(lines) + "\n")
+    once.extra_info["expansions"] = {k: round(v, 2) for k, v in expansions.items()}
+
+    # Small-block integer codes expand by roughly 2-3x (the paper's
+    # band); big-block FP codes expand far less.
+    assert 1.8 <= expansions["126.gcc"] <= 3.2
+    assert 1.8 <= expansions["130.li"] <= 3.2
+    assert expansions["102.swim"] < 1.5
+    # E^2 scaling is exact in the model.
+    model = ICacheModel(base_miss_rate=0.01)
+    assert model.miss_rate(3.0) == 0.01 * 9.0

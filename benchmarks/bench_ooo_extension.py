@@ -1,0 +1,89 @@
+"""Extension: does instrumentation scheduling survive out-of-order
+execution?
+
+The paper's premise is an in-order machine that only issues what the
+static schedule lines up. §3.2 notes SADL "does not yet describe
+out-of-order execution". This bench runs the paper's experiment on our
+OoO extension of the same UltraSPARC description: hardware that renames
+and reorders hides instrumentation *by itself*, so the static scheduler
+recovers far less of the overhead than on the in-order machine — the
+quantitative reason this technique faded after the 1990s.
+"""
+
+from conftest import save_result
+
+from repro.core import BlockScheduler
+from repro.pipeline import ooo_timed_run, timed_run
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads import generate_benchmark
+
+BENCHES = ("126.gcc", "101.tomcatv")
+TRIPS = 30
+
+
+def _hidden(base, plain, sched):
+    return (plain - sched) / (plain - base) if plain > base else 1.0
+
+
+def _run():
+    model = load_machine("ultrasparc")
+    rows = {}
+    for name in BENCHES:
+        program = generate_benchmark(name, trip_count=TRIPS)
+        plain_prog = SlowProfiler(program.executable).instrument().executable
+        sched_prog = (
+            SlowProfiler(program.executable)
+            .instrument(BlockScheduler(model))
+            .executable
+        )
+
+        inorder = (
+            timed_run(model, program.executable).cycles,
+            timed_run(model, plain_prog).cycles,
+            timed_run(model, sched_prog).cycles,
+        )
+        ooo = (
+            ooo_timed_run(model, program.executable).cycles,
+            ooo_timed_run(model, plain_prog).cycles,
+            ooo_timed_run(model, sched_prog).cycles,
+        )
+        rows[name] = (inorder, ooo)
+    return rows
+
+
+def test_ooo_extension(once):
+    rows = once(_run)
+    lines = [
+        "benchmark        inorder: inst-ratio hidden | ooo: inst-ratio hidden"
+    ]
+    for name, (inorder, ooo) in rows.items():
+        ib, ip, isch = inorder
+        ob, op, osch = ooo
+        lines.append(
+            f"{name:15s} {ip / ib:13.2f} {_hidden(ib, ip, isch):7.1%} | "
+            f"{op / ob:13.2f} {_hidden(ob, op, osch):7.1%}"
+        )
+    save_result("ooo_extension.txt", "\n".join(lines) + "\n")
+    for name, (inorder, ooo) in rows.items():
+        ib, ip, isch = inorder
+        ob, op, osch = ooo
+        once.extra_info[name] = {
+            "inorder_hidden": round(_hidden(ib, ip, isch), 3),
+            "ooo_overhead_ratio": round(op / ob, 2),
+            "inorder_overhead_ratio": round(ip / ib, 2),
+        }
+
+    for name, (inorder, ooo) in rows.items():
+        ib, ip, isch = inorder
+        ob, op, osch = ooo
+        # The OoO machine is at least as fast everywhere...
+        assert ob <= ib and op <= ip and osch <= isch
+        # ...it absorbs unscheduled instrumentation better on its own
+        # (fewer absolute overhead cycles)...
+        assert (op - ob) <= (ip - ib)
+        # ...and the static scheduler recovers less on it, both in
+        # absolute cycles and as a fraction of the overhead: the
+        # obsolescence result.
+        assert (op - osch) <= (ip - isch)
+        assert _hidden(ob, op, osch) < _hidden(ib, ip, isch)

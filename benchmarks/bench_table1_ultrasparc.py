@@ -1,0 +1,52 @@
+"""Table 1 — slow profiling instrumentation on the UltraSPARC.
+
+Regenerates the paper's Table 1 rows (uninstrumented / instrumented /
+scheduled times plus % hidden for all 18 SPEC95 benchmarks) on the
+UltraSPARC model, protocol: instrument, then schedule instrumentation
+and original code together. Paper averages: CINT 14.8 % hidden at ratio
+2.28, CFP 16.7 % at ratio 1.18.
+
+Shape assertions (absolute numbers differ — our substrate is a pipeline
+simulator, not a 167 MHz Ultra Enterprise):
+
+* integer overhead ratio is much larger than FP overhead ratio
+  (small blocks make profiling proportionally expensive);
+* both suites hide a positive fraction; FP hides more than integer.
+"""
+
+from conftest import TABLE_TRIPS, save_result
+
+from repro.evaluation import comparison_table, run_table
+
+
+def test_table1_ultrasparc(once):
+    table = once(run_table, 1, trip_count=TABLE_TRIPS)
+    save_result(
+        "table1_ultrasparc.txt",
+        table.render() + "\n\npaper vs measured:\n" + comparison_table(1, table.rows),
+    )
+
+    int_hidden = table.average_hidden("int")
+    fp_hidden = table.average_hidden("fp")
+    int_ratio = table.average_ratio("int", "instrumented")
+    fp_ratio = table.average_ratio("fp", "instrumented")
+
+    once.extra_info["int_hidden"] = round(int_hidden, 3)
+    once.extra_info["fp_hidden"] = round(fp_hidden, 3)
+    once.extra_info["int_ratio"] = round(int_ratio, 2)
+    once.extra_info["fp_ratio"] = round(fp_ratio, 2)
+    once.extra_info["paper_int_hidden"] = 0.148
+    once.extra_info["paper_fp_hidden"] = 0.167
+
+    assert len(table.rows) == 18
+    # Overhead-ratio contrast (paper: 2.28 vs 1.18).
+    assert int_ratio > 1.8
+    assert fp_ratio < 1.6
+    assert int_ratio > fp_ratio + 0.5
+    # Scheduling hides a real fraction on both suites.
+    assert 0.05 < int_hidden < 0.50
+    assert 0.15 < fp_hidden < 0.95
+    assert fp_hidden > int_hidden
+    # Every scheduled binary is at least as fast as its unscheduled one.
+    for row in table.rows:
+        assert row.scheduled_cycles <= row.instrumented_cycles

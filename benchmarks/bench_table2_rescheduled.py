@@ -1,0 +1,41 @@
+"""Table 2 — UltraSPARC with the original code first rescheduled by EEL.
+
+The paper's control experiment: reschedule the benchmarks with EEL
+*before* instrumenting, so the baseline shares EEL's schedule quality
+and the % hidden number isolates the scheduler's ability to hide
+instrumentation (paper: CINT 13.2 %, CFP 27.3 %, "no significant
+outliers").
+
+Known deviation (see EXPERIMENTS.md): our synthetic "compiler" cannot
+beat EEL at whole-trace granularity the way Sun's compilers did, so the
+Table 1 -> Table 2 FP *increase* the paper saw is not reproduced — the
+baseline-ratio column, however, lands inside the paper's 0.87–1.14
+range.
+"""
+
+from conftest import TABLE_TRIPS, save_result
+
+from repro.evaluation import comparison_table, run_table
+
+
+def test_table2_rescheduled(once):
+    table = once(run_table, 2, trip_count=TABLE_TRIPS)
+    save_result(
+        "table2_rescheduled.txt",
+        table.render() + "\n\npaper vs measured:\n" + comparison_table(2, table.rows),
+    )
+
+    int_hidden = table.average_hidden("int")
+    fp_hidden = table.average_hidden("fp")
+    once.extra_info["int_hidden"] = round(int_hidden, 3)
+    once.extra_info["fp_hidden"] = round(fp_hidden, 3)
+    once.extra_info["paper_int_hidden"] = 0.132
+    once.extra_info["paper_fp_hidden"] = 0.273
+
+    assert len(table.rows) == 18
+    assert 0.05 < int_hidden < 0.50
+    assert 0.15 < fp_hidden < 0.95
+    assert fp_hidden > int_hidden
+    # The rescheduled baseline stays within the paper's observed band.
+    for row in table.rows:
+        assert 0.80 <= row.baseline_ratio <= 1.20, row.benchmark

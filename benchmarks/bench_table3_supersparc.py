@@ -1,0 +1,38 @@
+"""Table 3 — slow profiling instrumentation on the SuperSPARC.
+
+The 3-way, 50 MHz machine. Paper averages: CINT 10.9 % hidden at ratio
+2.19, CFP 43.5 % at ratio 1.23 — the FP/INT hiding gap is largest here,
+and that ordering (SuperSPARC FP hides a much larger share than
+SuperSPARC INT) is the shape this bench pins.
+"""
+
+from conftest import TABLE_TRIPS, save_result
+
+from repro.evaluation import comparison_table, run_table
+
+
+def test_table3_supersparc(once):
+    table = once(run_table, 3, trip_count=TABLE_TRIPS)
+    save_result(
+        "table3_supersparc.txt",
+        table.render() + "\n\npaper vs measured:\n" + comparison_table(3, table.rows),
+    )
+
+    int_hidden = table.average_hidden("int")
+    fp_hidden = table.average_hidden("fp")
+    once.extra_info["int_hidden"] = round(int_hidden, 3)
+    once.extra_info["fp_hidden"] = round(fp_hidden, 3)
+    once.extra_info["paper_int_hidden"] = 0.109
+    once.extra_info["paper_fp_hidden"] = 0.435
+
+    assert len(table.rows) == 18
+    assert all(row.machine == "supersparc" for row in table.rows)
+    assert 0.03 < int_hidden < 0.50
+    assert 0.15 < fp_hidden < 0.95
+    # FP hides a larger fraction than integer (the paper saw 4x here;
+    # our FP/INT gap is narrower but keeps the ordering).
+    assert fp_hidden > int_hidden
+    # Per-benchmark block sizes follow the Table 3 calibration column.
+    swim = next(r for r in table.rows if r.benchmark == "102.swim")
+    li = next(r for r in table.rows if r.benchmark == "130.li")
+    assert swim.avg_block_size > 10 * li.avg_block_size

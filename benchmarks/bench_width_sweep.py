@@ -1,0 +1,67 @@
+"""Extrapolation: issue width vs the cost of instrumentation (§1, §5).
+
+"In the future, these results may improve, and scheduling become even
+more attractive, with … wider microarchitectures that offer further
+opportunities to hide instrumentation." This bench sweeps synthetic
+1/2/4/8-wide machines (UltraSPARC-style resource mix, scaled) and
+measures the *effective cycle cost per added instrumentation
+instruction*, unscheduled and scheduled. On a scalar machine every
+added instruction needs its own issue slot; as width grows the
+scheduled cost per added instruction falls toward zero."""
+
+from conftest import save_result
+
+from repro.core import BlockScheduler, ImprovedScheduler
+from repro.eel import Editor
+from repro.pipeline import timed_run
+from repro.qpt import SlowProfiler
+from repro.spawn.synthetic_machines import load_superscalar
+from repro.workloads import generate_benchmark
+
+WIDTHS = (1, 2, 4, 8)
+TRIPS = 30
+
+
+def _run():
+    program = generate_benchmark("126.gcc", trip_count=TRIPS)
+    rows = []
+    for width in WIDTHS:
+        model = load_superscalar(width)
+        compiled = Editor(program.executable).build(
+            ImprovedScheduler(model, seed=program.spec.seed, restarts=6, refine_steps=40)
+        )
+        base = timed_run(model, compiled)
+        plain_prog = SlowProfiler(compiled).instrument()
+        plain = timed_run(model, plain_prog.executable)
+        sched_prog = SlowProfiler(compiled).instrument(BlockScheduler(model))
+        sched = timed_run(model, sched_prog.executable)
+        added = plain.instructions - base.instructions
+        rows.append(
+            (
+                width,
+                (plain.cycles - base.cycles) / added,
+                (sched.cycles - base.cycles) / added,
+            )
+        )
+    return rows
+
+
+def test_width_sweep(once):
+    rows = once(_run)
+    lines = ["width  cycles/added(unscheduled)  cycles/added(scheduled)"]
+    for width, plain_cost, sched_cost in rows:
+        lines.append(f"{width:5d} {plain_cost:26.2f} {sched_cost:24.2f}")
+    save_result("width_sweep.txt", "\n".join(lines) + "\n")
+    once.extra_info["scheduled_cost"] = {w: round(s, 3) for w, _, s in rows}
+    once.extra_info["unscheduled_cost"] = {w: round(p, 3) for w, p, _ in rows}
+
+    sched_cost = {w: s for w, _, s in rows}
+    # On the scalar machine an added instruction costs roughly a cycle
+    # even after scheduling; on the widest machine it costs a fraction.
+    assert sched_cost[1] > 0.5
+    assert sched_cost[8] < sched_cost[1]
+    assert sched_cost[8] < 0.75 * sched_cost[1]
+    # Scheduling never makes an added instruction more expensive than
+    # leaving it unscheduled.
+    for width, plain_cost, cost in rows:
+        assert cost <= plain_cost + 1e-9, width

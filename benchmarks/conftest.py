@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each table/figure bench regenerates a paper artifact, asserts its
+qualitative shape, attaches the headline numbers to the pytest-benchmark
+record (``--benchmark-only`` prints them), and writes the rendered
+output under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Trip count used by the table benches: large enough for stable
+#: weighting, small enough that a full table runs in tens of seconds.
+TABLE_TRIPS = 40
+
+
+def save_result(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    runner.extra_info = benchmark.extra_info
+    return runner

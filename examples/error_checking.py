@@ -1,0 +1,67 @@
+"""No-cost error checking — the paper's §5 production-code vision.
+
+Guards every load and store in each kernel with a straight-line
+null-base check, runs the checked binaries, and shows how much of the
+checking overhead the scheduler recovers. A deliberately broken program
+demonstrates that the checks actually detect violations.
+
+Run:  python examples/error_checking.py
+"""
+
+from repro.core import BlockScheduler
+from repro.eel import Executable, TEXT_BASE
+from repro.isa import assemble
+from repro.pipeline import timed_run
+from repro.qpt import CheckedProgram, NullCheckInstrumenter
+from repro.spawn import load_machine
+from repro.workloads import all_kernels
+
+BUGGY = """
+        set 0x8000000, %o0
+        mov 4, %o2
+    loop:
+        ld [%o0], %o1
+        subcc %o2, 1, %o2
+        clr %o0              ! oops: pointer zeroed inside the loop
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+
+def main() -> None:
+    machine = load_machine("ultrasparc")
+
+    print("null-checking the kernel suite on", machine.name)
+    print(f"{'kernel':18s} {'checks':>6} {'base':>7} {'checked':>8} "
+          f"{'sched':>7} {'hidden':>8} {'violations':>11}")
+    for kernel in all_kernels():
+        base = timed_run(machine, kernel.executable).cycles
+        tool = NullCheckInstrumenter(kernel.executable)
+        plain = tool.instrument()
+        plain_cycles = timed_run(machine, plain.executable).cycles
+        sched = NullCheckInstrumenter(kernel.executable).instrument(
+            BlockScheduler(machine)
+        )
+        sched_run = timed_run(machine, sched.executable)
+        assert kernel.check(sched_run.result), kernel.name
+        overhead = plain_cycles - base
+        hidden = (plain_cycles - sched_run.cycles) / overhead if overhead else 1.0
+        print(
+            f"{kernel.name:18s} {tool.stats.checks_inserted:>6} {base:>7} "
+            f"{plain_cycles:>8} {sched_run.cycles:>7} {hidden:>8.1%} "
+            f"{CheckedProgram.violations(sched_run.result):>11}"
+        )
+
+    print("\nand a buggy program, to prove the checks work:")
+    buggy = Executable.from_instructions(assemble(BUGGY, base_address=TEXT_BASE))
+    checked = NullCheckInstrumenter(buggy).instrument(BlockScheduler(machine))
+    result = checked.run()
+    print(f"  null-base dereferences detected: "
+          f"{CheckedProgram.violations(result)} (loop iterations 2-4 "
+          f"dereference the zeroed pointer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Where does hidden overhead come from? A two-axis study.
+
+Sweeps (a) dynamic basic-block size — §4.1's "most basic blocks are
+short and so present few opportunity to hide instrumentation" — and
+(b) machine issue width — §5's "wider microarchitectures … further
+opportunities", using the synthetic machine generator.
+
+Run:  python examples/overhead_study.py
+"""
+
+from repro.core import BlockScheduler
+from repro.eel import Editor
+from repro.core import ImprovedScheduler
+from repro.evaluation import ExperimentConfig, run_profiling_experiment
+from repro.pipeline import timed_run
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.spawn.synthetic_machines import load_superscalar
+from repro.workloads import WorkloadSpec, generate, generate_benchmark
+
+
+def block_size_axis() -> None:
+    print("axis 1: dynamic basic-block size (ultrasparc)")
+    print(f"{'target':>7} {'actual':>7} {'inst ratio':>11} {'hidden':>8}")
+    for size in (2.5, 4.0, 8.0, 16.0, 32.0):
+        spec = WorkloadSpec(
+            name=f"study{size}",
+            seed=21,
+            kind="int" if size < 6 else "fp",
+            avg_block_size=size,
+            loops=5,
+            trip_count=40,
+            diamond_prob=0.8 if size < 6 else 0.0,
+        )
+        program = generate(spec)
+        result = run_profiling_experiment(
+            spec.name, ExperimentConfig(trip_count=40), program=program
+        )
+        print(
+            f"{size:7.1f} {result.avg_block_size:7.1f} "
+            f"{result.instrumented_ratio:11.2f} {result.pct_hidden:8.1%}"
+        )
+
+
+def width_axis() -> None:
+    print("\naxis 2: issue width (gcc-shaped workload)")
+    print(f"{'width':>6} {'cycles/added unsched':>21} {'cycles/added sched':>19}")
+    program = generate_benchmark("126.gcc", trip_count=30)
+    for width in (1, 2, 4, 8):
+        machine = load_superscalar(width)
+        compiled = Editor(program.executable).build(
+            ImprovedScheduler(machine, seed=1, restarts=6, refine_steps=40)
+        )
+        base = timed_run(machine, compiled)
+        plain = timed_run(
+            machine, SlowProfiler(compiled).instrument().executable
+        )
+        sched = timed_run(
+            machine,
+            SlowProfiler(compiled).instrument(BlockScheduler(machine)).executable,
+        )
+        added = plain.instructions - base.instructions
+        print(
+            f"{width:6d} {(plain.cycles - base.cycles) / added:21.2f} "
+            f"{(sched.cycles - base.cycles) / added:19.2f}"
+        )
+
+
+def machine_axis() -> None:
+    print("\naxis 3: the three machines the paper modelled (gcc workload)")
+    print(f"{'machine':>12} {'inst ratio':>11} {'hidden':>8}")
+    for machine in ("hypersparc", "supersparc", "ultrasparc"):
+        result = run_profiling_experiment(
+            "126.gcc", ExperimentConfig(machine=machine, trip_count=30)
+        )
+        print(
+            f"{machine:>12} {result.instrumented_ratio:11.2f} "
+            f"{result.pct_hidden:8.1%}"
+        )
+
+
+def main() -> None:
+    block_size_axis()
+    width_axis()
+    machine_axis()
+
+
+if __name__ == "__main__":
+    main()

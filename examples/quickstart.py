@@ -1,0 +1,75 @@
+"""Quickstart: hide profiling overhead in a small program.
+
+Assembles a SPARC program, instruments every basic block with QPT2's
+4-instruction profiling sequence, schedules the instrumentation into
+unused pipeline slots on an UltraSPARC model, and shows the overhead
+before and after — the paper's whole pipeline in ~40 lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BlockScheduler
+from repro.eel import Executable, TEXT_BASE
+from repro.isa import assemble
+from repro.pipeline import timed_run
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+
+PROGRAM = """
+        clr %o1                 ! checksum = 0
+        set 200, %o0            ! n = 200
+    loop:
+        ld [%i0], %o2           ! load a word of data
+        xor %o1, %o2, %o1       ! fold it into the checksum
+        sll %o1, 1, %o1
+        add %i0, 4, %i0
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+
+def main() -> None:
+    machine = load_machine("ultrasparc")
+    executable = Executable.from_instructions(
+        assemble(PROGRAM, base_address=TEXT_BASE)
+    )
+
+    # Un-instrumented baseline.
+    base = timed_run(machine, executable)
+
+    # Instrumented, but not scheduled.
+    plain = SlowProfiler(executable).instrument()
+    plain_run = timed_run(machine, plain.executable)
+
+    # Instrumented AND scheduled: EEL interleaves the counter code with
+    # the program's instructions as each block is laid out.
+    scheduler = BlockScheduler(machine)
+    scheduled = SlowProfiler(executable).instrument(scheduler)
+    sched_run = timed_run(machine, scheduled.executable)
+
+    overhead_plain = plain_run.cycles - base.cycles
+    overhead_sched = sched_run.cycles - base.cycles
+    hidden = (overhead_plain - overhead_sched) / overhead_plain
+
+    print(f"machine:                  {machine.name}")
+    print(f"uninstrumented:           {base.cycles:6d} cycles "
+          f"({base.instructions} instructions, IPC {base.ipc:.2f})")
+    print(f"instrumented:             {plain_run.cycles:6d} cycles "
+          f"(+{overhead_plain} overhead)")
+    print(f"instrumented + scheduled: {sched_run.cycles:6d} cycles "
+          f"(+{overhead_sched} overhead)")
+    print(f"overhead hidden by scheduling: {hidden:.1%}")
+
+    # The counters are real: read them back from the simulated run.
+    counts = scheduled.block_counts(sched_run.result)
+    print("\nblock execution counts (from the profiling counters):")
+    for block in scheduled.cfg:
+        print(f"  block {block.index} @ {block.address:#x}: "
+              f"{counts[block.index]} executions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Reproduce the paper's Tables 1-3.
+
+Run:  python examples/reproduce_tables.py 1          # Table 1
+      python examples/reproduce_tables.py 3 --trips 60
+      python examples/reproduce_tables.py all
+
+Table 1: UltraSPARC, instrument -> schedule.
+Table 2: UltraSPARC, reschedule baseline first (the paper's control for
+         EEL's schedule quality).
+Table 3: SuperSPARC.
+
+Numbers are simulated pipeline cycles rather than wall-clock seconds;
+the paper-vs-measured comparison lives in EXPERIMENTS.md.
+"""
+
+import argparse
+
+from repro.evaluation import PAPER_AVERAGES, run_table
+
+
+def show_table(table_id: int, trips: int) -> None:
+    table = run_table(table_id, trip_count=trips)
+    print(table.render())
+    paper = PAPER_AVERAGES[table_id]
+    print(
+        f"\npaper averages for this table: "
+        f"CINT {paper['int']:.1%} hidden, CFP {paper['fp']:.1%} hidden"
+    )
+    print(
+        f"this run:                      "
+        f"CINT {table.average_hidden('int'):.1%} hidden, "
+        f"CFP {table.average_hidden('fp'):.1%} hidden"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("table", choices=["1", "2", "3", "all"])
+    parser.add_argument(
+        "--trips",
+        type=int,
+        default=40,
+        metavar="N",
+        help="loop trip-count scale for the synthetic benchmarks (default 40)",
+    )
+    args = parser.parse_args()
+    tables = [1, 2, 3] if args.table == "all" else [int(args.table)]
+    for i, table_id in enumerate(tables):
+        if i:
+            print("\n" + "=" * 80 + "\n")
+        show_table(table_id, args.trips)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Watch the scheduler hide instrumentation, cycle by cycle.
+
+Renders text Gantt charts of a block before and after scheduling: `+`
+rows are QPT's counter instructions, `I` marks each instruction's issue
+cycle. The unit-occupancy table underneath shows where the machine was
+idle — the holes the instrumentation moved into. Hazard diagnosis
+explains the remaining stalls.
+
+Run:  python examples/visualize_schedule.py
+"""
+
+from repro.core import ListScheduler
+from repro.isa import TAG_INSTRUMENTATION, assemble
+from repro.pipeline import (
+    PipelineState,
+    issue,
+    schedule_chart,
+    stall_breakdown,
+    unit_occupancy,
+)
+from repro.qpt import counter_snippet
+from repro.isa import r
+from repro.spawn import load_machine
+
+BLOCK = """
+    ld [%i0], %o1
+    add %o1, 1, %o1
+    ld [%i0 + 4], %o2
+    add %o2, %o1, %o2
+    st %o2, [%i0 + 8]
+"""
+
+
+def main() -> None:
+    machine = load_machine("ultrasparc")
+    original = assemble(BLOCK)
+    snippet = counter_snippet(0x0C000000, r(6), r(7))
+    combined = snippet + original
+
+    print(f"machine: {machine.name}")
+    print("\n== instrumentation prepended, unscheduled ==")
+    print(schedule_chart(machine, combined))
+
+    result = ListScheduler(machine).schedule_region(combined)
+    print("\n== after EEL's two-pass list scheduling ==")
+    print(schedule_chart(machine, result.instructions))
+    print(
+        f"\n{result.original_cycles} -> {result.scheduled_cycles} cycles "
+        f"({result.cycles_saved} hidden)"
+    )
+
+    print("\n== unit occupancy of the scheduled block ==")
+    print(unit_occupancy(machine, result.instructions))
+
+    # Explain the one stall that remains.
+    print("\n== why the remaining stalls exist ==")
+    state = PipelineState(machine)
+    cycle = 0
+    for inst in result.instructions:
+        hazards = stall_breakdown(cycle, state, inst)
+        cycle = issue(cycle, state, inst).issue_cycle
+        for hazard in hazards:
+            print(f"  {inst}: {hazard}")
+
+
+if __name__ == "__main__":
+    main()

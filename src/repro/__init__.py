@@ -1,0 +1,32 @@
+"""repro — a reproduction of Schnarr & Larus, *Instruction Scheduling and
+Executable Editing* (MICRO-29, 1996).
+
+The library re-creates the paper's full stack in Python:
+
+* :mod:`repro.isa` — a SPARC V8 subset: binary encode/decode, an
+  assembler, and a functional simulator.
+* :mod:`repro.sadl` — the Spawn Architecture Description Language,
+  including the microarchitectural timing/resource extension the paper
+  introduces (``unit`` declarations and the ``A``/``R``/``AR``/``D``
+  commands).
+* :mod:`repro.spawn` — the description compiler: timing-group formation
+  and generation of the specialized ``pipeline_stalls`` routine, plus
+  shipped hyperSPARC / SuperSPARC / UltraSPARC descriptions.
+* :mod:`repro.pipeline` — the in-order superscalar pipeline model and
+  the Appendix-A ``pipeline_stalls`` computation.
+* :mod:`repro.eel` — the executable editing library: executable images,
+  CFG recovery, liveness, instrumentation insertion and relayout.
+* :mod:`repro.core` — the paper's contribution: the two-pass local list
+  scheduler that interleaves instrumentation with program code.
+* :mod:`repro.qpt` — QPT2's "slow profiling" basic-block counting
+  instrumentation.
+* :mod:`repro.workloads` — SPEC95-calibrated synthetic programs and real
+  kernels.
+* :mod:`repro.cache` — the Lebeck–Wood instrumentation i-cache model.
+* :mod:`repro.evaluation` — the experiment harness that regenerates the
+  paper's Tables 1–3.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

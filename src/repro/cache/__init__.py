@@ -1,0 +1,5 @@
+"""Instruction-cache effects of instrumentation (paper §4.1)."""
+
+from .icache import DEFAULT_MISS_RATES, ICacheModel
+
+__all__ = ["DEFAULT_MISS_RATES", "ICacheModel"]

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: EEL's local instruction scheduler.
+
+A two-pass list scheduler over basic blocks, driven by the
+``pipeline_stalls`` computation that Spawn derives from a machine's SADL
+description, with the memory-aliasing policy that gives instrumentation
+code freedom of movement (§4).
+"""
+
+from .block_scheduler import BlockScheduler, SchedulerStats, reschedule_transform
+from .optimizer import ImprovedScheduler, OptimizerStats, random_topological_order
+from .dependence import (
+    DependenceGraph,
+    PRIORITY_FUNCTIONS,
+    SchedulingPolicy,
+    build_dependence_graph,
+)
+from .list_scheduler import ListScheduler, ScheduleResult
+from .priorities import chain_lengths, edge_delay
+from .regions import Region, join_regions, split_regions
+from .verify import VerificationResult, verify_schedule
+
+__all__ = [
+    "BlockScheduler",
+    "DependenceGraph",
+    "ImprovedScheduler",
+    "ListScheduler",
+    "OptimizerStats",
+    "PRIORITY_FUNCTIONS",
+    "Region",
+    "ScheduleResult",
+    "SchedulerStats",
+    "SchedulingPolicy",
+    "VerificationResult",
+    "build_dependence_graph",
+    "chain_lengths",
+    "edge_delay",
+    "join_regions",
+    "random_topological_order",
+    "reschedule_transform",
+    "split_regions",
+    "verify_schedule",
+]

@@ -1,0 +1,113 @@
+"""Block-level scheduling glue for the EEL editor.
+
+:class:`BlockScheduler` packages the list scheduler as an editor
+transform (see :data:`repro.eel.editor.BlockTransform`): the editor
+hands it each block's body — instrumentation already merged in program
+order — and it returns the scheduled body, optionally refilling the
+branch delay slot.
+
+Delay-slot refill rules (``SchedulingPolicy.fill_delay_slots``): the
+slot must currently hold a ``nop``, the branch must not be annulled
+(an annulled slot is control-dependent on the branch direction), and
+the candidate — the last instruction of the scheduled body — must not
+be a memory barrier for the terminator: it may not write any register
+the terminator reads (the condition codes for a conditional branch, the
+target registers for ``jmpl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.cfg import BasicBlock
+from ..isa.instruction import Instruction
+from ..spawn.model import MachineModel
+from .dependence import SchedulingPolicy
+from .list_scheduler import ListScheduler, ScheduleResult
+from .regions import join_regions, split_regions
+
+
+@dataclass
+class SchedulerStats:
+    """Accumulated over every block an editor pass schedules."""
+
+    blocks: int = 0
+    instructions: int = 0
+    original_cycles: int = 0
+    scheduled_cycles: int = 0
+    delay_slots_filled: int = 0
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.original_cycles - self.scheduled_cycles
+
+    def merge(self, result: ScheduleResult) -> None:
+        self.blocks += 1
+        self.instructions += len(result.instructions)
+        self.original_cycles += result.original_cycles
+        self.scheduled_cycles += result.scheduled_cycles
+
+
+class BlockScheduler:
+    """Schedules each basic block as the editor lays it out (Figure 3)."""
+
+    def __init__(
+        self, model: MachineModel, policy: SchedulingPolicy | None = None
+    ) -> None:
+        self.model = model
+        self.policy = policy or SchedulingPolicy()
+        self.scheduler = ListScheduler(model, self.policy)
+        self.stats = SchedulerStats()
+
+    # The editor transform protocol.
+    def __call__(
+        self, block: BasicBlock, body: list[Instruction]
+    ) -> tuple[list[Instruction], Instruction | None]:
+        scheduled = self.schedule_body(body)
+        delay = block.delay
+        if self.policy.fill_delay_slots:
+            scheduled, delay = self._refill_delay_slot(block, scheduled)
+        return scheduled, delay
+
+    def schedule_body(self, body: list[Instruction]) -> list[Instruction]:
+        regions = split_regions(body)
+        bodies = []
+        for region in regions:
+            if not region.instructions:
+                bodies.append([])
+                continue
+            result = self.scheduler.schedule_region(list(region.instructions))
+            self.stats.merge(result)
+            bodies.append(result.instructions)
+        return join_regions(regions, bodies)
+
+    # -- delay slots -------------------------------------------------------------
+
+    def _refill_delay_slot(
+        self, block: BasicBlock, scheduled: list[Instruction]
+    ) -> tuple[list[Instruction], Instruction | None]:
+        term = block.terminator
+        delay = block.delay
+        if (
+            term is None
+            or delay is None
+            or delay.mnemonic != "nop"
+            or term.annul
+            or not scheduled
+        ):
+            return scheduled, delay
+        candidate = scheduled[-1]
+        if candidate.is_control:
+            return scheduled, delay
+        if candidate.regs_written() & term.regs_read():
+            return scheduled, delay
+        self.stats.delay_slots_filled += 1
+        return scheduled[:-1], candidate
+
+
+def reschedule_transform(
+    model: MachineModel, policy: SchedulingPolicy | None = None
+) -> BlockScheduler:
+    """A fresh transform for rescheduling a program's original code
+    (the Table 2 protocol's first step)."""
+    return BlockScheduler(model, policy)

@@ -1,0 +1,124 @@
+"""Dependence analysis for basic-block scheduling (paper §4).
+
+Register dependences (RAW, WAR, WAW, including condition codes and %y)
+come from the instruction effect metadata. Memory dependences follow the
+paper's policy:
+
+* loads and stores *from the original code* are conservatively assumed
+  to access the same address — any store orders against every other
+  original memory operation;
+* instrumentation loads and stores are assumed to access the same
+  address as each other, but an address *disjoint from the original
+  program's* — "this permits instrumentation loads and stores, which
+  typically do not conflict with the original loads and stores, more
+  freedom of movement";
+* because "some instrumentation's memory references are more
+  constrained, there are options to limit the movement of
+  instrumentation code": ``restrict_instrumentation_memory=True``
+  makes instrumentation memory operations conflict with original ones
+  too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Instruction
+
+
+#: Valid priority functions for the forward pass. ``stalls_chain`` is
+#: the paper's (fewest stalls, then longest chain, then program order);
+#: the others exist for the ablation bench.
+PRIORITY_FUNCTIONS = ("stalls_chain", "chain_stalls", "program_order")
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """Options controlling the dependence analysis and the scheduler."""
+
+    #: instrumentation memory ops also conflict with original memory ops.
+    restrict_instrumentation_memory: bool = False
+    #: move the last scheduled instruction into an empty (nop,
+    #: non-annulled) delay slot when legal.
+    fill_delay_slots: bool = False
+    #: forward-pass priority function (see PRIORITY_FUNCTIONS).
+    priority: str = "stalls_chain"
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITY_FUNCTIONS:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; choose from "
+                f"{PRIORITY_FUNCTIONS}"
+            )
+
+
+@dataclass
+class DependenceGraph:
+    """A DAG over one straight-line region. ``succs[i]`` holds the
+    indices of instructions that must follow instruction ``i``."""
+
+    nodes: list[Instruction]
+    succs: list[set[int]] = field(default_factory=list)
+    preds: list[set[int]] = field(default_factory=list)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].add(dst)
+            self.preds[dst].add(src)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def roots(self) -> list[int]:
+        return [i for i in range(self.size) if not self.preds[i]]
+
+    def is_valid_order(self, order: list[int]) -> bool:
+        """True when ``order`` is a topological permutation of the DAG."""
+        if sorted(order) != list(range(self.size)):
+            return False
+        position = {node: pos for pos, node in enumerate(order)}
+        return all(
+            position[src] < position[dst]
+            for src in range(self.size)
+            for dst in self.succs[src]
+        )
+
+
+def _memory_conflict(
+    earlier: Instruction, later: Instruction, policy: SchedulingPolicy
+) -> bool:
+    a, b = earlier.memory, later.memory
+    if a is None or b is None:
+        return False
+    if a == "load" and b == "load":
+        return False  # loads never conflict
+    same_side = earlier.is_instrumentation == later.is_instrumentation
+    if same_side:
+        return True  # same alias class: conservatively ordered
+    return policy.restrict_instrumentation_memory
+
+
+def build_dependence_graph(
+    region: list[Instruction], policy: SchedulingPolicy | None = None
+) -> DependenceGraph:
+    """Build the dependence DAG for one straight-line region."""
+    policy = policy or SchedulingPolicy()
+    graph = DependenceGraph(
+        nodes=list(region),
+        succs=[set() for _ in region],
+        preds=[set() for _ in region],
+    )
+    reads = [inst.regs_read() for inst in region]
+    writes = [inst.regs_written() for inst in region]
+
+    for j in range(len(region)):
+        for i in range(j):
+            if (
+                writes[i] & reads[j]  # RAW
+                or reads[i] & writes[j]  # WAR
+                or writes[i] & writes[j]  # WAW
+                or _memory_conflict(region[i], region[j], policy)
+            ):
+                graph.add_edge(i, j)
+    return graph

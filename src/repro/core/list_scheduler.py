@@ -1,0 +1,122 @@
+"""The two-pass local list scheduler — the paper's core algorithm (§4).
+
+Forward pass: "The instruction with the highest priority of any
+instruction that can be legally scheduled at this point is put next in
+the schedule. An instruction's priority is determined primarily by how
+few stalls it requires before it can start execution (as computed by
+``pipeline_stalls``). If two instructions require the same number of
+stalls, the instruction farthest from the end of the block, using the
+metric computed in the first pass, is scheduled first. If two
+instructions still have the same priority, the instruction listed
+earlier in the original code sequence is chosen under the assumption
+that the instructions were previously scheduled."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Instruction
+from ..pipeline.stalls import issue, walk
+from ..pipeline.state import PipelineState
+from ..spawn.model import MachineModel
+from .dependence import DependenceGraph, SchedulingPolicy, build_dependence_graph
+from .priorities import chain_lengths
+
+
+@dataclass
+class ScheduleResult:
+    """A scheduled region plus its accounting."""
+
+    instructions: list[Instruction]
+    order: list[int]
+    #: issue-cycle cost of the region before and after scheduling.
+    original_cycles: int
+    scheduled_cycles: int
+    graph: DependenceGraph = field(repr=False, default=None)
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.original_cycles - self.scheduled_cycles
+
+
+class ListScheduler:
+    """EEL's local instruction scheduler for one machine model."""
+
+    def __init__(
+        self, model: MachineModel, policy: SchedulingPolicy | None = None
+    ) -> None:
+        self.model = model
+        self.policy = policy or SchedulingPolicy()
+
+    # -- public API -------------------------------------------------------------
+
+    def schedule_region(self, region: list[Instruction]) -> ScheduleResult:
+        """Schedule one straight-line region (no control transfers)."""
+        for inst in region:
+            if inst.is_control:
+                raise ValueError(
+                    f"region contains control transfer {inst.mnemonic!r}; "
+                    "split regions first (see repro.core.regions)"
+                )
+        graph = build_dependence_graph(region, self.policy)
+        heights = chain_lengths(self.model, graph)
+        order = self._forward_pass(graph, heights)
+        scheduled = [region[i] for i in order]
+        return ScheduleResult(
+            instructions=scheduled,
+            order=order,
+            original_cycles=self._issue_cycles(region),
+            scheduled_cycles=self._issue_cycles(scheduled),
+            graph=graph,
+        )
+
+    # -- passes -----------------------------------------------------------------
+
+    def _forward_pass(self, graph: DependenceGraph, heights: list[int]) -> list[int]:
+        n = graph.size
+        remaining_preds = [len(graph.preds[i]) for i in range(n)]
+        ready = [i for i in range(n) if remaining_preds[i] == 0]
+        order: list[int] = []
+        state = PipelineState(self.model)
+        cycle = 0
+
+        while ready:
+            best = None
+            best_key = None
+            for node in ready:
+                timing = self.model.timing(graph.nodes[node])
+                stalls = walk(cycle, state, timing).stalls
+                # The paper's priority: fewest stalls, then longest
+                # chain to block end, then original program position.
+                # Variants exist for the ablation study.
+                if self.policy.priority == "chain_stalls":
+                    key = (-heights[node], stalls, node)
+                elif self.policy.priority == "program_order":
+                    key = (node, stalls)
+                else:
+                    key = (stalls, -heights[node], node)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = node
+            result = issue(cycle, state, graph.nodes[best])
+            cycle = result.issue_cycle
+            order.append(best)
+            ready.remove(best)
+            for succ in graph.succs[best]:
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+
+        if len(order) != n:  # pragma: no cover - DAGs are acyclic by construction
+            raise RuntimeError("dependence graph had a cycle")
+        return order
+
+    # -- measurement -------------------------------------------------------------
+
+    def _issue_cycles(self, instructions: list[Instruction]) -> int:
+        state = PipelineState(self.model)
+        cycle = 0
+        for inst in instructions:
+            cycle = issue(cycle, state, inst).issue_cycle
+        return cycle + 1 if instructions else 0

@@ -1,0 +1,42 @@
+"""The backward pass: dependence-chain lengths to the end of the block.
+
+"The first pass starts at the end of the block and works backwards to
+compute the length (in cycles) of the dependence chain between every
+instruction and the end of the block. This computation only considers
+the stalls required between data dependent instructions." (§4)
+
+Edge delays are derived from the machine model: a RAW edge from producer
+``i`` to consumer ``j`` costs ``avail_cycle(i, reg) − read_cycle(j,
+reg)`` issue-to-issue cycles; ordering-only edges (WAR/WAW/memory) cost
+zero — they constrain order, not cycles.
+"""
+
+from __future__ import annotations
+
+from ..spawn.model import MachineModel
+from .dependence import DependenceGraph
+
+
+def edge_delay(model: MachineModel, graph: DependenceGraph, src: int, dst: int) -> int:
+    """Minimum issue-cycle separation imposed by data flow src -> dst."""
+    producer = model.timing(graph.nodes[src])
+    consumer = model.timing(graph.nodes[dst])
+    avail = {reg: cycle for reg, cycle in producer.writes}
+    delay = 0
+    for reg, read_cycle in consumer.reads:
+        if reg in avail:
+            delay = max(delay, avail[reg] - read_cycle)
+    return delay
+
+
+def chain_lengths(model: MachineModel, graph: DependenceGraph) -> list[int]:
+    """``heights[i]``: cycles of data-dependent work between instruction
+    ``i`` and the end of the block."""
+    n = graph.size
+    heights = [0] * n
+    for i in range(n - 1, -1, -1):
+        best = 0
+        for j in graph.succs[i]:
+            best = max(best, edge_delay(model, graph, i, j) + heights[j])
+        heights[i] = best
+    return heights

@@ -1,0 +1,50 @@
+"""Straight-line region extraction.
+
+"If instrumentation contains branches, the scheduler only processes the
+regions of straight-line code." (§4) Blocks produced by the EEL editor
+never contain embedded control transfers, but tools composing raw
+instruction sequences might; the scheduler pipeline therefore splits a
+sequence into maximal CTI-free runs, schedules each, and keeps the CTIs
+(with whatever follows their position) fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class Region:
+    """A maximal straight-line run, plus the CTI (if any) that ends it."""
+
+    instructions: tuple[Instruction, ...]
+    barrier: Instruction | None
+
+
+def split_regions(sequence: list[Instruction]) -> list[Region]:
+    """Split ``sequence`` into schedulable regions at control transfers."""
+    regions: list[Region] = []
+    current: list[Instruction] = []
+    for inst in sequence:
+        if inst.is_control:
+            regions.append(Region(tuple(current), inst))
+            current = []
+        else:
+            current.append(inst)
+    if current or not regions:
+        regions.append(Region(tuple(current), None))
+    return regions
+
+
+def join_regions(regions: list[Region], bodies: list[list[Instruction]]) -> list[Instruction]:
+    """Reassemble scheduled region bodies with their barriers."""
+    if len(regions) != len(bodies):
+        raise ValueError("region/body count mismatch")
+    out: list[Instruction] = []
+    for region, body in zip(regions, bodies):
+        out.extend(body)
+        if region.barrier is not None:
+            out.append(region.barrier)
+    return out

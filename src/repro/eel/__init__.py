@@ -1,0 +1,50 @@
+"""EEL — the executable editing library (paper §1, Figure 3).
+
+Analyze an executable's binary text into a CFG, let a tool place
+instrumentation snippets, optionally schedule each block, and emit a new
+executable with branches retargeted and delay slots intact.
+"""
+
+from .callgraph import CallGraph, CallSite, build_call_graph
+from .cfg import CFG, BasicBlock, CfgError, Edge, build_cfg, build_cfg_from_instructions
+from .dominators import DominatorTree
+from .editor import BlockTransform, EditError, Editor, identity_edit
+from .loops import Loop, LoopForest
+from .routine import Routine, split_routines
+from .executable import DATA_BASE, TEXT_BASE, Executable
+from .image import Section, SectionKind, Symbol, SymbolKind
+from .liveness import BlockLiveness, LivenessAnalysis
+from .snippet import Snippet, SnippetError, snippet_from_asm
+
+__all__ = [
+    "BasicBlock",
+    "BlockLiveness",
+    "BlockTransform",
+    "CFG",
+    "CallGraph",
+    "CallSite",
+    "CfgError",
+    "DATA_BASE",
+    "DominatorTree",
+    "EditError",
+    "Editor",
+    "Edge",
+    "Executable",
+    "LivenessAnalysis",
+    "Loop",
+    "LoopForest",
+    "Routine",
+    "Section",
+    "SectionKind",
+    "Snippet",
+    "SnippetError",
+    "Symbol",
+    "SymbolKind",
+    "TEXT_BASE",
+    "build_call_graph",
+    "build_cfg",
+    "build_cfg_from_instructions",
+    "identity_edit",
+    "snippet_from_asm",
+    "split_routines",
+]

@@ -1,0 +1,111 @@
+"""The static call graph.
+
+Built from ``call`` terminators' targets and the routine partition:
+which routines call which, how many static call sites each has, and a
+bottom-up ordering for whole-program tools (instrument leaves first,
+compute cumulative profiles, etc.). Indirect calls through ``jmpl`` are
+recorded as unresolved — exactly the honesty a binary editor owes its
+users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .executable import Executable
+from .routine import Routine, split_routines
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str | None  # None: indirect/unresolvable
+    block_index: int
+
+
+@dataclass
+class CallGraph:
+    routines: list[Routine]
+    sites: list[CallSite] = field(default_factory=list)
+
+    @property
+    def edges(self) -> set[tuple[str, str]]:
+        return {
+            (site.caller, site.callee)
+            for site in self.sites
+            if site.callee is not None
+        }
+
+    def callees_of(self, routine: str) -> set[str]:
+        return {s.callee for s in self.sites if s.caller == routine and s.callee}
+
+    def callers_of(self, routine: str) -> set[str]:
+        return {s.caller for s in self.sites if s.callee == routine}
+
+    def indirect_sites(self) -> list[CallSite]:
+        return [s for s in self.sites if s.callee is None]
+
+    def leaves(self) -> list[str]:
+        """Routines that call nothing (directly)."""
+        callers = {s.caller for s in self.sites if s.callee is not None}
+        return [r.name for r in self.routines if r.name not in callers]
+
+    def bottom_up(self) -> list[str]:
+        """Routines ordered so every callee precedes its callers
+        (cycles — recursion — broken arbitrarily but deterministically)."""
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done or name in visiting:
+                return
+            visiting.add(name)
+            for callee in sorted(self.callees_of(name)):
+                visit(callee)
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for routine in self.routines:
+            visit(routine.name)
+        return order
+
+
+def build_call_graph(executable: Executable, cfg: CFG) -> CallGraph:
+    """Recover the call graph from call-block targets."""
+    routines = split_routines(executable, cfg)
+
+    def routine_of_block(block_index: int) -> str:
+        address = cfg.blocks[block_index].address
+        for routine in routines:
+            if any(b.index == block_index for b in routine.blocks):
+                return routine.name
+        raise ValueError(f"block {block_index} in no routine")  # pragma: no cover
+
+    entry_to_name = {r.entry_address: r.name for r in routines}
+    graph = CallGraph(routines=routines)
+    for block in cfg:
+        term = block.terminator
+        if term is None:
+            continue
+        if term.mnemonic == "call":
+            callee = entry_to_name.get(block.callee)
+            graph.sites.append(
+                CallSite(
+                    caller=routine_of_block(block.index),
+                    callee=callee,
+                    block_index=block.index,
+                )
+            )
+        elif term.mnemonic == "jmpl" and term.rd is not None and term.rd.index == 15:
+            # jmpl that *links* (%o7) is an indirect call, not a return.
+            graph.sites.append(
+                CallSite(
+                    caller=routine_of_block(block.index),
+                    callee=None,
+                    block_index=block.index,
+                )
+            )
+    return graph

@@ -1,0 +1,222 @@
+"""Control-flow graph recovery from binary text.
+
+EEL's analyses and the scheduler both work on basic blocks recovered
+from the executable. SPARC delayed branches shape the block model: a
+control-transfer instruction (CTI) *and its delay-slot instruction*
+terminate the block together, and the fall-through successor starts
+after the delay slot.
+
+Blocks are therefore: a straight-line ``body`` (no CTIs), an optional
+``terminator`` CTI, and the CTI's ``delay`` instruction. The scheduler
+reorders the body; the terminator and delay slot are handled by the
+editor (see :mod:`repro.core.block_scheduler` for the delay-slot refill
+rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Category
+from .executable import Executable
+
+
+class CfgError(Exception):
+    """The text's control structure cannot be expressed as a clean CFG
+    (e.g. a branch into a delay slot)."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    kind: str  # 'taken' | 'fallthrough'
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    address: int
+    body: list[Instruction] = field(default_factory=list)
+    terminator: Instruction | None = None
+    delay: Instruction | None = None
+    succs: list[Edge] = field(default_factory=list)
+    preds: list[Edge] = field(default_factory=list)
+    #: static call target address for blocks ending in ``call``.
+    callee: int | None = None
+
+    @property
+    def instruction_count(self) -> int:
+        """All instructions the block occupies in the text."""
+        return len(self.body) + (1 if self.terminator else 0) + (1 if self.delay else 0)
+
+    def instructions(self) -> list[Instruction]:
+        """Body + terminator + delay, in text order."""
+        out = list(self.body)
+        if self.terminator is not None:
+            out.append(self.terminator)
+        if self.delay is not None:
+            out.append(self.delay)
+        return out
+
+    @property
+    def has_conditional_exit(self) -> bool:
+        term = self.terminator
+        return term is not None and term.is_branch and not term.info.is_unconditional
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<block {self.index} @{self.address:#x} ({self.instruction_count} insts)>"
+
+
+class CFG:
+    """Basic blocks and edges for one executable's text section."""
+
+    def __init__(self, blocks: list[BasicBlock], entry_index: int) -> None:
+        self.blocks = blocks
+        self.entry_index = entry_index
+        self.block_by_address = {b.address: b for b in blocks}
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_index]
+
+    def successors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [self.blocks[e.dst] for e in block.succs]
+
+    def predecessors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [self.blocks[e.src] for e in block.preds]
+
+
+def build_cfg(executable: Executable) -> CFG:
+    """Recover the CFG of an executable's text section."""
+    decoded = executable.decode_text()
+    if not decoded:
+        raise CfgError("empty text section")
+    return build_cfg_from_instructions(
+        decoded,
+        entry=executable.entry,
+        extra_leaders=[s.address for s in executable.function_symbols()],
+    )
+
+
+def build_cfg_from_instructions(
+    decoded: list[tuple[int, Instruction]],
+    *,
+    entry: int,
+    extra_leaders: list[int] | None = None,
+) -> CFG:
+    addresses = [address for address, _ in decoded]
+    by_address = dict(decoded)
+    first = addresses[0]
+    last = addresses[-1]
+
+    def in_text(address: int) -> bool:
+        return first <= address <= last
+
+    # -- find leaders and delay slots ------------------------------------
+    delay_slots: set[int] = set()
+    leaders: set[int] = {first, entry}
+    for address in extra_leaders or ():
+        if in_text(address):
+            leaders.add(address)
+
+    for address, inst in decoded:
+        if not inst.is_control:
+            continue
+        if address + 4 <= last:
+            delay_slots.add(address + 4)
+        slot_inst = by_address.get(address + 4)
+        if slot_inst is not None and slot_inst.is_control:
+            raise CfgError(f"CTI in delay slot at {address + 4:#x}")
+        # Fall-through (or return point) after the delay slot.
+        if address + 8 <= last:
+            leaders.add(address + 8)
+        target = _static_target(address, inst)
+        if target is not None and in_text(target):
+            leaders.add(target)
+
+    bad = leaders & delay_slots
+    if bad:
+        raise CfgError(f"branch into a delay slot at {sorted(bad)[0]:#x}")
+
+    # -- carve blocks ---------------------------------------------------------
+    blocks: list[BasicBlock] = []
+    current: BasicBlock | None = None
+    skip_until = -1
+    for address, inst in decoded:
+        if address < skip_until:
+            continue
+        if current is None or address in leaders:
+            current = BasicBlock(index=len(blocks), address=address)
+            blocks.append(current)
+        if inst.is_control:
+            current.terminator = inst
+            slot = by_address.get(address + 4)
+            if slot is not None:
+                current.delay = slot
+                skip_until = address + 8
+            else:
+                skip_until = address + 4
+            if inst.category is Category.CALL:
+                current.callee = _static_target(address, inst)
+            current = None
+        else:
+            current.body.append(inst)
+
+    # -- edges --------------------------------------------------------------------
+    index_by_address = {b.address: b.index for b in blocks}
+    block_end: dict[int, int] = {}
+    for block in blocks:
+        end = block.address + 4 * block.instruction_count
+        block_end[block.index] = end
+
+    def add_edge(src: BasicBlock, dst_address: int, kind: str) -> None:
+        dst_index = index_by_address.get(dst_address)
+        if dst_index is None:
+            raise CfgError(
+                f"block {src.index} targets {dst_address:#x}, not a block head"
+            )
+        edge = Edge(src.index, dst_index, kind)
+        src.succs.append(edge)
+        blocks[dst_index].preds.append(edge)
+
+    for block in blocks:
+        term = block.terminator
+        fallthrough = block_end[block.index]
+        if term is None:
+            if fallthrough in index_by_address:
+                add_edge(block, fallthrough, "fallthrough")
+            continue
+        category = term.category
+        if category in (Category.BRANCH, Category.FBRANCH):
+            cti_address = block.address + 4 * len(block.body)
+            target = _static_target(cti_address, term)
+            taken_possible = term.mnemonic not in ("bn", "fbn")
+            fall_possible = not term.info.is_unconditional
+            if taken_possible and target is not None and in_text(target):
+                add_edge(block, target, "taken")
+            if fall_possible and fallthrough in index_by_address:
+                add_edge(block, fallthrough, "fallthrough")
+        elif category is Category.CALL:
+            # Control returns to the point after the delay slot.
+            if fallthrough in index_by_address:
+                add_edge(block, fallthrough, "fallthrough")
+        # jmpl: indirect — no static successors.
+
+    entry_index = index_by_address.get(entry, 0)
+    return CFG(blocks, entry_index)
+
+
+def _static_target(address: int, inst: Instruction) -> int | None:
+    if inst.category in (Category.BRANCH, Category.FBRANCH, Category.CALL):
+        if inst.imm is None:
+            return None
+        return address + 4 * inst.imm
+    return None

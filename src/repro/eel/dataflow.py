@@ -1,0 +1,146 @@
+"""A small generic dataflow framework, plus reaching definitions.
+
+Liveness (:mod:`repro.eel.liveness`) predates this framework and keeps
+its tuned implementation; new analyses plug in here. The framework is
+the standard iterative worklist solver over a CFG: a :class:`Problem`
+supplies direction, lattice operations (meet over sets), and per-block
+transfer functions; :func:`solve` iterates to the fixed point.
+
+:class:`ReachingDefinitions` is the bundled client: which instruction's
+write of a register can reach each block's entry. EEL tools use it to
+answer "is this register's value constant here?" and to sanity-check
+scratch-register choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from ..isa.registers import Reg
+from .cfg import CFG, BasicBlock
+
+Fact = TypeVar("Fact", bound=Hashable)
+
+
+class Problem(Generic[Fact]):
+    """A forward or backward may-analysis over sets of facts."""
+
+    direction: str = "forward"  # or 'backward'
+
+    def boundary(self, block: BasicBlock) -> frozenset[Fact]:
+        """Facts injected at the entry (forward) / exits (backward)."""
+        return frozenset()
+
+    def transfer(self, block: BasicBlock, facts: frozenset[Fact]) -> frozenset[Fact]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Solution(Generic[Fact]):
+    """Per-block input/output fact sets at the fixed point."""
+
+    inputs: dict[int, frozenset[Fact]]
+    outputs: dict[int, frozenset[Fact]]
+
+
+def solve(cfg: CFG, problem: Problem[Fact]) -> Solution[Fact]:
+    """Iterate ``problem`` to its least fixed point (union meet)."""
+    forward = problem.direction == "forward"
+    inputs: dict[int, frozenset[Fact]] = {b.index: frozenset() for b in cfg}
+    outputs: dict[int, frozenset[Fact]] = {b.index: frozenset() for b in cfg}
+
+    worklist = [b.index for b in cfg]
+    if not forward:
+        worklist.reverse()
+    pending = set(worklist)
+
+    while worklist:
+        index = worklist.pop(0)
+        pending.discard(index)
+        block = cfg.blocks[index]
+
+        if forward:
+            gathered: set[Fact] = set(problem.boundary(block)) if _is_source(
+                cfg, block, forward
+            ) else set()
+            for edge in block.preds:
+                gathered |= outputs[edge.src]
+            new_in = frozenset(gathered)
+            new_out = problem.transfer(block, new_in)
+            changed = new_out != outputs[index] or new_in != inputs[index]
+            inputs[index], outputs[index] = new_in, new_out
+            dependents = [e.dst for e in block.succs]
+        else:
+            gathered = set(problem.boundary(block)) if _is_source(
+                cfg, block, forward
+            ) else set()
+            for edge in block.succs:
+                gathered |= inputs[edge.dst]
+            new_out = frozenset(gathered)
+            new_in = problem.transfer(block, new_out)
+            changed = new_out != outputs[index] or new_in != inputs[index]
+            inputs[index], outputs[index] = new_in, new_out
+            dependents = [e.src for e in block.preds]
+
+        if changed:
+            for dep in dependents:
+                if dep not in pending:
+                    pending.add(dep)
+                    worklist.append(dep)
+
+    return Solution(inputs=inputs, outputs=outputs)
+
+
+def _is_source(cfg: CFG, block: BasicBlock, forward: bool) -> bool:
+    if forward:
+        return block.index == cfg.entry_index or not block.preds
+    return not block.succs
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions
+# --------------------------------------------------------------------------
+
+#: A definition site: (block index, position within the block, register).
+Definition = tuple[int, int, Reg]
+
+
+class _ReachingProblem(Problem[Definition]):
+    direction = "forward"
+
+    def __init__(self, cfg: CFG) -> None:
+        self.gen: dict[int, frozenset[Definition]] = {}
+        self.kill_regs: dict[int, frozenset[Reg]] = {}
+        for block in cfg:
+            last_def: dict[Reg, Definition] = {}
+            for position, inst in enumerate(block.instructions()):
+                for reg in inst.regs_written():
+                    last_def[reg] = (block.index, position, reg)
+            self.gen[block.index] = frozenset(last_def.values())
+            self.kill_regs[block.index] = frozenset(last_def)
+
+    def transfer(self, block: BasicBlock, facts: frozenset[Definition]):
+        killed = self.kill_regs[block.index]
+        surviving = {d for d in facts if d[2] not in killed}
+        return frozenset(surviving | self.gen[block.index])
+
+
+class ReachingDefinitions:
+    """Which definitions of each register reach each block's entry."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._solution = solve(cfg, _ReachingProblem(cfg))
+
+    def reaching(self, block: BasicBlock | int) -> frozenset[Definition]:
+        index = block if isinstance(block, int) else block.index
+        return self._solution.inputs[index]
+
+    def definitions_of(self, block: BasicBlock | int, reg: Reg) -> list[Definition]:
+        return sorted(d for d in self.reaching(block) if d[2] == reg)
+
+    def has_unique_definition(self, block: BasicBlock | int, reg: Reg) -> bool:
+        """True when exactly one definition of ``reg`` reaches the block
+        — the register's value there is well-determined by one site."""
+        return len(self.definitions_of(block, reg)) == 1

@@ -1,0 +1,121 @@
+"""Dominator analysis over the CFG.
+
+A block D dominates block B when every path from the entry to B passes
+through D. EEL exposes dominators because instrumentation tools use them
+constantly: hoisting instrumentation to a dominating block, identifying
+loop headers (see :mod:`repro.eel.loops`), and checking that a counter
+placed in D observes every execution of B.
+
+Implemented with the classic Cooper–Harvey–Kennedy iterative algorithm
+over a reverse-postorder traversal.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG, BasicBlock
+
+
+class DominatorTree:
+    """Immediate dominators for every block reachable from the entry."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._rpo = self._reverse_postorder()
+        self._rpo_index = {b: i for i, b in enumerate(self._rpo)}
+        self.idom: dict[int, int] = {}
+        self._solve()
+
+    # -- construction ---------------------------------------------------------
+
+    def _reverse_postorder(self) -> list[int]:
+        seen: set[int] = set()
+        postorder: list[int] = []
+
+        def visit(index: int) -> None:
+            # Iterative DFS: CFGs of big programs overflow recursion.
+            stack = [(index, iter(self.cfg.blocks[index].succs))]
+            seen.add(index)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for edge in succs:
+                    if edge.dst not in seen:
+                        seen.add(edge.dst)
+                        stack.append((edge.dst, iter(self.cfg.blocks[edge.dst].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        visit(self.cfg.entry_index)
+        return list(reversed(postorder))
+
+    def _solve(self) -> None:
+        entry = self.cfg.entry_index
+        idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block_index in self._rpo:
+                if block_index == entry:
+                    continue
+                preds = [
+                    e.src
+                    for e in self.cfg.blocks[block_index].preds
+                    if e.src in idom
+                ]
+                if not preds:
+                    continue
+                new = preds[0]
+                for pred in preds[1:]:
+                    new = self._intersect(idom, new, pred)
+                if idom.get(block_index) != new:
+                    idom[block_index] = new
+                    changed = True
+        self.idom = idom
+
+    def _intersect(self, idom: dict[int, int], a: int, b: int) -> int:
+        while a != b:
+            while self._rpo_index[a] > self._rpo_index[b]:
+                a = idom[a]
+            while self._rpo_index[b] > self._rpo_index[a]:
+                b = idom[b]
+        return a
+
+    # -- queries ------------------------------------------------------------------
+
+    def reachable(self, block: BasicBlock | int) -> bool:
+        index = block if isinstance(block, int) else block.index
+        return index in self.idom
+
+    def immediate_dominator(self, block: BasicBlock | int) -> int | None:
+        index = block if isinstance(block, int) else block.index
+        if index == self.cfg.entry_index:
+            return None
+        return self.idom.get(index)
+
+    def dominates(self, dom: BasicBlock | int, sub: BasicBlock | int) -> bool:
+        """True when ``dom`` dominates ``sub`` (every block dominates
+        itself)."""
+        d = dom if isinstance(dom, int) else dom.index
+        s = sub if isinstance(sub, int) else sub.index
+        if s not in self.idom:
+            return False
+        while True:
+            if s == d:
+                return True
+            parent = self.idom[s]
+            if parent == s:  # reached the entry
+                return False
+            s = parent
+
+    def dominators_of(self, block: BasicBlock | int) -> list[int]:
+        """All dominators of ``block``, from itself up to the entry."""
+        index = block if isinstance(block, int) else block.index
+        if index not in self.idom:
+            return []
+        chain = [index]
+        while chain[-1] != self.cfg.entry_index:
+            chain.append(self.idom[chain[-1]])
+        return chain

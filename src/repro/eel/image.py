@@ -1,0 +1,123 @@
+"""Sections and symbols for the RXE executable container.
+
+The original EEL read SPARC ELF executables through libbfd. Re-creating
+ELF adds nothing to the paper's contribution, so this reproduction uses
+RXE ("repro executable"), a minimal container with the same essential
+structure: named sections holding raw bytes at fixed virtual addresses,
+plus function/object symbols. Crucially the *text bytes are real encoded
+SPARC V8 instructions* — everything EEL does downstream (disassembly,
+CFG recovery, editing, re-encoding) works at the binary level, exactly
+like the original.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+class SectionKind(enum.Enum):
+    TEXT = 0
+    DATA = 1
+    BSS = 2
+
+
+class SymbolKind(enum.Enum):
+    FUNCTION = 0
+    OBJECT = 1
+
+
+@dataclass
+class Section:
+    """A named range of the address space, optionally with contents."""
+
+    name: str
+    kind: SectionKind
+    address: int
+    data: bytes = b""
+    bss_size: int = 0
+
+    @property
+    def size(self) -> int:
+        return self.bss_size if self.kind is SectionKind.BSS else len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    address: int
+    size: int = 0
+    kind: SymbolKind = SymbolKind.FUNCTION
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(">H", len(raw)) + raw
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise ValueError("truncated RXE image")
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def string(self) -> str:
+        return self.take(self.u16()).decode("utf-8")
+
+
+def pack_section(section: Section) -> bytes:
+    header = _pack_str(section.name)
+    header += struct.pack(
+        ">BII", section.kind.value, section.address, section.size
+    )
+    if section.kind is SectionKind.BSS:
+        return header
+    return header + section.data
+
+
+def unpack_section(reader: _Reader) -> Section:
+    name = reader.string()
+    kind = SectionKind(reader.u8())
+    address = reader.u32()
+    size = reader.u32()
+    if kind is SectionKind.BSS:
+        return Section(name, kind, address, bss_size=size)
+    return Section(name, kind, address, data=reader.take(size))
+
+
+def pack_symbol(symbol: Symbol) -> bytes:
+    return (
+        _pack_str(symbol.name)
+        + struct.pack(">IIB", symbol.address, symbol.size, symbol.kind.value)
+    )
+
+
+def unpack_symbol(reader: _Reader) -> Symbol:
+    name = reader.string()
+    address = reader.u32()
+    size = reader.u32()
+    kind = SymbolKind(reader.u8())
+    return Symbol(name, address, size, kind)

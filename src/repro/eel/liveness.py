@@ -1,0 +1,137 @@
+"""Register liveness analysis over the CFG.
+
+A classic backward may-analysis: a register is live at a point if some
+path to a use avoids an intervening definition. EEL uses it to find
+*dead* registers at instrumentation points, so tools like QPT can borrow
+scratch registers without spilling (paper §1's "insert instrumentation
+without affecting a program's behavior").
+
+Blocks with indirect exits (``jmpl``) and call sites are treated
+conservatively: everything a caller might rely on is assumed live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Category
+from ..isa.registers import FCC, ICC, Reg, RegKind, Y, f, r
+from .cfg import CFG, BasicBlock
+
+#: Registers assumed live at indirect exits / returns: everything.
+_ALL_REGS = frozenset(
+    [r(i) for i in range(1, 32)] + [f(i) for i in range(32)] + [ICC, FCC, Y]
+)
+
+
+@dataclass(frozen=True)
+class BlockLiveness:
+    live_in: frozenset[Reg]
+    live_out: frozenset[Reg]
+
+
+def _uses_defs(instructions: list[Instruction]) -> tuple[frozenset[Reg], frozenset[Reg]]:
+    """(use, def) for a straight-line sequence, computed in order."""
+    uses: set[Reg] = set()
+    defs: set[Reg] = set()
+    for inst in instructions:
+        for reg in inst.regs_read():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(inst.regs_written())
+    return frozenset(uses), frozenset(defs)
+
+
+class LivenessAnalysis:
+    """Fixed-point liveness over one CFG."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._use: dict[int, frozenset[Reg]] = {}
+        self._def: dict[int, frozenset[Reg]] = {}
+        self._result: dict[int, BlockLiveness] = {}
+        self._solve()
+
+    def _block_sequence(self, block: BasicBlock) -> list[Instruction]:
+        # Delay-slot instruction executes with the block (conservatively
+        # including annulled slots: treating their uses as uses is safe).
+        return block.instructions()
+
+    def _boundary(self, block: BasicBlock) -> frozenset[Reg]:
+        term = block.terminator
+        if term is None:
+            return frozenset()
+        # Returns and indirect jumps leave the CFG: assume all live.
+        if term.category is Category.JMPL:
+            return _ALL_REGS
+        # A call's callee may use anything the caller set up.
+        if term.category is Category.CALL:
+            return _ALL_REGS
+        if not block.succs:
+            return _ALL_REGS
+        return frozenset()
+
+    def _solve(self) -> None:
+        for block in self.cfg:
+            use, defs = _uses_defs(self._block_sequence(block))
+            self._use[block.index] = use
+            self._def[block.index] = defs
+
+        live_in: dict[int, frozenset[Reg]] = {b.index: frozenset() for b in self.cfg}
+        live_out: dict[int, frozenset[Reg]] = {b.index: frozenset() for b in self.cfg}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self.cfg.blocks):
+                out: set[Reg] = set(self._boundary(block))
+                for succ in self.cfg.successors(block):
+                    out |= live_in[succ.index]
+                new_out = frozenset(out)
+                new_in = frozenset(
+                    self._use[block.index] | (new_out - self._def[block.index])
+                )
+                if new_out != live_out[block.index] or new_in != live_in[block.index]:
+                    changed = True
+                    live_out[block.index] = new_out
+                    live_in[block.index] = new_in
+
+        for block in self.cfg:
+            self._result[block.index] = BlockLiveness(
+                live_in=live_in[block.index], live_out=live_out[block.index]
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def live_in(self, block: BasicBlock | int) -> frozenset[Reg]:
+        index = block if isinstance(block, int) else block.index
+        return self._result[index].live_in
+
+    def live_out(self, block: BasicBlock | int) -> frozenset[Reg]:
+        index = block if isinstance(block, int) else block.index
+        return self._result[index].live_out
+
+    def dead_integer_registers(
+        self, block: BasicBlock | int, *, count: int, avoid: frozenset[Reg] = frozenset()
+    ) -> list[Reg]:
+        """Up to ``count`` integer registers that are dead throughout the
+        block — not live in, not read or written by the block itself.
+
+        Returns fewer than ``count`` when the block keeps too many
+        registers busy (callers fall back to reserved registers).
+        """
+        index = block if isinstance(block, int) else block.index
+        blk = self.cfg.blocks[index]
+        busy = set(self.live_in(index)) | set(avoid)
+        for inst in blk.instructions():
+            busy |= inst.regs_read() | inst.regs_written()
+        found: list[Reg] = []
+        # Prefer high locals/globals, the registers compilers burn last.
+        candidates = [r(i) for i in range(23, 0, -1)]
+        for reg in candidates:
+            if reg.kind is RegKind.INT and reg not in busy:
+                found.append(reg)
+                if len(found) == count:
+                    break
+        return found

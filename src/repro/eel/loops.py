@@ -1,0 +1,92 @@
+"""Natural-loop detection.
+
+A back edge t→h (where h dominates t) defines a natural loop: h plus all
+blocks that reach t without passing through h. Loop structure feeds two
+consumers in this library: instrumentation tools that want loop-depth
+weights (put the counter outside the inner loop when the counts allow
+it), and the workload generator's tests, which check that the programs
+it builds actually have the loop nesting it intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """One natural loop: header, body blocks (including the header)."""
+
+    header: int
+    blocks: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+
+    def __contains__(self, block_index: int) -> bool:
+        return block_index in self.blocks
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+
+class LoopForest:
+    """All natural loops of a CFG, with per-block nesting depth."""
+
+    def __init__(self, cfg: CFG, dominators: DominatorTree | None = None) -> None:
+        self.cfg = cfg
+        self.dominators = dominators or DominatorTree(cfg)
+        self.loops: list[Loop] = []
+        self._find_loops()
+
+    def _find_loops(self) -> None:
+        dom = self.dominators
+        by_header: dict[int, set[int]] = {}
+        edges_by_header: dict[int, list[tuple[int, int]]] = {}
+        for block in self.cfg:
+            for edge in block.succs:
+                if dom.dominates(edge.dst, edge.src):
+                    body = self._natural_loop(edge.src, edge.dst)
+                    by_header.setdefault(edge.dst, set()).update(body)
+                    edges_by_header.setdefault(edge.dst, []).append(
+                        (edge.src, edge.dst)
+                    )
+        for header in sorted(by_header):
+            self.loops.append(
+                Loop(
+                    header=header,
+                    blocks=frozenset(by_header[header]),
+                    back_edges=tuple(edges_by_header[header]),
+                )
+            )
+
+    def _natural_loop(self, tail: int, header: int) -> set[int]:
+        body = {header, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node == header:
+                continue
+            for edge in self.cfg.blocks[node].preds:
+                if edge.src not in body:
+                    body.add(edge.src)
+                    stack.append(edge.src)
+        return body
+
+    # -- queries -------------------------------------------------------------
+
+    def depth(self, block_index: int) -> int:
+        """How many loops contain the block (0 = not in any loop)."""
+        return sum(1 for loop in self.loops if block_index in loop)
+
+    def innermost(self, block_index: int) -> Loop | None:
+        """The smallest loop containing the block."""
+        containing = [loop for loop in self.loops if block_index in loop]
+        if not containing:
+            return None
+        return min(containing, key=lambda loop: loop.size)
+
+    def headers(self) -> list[int]:
+        return [loop.header for loop in self.loops]

@@ -1,0 +1,80 @@
+"""Routines: the function-level view over the CFG.
+
+EEL's public API is organized executable → routine → basic block. A
+routine is the maximal run of blocks between one function symbol and the
+next; the CFG edges within that range form the routine's flow graph.
+Tools iterate routines to instrument one function, compute per-function
+statistics, or skip library code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG, BasicBlock
+from .executable import Executable
+
+
+@dataclass
+class Routine:
+    """One function's worth of basic blocks."""
+
+    name: str
+    entry_address: int
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(block.instruction_count for block in self.blocks)
+
+    @property
+    def block_indexes(self) -> frozenset[int]:
+        return frozenset(block.index for block in self.blocks)
+
+    def entry_block(self) -> BasicBlock:
+        for block in self.blocks:
+            if block.address == self.entry_address:
+                return block
+        raise ValueError(f"routine {self.name!r} has no entry block")
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks that leave the routine: returns/indirect jumps, or
+        edges to blocks outside it."""
+        inside = self.block_indexes
+        exits = []
+        for block in self.blocks:
+            if not block.succs:
+                exits.append(block)
+            elif any(edge.dst not in inside for edge in block.succs):
+                exits.append(block)
+        return exits
+
+
+def split_routines(executable: Executable, cfg: CFG) -> list[Routine]:
+    """Partition the CFG's blocks into routines by function symbols.
+
+    Blocks before the first symbol form an implicit ``<entry>`` routine
+    (programs without symbols yield exactly one routine).
+    """
+    symbols = executable.function_symbols()
+    boundaries = [(s.address, s.name) for s in symbols]
+    routines: list[Routine] = []
+
+    def routine_for(address: int) -> tuple[str, int]:
+        current = ("<entry>", cfg.blocks[0].address if cfg.blocks else 0)
+        for bound_address, name in boundaries:
+            if bound_address <= address:
+                current = (name, bound_address)
+            else:
+                break
+        return current
+
+    by_key: dict[tuple[str, int], Routine] = {}
+    for block in cfg:
+        name, entry = routine_for(block.address)
+        key = (name, entry)
+        if key not in by_key:
+            by_key[key] = Routine(name=name, entry_address=entry)
+            routines.append(by_key[key])
+        by_key[key].blocks.append(block)
+    return routines

@@ -1,0 +1,48 @@
+"""Code snippets — the instrumentation fragments tools insert.
+
+A snippet is a straight-line sequence of instructions (no control
+transfer: the paper's scheduler only handles straight-line
+instrumentation regions, and QPT2's slow profiling needs nothing more).
+All snippet instructions carry the instrumentation provenance tag, which
+drives the scheduler's memory-aliasing policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.asm import assemble
+from ..isa.instruction import TAG_INSTRUMENTATION, Instruction
+
+
+class SnippetError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A named, reusable instrumentation fragment."""
+
+    name: str
+    instructions: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        for inst in self.instructions:
+            if inst.is_control:
+                raise SnippetError(
+                    f"snippet {self.name!r} contains control transfer "
+                    f"{inst.mnemonic!r}; only straight-line snippets are "
+                    f"schedulable"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def materialize(self) -> list[Instruction]:
+        """Instances ready for insertion, tagged as instrumentation."""
+        return [inst.retag(TAG_INSTRUMENTATION) for inst in self.instructions]
+
+
+def snippet_from_asm(name: str, source: str) -> Snippet:
+    """Build a snippet from assembly text."""
+    return Snippet(name, tuple(assemble(source)))

@@ -1,0 +1,58 @@
+"""Evaluation harness: reproduces the paper's Tables 1–3."""
+
+from .experiment import (
+    BenchmarkResult,
+    ExperimentConfig,
+    program_cycles,
+    run_profiling_experiment,
+)
+from .paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE2_BASELINE_RATIOS,
+    PAPER_TABLE3,
+    PAPER_TABLES,
+    PaperRow,
+    comparison_table,
+    paper_row,
+)
+from .registry import EXPERIMENTS, ExperimentInfo, headline_summary
+from .seconds import cycles_to_seconds, speedup
+from .sweeps import SweepPoint, WidthPoint, block_size_sweep, width_sweep
+from .tables import (
+    PAPER_AVERAGES,
+    TABLE_CONFIGS,
+    TABLE_TITLES,
+    TableResult,
+    run_table,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentInfo",
+    "PAPER_AVERAGES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE2_BASELINE_RATIOS",
+    "PAPER_TABLE3",
+    "PAPER_TABLES",
+    "PaperRow",
+    "SweepPoint",
+    "TABLE_CONFIGS",
+    "WidthPoint",
+    "TABLE_TITLES",
+    "TableResult",
+    "block_size_sweep",
+    "comparison_table",
+    "cycles_to_seconds",
+    "headline_summary",
+    "speedup",
+    "paper_row",
+    "program_cycles",
+    "run_profiling_experiment",
+    "run_table",
+    "speedup",
+    "width_sweep",
+]

@@ -1,0 +1,207 @@
+"""The paper's experiment: profile SPEC95 stand-ins, measure overhead
+hidden by scheduling.
+
+Three executables are timed per benchmark (§4.2):
+
+* **uninstrumented** — the compiler-optimized program (Table 2 variant:
+  after EEL has *rescheduled* it, factoring out schedule-quality
+  differences);
+* **instrumented** — QPT2 slow profiling inserted, not scheduled;
+* **scheduled** — instrumentation and original instructions scheduled
+  together by EEL as each block is laid out.
+
+``% hidden = (instrumented − scheduled) / (instrumented −
+uninstrumented)`` — the fraction of instrumentation overhead that
+scheduling recovered. Time is measured in simulated pipeline issue
+cycles: the whole-program cost is the frequency-weighted sum of each
+block's issue cycles on the machine model (block frequencies are known
+analytically from the workload generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.icache import DEFAULT_MISS_RATES, ICacheModel
+from ..core.block_scheduler import BlockScheduler
+from ..core.dependence import SchedulingPolicy
+from ..core.optimizer import ImprovedScheduler
+from ..eel.cfg import build_cfg
+from ..eel.editor import Editor
+from ..eel.executable import Executable
+from ..pipeline.simulator import BlockSimulator
+from ..pipeline.timing import timed_run
+from ..qpt.profiling import SlowProfiler
+from ..spawn.library import load_machine
+from ..spawn.model import MachineModel
+from ..workloads.generator import SyntheticProgram
+from ..workloads.spec95 import generate_benchmark, is_fp
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One row of a paper table."""
+
+    benchmark: str
+    machine: str
+    avg_block_size: float
+    uninstrumented_cycles: int
+    instrumented_cycles: int
+    scheduled_cycles: int
+    #: Table 2's Uninst column ratio: rescheduled baseline vs original.
+    baseline_ratio: float = 1.0
+    text_expansion: float = 1.0
+
+    @property
+    def instrumented_ratio(self) -> float:
+        return self.instrumented_cycles / self.uninstrumented_cycles
+
+    @property
+    def scheduled_ratio(self) -> float:
+        return self.scheduled_cycles / self.uninstrumented_cycles
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.instrumented_cycles - self.uninstrumented_cycles
+
+    @property
+    def pct_hidden(self) -> float:
+        """Fraction of instrumentation overhead hidden by scheduling."""
+        overhead = self.overhead_cycles
+        if overhead <= 0:
+            return 0.0
+        return (self.instrumented_cycles - self.scheduled_cycles) / overhead
+
+
+def program_cycles(
+    model: MachineModel,
+    executable: Executable,
+    frequencies: dict[int, int],
+    *,
+    icache: ICacheModel | None = None,
+    text_expansion: float = 1.0,
+) -> int:
+    """Frequency-weighted issue cycles of every block of ``executable``.
+
+    ``frequencies`` is keyed by block position; the editor preserves
+    block order, so positions map 1:1 between the original and any
+    edited executable.
+    """
+    cfg = build_cfg(executable)
+    if len(cfg) != len(frequencies):
+        raise ValueError(
+            f"block count changed: {len(cfg)} blocks vs "
+            f"{len(frequencies)} frequencies"
+        )
+    simulator = BlockSimulator(model)
+    total = 0
+    dynamic_instructions = 0
+    for block in cfg:
+        freq = frequencies[block.index]
+        if freq == 0:
+            continue
+        total += freq * simulator.block_cycles(block.instructions())
+        dynamic_instructions += freq * block.instruction_count
+    if icache is not None:
+        total += icache.penalty_cycles(dynamic_instructions, text_expansion)
+    return total
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Protocol options for one table.
+
+    ``machine`` is a shipped machine name, or a :class:`MachineModel`
+    instance for synthetic machines (the width-sweep bench).
+    """
+
+    machine: str | MachineModel = "ultrasparc"
+    reschedule_baseline: bool = False  # Table 2 protocol
+    trip_count: int = 60
+    policy: SchedulingPolicy = SchedulingPolicy()
+    #: apply the Lebeck–Wood i-cache penalty on top of pipeline cycles.
+    model_icache: bool = False
+    #: random-restart budget for the compiler-quality optimizer.
+    optimizer_restarts: int = 12
+    #: True: time by executing the binary and driving the pipeline model
+    #: in dynamic order (carries stalls across blocks — the default).
+    #: False: frequency-weighted per-block issue cycles (fast, analytic).
+    trace_timing: bool = True
+    max_instructions: int = 5_000_000
+
+
+def run_profiling_experiment(
+    benchmark: str,
+    config: ExperimentConfig | None = None,
+    *,
+    program: SyntheticProgram | None = None,
+) -> BenchmarkResult:
+    """Run the three-way profiling experiment for one benchmark."""
+    config = config or ExperimentConfig()
+    if isinstance(config.machine, MachineModel):
+        model = config.machine
+        calibration_machine = "ultrasparc"
+    else:
+        model = load_machine(config.machine)
+        calibration_machine = config.machine
+    if program is None:
+        program = generate_benchmark(
+            benchmark, machine=calibration_machine, trip_count=config.trip_count
+        )
+    frequencies = program.frequencies
+
+    icache = None
+    if config.model_icache:
+        icache = ICacheModel(DEFAULT_MISS_RATES["fp" if is_fp(benchmark) else "int"])
+
+    def cycles(executable: Executable, expansion: float = 1.0) -> int:
+        if config.trace_timing:
+            run = timed_run(
+                model, executable, max_instructions=config.max_instructions
+            )
+            total = run.cycles
+            if icache is not None:
+                total += icache.penalty_cycles(run.instructions, expansion)
+            return total
+        return program_cycles(
+            model,
+            executable,
+            frequencies,
+            icache=icache,
+            text_expansion=expansion,
+        )
+
+    # The "compiled -fast -xO4" input: a stronger-than-EEL scheduler has
+    # already ordered every block.
+    optimizer = ImprovedScheduler(
+        model, restarts=config.optimizer_restarts, seed=program.spec.seed
+    )
+    compiled = Editor(program.executable).build(optimizer)
+    original_cycles = cycles(compiled)
+
+    baseline = compiled
+    uninstrumented = original_cycles
+    baseline_ratio = 1.0
+    if config.reschedule_baseline:
+        baseline = Editor(compiled).build(BlockScheduler(model, config.policy))
+        uninstrumented = cycles(baseline)
+        baseline_ratio = uninstrumented / original_cycles
+
+    plain = SlowProfiler(baseline).instrument()
+    instrumented = cycles(plain.executable, plain.text_expansion)
+
+    scheduled_program = SlowProfiler(baseline).instrument(
+        BlockScheduler(model, config.policy)
+    )
+    scheduled = cycles(scheduled_program.executable, scheduled_program.text_expansion)
+
+    return BenchmarkResult(
+        benchmark=benchmark,
+        machine=model.name,
+        avg_block_size=program.avg_dynamic_block_size,
+        uninstrumented_cycles=uninstrumented,
+        instrumented_cycles=instrumented,
+        scheduled_cycles=scheduled,
+        baseline_ratio=baseline_ratio,
+        text_expansion=plain.text_expansion,
+    )

@@ -1,0 +1,75 @@
+"""Experiment registry: every table/figure of the paper, by id.
+
+The per-experiment index in DESIGN.md maps onto this module; the
+benchmark harness and ``examples/reproduce_tables.py`` both drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tables import PAPER_AVERAGES, TABLE_CONFIGS, run_table
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    identifier: str
+    description: str
+    regenerator: str  # how to regenerate it
+
+
+EXPERIMENTS = {
+    "table1": ExperimentInfo(
+        "Table 1",
+        "Slow profiling on UltraSPARC: ~15% CINT / ~17% CFP hidden "
+        "(FP limited by EEL de-scheduling highly optimized blocks)",
+        "pytest benchmarks/bench_table1_ultrasparc.py --benchmark-only",
+    ),
+    "table2": ExperimentInfo(
+        "Table 2",
+        "UltraSPARC with EEL-rescheduled baseline: ~13% CINT / ~27% CFP",
+        "pytest benchmarks/bench_table2_rescheduled.py --benchmark-only",
+    ),
+    "table3": ExperimentInfo(
+        "Table 3",
+        "SuperSPARC: ~11% CINT / ~44% CFP hidden",
+        "pytest benchmarks/bench_table3_supersparc.py --benchmark-only",
+    ),
+    "figure1": ExperimentInfo(
+        "Figure 1",
+        "Spawn tool flow (architecture diagram): realized by "
+        "repro.sadl -> repro.spawn.codegen; generated pipeline_stalls "
+        "must match the interpreter",
+        "pytest tests/spawn/test_codegen.py",
+    ),
+    "figure2": ExperimentInfo(
+        "Figure 2",
+        "hyperSPARC SADL example: the paper's stated inferences (dual "
+        "issue, 3 cycles, reads in cycle 1, value at end of cycle 1, "
+        "writeback cycle 2) are asserted from the shipped description",
+        "pytest tests/sadl/test_evaluator.py",
+    ),
+    "figure3": ExperimentInfo(
+        "Figure 3",
+        "EEL instrumentation flow: analyze -> insert -> schedule -> emit,"
+        " verified end to end on real kernels",
+        "pytest tests/integration/test_figure3_flow.py",
+    ),
+}
+
+
+def headline_summary(trip_count: int = 120) -> dict[str, float]:
+    """The abstract's headline: 'a simple, local scheduler hid an
+    average of 13% of the overhead cost of profiling instrumentation in
+    the SPECINT benchmarks and an average of 33% of the profiling cost
+    in the SPECFP benchmarks' — i.e. the SuperSPARC (Table 3) numbers
+    averaged with the schedule-quality-corrected UltraSPARC (Table 2)
+    numbers."""
+    table2 = run_table(2, trip_count=trip_count)
+    table3 = run_table(3, trip_count=trip_count)
+    return {
+        "int": (table2.average_hidden("int") + table3.average_hidden("int")) / 2,
+        "fp": (table2.average_hidden("fp") + table3.average_hidden("fp")) / 2,
+        "paper_int": 0.13,
+        "paper_fp": 0.33,
+    }

@@ -1,0 +1,29 @@
+"""Cycle-to-seconds scaling, for paper-style presentation.
+
+The paper reports wall-clock seconds on a 50 MHz SuperSPARC and a
+167 MHz UltraSPARC. Our measurements are simulated cycles; this module
+scales them by the nominal clocks so a rendered table *reads* like the
+paper's (the absolute values remain synthetic — the workloads run
+thousands, not trillions, of instructions — but the per-machine scaling
+keeps cross-machine comparisons honest).
+"""
+
+from __future__ import annotations
+
+from ..spawn.library import CLOCK_MHZ
+
+
+def cycles_to_seconds(cycles: int, machine: str) -> float:
+    """Simulated seconds of ``cycles`` on ``machine``'s nominal clock."""
+    mhz = CLOCK_MHZ.get(machine)
+    if mhz is None:
+        raise KeyError(
+            f"no clock known for machine {machine!r}; known: {sorted(CLOCK_MHZ)}"
+        )
+    return cycles / (mhz * 1e6)
+
+
+def speedup(machine_a: str, machine_b: str) -> float:
+    """Clock-only speedup of ``machine_a`` over ``machine_b`` (the paper's
+    UltraSPARC runs ~3.3x the SuperSPARC's clock)."""
+    return CLOCK_MHZ[machine_a] / CLOCK_MHZ[machine_b]

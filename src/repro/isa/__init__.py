@@ -1,0 +1,91 @@
+"""SPARC V8 instruction set architecture substrate.
+
+This package is the foundation everything else builds on: the register
+model, the instruction IR, binary encoding/decoding of real V8
+instruction words, a small assembler, and a functional simulator used
+for differential correctness testing of the scheduler and editor.
+"""
+
+from .asm import AsmError, Assembler, assemble
+from .decode import DecodeError, decode, decode_bytes
+from .disasm import disassemble_executable, format_listing
+from .encode import EncodeError, encode, encode_words
+from .instruction import (
+    TAG_INSTRUMENTATION,
+    TAG_ORIGINAL,
+    Instruction,
+    format_instruction,
+    nop,
+)
+from .machine_state import MachineState, Memory, MemoryFault
+from .opcodes import Category, Format, OpcodeInfo, Slot, all_mnemonics, lookup
+from .registers import (
+    FCC,
+    G0,
+    ICC,
+    O7,
+    PC,
+    SP,
+    Y,
+    Reg,
+    RegKind,
+    f,
+    parse_reg,
+    r,
+)
+from .semantics import SemanticsError, execute, run_straightline
+from .simulator import (
+    STOP_ADDRESS,
+    BadPC,
+    RunResult,
+    SimulationLimit,
+    Simulator,
+)
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "BadPC",
+    "Category",
+    "DecodeError",
+    "EncodeError",
+    "FCC",
+    "Format",
+    "G0",
+    "ICC",
+    "Instruction",
+    "MachineState",
+    "Memory",
+    "MemoryFault",
+    "O7",
+    "OpcodeInfo",
+    "PC",
+    "Reg",
+    "RegKind",
+    "RunResult",
+    "SP",
+    "STOP_ADDRESS",
+    "SemanticsError",
+    "SimulationLimit",
+    "Simulator",
+    "Slot",
+    "TAG_INSTRUMENTATION",
+    "TAG_ORIGINAL",
+    "Y",
+    "all_mnemonics",
+    "assemble",
+    "decode",
+    "decode_bytes",
+    "disassemble_executable",
+    "encode",
+    "format_listing",
+    "encode_words",
+    "execute",
+    "f",
+    "format_instruction",
+    "lookup",
+    "nop",
+    "parse_reg",
+    "r",
+    "run_straightline",
+]

@@ -1,0 +1,321 @@
+"""A small two-pass SPARC V8 assembler.
+
+The assembler exists so tests, example programs, and the workload
+kernels can be written in readable assembly rather than as Instruction
+constructor calls. It supports the supported-subset mnemonics, the usual
+pseudo-ops (``set``, ``mov``, ``cmp``, ``clr``, ``tst``, ``inc``,
+``dec``, ``b``, ``ret``, ``retl``), labels, ``!``/``#`` comments, and
+``%hi(...)``/``%lo(...)`` operators.
+
+Pass one records label addresses; pass two resolves branch/call targets
+to word displacements, producing fully concrete instructions ready for
+:func:`repro.isa.encode.encode`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .instruction import Instruction
+from .opcodes import Category, Format, Slot, is_known, lookup
+from .registers import G0, Reg, parse_reg
+from . import synth
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, line_no: int, text: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {text.strip()!r}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^\[(.+)\]$")
+_HILO_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+
+
+@dataclass
+class _Pending:
+    """An instruction plus the line it came from, pre-resolution."""
+
+    inst: Instruction
+    line_no: int
+    text: str
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not inside brackets/parens."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+    """Two-pass assembler over a block of source text."""
+
+    def __init__(self, *, base_address: int = 0) -> None:
+        self.base_address = base_address
+        self._pending: list[_Pending] = []
+        self.labels: dict[str, int] = {}
+        self._equ: dict[str, int] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def assemble(self, source: str) -> list[Instruction]:
+        """Assemble ``source`` and return resolved instructions."""
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            self._consume_line(line_no, raw)
+        return self._resolve()
+
+    def define(self, name: str, value: int) -> None:
+        """Pre-define a symbol (like ``.equ``), usable in operands."""
+        self._equ[name] = value
+
+    # -- pass one --------------------------------------------------------------
+
+    def _consume_line(self, line_no: int, raw: str) -> None:
+        text = raw.split("!")[0].split("#")[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if match and not is_known(match.group(1)):
+                self._add_label(line_no, match.group(1))
+                text = match.group(2).strip()
+                continue
+            break
+        if not text:
+            return
+        if text.startswith(".equ"):
+            _, name, value = text.split()
+            self._equ[name.rstrip(",")] = _parse_int(value)
+            return
+        self._add_instruction(line_no, text)
+
+    def _add_label(self, line_no: int, name: str) -> None:
+        if name in self.labels:
+            raise AsmError(line_no, name, "duplicate label")
+        self.labels[name] = self.base_address + 4 * len(self._pending)
+
+    def _here(self) -> int:
+        return self.base_address + 4 * len(self._pending)
+
+    def _emit(self, inst: Instruction, line_no: int, text: str) -> None:
+        self._pending.append(_Pending(inst.with_seq(len(self._pending)), line_no, text))
+
+    def _add_instruction(self, line_no: int, text: str) -> None:
+        fields = text.split(None, 1)
+        mnemonic = fields[0].lower()
+        operand_text = fields[1] if len(fields) > 1 else ""
+        annul = False
+        if mnemonic.endswith(",a"):
+            mnemonic, annul = mnemonic[:-2], True
+        operands = _split_operands(operand_text)
+        try:
+            for inst in self._build(mnemonic, operands, annul):
+                self._emit(inst, line_no, text)
+        except AsmError:
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
+            raise AsmError(line_no, text, str(exc)) from exc
+
+    # -- instruction construction ----------------------------------------------
+
+    def _build(self, mnemonic: str, ops: list[str], annul: bool) -> list[Instruction]:
+        pseudo = getattr(self, f"_pseudo_{mnemonic}", None)
+        if pseudo is not None:
+            return pseudo(ops)
+        if not is_known(mnemonic):
+            raise ValueError(f"unknown mnemonic {mnemonic!r}")
+        info = lookup(mnemonic)
+        if info.fmt is Format.CALL:
+            return [self._control(mnemonic, ops[0], annul=False)]
+        if info.fmt is Format.BRANCH:
+            return [self._control(mnemonic, ops[0], annul=annul)]
+        if mnemonic == "sethi":
+            return [self._sethi(ops)]
+        if mnemonic == "nop":
+            return [Instruction("nop", imm=0)]
+        if mnemonic == "jmpl":
+            return [self._jmpl(ops)]
+        if info.fmt is Format.MEM:
+            return [self._memory(mnemonic, info, ops)]
+        if info.fmt is Format.FPOP:
+            return [self._fpop(mnemonic, info, ops)]
+        return [self._arith(mnemonic, info, ops)]
+
+    def _control(self, mnemonic: str, dest: str, *, annul: bool) -> Instruction:
+        try:
+            value = self._value(dest)
+        except ValueError:
+            return Instruction(mnemonic, target=dest, annul=annul)
+        # Numeric destination: absolute address, converted to displacement.
+        disp = (value - self._here()) // 4
+        return Instruction(mnemonic, imm=disp, annul=annul)
+
+    def _jmpl(self, ops: list[str]) -> Instruction:
+        """``jmpl <address>, %rd`` with an unbracketed address expression."""
+        addr_text, rd_text = ops
+        rs1, rs2, imm = self._address(f"[{addr_text.strip()}]")
+        return Instruction("jmpl", rd=parse_reg(rd_text), rs1=rs1, rs2=rs2, imm=imm)
+
+    def _sethi(self, ops: list[str]) -> Instruction:
+        value_text, rd_text = ops
+        match = _HILO_RE.match(value_text.replace(" ", ""))
+        if match:
+            if match.group(1) != "hi":
+                raise ValueError("sethi needs %hi(...)")
+            value = synth.hi22(self._value(match.group(2)))
+        else:
+            value = self._value(value_text)
+        return Instruction("sethi", rd=parse_reg(rd_text), imm=value)
+
+    def _memory(self, mnemonic: str, info, ops: list[str]) -> Instruction:
+        if info.memory == "store":
+            data_text, addr_text = ops
+        else:
+            addr_text, data_text = ops
+        rs1, rs2, imm = self._address(addr_text)
+        return Instruction(
+            mnemonic, rd=parse_reg(data_text), rs1=rs1, rs2=rs2, imm=imm
+        )
+
+    def _address(self, text: str) -> tuple[Reg, Reg | None, int | None]:
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise ValueError(f"expected [address], got {text!r}")
+        inner = match.group(1).strip()
+        for sep in ("+", "-"):
+            if sep in inner[1:]:
+                left, right = inner.split(sep, 1)
+                base = parse_reg(left)
+                right = right.strip()
+                if right.startswith("%") and not _HILO_RE.match(right):
+                    if sep == "-":
+                        raise ValueError("register offsets cannot be negative")
+                    return base, parse_reg(right), None
+                value = self._operand_value(right)
+                return base, None, -value if sep == "-" else value
+        return parse_reg(inner), None, 0
+
+    def _fpop(self, mnemonic: str, info, ops: list[str]) -> Instruction:
+        regs = [parse_reg(op) for op in ops]
+        if info.category is Category.FPCMP:
+            return Instruction(mnemonic, rs1=regs[0], rs2=regs[1])
+        if Slot.RS1 in info.operand_kinds:
+            return Instruction(mnemonic, rs1=regs[0], rs2=regs[1], rd=regs[2])
+        return Instruction(mnemonic, rs2=regs[0], rd=regs[1])
+
+    def _arith(self, mnemonic: str, info, ops: list[str]) -> Instruction:
+        kinds = info.operand_kinds
+        fields: dict[str, Reg | None] = {"rd": None, "rs1": None}
+        rs2: Reg | None = None
+        imm: int | None = None
+        expected = [s for s in (Slot.RS1, Slot.RS2, Slot.RD) if s in kinds]
+        if mnemonic == "rdy":
+            expected = [Slot.RD]
+        if len(ops) != len(expected):
+            raise ValueError(
+                f"{mnemonic} expects {len(expected)} operands, got {len(ops)}"
+            )
+        for slot, text in zip(expected, ops):
+            if slot is Slot.RS2:
+                if text.startswith("%") and not _HILO_RE.match(text.replace(" ", "")):
+                    rs2 = parse_reg(text)
+                else:
+                    imm = self._operand_value(text)
+            else:
+                fields[slot.value] = parse_reg(text)
+        return Instruction(mnemonic, rd=fields["rd"], rs1=fields["rs1"], rs2=rs2, imm=imm)
+
+    # -- pseudo-ops -------------------------------------------------------------
+
+    def _pseudo_set(self, ops: list[str]) -> list[Instruction]:
+        value = self._value(ops[0])
+        return synth.set_constant(value, parse_reg(ops[1]))
+
+    def _pseudo_mov(self, ops: list[str]) -> list[Instruction]:
+        src = ops[0]
+        if src.startswith("%") and not _HILO_RE.match(src.replace(" ", "")):
+            return [synth.mov(parse_reg(src), parse_reg(ops[1]))]
+        return [synth.mov(self._operand_value(src), parse_reg(ops[1]))]
+
+    def _pseudo_cmp(self, ops: list[str]) -> list[Instruction]:
+        src2 = ops[1]
+        if src2.startswith("%"):
+            return [synth.cmp(parse_reg(ops[0]), parse_reg(src2))]
+        return [synth.cmp(parse_reg(ops[0]), self._operand_value(src2))]
+
+    def _pseudo_clr(self, ops: list[str]) -> list[Instruction]:
+        return [synth.clr(parse_reg(ops[0]))]
+
+    def _pseudo_tst(self, ops: list[str]) -> list[Instruction]:
+        return [synth.tst(parse_reg(ops[0]))]
+
+    def _pseudo_inc(self, ops: list[str]) -> list[Instruction]:
+        amount = self._value(ops[0]) if len(ops) == 2 else 1
+        return [synth.inc(parse_reg(ops[-1]), amount)]
+
+    def _pseudo_dec(self, ops: list[str]) -> list[Instruction]:
+        amount = self._value(ops[0]) if len(ops) == 2 else 1
+        return [synth.dec(parse_reg(ops[-1]), amount)]
+
+    def _pseudo_b(self, ops: list[str]) -> list[Instruction]:
+        return [self._control("ba", ops[0], annul=False)]
+
+    def _pseudo_ret(self, ops: list[str]) -> list[Instruction]:
+        return [synth.ret()]
+
+    def _pseudo_retl(self, ops: list[str]) -> list[Instruction]:
+        return [synth.retl()]
+
+    # -- value resolution --------------------------------------------------------
+
+    def _value(self, text: str) -> int:
+        text = text.strip()
+        if text in self._equ:
+            return self._equ[text]
+        return _parse_int(text)
+
+    def _operand_value(self, text: str) -> int:
+        match = _HILO_RE.match(text.replace(" ", ""))
+        if match:
+            value = self._value(match.group(2))
+            return synth.hi22(value) if match.group(1) == "hi" else synth.lo10(value)
+        return self._value(text)
+
+    # -- pass two ----------------------------------------------------------------
+
+    def _resolve(self) -> list[Instruction]:
+        resolved = []
+        for index, pending in enumerate(self._pending):
+            inst = pending.inst
+            if inst.target is not None:
+                if inst.target not in self.labels:
+                    raise AsmError(pending.line_no, pending.text, f"undefined label {inst.target!r}")
+                address = self.base_address + 4 * index
+                disp = (self.labels[inst.target] - address) // 4
+                inst = inst.with_target(None, disp)
+            resolved.append(inst)
+        return resolved
+
+
+def assemble(source: str, *, base_address: int = 0) -> list[Instruction]:
+    """Assemble ``source`` in one call."""
+    return Assembler(base_address=base_address).assemble(source)

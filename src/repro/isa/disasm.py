@@ -1,0 +1,61 @@
+"""objdump-style disassembly listings.
+
+Renders an executable's text section (or a raw instruction sequence)
+with addresses, encoded words, mnemonics, and symbolic labels for branch
+targets — the view an executable-editing tool's user actually reads when
+checking what the editor did.
+"""
+
+from __future__ import annotations
+
+from .encode import encode
+from .instruction import Instruction, format_instruction
+from .opcodes import Category, Format
+
+
+def _branch_targets(decoded: list[tuple[int, Instruction]]) -> dict[int, str]:
+    """Assign labels (L0, L1, …) to every in-text branch/call target."""
+    addresses = {address for address, _ in decoded}
+    targets: list[int] = []
+    for address, inst in decoded:
+        if inst.category in (Category.BRANCH, Category.FBRANCH, Category.CALL):
+            target = address + 4 * (inst.imm or 0)
+            if target in addresses and target not in targets:
+                targets.append(target)
+    return {address: f"L{i}" for i, address in enumerate(sorted(targets))}
+
+
+def format_listing(
+    decoded: list[tuple[int, Instruction]],
+    *,
+    symbols: dict[int, str] | None = None,
+    show_words: bool = True,
+) -> str:
+    """Render (address, instruction) pairs as an assembly listing.
+
+    ``symbols`` maps addresses to names (function symbols); branch
+    targets without a symbol get generated ``L<n>`` labels.
+    """
+    labels = dict(_branch_targets(decoded))
+    labels.update(symbols or {})
+
+    lines: list[str] = []
+    for address, inst in decoded:
+        if address in labels:
+            lines.append(f"{labels[address]}:")
+        text = format_instruction(inst)
+        if inst.category in (Category.BRANCH, Category.FBRANCH, Category.CALL):
+            target = address + 4 * (inst.imm or 0)
+            if target in labels:
+                mnemonic = text.split()[0]
+                text = f"{mnemonic} {labels[target]}"
+        word = f"{encode(inst):08x}  " if show_words else ""
+        lines.append(f"  {address:#010x}:  {word}{text}")
+    return "\n".join(lines)
+
+
+def disassemble_executable(executable, *, show_words: bool = True) -> str:
+    """Disassemble an :class:`~repro.eel.executable.Executable`'s text."""
+    decoded = executable.decode_text()
+    symbols = {s.address: s.name for s in executable.symbols}
+    return format_listing(decoded, symbols=symbols, show_words=show_words)

@@ -1,0 +1,93 @@
+"""Binary encoding of SPARC V8 instructions.
+
+Produces the 32-bit big-endian instruction words defined by the V8
+architecture manual. This is the half of EEL that writes edited code back
+into an executable image; :mod:`repro.isa.decode` is the other half, and
+a hypothesis round-trip test pins the two together.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .instruction import Instruction
+from .opcodes import Format, Slot, lookup
+from .registers import Reg
+
+
+class EncodeError(ValueError):
+    """Raised when an instruction cannot be represented in SPARC V8."""
+
+
+def _check_signed(value: int, bits: int, what: str) -> int:
+    bound = 1 << (bits - 1)
+    if not -bound <= value < bound:
+        raise EncodeError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _check_unsigned(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise EncodeError(f"{what} {value} does not fit in {bits} unsigned bits")
+    return value
+
+
+def _regnum(reg: Reg | None) -> int:
+    return 0 if reg is None else reg.index
+
+
+def encode(inst: Instruction) -> int:
+    """Encode ``inst`` as a 32-bit instruction word.
+
+    Branch/call displacements must already be resolved to word offsets in
+    ``inst.imm`` (symbolic ``target`` still pending is an error — layout
+    resolves targets before emission).
+    """
+    info = lookup(inst.mnemonic)
+    if inst.target is not None:
+        raise EncodeError(
+            f"{inst.mnemonic}: unresolved symbolic target {inst.target!r}"
+        )
+
+    if info.fmt is Format.CALL:
+        disp = _check_signed(inst.imm or 0, 30, "call displacement")
+        return (0b01 << 30) | disp
+
+    if info.fmt is Format.SETHI:
+        if inst.mnemonic == "nop":
+            return 0b100 << 22  # sethi 0, %g0
+        imm22 = _check_unsigned(inst.imm or 0, 22, "sethi imm22")
+        return (_regnum(inst.rd) << 25) | (0b100 << 22) | imm22
+
+    if info.fmt is Format.BRANCH:
+        op2 = 0b010 if inst.mnemonic.startswith("b") else 0b110
+        disp = _check_signed(inst.imm or 0, 22, "branch displacement")
+        word = (int(inst.annul) << 29) | (info.cond << 25) | (op2 << 22) | disp
+        return word
+
+    if info.fmt is Format.FPOP:
+        word = 0b10 << 30
+        word |= _regnum(inst.rd) << 25
+        word |= info.op3 << 19
+        word |= _regnum(inst.rs1) << 14
+        word |= info.opf << 5
+        word |= _regnum(inst.rs2)
+        return word
+
+    # ARITH (op=10) and MEM (op=11) share the format-3 layout.
+    op = 0b10 if info.fmt is Format.ARITH else 0b11
+    word = op << 30
+    word |= _regnum(inst.rd) << 25
+    word |= info.op3 << 19
+    word |= _regnum(inst.rs1) << 14
+    if inst.imm is not None:
+        word |= 1 << 13
+        word |= _check_signed(inst.imm, 13, f"{inst.mnemonic} simm13")
+    else:
+        word |= _regnum(inst.rs2)
+    return word
+
+
+def encode_words(instructions: list[Instruction]) -> bytes:
+    """Encode a sequence of instructions to big-endian bytes."""
+    return b"".join(struct.pack(">I", encode(inst)) for inst in instructions)

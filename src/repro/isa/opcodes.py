@@ -1,0 +1,428 @@
+"""SPARC V8 opcode tables.
+
+Each supported mnemonic has one :class:`OpcodeInfo` entry recording how
+the instruction is encoded (format plus the ``op``/``op2``/``op3``/``opf``
+field values from the V8 manual), how its operands are laid out, and its
+architectural *effects* (which operand slots are read and written, and
+whether it touches memory or control flow).
+
+The effect metadata is the single source of truth used by the dependence
+analyzer, the liveness analysis, and the functional simulator, mirroring
+the paper's point that one description should underlie many manipulation
+functions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Format(enum.Enum):
+    """SPARC V8 instruction encoding formats."""
+
+    CALL = 1  # op=01: 30-bit word displacement
+    SETHI = 2  # op=00, op2=100: rd, imm22
+    BRANCH = 3  # op=00, op2=010/110: annul, cond, disp22
+    ARITH = 4  # op=10: rd, op3, rs1, i, rs2/simm13
+    FPOP = 5  # op=10, op3=0x34/0x35: rd, rs1, opf, rs2
+    MEM = 6  # op=11: rd, op3, rs1, i, rs2/simm13
+
+
+class Category(enum.Enum):
+    """Coarse functional class, used to map instructions onto SADL
+    semantic groups and by the workload generator's instruction mix."""
+
+    IALU = "ialu"
+    SHIFT = "shift"
+    IMUL = "imul"
+    IDIV = "idiv"
+    LOAD = "load"
+    STORE = "store"
+    FPLOAD = "fpload"
+    FPSTORE = "fpstore"
+    SETHI = "sethi"
+    BRANCH = "branch"
+    FBRANCH = "fbranch"
+    CALL = "call"
+    JMPL = "jmpl"
+    FPADD = "fpadd"
+    FPMUL = "fpmul"
+    FPDIV = "fpdiv"
+    FPSQRT = "fpsqrt"
+    FPMOVE = "fpmove"
+    FPCMP = "fpcmp"
+    FPCVT = "fpcvt"
+    NOP = "nop"
+
+
+class Slot(enum.Enum):
+    """Operand slots an instruction may read or write.
+
+    ``RD``/``RS1``/``RS2`` name the register fields; the remaining members
+    name implicit resources.
+    """
+
+    RD = "rd"
+    RS1 = "rs1"
+    RS2 = "rs2"
+    ICC = "icc"
+    FCC = "fcc"
+    Y = "y"
+    PC = "pc"
+    O7 = "o7"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Format
+    category: Category
+    op3: int | None = None
+    opf: int | None = None
+    cond: int | None = None
+    #: operand register kinds: 'r' (integer) or 'f' (fp) per slot; a slot
+    #: absent from the map is unused by this mnemonic.
+    operand_kinds: dict[Slot, str] = field(default_factory=dict)
+    reads: frozenset[Slot] = frozenset()
+    writes: frozenset[Slot] = frozenset()
+    #: 'load', 'store', or None.
+    memory: str | None = None
+    #: True for instructions that end a basic block (branches, calls,
+    #: jmpl). These have an architectural delay slot.
+    is_control: bool = False
+    #: True when the delayed transfer is unconditional (ba, call, jmpl).
+    is_unconditional: bool = False
+    #: Number of FP registers the fp slots span (1 for single, 2 for
+    #: double); used by dependence analysis for %f pairs.
+    fp_width: int = 1
+
+
+_TABLE: dict[str, OpcodeInfo] = {}
+
+
+def _add(info: OpcodeInfo) -> None:
+    if info.mnemonic in _TABLE:
+        raise ValueError(f"duplicate opcode {info.mnemonic}")
+    _TABLE[info.mnemonic] = info
+
+
+def _arith(
+    mnemonic: str,
+    op3: int,
+    category: Category = Category.IALU,
+    *,
+    sets_icc: bool = False,
+    reads_icc: bool = False,
+    uses_y: bool = False,
+    writes_y: bool = False,
+) -> None:
+    reads = {Slot.RS1, Slot.RS2}
+    writes = {Slot.RD}
+    if sets_icc:
+        writes.add(Slot.ICC)
+    if reads_icc:
+        reads.add(Slot.ICC)
+    if uses_y:
+        reads.add(Slot.Y)
+    if writes_y:
+        writes.add(Slot.Y)
+    _add(
+        OpcodeInfo(
+            mnemonic,
+            Format.ARITH,
+            category,
+            op3=op3,
+            operand_kinds={Slot.RD: "r", Slot.RS1: "r", Slot.RS2: "r"},
+            reads=frozenset(reads),
+            writes=frozenset(writes),
+        )
+    )
+
+
+# --- integer arithmetic and logic (op=10) -------------------------------
+_arith("add", 0x00)
+_arith("and", 0x01)
+_arith("or", 0x02)
+_arith("xor", 0x03)
+_arith("sub", 0x04)
+_arith("andn", 0x05)
+_arith("orn", 0x06)
+_arith("xnor", 0x07)
+_arith("addx", 0x08, reads_icc=True)
+_arith("subx", 0x0C, reads_icc=True)
+_arith("umul", 0x0A, Category.IMUL, writes_y=True)
+_arith("smul", 0x0B, Category.IMUL, writes_y=True)
+_arith("udiv", 0x0E, Category.IDIV, uses_y=True)
+_arith("sdiv", 0x0F, Category.IDIV, uses_y=True)
+_arith("addcc", 0x10, sets_icc=True)
+_arith("andcc", 0x11, sets_icc=True)
+_arith("orcc", 0x12, sets_icc=True)
+_arith("xorcc", 0x13, sets_icc=True)
+_arith("subcc", 0x14, sets_icc=True)
+_arith("smulcc", 0x1B, Category.IMUL, sets_icc=True, writes_y=True)
+_arith("sll", 0x25, Category.SHIFT)
+_arith("srl", 0x26, Category.SHIFT)
+_arith("sra", 0x27, Category.SHIFT)
+_arith("save", 0x3C)
+_arith("restore", 0x3D)
+
+_add(
+    OpcodeInfo(
+        "rdy",
+        Format.ARITH,
+        Category.IALU,
+        op3=0x28,
+        operand_kinds={Slot.RD: "r"},
+        reads=frozenset({Slot.Y}),
+        writes=frozenset({Slot.RD}),
+    )
+)
+_add(
+    OpcodeInfo(
+        "wry",
+        Format.ARITH,
+        Category.IALU,
+        op3=0x30,
+        operand_kinds={Slot.RS1: "r", Slot.RS2: "r"},
+        reads=frozenset({Slot.RS1, Slot.RS2}),
+        writes=frozenset({Slot.Y}),
+    )
+)
+_add(
+    OpcodeInfo(
+        "jmpl",
+        Format.ARITH,
+        Category.JMPL,
+        op3=0x38,
+        operand_kinds={Slot.RD: "r", Slot.RS1: "r", Slot.RS2: "r"},
+        reads=frozenset({Slot.RS1, Slot.RS2, Slot.PC}),
+        writes=frozenset({Slot.RD}),
+        is_control=True,
+        is_unconditional=True,
+    )
+)
+
+# --- sethi and nop (op=00, op2=100) --------------------------------------
+_add(
+    OpcodeInfo(
+        "sethi",
+        Format.SETHI,
+        Category.SETHI,
+        operand_kinds={Slot.RD: "r"},
+        writes=frozenset({Slot.RD}),
+    )
+)
+_add(OpcodeInfo("nop", Format.SETHI, Category.NOP))
+
+# --- memory (op=11) -------------------------------------------------------
+
+
+def _mem(
+    mnemonic: str,
+    op3: int,
+    *,
+    store: bool,
+    fp: bool = False,
+    width: int = 1,
+) -> None:
+    kinds = {Slot.RD: "f" if fp else "r", Slot.RS1: "r", Slot.RS2: "r"}
+    if store:
+        reads = frozenset({Slot.RD, Slot.RS1, Slot.RS2})
+        writes: frozenset[Slot] = frozenset()
+        category = Category.FPSTORE if fp else Category.STORE
+    else:
+        reads = frozenset({Slot.RS1, Slot.RS2})
+        writes = frozenset({Slot.RD})
+        category = Category.FPLOAD if fp else Category.LOAD
+    _add(
+        OpcodeInfo(
+            mnemonic,
+            Format.MEM,
+            category,
+            op3=op3,
+            operand_kinds=kinds,
+            reads=reads,
+            writes=writes,
+            memory="store" if store else "load",
+            fp_width=width,
+        )
+    )
+
+
+_mem("ld", 0x00, store=False)
+_mem("ldub", 0x01, store=False)
+_mem("lduh", 0x02, store=False)
+_mem("ldd", 0x03, store=False, width=2)
+_mem("st", 0x04, store=True)
+_mem("stb", 0x05, store=True)
+_mem("sth", 0x06, store=True)
+_mem("std", 0x07, store=True, width=2)
+_mem("ldsb", 0x09, store=False)
+_mem("ldsh", 0x0A, store=False)
+_mem("ldf", 0x20, store=False, fp=True)
+_mem("lddf", 0x23, store=False, fp=True, width=2)
+_mem("stf", 0x24, store=True, fp=True)
+_mem("stdf", 0x27, store=True, fp=True, width=2)
+
+# --- branches (op=00, op2=010 integer / op2=110 fp) -----------------------
+
+_BICC_CONDS = {
+    "bn": 0,
+    "be": 1,
+    "ble": 2,
+    "bl": 3,
+    "bleu": 4,
+    "bcs": 5,
+    "bneg": 6,
+    "bvs": 7,
+    "ba": 8,
+    "bne": 9,
+    "bg": 10,
+    "bge": 11,
+    "bgu": 12,
+    "bcc": 13,
+    "bpos": 14,
+    "bvc": 15,
+}
+
+_FBFCC_CONDS = {
+    "fbn": 0,
+    "fbne": 1,
+    "fblg": 2,
+    "fbul": 3,
+    "fbl": 4,
+    "fbug": 5,
+    "fbg": 6,
+    "fbu": 7,
+    "fba": 8,
+    "fbe": 9,
+    "fbue": 10,
+    "fbge": 11,
+    "fbuge": 12,
+    "fble": 13,
+    "fbule": 14,
+    "fbo": 15,
+}
+
+for _name, _cond in _BICC_CONDS.items():
+    _add(
+        OpcodeInfo(
+            _name,
+            Format.BRANCH,
+            Category.BRANCH,
+            cond=_cond,
+            reads=frozenset() if _name in ("ba", "bn") else frozenset({Slot.ICC}),
+            is_control=True,
+            is_unconditional=_name == "ba",
+        )
+    )
+
+for _name, _cond in _FBFCC_CONDS.items():
+    _add(
+        OpcodeInfo(
+            _name,
+            Format.BRANCH,
+            Category.FBRANCH,
+            cond=_cond,
+            reads=frozenset() if _name in ("fba", "fbn") else frozenset({Slot.FCC}),
+            is_control=True,
+            is_unconditional=_name == "fba",
+        )
+    )
+
+_add(
+    OpcodeInfo(
+        "call",
+        Format.CALL,
+        Category.CALL,
+        reads=frozenset({Slot.PC}),
+        writes=frozenset({Slot.O7}),
+        is_control=True,
+        is_unconditional=True,
+    )
+)
+
+# --- floating point (op=10, op3=0x34 FPop1 / 0x35 FPop2) ------------------
+
+
+def _fpop(
+    mnemonic: str,
+    opf: int,
+    category: Category,
+    *,
+    op3: int = 0x34,
+    unary: bool = False,
+    width: int = 1,
+    cmp: bool = False,
+) -> None:
+    kinds: dict[Slot, str] = {Slot.RS2: "f"}
+    reads = {Slot.RS2}
+    writes: set[Slot] = set()
+    if not unary and not cmp:
+        kinds[Slot.RS1] = "f"
+        reads.add(Slot.RS1)
+    if cmp:
+        kinds[Slot.RS1] = "f"
+        reads.add(Slot.RS1)
+        writes.add(Slot.FCC)
+    else:
+        kinds[Slot.RD] = "f"
+        writes.add(Slot.RD)
+    _add(
+        OpcodeInfo(
+            mnemonic,
+            Format.FPOP,
+            category,
+            op3=op3,
+            opf=opf,
+            operand_kinds=kinds,
+            reads=frozenset(reads),
+            writes=frozenset(writes),
+            fp_width=width,
+        )
+    )
+
+
+_fpop("fmovs", 0x01, Category.FPMOVE, unary=True)
+_fpop("fnegs", 0x05, Category.FPMOVE, unary=True)
+_fpop("fabss", 0x09, Category.FPMOVE, unary=True)
+_fpop("fsqrts", 0x29, Category.FPSQRT, unary=True)
+_fpop("fsqrtd", 0x2A, Category.FPSQRT, unary=True, width=2)
+_fpop("fadds", 0x41, Category.FPADD)
+_fpop("faddd", 0x42, Category.FPADD, width=2)
+_fpop("fsubs", 0x45, Category.FPADD)
+_fpop("fsubd", 0x46, Category.FPADD, width=2)
+_fpop("fmuls", 0x49, Category.FPMUL)
+_fpop("fmuld", 0x4A, Category.FPMUL, width=2)
+_fpop("fdivs", 0x4D, Category.FPDIV)
+_fpop("fdivd", 0x4E, Category.FPDIV, width=2)
+_fpop("fitos", 0xC4, Category.FPCVT, unary=True)
+_fpop("fitod", 0xC8, Category.FPCVT, unary=True, width=2)
+_fpop("fstod", 0xC9, Category.FPCVT, unary=True, width=2)
+_fpop("fdtos", 0xC6, Category.FPCVT, unary=True, width=2)
+_fpop("fstoi", 0xD1, Category.FPCVT, unary=True)
+_fpop("fdtoi", 0xD2, Category.FPCVT, unary=True, width=2)
+_fpop("fcmps", 0x51, Category.FPCMP, op3=0x35, cmp=True)
+_fpop("fcmpd", 0x52, Category.FPCMP, op3=0x35, cmp=True, width=2)
+
+
+def lookup(mnemonic: str) -> OpcodeInfo:
+    """The :class:`OpcodeInfo` for ``mnemonic``; KeyError if unsupported."""
+    return _TABLE[mnemonic]
+
+
+def is_known(mnemonic: str) -> bool:
+    return mnemonic in _TABLE
+
+
+def all_mnemonics() -> tuple[str, ...]:
+    """Every supported mnemonic, in a stable order."""
+    return tuple(sorted(_TABLE))
+
+
+#: Branch-condition encodings, exported for the encoder/decoder.
+BICC_CONDS = dict(_BICC_CONDS)
+FBFCC_CONDS = dict(_FBFCC_CONDS)

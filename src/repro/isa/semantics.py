@@ -1,0 +1,330 @@
+"""Functional (architectural) semantics for the supported SPARC V8 subset.
+
+:func:`execute` applies one instruction to a :class:`MachineState`. The
+:class:`Simulator` in :mod:`repro.isa.simulator` drives it with full
+``pc``/``npc`` delayed-control-transfer semantics; scheduler tests call
+:func:`run_straightline` to compare architectural effects of instruction
+orderings.
+
+Fidelity notes: all integer arithmetic wraps at 32 bits, condition codes
+follow the V8 manual (including carry-as-borrow for subtract), singles
+are truncated through an actual IEEE binary32 round-trip, and ``%g0``
+stays zero. Traps (divide by zero, misalignment) raise Python exceptions
+rather than vectoring — no instrumented program we generate traps.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable
+
+from .instruction import Instruction
+from .machine_state import (
+    FCC_EQUAL,
+    FCC_GREATER,
+    FCC_LESS,
+    FCC_UNORDERED,
+    MASK32,
+    MachineState,
+)
+from .opcodes import Category, Format
+
+SIGN_BIT = 0x80000000
+
+
+class SemanticsError(Exception):
+    """Raised when an instruction cannot be executed functionally."""
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & SIGN_BIT else value
+
+
+def _src2(state: MachineState, inst: Instruction) -> int:
+    if inst.imm is not None:
+        return inst.imm & MASK32
+    if inst.rs2 is None:
+        return 0
+    return state.get_reg(inst.rs2.index)
+
+
+def _set_icc_add(state: MachineState, a: int, b: int, result: int) -> None:
+    state.icc_n = bool(result & SIGN_BIT)
+    state.icc_z = (result & MASK32) == 0
+    state.icc_v = bool((~(a ^ b)) & (a ^ result) & SIGN_BIT)
+    state.icc_c = (a + b) > MASK32
+
+
+def _set_icc_sub(state: MachineState, a: int, b: int, result: int) -> None:
+    state.icc_n = bool(result & SIGN_BIT)
+    state.icc_z = (result & MASK32) == 0
+    state.icc_v = bool((a ^ b) & (a ^ result) & SIGN_BIT)
+    state.icc_c = b > a  # borrow
+
+def _set_icc_logic(state: MachineState, result: int) -> None:
+    state.icc_n = bool(result & SIGN_BIT)
+    state.icc_z = (result & MASK32) == 0
+    state.icc_v = False
+    state.icc_c = False
+
+
+_LOGIC_OPS: dict[str, Callable[[int, int], int]] = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "andn": lambda a, b: a & ~b,
+    "orn": lambda a, b: a | ~b,
+    "xnor": lambda a, b: ~(a ^ b),
+}
+
+_MEM_SIZES = {
+    "ld": 4,
+    "ldub": 1,
+    "lduh": 2,
+    "ldsb": 1,
+    "ldsh": 2,
+    "st": 4,
+    "stb": 1,
+    "sth": 2,
+    "ldf": 4,
+    "stf": 4,
+}
+
+
+def _effective_address(state: MachineState, inst: Instruction) -> int:
+    base = state.get_reg(inst.rs1.index) if inst.rs1 is not None else 0
+    return (base + _src2(state, inst)) & MASK32
+
+
+def execute(state: MachineState, inst: Instruction) -> None:
+    """Apply ``inst``'s architectural effect to ``state``.
+
+    Control-transfer instructions are rejected here — the simulator
+    handles them because they involve ``pc``/``npc``; straight-line
+    callers (the scheduler's differential tests) never contain them.
+    """
+    if inst.is_control:
+        raise SemanticsError(f"control transfer {inst.mnemonic} needs the simulator")
+    m = inst.mnemonic
+    cat = inst.category
+
+    if cat is Category.NOP:
+        return
+
+    if cat is Category.SETHI:
+        state.set_reg(inst.rd.index, (inst.imm or 0) << 10)
+        return
+
+    if cat in (Category.IALU, Category.SHIFT, Category.IMUL, Category.IDIV):
+        _execute_integer(state, inst)
+        return
+
+    if cat in (Category.LOAD, Category.FPLOAD):
+        _execute_load(state, inst)
+        return
+
+    if cat in (Category.STORE, Category.FPSTORE):
+        _execute_store(state, inst)
+        return
+
+    _execute_fp(state, inst)
+
+
+def _execute_integer(state: MachineState, inst: Instruction) -> None:
+    m = inst.mnemonic
+    a = state.get_reg(inst.rs1.index) if inst.rs1 is not None else 0
+    b = _src2(state, inst)
+
+    if m == "rdy":
+        state.set_reg(inst.rd.index, state.y)
+        return
+    if m == "wry":
+        state.y = (a ^ b) & MASK32
+        return
+
+    base = m[:-2] if m.endswith("cc") and m not in ("and",) else m
+    sets_cc = m.endswith("cc") and m != "and"
+
+    if base in ("add", "save", "restore"):
+        result = (a + b) & MASK32
+        if sets_cc:
+            _set_icc_add(state, a, b, result)
+    elif base == "addx":
+        result = (a + b + int(state.icc_c)) & MASK32
+    elif base == "sub":
+        result = (a - b) & MASK32
+        if sets_cc:
+            _set_icc_sub(state, a, b, result)
+    elif base == "subx":
+        result = (a - b - int(state.icc_c)) & MASK32
+    elif base in _LOGIC_OPS:
+        result = _LOGIC_OPS[base](a, b) & MASK32
+        if sets_cc:
+            _set_icc_logic(state, result)
+    elif base == "sll":
+        result = (a << (b & 31)) & MASK32
+    elif base == "srl":
+        result = (a >> (b & 31)) & MASK32
+    elif base == "sra":
+        result = (_signed(a) >> (b & 31)) & MASK32
+    elif base == "umul":
+        product = a * b
+        state.y = (product >> 32) & MASK32
+        result = product & MASK32
+    elif base == "smul":
+        product = _signed(a) * _signed(b)
+        state.y = (product >> 32) & MASK32
+        result = product & MASK32
+        if sets_cc:
+            _set_icc_logic(state, result)
+    elif base == "udiv":
+        dividend = (state.y << 32) | a
+        if b == 0:
+            raise SemanticsError("udiv by zero")
+        result = min(dividend // b, MASK32)
+    elif base == "sdiv":
+        dividend = _signed64((state.y << 32) | a)
+        divisor = _signed(b)
+        if divisor == 0:
+            raise SemanticsError("sdiv by zero")
+        quotient = int(dividend / divisor)  # trunc toward zero
+        result = max(-(1 << 31), min(quotient, (1 << 31) - 1)) & MASK32
+    else:  # pragma: no cover - table and dispatch are kept in sync
+        raise SemanticsError(f"no integer semantics for {m}")
+
+    if inst.rd is not None:
+        state.set_reg(inst.rd.index, result)
+
+
+def _signed64(value: int) -> int:
+    value &= (1 << 64) - 1
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _execute_load(state: MachineState, inst: Instruction) -> None:
+    m = inst.mnemonic
+    addr = _effective_address(state, inst)
+    mem = state.memory
+    if m in ("ld", "ldub", "lduh"):
+        state.set_reg(inst.rd.index, mem.read(addr, _MEM_SIZES[m]))
+    elif m == "ldsb":
+        value = mem.read(addr, 1)
+        state.set_reg(inst.rd.index, value - 0x100 if value & 0x80 else value)
+    elif m == "ldsh":
+        value = mem.read(addr, 2)
+        state.set_reg(inst.rd.index, value - 0x10000 if value & 0x8000 else value)
+    elif m == "ldd":
+        state.set_reg(inst.rd.index, mem.read(addr, 4))
+        state.set_reg(inst.rd.index | 1, mem.read(addr + 4, 4))
+    elif m == "ldf":
+        state.set_freg(inst.rd.index, mem.read(addr, 4))
+    elif m == "lddf":
+        state.set_freg(inst.rd.index, mem.read(addr, 4))
+        state.set_freg(inst.rd.index + 1, mem.read(addr + 4, 4))
+    else:  # pragma: no cover
+        raise SemanticsError(f"no load semantics for {m}")
+
+
+def _execute_store(state: MachineState, inst: Instruction) -> None:
+    m = inst.mnemonic
+    addr = _effective_address(state, inst)
+    mem = state.memory
+    if m in ("st", "stb", "sth"):
+        mem.write(addr, state.get_reg(inst.rd.index), _MEM_SIZES[m])
+    elif m == "std":
+        mem.write(addr, state.get_reg(inst.rd.index), 4)
+        mem.write(addr + 4, state.get_reg(inst.rd.index | 1), 4)
+    elif m == "stf":
+        mem.write(addr, state.get_freg(inst.rd.index), 4)
+    elif m == "stdf":
+        mem.write(addr, state.get_freg(inst.rd.index), 4)
+        mem.write(addr + 4, state.get_freg(inst.rd.index + 1), 4)
+    else:  # pragma: no cover
+        raise SemanticsError(f"no store semantics for {m}")
+
+
+def _execute_fp(state: MachineState, inst: Instruction) -> None:
+    m = inst.mnemonic
+    single = m.endswith("s") and m not in ("fdtos", "fitos")
+    get = state.get_single if m[-1] == "s" else state.get_double
+    put = state.set_single if m[-1] == "s" else state.set_double
+
+    if m in ("fmovs", "fnegs", "fabss"):
+        pattern = state.get_freg(inst.rs2.index)
+        if m == "fnegs":
+            pattern ^= SIGN_BIT
+        elif m == "fabss":
+            pattern &= ~SIGN_BIT & MASK32
+        state.set_freg(inst.rd.index, pattern)
+        return
+
+    if m in ("fcmps", "fcmpd"):
+        a = (state.get_single if m == "fcmps" else state.get_double)(inst.rs1.index)
+        b = (state.get_single if m == "fcmps" else state.get_double)(inst.rs2.index)
+        if math.isnan(a) or math.isnan(b):
+            state.fcc = FCC_UNORDERED
+        elif a == b:
+            state.fcc = FCC_EQUAL
+        elif a < b:
+            state.fcc = FCC_LESS
+        else:
+            state.fcc = FCC_GREATER
+        return
+
+    if m in ("fsqrts", "fsqrtd"):
+        value = get(inst.rs2.index)
+        put(inst.rd.index, math.sqrt(value) if value >= 0 else float("nan"))
+        return
+
+    if m in ("fitos", "fitod"):
+        pattern = state.get_freg(inst.rs2.index)
+        put(inst.rd.index, float(_signed(pattern)))
+        return
+    if m in ("fstoi", "fdtoi"):
+        value = state.get_single(inst.rs2.index) if m == "fstoi" else state.get_double(inst.rs2.index)
+        state.set_freg(inst.rd.index, int(value) & MASK32 if math.isfinite(value) else 0)
+        return
+    if m == "fstod":
+        state.set_double(inst.rd.index, state.get_single(inst.rs2.index))
+        return
+    if m == "fdtos":
+        state.set_single(inst.rd.index, state.get_double(inst.rs2.index))
+        return
+
+    binary = {
+        "fadds": lambda a, b: a + b,
+        "faddd": lambda a, b: a + b,
+        "fsubs": lambda a, b: a - b,
+        "fsubd": lambda a, b: a - b,
+        "fmuls": lambda a, b: a * b,
+        "fmuld": lambda a, b: a * b,
+        "fdivs": _fp_div,
+        "fdivd": _fp_div,
+    }
+    if m not in binary:  # pragma: no cover
+        raise SemanticsError(f"no FP semantics for {m}")
+    a = get(inst.rs1.index)
+    b = get(inst.rs2.index)
+    put(inst.rd.index, binary[m](a, b))
+
+
+def _fp_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return float("nan")
+        return math.copysign(float("inf"), a) * math.copysign(1.0, b)
+    return a / b
+
+
+def run_straightline(state: MachineState, instructions: list[Instruction]) -> MachineState:
+    """Execute a branch-free instruction sequence, returning ``state``.
+
+    This is the workhorse of the scheduler's differential correctness
+    tests: original order and scheduled order must leave identical
+    architectural state from any starting state.
+    """
+    for inst in instructions:
+        execute(state, inst)
+    return state

@@ -1,0 +1,85 @@
+"""Synthetic instructions — the standard SPARC assembler idioms.
+
+These helpers build the real V8 instructions underlying the usual
+pseudo-ops (``set``, ``mov``, ``cmp``, ``retl`` …). The QPT profiling
+snippet and the workload generator compose code from these.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .registers import G0, O7, Reg, I
+
+SIMM13_MIN = -4096
+SIMM13_MAX = 4095
+
+
+def fits_simm13(value: int) -> bool:
+    return SIMM13_MIN <= value <= SIMM13_MAX
+
+
+def hi22(value: int) -> int:
+    """The %hi() operator: the high 22 bits of a 32-bit constant."""
+    return (value >> 10) & 0x3FFFFF
+
+
+def lo10(value: int) -> int:
+    """The %lo() operator: the low 10 bits of a 32-bit constant."""
+    return value & 0x3FF
+
+
+def set_constant(value: int, rd: Reg) -> list[Instruction]:
+    """The ``set`` pseudo-op: load a 32-bit constant into ``rd``.
+
+    Produces one instruction when possible (``mov`` for small values,
+    bare ``sethi`` when the low 10 bits are zero), otherwise the classic
+    ``sethi``/``or`` pair.
+    """
+    value &= 0xFFFFFFFF
+    if fits_simm13(value) or fits_simm13(value - (1 << 32)):
+        imm = value if fits_simm13(value) else value - (1 << 32)
+        return [Instruction("or", rd=rd, rs1=G0, imm=imm)]
+    if lo10(value) == 0:
+        return [Instruction("sethi", rd=rd, imm=hi22(value))]
+    return [
+        Instruction("sethi", rd=rd, imm=hi22(value)),
+        Instruction("or", rd=rd, rs1=rd, imm=lo10(value)),
+    ]
+
+
+def mov(src: Reg | int, rd: Reg) -> Instruction:
+    if isinstance(src, int):
+        return Instruction("or", rd=rd, rs1=G0, imm=src)
+    return Instruction("or", rd=rd, rs1=G0, rs2=src)
+
+
+def cmp(rs1: Reg, src2: Reg | int) -> Instruction:
+    if isinstance(src2, int):
+        return Instruction("subcc", rd=G0, rs1=rs1, imm=src2)
+    return Instruction("subcc", rd=G0, rs1=rs1, rs2=src2)
+
+
+def tst(rs: Reg) -> Instruction:
+    return Instruction("orcc", rd=G0, rs1=G0, rs2=rs)
+
+
+def clr(rd: Reg) -> Instruction:
+    return Instruction("or", rd=rd, rs1=G0, rs2=G0)
+
+
+def inc(rd: Reg, amount: int = 1) -> Instruction:
+    return Instruction("add", rd=rd, rs1=rd, imm=amount)
+
+
+def dec(rd: Reg, amount: int = 1) -> Instruction:
+    return Instruction("sub", rd=rd, rs1=rd, imm=amount)
+
+
+def retl() -> Instruction:
+    """Leaf-routine return: ``jmpl %o7 + 8, %g0``."""
+    return Instruction("jmpl", rd=G0, rs1=O7, imm=8)
+
+
+def ret() -> Instruction:
+    """Non-leaf return: ``jmpl %i7 + 8, %g0``."""
+    return Instruction("jmpl", rd=G0, rs1=I[7], imm=8)

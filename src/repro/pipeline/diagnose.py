@@ -1,0 +1,88 @@
+"""Stall diagnosis: *why* can't this instruction issue yet?
+
+``pipeline_stalls`` answers "how long"; tools and humans also ask
+"why". :func:`explain_stall` re-runs the hazard checks for one candidate
+start cycle and reports the first failing condition — a structural
+hazard on a named unit, or a RAW/WAW/WAR hazard on a named register —
+so schedules can be debugged and the examples can annotate their
+charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+from ..isa.registers import Reg
+from .stalls import _prepare
+from .state import PipelineState
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One reason an instruction cannot start at a given cycle."""
+
+    kind: str  # 'structural' | 'raw' | 'waw' | 'war'
+    cycle: int  # absolute cycle of the failing check
+    unit: str | None = None
+    register: Reg | None = None
+
+    def __str__(self) -> str:
+        if self.kind == "structural":
+            return f"structural hazard on {self.unit} at cycle {self.cycle}"
+        return f"{self.kind.upper()} hazard on {self.register} at cycle {self.cycle}"
+
+
+def explain_stall(
+    cycle: int, state: PipelineState, inst: Instruction
+) -> Hazard | None:
+    """The first hazard preventing ``inst`` from issuing at ``cycle``,
+    or None when it can issue immediately."""
+    timing = state.model.timing(inst)
+    prepared = _prepare(timing)
+    unit_index = state.model.unit_index
+
+    own: dict[str, int] = {}
+    for rel in range(prepared.last_rel + 1):
+        for event in prepared.releases_by_rel.get(rel, ()):
+            if own.get(event.unit, 0) > 0:
+                own[event.unit] = max(0, own[event.unit] - event.count)
+        for acq_rel, events in prepared.acquires:
+            if acq_rel != rel:
+                continue
+            for event in events:
+                held = own.get(event.unit, 0)
+                free = state.free_units(cycle + rel, unit_index[event.unit]) - held
+                if free < event.count:
+                    return Hazard("structural", cycle + rel, unit=event.unit)
+                own[event.unit] = held + event.count
+
+    for rel, reg in prepared.reads:
+        if cycle + rel < state.value_ready(reg):
+            return Hazard("raw", cycle + rel, register=reg)
+
+    for rel, reg in prepared.writes:
+        avail = cycle + rel
+        if avail < state.value_ready(reg):
+            return Hazard("waw", avail, register=reg)
+        if avail <= state.last_read(reg):
+            return Hazard("war", avail, register=reg)
+
+    return None
+
+
+def stall_breakdown(
+    cycle: int, state: PipelineState, inst: Instruction
+) -> list[Hazard]:
+    """One hazard per stalled cycle until the instruction can issue —
+    the full story of a delayed issue."""
+    hazards: list[Hazard] = []
+    start = cycle
+    while True:
+        hazard = explain_stall(start, state, inst)
+        if hazard is None:
+            return hazards
+        hazards.append(hazard)
+        start += 1
+        if len(hazards) > 4096:  # pragma: no cover - deadlock guard
+            raise RuntimeError("instruction can never issue")

@@ -1,0 +1,87 @@
+"""Pipeline state: what previously issued instructions left behind.
+
+The paper's ``pipeline_stalls`` (Appendix A) consults two kinds of
+history: how many copies of each unit are free in each future cycle
+(``UnitValues`` in the C++), and for every architectural register the
+cycle its last value becomes usable (``write_cy``) and the last cycle it
+was read. :class:`PipelineState` keeps both on an absolute-cycle
+timeline that grows lazily as instructions are committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.registers import Reg
+from ..spawn.model import MachineModel
+
+
+@dataclass(frozen=True)
+class HeldInterval:
+    """``count`` copies of ``unit`` held from ``start`` up to (but not
+    including) ``end`` — absolute cycles."""
+
+    unit: str
+    count: int
+    start: int
+    end: int
+
+
+class PipelineState:
+    """Absolute-cycle occupancy and register history for one in-order
+    instruction stream."""
+
+    def __init__(self, model: MachineModel) -> None:
+        self.model = model
+        self._capacity = list(model.unit_capacity)
+        self._unit_index = model.unit_index
+        #: free units per absolute cycle; grown on demand.
+        self._free: list[list[int]] = []
+        #: register -> first absolute cycle its latest value is usable.
+        self.write_cy: dict[Reg, int] = {}
+        #: register -> last absolute cycle it was read.
+        self.read_cy: dict[Reg, int] = {}
+
+    # -- unit timeline -------------------------------------------------------
+
+    def _row(self, cycle: int) -> list[int]:
+        while len(self._free) <= cycle:
+            self._free.append(list(self._capacity))
+        return self._free[cycle]
+
+    def free_units(self, cycle: int, unit_index: int) -> int:
+        if cycle < len(self._free):
+            return self._free[cycle][unit_index]
+        return self._capacity[unit_index]
+
+    def unit_free_by_name(self, cycle: int, unit: str) -> int:
+        return self.free_units(cycle, self._unit_index[unit])
+
+    def commit_interval(self, interval: HeldInterval) -> None:
+        """Mark ``interval`` as occupied on the timeline."""
+        index = self._unit_index[interval.unit]
+        for cycle in range(interval.start, interval.end):
+            row = self._row(cycle)
+            row[index] -= interval.count
+            if row[index] < 0:
+                raise RuntimeError(
+                    f"over-committed unit {interval.unit!r} at cycle {cycle}"
+                )
+
+    # -- register history -----------------------------------------------------
+
+    def commit_read(self, reg: Reg, cycle: int) -> None:
+        previous = self.read_cy.get(reg, -1)
+        if cycle > previous:
+            self.read_cy[reg] = cycle
+
+    def commit_write(self, reg: Reg, avail_cycle: int) -> None:
+        self.write_cy[reg] = avail_cycle
+
+    def value_ready(self, reg: Reg) -> int:
+        """First absolute cycle the register's current value is usable
+        (0 when never written in this stream)."""
+        return self.write_cy.get(reg, 0)
+
+    def last_read(self, reg: Reg) -> int:
+        return self.read_cy.get(reg, -1)

@@ -1,0 +1,62 @@
+"""Trace-driven whole-program timing.
+
+The functional simulator executes the program and feeds every
+dynamically executed instruction, in true dynamic order, into the
+pipeline model. This carries pipeline state *across* basic blocks — a
+load at the end of one block stalls its use at the top of the next, and
+back-to-back tiny blocks contend for the branch unit — which is
+essential for the paper's small-block SPECINT behaviour.
+
+This is the "Time" measurement of the evaluation harness: the paper ran
+wall-clock on hardware; we run the same binaries through an in-order
+pipeline simulation of the same microarchitectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.simulator import RunResult
+from ..spawn.model import MachineModel
+from .stalls import issue
+from .state import PipelineState
+
+
+@dataclass
+class TimedRun:
+    """Outcome of a trace-driven timing run."""
+
+    cycles: int
+    instructions: int
+    result: RunResult
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def timed_run(
+    model: MachineModel,
+    executable,
+    *,
+    max_instructions: int = 5_000_000,
+    count_executions: bool = False,
+) -> TimedRun:
+    """Run ``executable`` functionally while timing it on ``model``."""
+    state = PipelineState(model)
+    last_issue = -1
+
+    def hook(address: int, inst) -> None:
+        nonlocal last_issue
+        last_issue = issue(max(last_issue, 0), state, inst).issue_cycle
+
+    result = executable.run(
+        max_instructions=max_instructions,
+        count_executions=count_executions,
+        on_execute=hook,
+    )
+    return TimedRun(
+        cycles=last_issue + 1,
+        instructions=result.instructions_executed,
+        result=result,
+    )

@@ -1,0 +1,84 @@
+"""Pipeline occupancy visualization.
+
+Renders a block's schedule as a text Gantt chart — one row per
+instruction showing its issue cycle, one row per unit showing occupancy
+over time. This is the picture the paper's §3.2 walkthroughs describe in
+prose; the examples use it to show *where* instrumentation went.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..spawn.model import MachineModel
+from .stalls import issue
+from .state import PipelineState
+
+
+def schedule_chart(
+    model: MachineModel,
+    instructions: list[Instruction],
+    *,
+    mark_instrumentation: bool = True,
+    max_width: int = 72,
+) -> str:
+    """Issue ``instructions`` in order and render the result.
+
+    Instrumentation instructions are marked ``+`` in the gutter, original
+    ones `` ``; each row shows the cycles the instruction occupies the
+    pipeline, with ``I`` at the issue cycle and ``-`` for the rest.
+    """
+    state = PipelineState(model)
+    rows = []
+    cycle = 0
+    horizon = 0
+    for inst in instructions:
+        result = issue(cycle, state, inst)
+        cycle = result.issue_cycle
+        rows.append((inst, result.issue_cycle, result.completion_cycle))
+        horizon = max(horizon, result.completion_cycle)
+
+    horizon = min(horizon, max_width)
+    text_width = max((len(str(inst)) for inst, _, _ in rows), default=0)
+    text_width = min(text_width, 32)
+
+    lines = [
+        " " * (text_width + 4)
+        + "".join(str(c % 10) for c in range(horizon))
+    ]
+    for inst, start, end in rows:
+        gutter = "+" if (mark_instrumentation and inst.is_instrumentation) else " "
+        text = str(inst)[:text_width].ljust(text_width)
+        lane = [" "] * horizon
+        for c in range(start, min(end, horizon)):
+            lane[c] = "-"
+        if start < horizon:
+            lane[start] = "I"
+        lines.append(f"{gutter} {text}  {''.join(lane)}")
+    lines.append(f"\ntotal: {cycle + 1} issue cycles for {len(rows)} instructions")
+    return "\n".join(lines)
+
+
+def unit_occupancy(
+    model: MachineModel, instructions: list[Instruction], *, max_cycles: int = 64
+) -> str:
+    """Per-unit busy/free occupancy table for a block."""
+    state = PipelineState(model)
+    cycle = 0
+    for inst in instructions:
+        cycle = issue(cycle, state, inst).issue_cycle
+    horizon = min(cycle + 4, max_cycles)
+    names = sorted(model.units)
+    width = max(len(n) for n in names)
+    lines = [
+        " " * (width + 2) + "".join(str(c % 10) for c in range(horizon))
+    ]
+    for name in names:
+        index = model.unit_index[name]
+        capacity = model.units[name]
+        row = []
+        for c in range(horizon):
+            free = state.free_units(c, index)
+            used = capacity - free
+            row.append(str(used) if used else ".")
+        lines.append(f"{name.ljust(width)}  {''.join(row)}")
+    return "\n".join(lines)

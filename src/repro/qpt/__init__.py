@@ -1,0 +1,49 @@
+"""QPT2 slow profiling — the instrumentation workload of §4.2."""
+
+from .counters import COUNTER_BASE, CounterSegment
+from .placement import PlacementPlan, plan_placement
+from .profiling import (
+    RESERVED_SCRATCH,
+    ProfiledProgram,
+    SlowProfiler,
+    counter_snippet,
+)
+from .fastprofile import (
+    FastProfileError,
+    FastProfiledProgram,
+    FastProfiler,
+    FlowEdge,
+)
+from .errorcheck import (
+    CheckStats,
+    CheckedProgram,
+    NullCheckInstrumenter,
+    VIOLATION_REG,
+    null_check,
+)
+from .reports import BlockProfile, Profile, RoutineProfile, build_profile, profile_report
+
+__all__ = [
+    "BlockProfile",
+    "COUNTER_BASE",
+    "CheckStats",
+    "CheckedProgram",
+    "CounterSegment",
+    "FastProfileError",
+    "FastProfiledProgram",
+    "FastProfiler",
+    "FlowEdge",
+    "NullCheckInstrumenter",
+    "VIOLATION_REG",
+    "null_check",
+    "PlacementPlan",
+    "Profile",
+    "ProfiledProgram",
+    "RESERVED_SCRATCH",
+    "RoutineProfile",
+    "SlowProfiler",
+    "build_profile",
+    "counter_snippet",
+    "plan_placement",
+    "profile_report",
+]

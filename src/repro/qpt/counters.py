@@ -1,0 +1,53 @@
+"""Counter storage for profiling instrumentation.
+
+QPT's slow profiling gives every instrumented basic block a word-sized
+execution counter in a dedicated data segment. The segment is appended
+to the edited executable; after a (simulated) run the counters are read
+back out of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.image import Section, SectionKind
+from ..isa.machine_state import Memory
+
+#: Default base address for the counter segment, away from program data.
+COUNTER_BASE = 0x0C00_0000
+
+
+@dataclass
+class CounterSegment:
+    """Allocates one 32-bit counter per instrumented block."""
+
+    base: int = COUNTER_BASE
+    _slots: dict[int, int] = field(default_factory=dict)  # block index -> address
+
+    def allocate(self, block_index: int) -> int:
+        """The counter address for ``block_index`` (allocating it)."""
+        if block_index not in self._slots:
+            self._slots[block_index] = self.base + 4 * len(self._slots)
+        return self._slots[block_index]
+
+    def address_of(self, block_index: int) -> int:
+        return self._slots[block_index]
+
+    @property
+    def size(self) -> int:
+        return 4 * len(self._slots)
+
+    @property
+    def block_indexes(self) -> list[int]:
+        return sorted(self._slots)
+
+    def section(self, name: str = ".qpt_counters") -> Section:
+        """A zero-initialized data section holding all counters."""
+        return Section(name, SectionKind.DATA, self.base, data=b"\x00" * self.size)
+
+    def read(self, memory: Memory) -> dict[int, int]:
+        """Counter values per block index, from a post-run memory."""
+        return {
+            index: memory.read_word(address)
+            for index, address in self._slots.items()
+        }

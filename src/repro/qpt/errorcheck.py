@@ -1,0 +1,132 @@
+"""Error-checking instrumentation — the paper's production-code vision.
+
+§5: "this approach promises to help reduce the cost of error checking,
+such as array bounds or null pointer tests, to a level at which it may
+routinely be included in production code."
+
+:class:`NullCheckInstrumenter` guards every memory operation with a
+straight-line null-base check. Straight-line matters: the scheduler only
+handles branch-free instrumentation regions (§4), so instead of a
+compare-and-trap the check *accumulates* violations with the SPARC
+carry-flag idiom::
+
+    subcc %base, 1, %g0     ! carry = (base unsigned< 1) = (base == 0)
+    addx  %g7, 0, %g7       ! violation count += carry
+
+``%g7`` (ABI-reserved) accumulates the count; a run ends with the number
+of null-base dereferences that *would have* trapped. Because checks are
+woven next to the memory operations they guard — not at block tops —
+the tool is implemented as an editor transform, demonstrating the
+transform API's second use beyond QPT profiling.
+
+Caveat the dependence analyzer enforces automatically: every check
+writes ``%icc``, so a check cannot migrate across the compare that feeds
+a conditional branch; the scheduler's DAG keeps them ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.cfg import BasicBlock
+from ..eel.editor import BlockTransform, Editor
+from ..eel.executable import Executable
+from ..isa.instruction import TAG_INSTRUMENTATION, Instruction
+from ..isa.registers import Reg, r
+from ..isa.simulator import RunResult
+
+#: The violation accumulator: %g7 (SPARC ABI reserved).
+VIOLATION_REG = r(7)
+
+
+def null_check(base: Reg, counter: Reg = VIOLATION_REG) -> list[Instruction]:
+    """The two-instruction straight-line null-base check."""
+    return [
+        Instruction("subcc", rd=r(0), rs1=base, imm=1).retag(TAG_INSTRUMENTATION),
+        Instruction("addx", rd=counter, rs1=counter, imm=0).retag(
+            TAG_INSTRUMENTATION
+        ),
+    ]
+
+
+@dataclass
+class CheckStats:
+    memory_ops: int = 0
+    checks_inserted: int = 0
+    #: memory ops left unguarded because %icc was live at that point
+    #: (a check there would corrupt a pending conditional branch).
+    checks_skipped_icc_live: int = 0
+
+
+@dataclass
+class CheckedProgram:
+    original: Executable
+    executable: Executable
+    stats: CheckStats
+
+    def run(self, **kwargs) -> RunResult:
+        return self.executable.run(**kwargs)
+
+    @staticmethod
+    def violations(result: RunResult) -> int:
+        """Null-base dereferences observed during the run."""
+        return result.state.get_reg(VIOLATION_REG.index)
+
+
+class NullCheckInstrumenter:
+    """Weave null-base checks in front of every load and store."""
+
+    def __init__(self, executable: Executable, *, counter: Reg = VIOLATION_REG) -> None:
+        self.executable = executable
+        self.counter = counter
+        self.stats = CheckStats()
+
+    def _weave(self, block: BasicBlock, body: list[Instruction]) -> list[Instruction]:
+        out: list[Instruction] = []
+        for position, inst in enumerate(body):
+            if inst.memory is not None and inst.rs1 is not None:
+                self.stats.memory_ops += 1
+                if inst.rs1.is_zero:
+                    pass  # %g0-based address: statically null, uncheckable here
+                elif self._icc_live_here(block, body, position):
+                    self.stats.checks_skipped_icc_live += 1
+                else:
+                    out.extend(null_check(inst.rs1, self.counter))
+                    self.stats.checks_inserted += 1
+            out.append(inst)
+        return out
+
+    def _icc_live_here(
+        self, block: BasicBlock, body: list[Instruction], position: int
+    ) -> bool:
+        """Would an %icc write at ``position`` be observed? True when
+        some instruction from here to the block's end reads %icc before
+        anything rewrites it (the check's subcc would corrupt it)."""
+        from ..isa.registers import ICC
+
+        tail = list(body[position:])
+        if block.terminator is not None:
+            tail.append(block.terminator)
+        if block.delay is not None:
+            tail.append(block.delay)
+        for inst in tail:
+            if ICC in inst.regs_read():
+                return True
+            if ICC in inst.regs_written():
+                return False
+        return False
+
+    def instrument(self, schedule: BlockTransform | None = None) -> CheckedProgram:
+        """Insert checks; optionally schedule them with the program."""
+
+        def transform(block: BasicBlock, body: list[Instruction]):
+            woven = self._weave(block, body)
+            if schedule is None:
+                return woven
+            return schedule(block, woven)
+
+        editor = Editor(self.executable)
+        edited = editor.build(transform)
+        return CheckedProgram(
+            original=self.executable, executable=edited, stats=self.stats
+        )

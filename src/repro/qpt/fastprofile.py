@@ -1,0 +1,249 @@
+"""Fast (edge) profiling — Ball–Larus optimal counter placement.
+
+This paper's instrumentation workload is QPT2's *slow* profiling: a
+counter in (almost) every block. QPT's celebrated mode — "Optimally
+Profiling and Tracing Programs" [2] — counts *edges*, and only the
+edges off a maximum spanning tree of the flow graph; every other edge
+and block count follows from flow conservation. Fewer, colder counters:
+cheaper profiles with strictly more information (edge frequencies).
+
+Per routine, we:
+
+1. form the flow graph: the routine's blocks, a virtual EXIT node fed
+   by its return blocks, and a virtual EXIT→ENTRY edge closing the
+   circulation;
+2. build a maximum spanning tree, weighting edges by loop depth so hot
+   edges stay *un*instrumented (virtual edges are forced into the tree
+   — they cannot hold a counter);
+3. instrument each non-tree CFG edge with the 4-instruction counter
+   sequence via :meth:`repro.eel.editor.Editor.instrument_edge`
+   (trampolines for taken edges, inline blocks for fall-throughs);
+4. after a run, solve the tree-edge counts by leaf elimination over the
+   flow-conservation equations, then report exact edge *and* block
+   counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.cfg import CFG, Edge
+from ..eel.editor import Editor
+from ..eel.executable import Executable
+from ..eel.loops import LoopForest
+from ..eel.routine import split_routines
+from ..isa.simulator import RunResult
+from .counters import COUNTER_BASE, CounterSegment
+from .profiling import RESERVED_SCRATCH, counter_snippet
+
+#: Node id for a routine's virtual exit.
+_EXIT = -1
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One edge of the profiling flow graph.
+
+    Kinds: the CFG's ``taken``/``fallthrough``; ``exit`` for a return
+    block's edge to the routine's virtual EXIT (instrumentable — the
+    counter goes at the end of the returning block); ``virtual`` for
+    the unique EXIT→ENTRY circulation edge, which can never hold a
+    counter and is always forced onto the spanning tree.
+    """
+
+    src: int  # block index, or _EXIT
+    dst: int
+    kind: str  # 'taken' | 'fallthrough' | 'exit' | 'virtual'
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.kind == "virtual"
+
+    @property
+    def is_exit(self) -> bool:
+        return self.kind == "exit"
+
+    def cfg_edge(self) -> Edge:
+        return Edge(self.src, self.dst, self.kind)
+
+
+class FastProfileError(Exception):
+    pass
+
+
+@dataclass
+class _RoutinePlan:
+    name: str
+    entry: int
+    edges: list[FlowEdge] = field(default_factory=list)
+    tree: set[FlowEdge] = field(default_factory=set)
+
+    @property
+    def instrumented(self) -> list[FlowEdge]:
+        return [e for e in self.edges if e not in self.tree]
+
+
+@dataclass
+class FastProfiledProgram:
+    original: Executable
+    executable: Executable
+    cfg: CFG
+    counters: CounterSegment
+    plans: list[_RoutinePlan]
+    #: instrumented flow edge -> counter address.
+    counter_of: dict[FlowEdge, int]
+
+    @property
+    def counters_used(self) -> int:
+        return len(self.counter_of)
+
+    def run(self, **kwargs) -> RunResult:
+        return self.executable.run(**kwargs)
+
+    # -- count recovery ---------------------------------------------------
+
+    def edge_counts(self, result: RunResult) -> dict[FlowEdge, int]:
+        """Exact counts for *every* flow edge, measured or derived."""
+        measured = {
+            edge: result.state.memory.read_word(address)
+            for edge, address in self.counter_of.items()
+        }
+        counts: dict[FlowEdge, int] = dict(measured)
+        for plan in self.plans:
+            self._solve_routine(plan, counts)
+        return counts
+
+    def block_counts(self, result: RunResult) -> dict[int, int]:
+        """Execution counts for every block, from the edge counts."""
+        edges = self.edge_counts(result)
+        totals: dict[int, int] = {}
+        for plan in self.plans:
+            for edge in plan.edges:
+                if edge.dst != _EXIT:
+                    totals[edge.dst] = totals.get(edge.dst, 0) + edges[edge]
+        return totals
+
+    def _solve_routine(self, plan: _RoutinePlan, counts: dict[FlowEdge, int]) -> None:
+        unknown = {e for e in plan.tree if e not in counts}
+        incident: dict[int, list[FlowEdge]] = {}
+        for edge in plan.edges:
+            incident.setdefault(edge.src, []).append(edge)
+            incident.setdefault(edge.dst, []).append(edge)
+
+        progress = True
+        while unknown and progress:
+            progress = False
+            for node, node_edges in incident.items():
+                pending = [e for e in node_edges if e in unknown]
+                if len(pending) != 1:
+                    continue
+                edge = pending[0]
+                inflow = sum(
+                    counts[e] for e in node_edges if e.dst == node and e not in unknown
+                )
+                outflow = sum(
+                    counts[e] for e in node_edges if e.src == node and e not in unknown
+                )
+                counts[edge] = inflow - outflow if edge.src == node else outflow - inflow
+                unknown.discard(edge)
+                progress = True
+        if unknown:  # pragma: no cover - spanning tree guarantees solvability
+            raise FastProfileError(
+                f"routine {plan.name!r}: unsolvable tree edges {unknown}"
+            )
+
+
+class FastProfiler:
+    """Ball–Larus edge profiling over EEL."""
+
+    def __init__(
+        self, executable: Executable, *, counter_base: int = COUNTER_BASE
+    ) -> None:
+        self.executable = executable
+        self.counter_base = counter_base
+
+    def instrument(self, transform=None) -> FastProfiledProgram:
+        editor = Editor(self.executable)
+        cfg = editor.cfg
+        loops = LoopForest(cfg)
+        counters = CounterSegment(base=self.counter_base)
+        counter_of: dict[FlowEdge, int] = {}
+        plans = []
+
+        for routine in split_routines(self.executable, cfg):
+            plan = self._plan_routine(cfg, loops, routine)
+            plans.append(plan)
+            for edge in plan.instrumented:
+                address = counters.allocate(len(counter_of))
+                counter_of[edge] = address
+                snippet = counter_snippet(address, *RESERVED_SCRATCH)
+                if edge.is_exit:
+                    editor.insert_at_end(edge.src, snippet)
+                else:
+                    editor.instrument_edge(edge.cfg_edge(), snippet)
+
+        editor.add_data_section(counters.section(".qpt_edge_counters"))
+        edited = editor.build(transform)
+        return FastProfiledProgram(
+            original=self.executable,
+            executable=edited,
+            cfg=cfg,
+            counters=counters,
+            plans=plans,
+            counter_of=counter_of,
+        )
+
+    def _plan_routine(self, cfg: CFG, loops: LoopForest, routine) -> _RoutinePlan:
+        inside = routine.block_indexes
+        plan = _RoutinePlan(name=routine.name, entry=routine.entry_block().index)
+
+        for block in routine.blocks:
+            for edge in block.succs:
+                if edge.dst not in inside:
+                    raise FastProfileError(
+                        f"routine {routine.name!r} has a cross-routine edge "
+                        f"{edge.src}->{edge.dst} (tail call?); fast "
+                        "profiling requires routine-closed control flow"
+                    )
+                plan.edges.append(FlowEdge(edge.src, edge.dst, edge.kind))
+            if not block.succs:
+                plan.edges.append(FlowEdge(block.index, _EXIT, "exit"))
+        plan.edges.append(FlowEdge(_EXIT, plan.entry, "virtual"))
+
+        plan.tree = self._max_spanning_tree(plan.edges, loops)
+        return plan
+
+    def _max_spanning_tree(
+        self, edges: list[FlowEdge], loops: LoopForest
+    ) -> set[FlowEdge]:
+        def weight(edge: FlowEdge) -> float:
+            if edge.is_virtual:
+                return float("inf")  # never instrumentable
+            depth = max(
+                loops.depth(edge.src) if edge.src >= 0 else 0,
+                loops.depth(edge.dst) if edge.dst >= 0 else 0,
+            )
+            # Prefer keeping back edges (the hottest edges of all) on
+            # the tree: counters land on the colder forward edges.
+            if 0 <= edge.dst <= edge.src:
+                depth += 0.5
+            return float(depth)
+
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        tree: set[FlowEdge] = set()
+        for edge in sorted(
+            edges, key=lambda e: (-weight(e), e.src, e.dst, e.kind)
+        ):
+            a, b = find(edge.src), find(edge.dst)
+            if a != b:
+                parent[a] = b
+                tree.add(edge)
+        return tree

@@ -1,0 +1,80 @@
+"""Instrumentation placement: which blocks get counters.
+
+QPT2's slow profiling instruments "almost every basic block": "blocks
+with a single instrumented single-exit predecessor or a single
+instrumented single-entry successor are not instrumented" (§4.2) — their
+counts equal a neighbour's and are reconstructed afterwards.
+
+This is the degenerate, cheap corner of Ball–Larus optimal placement
+[2]: a block pinched between it and a neighbour on an unconditional
+edge must execute exactly as often as that neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.cfg import CFG, BasicBlock
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Which blocks carry counters, and how skipped counts derive."""
+
+    instrumented: frozenset[int]
+    #: skipped block -> the instrumented block with the same count.
+    derived_from: dict[int, int] = field(default_factory=dict)
+
+    def count_for(self, block_index: int, raw_counts: dict[int, int]) -> int:
+        source = block_index
+        seen = set()
+        while source not in raw_counts:
+            if source in seen:  # pragma: no cover - plan construction forbids cycles
+                raise ValueError(f"cyclic derivation at block {source}")
+            seen.add(source)
+            source = self.derived_from[source]
+        return raw_counts[source]
+
+    def all_counts(self, raw_counts: dict[int, int], cfg: CFG) -> dict[int, int]:
+        return {
+            block.index: self.count_for(block.index, raw_counts) for block in cfg
+        }
+
+
+def plan_placement(cfg: CFG, *, skip_redundant: bool = True) -> PlacementPlan:
+    """Choose counter placement for every block of ``cfg``."""
+    if not skip_redundant:
+        return PlacementPlan(instrumented=frozenset(b.index for b in cfg))
+
+    instrumented: set[int] = set()
+    derived: dict[int, int] = {}
+
+    for block in cfg.blocks:
+        source = _redundant_with(cfg, block, instrumented)
+        if source is not None:
+            derived[block.index] = source
+        else:
+            instrumented.add(block.index)
+
+    return PlacementPlan(instrumented=frozenset(instrumented), derived_from=derived)
+
+
+def _redundant_with(cfg: CFG, block: BasicBlock, instrumented: set[int]) -> int | None:
+    """An already-instrumented block whose count provably equals
+    ``block``'s, per the paper's two rules; None if the block needs its
+    own counter."""
+    # Rule 1: a single predecessor that is instrumented and has a single
+    # exit — every execution of the predecessor flows here and nowhere
+    # else, and nothing else flows here.
+    if len(block.preds) == 1:
+        pred = cfg.blocks[block.preds[0].src]
+        if pred.index in instrumented and len(pred.succs) == 1:
+            return pred.index
+    # Rule 2: a single successor that is instrumented and has a single
+    # entry. (Processing order means the successor is usually later and
+    # not yet decided; this fires for back-edges.)
+    if len(block.succs) == 1:
+        succ = cfg.blocks[block.succs[0].dst]
+        if succ.index in instrumented and len(succ.preds) == 1:
+            return succ.index
+    return None

@@ -1,0 +1,134 @@
+"""QPT2 slow profiling: the instrumentation the paper schedules (§4.2).
+
+Each instrumented block receives the classic four-instruction counter
+increment — set immediate, load, add, store:
+
+.. code-block:: asm
+
+    sethi %hi(counter), %rA
+    ld    [%rA + %lo(counter)], %rB
+    add   %rB, 1, %rB
+    st    %rB, [%rA + %lo(counter)]
+
+Scratch registers come from EEL's liveness analysis when two integer
+registers are dead across the block; otherwise QPT falls back to the
+reserved registers (``%g6``/``%g7``, which SPARC ABIs set aside for
+system software and compilers do not allocate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eel.cfg import CFG, build_cfg
+from ..eel.editor import BlockTransform, Editor
+from ..eel.executable import Executable
+from ..eel.liveness import LivenessAnalysis
+from ..isa.instruction import TAG_INSTRUMENTATION, Instruction
+from ..isa.registers import Reg, r
+from ..isa.simulator import RunResult
+from ..isa import synth
+from .counters import COUNTER_BASE, CounterSegment
+from .placement import PlacementPlan, plan_placement
+
+#: SPARC ABI-reserved registers, QPT's fallback scratch pair.
+RESERVED_SCRATCH = (r(6), r(7))  # %g6, %g7
+
+
+def counter_snippet(counter_address: int, addr_reg: Reg, value_reg: Reg) -> list[Instruction]:
+    """The 4-instruction slow-profiling sequence for one counter."""
+    hi = synth.hi22(counter_address)
+    lo = synth.lo10(counter_address)
+    seq = [
+        Instruction("sethi", rd=addr_reg, imm=hi),
+        Instruction("ld", rd=value_reg, rs1=addr_reg, imm=lo),
+        Instruction("add", rd=value_reg, rs1=value_reg, imm=1),
+        Instruction("st", rd=value_reg, rs1=addr_reg, imm=lo),
+    ]
+    return [inst.retag(TAG_INSTRUMENTATION) for inst in seq]
+
+
+@dataclass
+class ProfiledProgram:
+    """The output of instrumenting a program for block profiling."""
+
+    original: Executable
+    executable: Executable
+    cfg: CFG
+    plan: PlacementPlan
+    counters: CounterSegment
+    #: scratch registers chosen per instrumented block.
+    scratch: dict[int, tuple[Reg, Reg]] = field(default_factory=dict)
+
+    @property
+    def added_instructions(self) -> int:
+        return 4 * len(self.plan.instrumented)
+
+    @property
+    def text_expansion(self) -> float:
+        """Text-size growth factor E (drives the Lebeck–Wood model)."""
+        return self.executable.text_size / self.original.text_size
+
+    def run(self, **kwargs) -> RunResult:
+        return self.executable.run(**kwargs)
+
+    def block_counts(self, result: RunResult) -> dict[int, int]:
+        """Per-block execution counts (original block indexes), with
+        skipped blocks reconstructed from their derivation source."""
+        raw = self.counters.read(result.state.memory)
+        return self.plan.all_counts(raw, self.cfg)
+
+
+class SlowProfiler:
+    """The QPT2 slow-profiling tool built on EEL (Figure 3)."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        *,
+        counter_base: int = COUNTER_BASE,
+        skip_redundant: bool = True,
+        use_liveness: bool = True,
+    ) -> None:
+        self.executable = executable
+        self.counter_base = counter_base
+        self.skip_redundant = skip_redundant
+        self.use_liveness = use_liveness
+
+    def instrument(self, transform: BlockTransform | None = None) -> ProfiledProgram:
+        """Insert counters into every planned block and build the new
+        executable; ``transform`` (typically a
+        :class:`~repro.core.block_scheduler.BlockScheduler`) schedules
+        each block as it is laid out."""
+        editor = Editor(self.executable)
+        cfg = editor.cfg
+        plan = plan_placement(cfg, skip_redundant=self.skip_redundant)
+        counters = CounterSegment(base=self.counter_base)
+        liveness = LivenessAnalysis(cfg) if self.use_liveness else None
+        scratch: dict[int, tuple[Reg, Reg]] = {}
+
+        for index in sorted(plan.instrumented):
+            block = cfg.blocks[index]
+            address = counters.allocate(index)
+            regs = self._pick_scratch(liveness, block)
+            scratch[index] = regs
+            editor.insert_before(block, counter_snippet(address, *regs))
+
+        editor.add_data_section(counters.section())
+        edited = editor.build(transform)
+        return ProfiledProgram(
+            original=self.executable,
+            executable=edited,
+            cfg=cfg,
+            plan=plan,
+            counters=counters,
+            scratch=scratch,
+        )
+
+    def _pick_scratch(self, liveness: LivenessAnalysis | None, block) -> tuple[Reg, Reg]:
+        if liveness is not None:
+            avoid = frozenset(RESERVED_SCRATCH)
+            dead = liveness.dead_integer_registers(block, count=2, avoid=avoid)
+            if len(dead) == 2:
+                return (dead[0], dead[1])
+        return RESERVED_SCRATCH

@@ -1,0 +1,118 @@
+"""Profile reports — turning raw counters into what users read.
+
+``qpt`` historically post-processed counter files into listings of hot
+basic blocks and procedures. :func:`profile_report` renders one from a
+:class:`~repro.qpt.profiling.ProfiledProgram` and a run: hottest blocks
+with their share of dynamic instructions, per-routine totals, and loop
+annotations (nesting depth from :mod:`repro.eel.loops`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eel.loops import LoopForest
+from ..eel.routine import split_routines
+from ..isa.simulator import RunResult
+from .profiling import ProfiledProgram
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    block_index: int
+    address: int
+    executions: int
+    instructions: int
+    loop_depth: int
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.executions * self.instructions
+
+
+@dataclass(frozen=True)
+class RoutineProfile:
+    name: str
+    executions: int
+    dynamic_instructions: int
+
+
+@dataclass
+class Profile:
+    """A digested profile: per-block and per-routine views."""
+
+    blocks: list[BlockProfile]
+    routines: list[RoutineProfile]
+
+    @property
+    def total_dynamic_instructions(self) -> int:
+        return sum(b.dynamic_instructions for b in self.blocks)
+
+    def hottest(self, count: int = 10) -> list[BlockProfile]:
+        ranked = sorted(
+            self.blocks, key=lambda b: b.dynamic_instructions, reverse=True
+        )
+        return ranked[:count]
+
+
+def build_profile(profiled: ProfiledProgram, result: RunResult) -> Profile:
+    """Digest counters from a run into a :class:`Profile`."""
+    counts = profiled.block_counts(result)
+    loops = LoopForest(profiled.cfg)
+    blocks = [
+        BlockProfile(
+            block_index=block.index,
+            address=block.address,
+            executions=counts[block.index],
+            instructions=block.instruction_count,
+            loop_depth=loops.depth(block.index),
+        )
+        for block in profiled.cfg
+    ]
+
+    routines = []
+    for routine in split_routines(profiled.original, profiled.cfg):
+        indexes = routine.block_indexes
+        routines.append(
+            RoutineProfile(
+                name=routine.name,
+                executions=counts.get(routine.entry_block().index, 0),
+                dynamic_instructions=sum(
+                    b.dynamic_instructions for b in blocks if b.block_index in indexes
+                ),
+            )
+        )
+    routines.sort(key=lambda r: r.dynamic_instructions, reverse=True)
+    return Profile(blocks=blocks, routines=routines)
+
+
+def profile_report(
+    profiled: ProfiledProgram, result: RunResult, *, top: int = 10
+) -> str:
+    """Render the classic text report."""
+    profile = build_profile(profiled, result)
+    total = profile.total_dynamic_instructions or 1
+
+    lines = [
+        f"dynamic instructions: {profile.total_dynamic_instructions:,}",
+        "",
+        f"hottest blocks (top {top}):",
+        f"{'block':>6} {'address':>12} {'execs':>10} {'insts':>6} "
+        f"{'share':>7} {'loop':>5}",
+    ]
+    for block in profile.hottest(top):
+        share = block.dynamic_instructions / total
+        lines.append(
+            f"{block.block_index:>6} {block.address:#12x} "
+            f"{block.executions:>10,} {block.instructions:>6} "
+            f"{share:>7.1%} {'*' * block.loop_depth:>5}"
+        )
+    lines.append("")
+    lines.append("routines:")
+    for routine in profile.routines:
+        share = routine.dynamic_instructions / total
+        lines.append(
+            f"  {routine.name:20s} {routine.dynamic_instructions:>12,} "
+            f"({share:.1%}), entered {routine.executions:,} times"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""SADL — the Spawn Architecture Description Language.
+
+A small functional description language in which a machine's
+instruction timing is written as executable semantic expressions
+(paper §3). The package provides the lexer, parser, and the evaluator
+that turns each instruction's ``sem`` expression into a
+:class:`~repro.sadl.trace.Trace` of pipeline events.
+"""
+
+from .ast_nodes import Description
+from .errors import SadlError, SadlEvalError, SadlSyntaxError, SourceLocation
+from .evaluator import DescriptionEvaluator, REGISTER_FIELDS
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_expression
+from .printer import print_description, print_expr
+from .trace import RegAccess, Trace, UnitEvent
+
+__all__ = [
+    "Description",
+    "DescriptionEvaluator",
+    "REGISTER_FIELDS",
+    "RegAccess",
+    "SadlError",
+    "SadlEvalError",
+    "SadlSyntaxError",
+    "SourceLocation",
+    "Token",
+    "TokenKind",
+    "Trace",
+    "UnitEvent",
+    "parse",
+    "parse_expression",
+    "print_description",
+    "print_expr",
+    "tokenize",
+]

@@ -1,0 +1,209 @@
+"""Abstract syntax for SADL descriptions.
+
+Declarations mirror the paper's four description aspects — pipeline
+resources (``unit``), architectural registers (``register`` and
+``alias``), reusable semantic fragments (``val``), and instruction
+bindings (``sem``). Expressions are a small call-by-value lambda
+language extended with the microarchitectural commands ``A``, ``R``,
+``AR``, and ``D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class UnitLit(Expr):
+    """The unit value ``()``."""
+
+
+@dataclass(frozen=True)
+class FieldRef(Expr):
+    """``#name`` — an immediate operand field of the instruction word."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    param: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    fn: Expr
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Distribute(Expr):
+    """``f @ [a b c]`` — apply ``f`` to each element, yielding a list."""
+
+    fn: Expr
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``base[index]`` — register-file or alias access."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """Comma sequence; evaluates left to right, value is the last item.
+
+    ``x := e`` items bind ``x`` for the remainder of the sequence.
+    """
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    """``lhs := rhs`` — local binding (lhs a name) or register write
+    (lhs an indexed file/alias access)."""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class CommandA(Expr):
+    """``A <unit> [<num>]`` — acquire, stalling until available."""
+
+    unit: Expr
+    num: Expr | None
+
+
+@dataclass(frozen=True)
+class CommandR(Expr):
+    """``R <unit> [<num>]`` — release."""
+
+    unit: Expr
+    num: Expr | None
+
+
+@dataclass(frozen=True)
+class CommandAR(Expr):
+    """``AR <unit> [<num> [<delay>]]`` — acquire now, auto-release after
+    ``delay`` cycles (default 1)."""
+
+    unit: Expr
+    num: Expr | None
+    delay: Expr | None
+
+
+@dataclass(frozen=True)
+class CommandD(Expr):
+    """``D [<delay>]`` — advance the pipeline ``delay`` cycles (default 1)."""
+
+    delay: Expr | None
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """``signed{32}`` / ``untyped{64}`` …"""
+
+    base: str
+    bits: int
+
+
+@dataclass(frozen=True)
+class Declaration:
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class UnitDecl(Declaration):
+    name: str
+    count: int
+
+
+@dataclass(frozen=True)
+class RegisterDecl(Declaration):
+    typ: TypeSpec
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class AliasDecl(Declaration):
+    typ: TypeSpec
+    name: str
+    param: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class ValDecl(Declaration):
+    names: tuple[str, ...]
+    expr: Expr
+    #: True when the declaration used the ``[n1 n2 …]`` list form, in
+    #: which case the expression must evaluate to a same-length list
+    #: (usually via ``@``) — or a single value bound to every name.
+    is_list: bool
+
+
+@dataclass(frozen=True)
+class SemDecl(Declaration):
+    mnemonics: tuple[str, ...]
+    expr: Expr
+    is_list: bool
+
+
+@dataclass(frozen=True)
+class Description:
+    """A parsed SADL description file."""
+
+    declarations: tuple[Declaration, ...]
+    filename: str = "<sadl>"

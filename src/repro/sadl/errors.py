@@ -1,0 +1,40 @@
+"""Diagnostics for the SADL toolchain.
+
+Every error carries a source location so description authors get
+compiler-style messages — the paper stresses that descriptions must be
+easy to validate against architecture manuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a SADL description file."""
+
+    line: int
+    column: int
+    filename: str = "<sadl>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class SadlError(Exception):
+    """Base class for all SADL diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        self.message = message
+        prefix = f"{location}: " if location else ""
+        super().__init__(f"{prefix}{message}")
+
+
+class SadlSyntaxError(SadlError):
+    """Lexical or grammatical error in a description."""
+
+
+class SadlEvalError(SadlError):
+    """Semantic error while evaluating a description expression."""

@@ -1,0 +1,444 @@
+"""The SADL evaluator: from description to per-instruction timing traces.
+
+Evaluating a ``sem`` expression *is* the timing model: ``D`` advances the
+relative cycle counter, ``A``/``R``/``AR`` emit resource events, register
+file and alias accesses emit read/write records, and data operators
+produce symbolic values stamped with the cycle at whose end they were
+computed. The paper's write-back rule — record when the value was
+computed, not when the register assignment happens, because hardware
+forwards — falls out of stamping writes with ``value.ready + 1``.
+
+``val`` declarations are macros: each use re-evaluates the body, so
+issue-slot acquisitions like Figure 2's ``multi`` happen once per
+instruction, and field-dependent vals like ``src2`` resolve against the
+instruction variant being traced (``iflag`` selects the immediate form).
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AliasDecl,
+    Apply,
+    Assign,
+    CommandA,
+    CommandAR,
+    CommandD,
+    CommandR,
+    Compare,
+    Description,
+    Distribute,
+    Expr,
+    FieldRef,
+    Index,
+    IntLit,
+    Lambda,
+    ListExpr,
+    Name,
+    RegisterDecl,
+    SemDecl,
+    Seq,
+    Ternary,
+    UnitDecl,
+    UnitLit,
+    ValDecl,
+)
+from .errors import SadlEvalError
+from .trace import RegAccess, Trace, UnitEvent
+from .values import (
+    UNIT,
+    Environment,
+    Value,
+    VAlias,
+    VBuiltin,
+    VClosure,
+    VFieldIndex,
+    VFile,
+    VInt,
+    VList,
+    VLValue,
+    VMarker,
+    VSym,
+    VThunk,
+    VUnitRef,
+    VUnitValue,
+)
+
+#: Operand fields that hold register numbers; they stay symbolic in
+#: traces and are resolved against a concrete instruction at
+#: scheduling time.
+REGISTER_FIELDS = ("rs1", "rs2", "rd")
+
+#: Data operators available to descriptions; all emit a symbolic value
+#: computed in the current cycle. The names only serve readability —
+#: timing is carried by the surrounding A/R/AR/D commands.
+_DATA_OPS = {
+    1: [
+        "hi22", "lo10", "neg32", "not32", "sign_extend",
+        "fneg", "fabs", "fmov", "fsqrt",
+        "fitos", "fitod", "fstod", "fdtos", "fstoi", "fdtoi",
+    ],
+    2: [
+        "add32", "sub32", "and32", "or32", "xor32", "andn32", "orn32",
+        "xnor32", "sll32", "srl32", "sra32", "mul32", "umul32", "div32",
+        "udiv32", "addx32", "subx32", "ea", "fadd", "fsub", "fmul",
+        "fdiv", "fcmp", "branch_on",
+        "load32", "load64", "load8", "load16",
+        "store32", "store64", "store8", "store16",
+    ],
+}
+
+_MARKERS = ("isShift", "isLoad", "isStore", "isBranch", "isCall")
+
+
+class DescriptionEvaluator:
+    """Evaluates a parsed :class:`Description` and extracts timing traces."""
+
+    def __init__(self, description: Description) -> None:
+        self.description = description
+        self.units: dict[str, int] = {}
+        self.files: dict[str, VFile] = {}
+        self._env = Environment()
+        self._sems: dict[str, VThunk] = {}
+
+        # Active-trace state.
+        self._trace: Trace | None = None
+        self._cycle = 0
+        self._fields: dict[str, Value] = {}
+        self._width_bits: list[int] = []
+
+        self._install_builtins()
+        self._load(description)
+
+    # -- public API -----------------------------------------------------------
+
+    def mnemonics(self) -> tuple[str, ...]:
+        """All mnemonics the description gives semantics for."""
+        return tuple(sorted(self._sems))
+
+    def has_sem(self, mnemonic: str) -> bool:
+        return mnemonic in self._sems
+
+    def trace_for(self, mnemonic: str, fields: dict[str, int] | None = None) -> Trace:
+        """Evaluate ``mnemonic``'s semantics and return its timing trace.
+
+        ``fields`` supplies concrete values for decode-dependent flags,
+        most importantly ``iflag`` (1 when the instruction uses an
+        immediate second operand). Register-number fields stay symbolic.
+        """
+        thunk = self._sems.get(mnemonic)
+        if thunk is None:
+            raise SadlEvalError(f"no semantics for instruction {mnemonic!r}")
+
+        self._trace = Trace()
+        self._cycle = 0
+        self._width_bits = []
+        self._fields = {name: VFieldIndex(name) for name in REGISTER_FIELDS}
+        self._fields["iflag"] = VInt(0)
+        self._fields["aflag"] = VInt(0)
+        for name, value in (fields or {}).items():
+            self._fields[name] = VInt(value)
+
+        try:
+            self._eval_thunk(thunk)
+        finally:
+            trace = self._trace
+            self._trace = None
+        trace.cycles = self._cycle + 1
+        return trace
+
+    # -- loading ---------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        def make_dataop(name: str, arity: int) -> VBuiltin:
+            def run(evaluator: "DescriptionEvaluator", *args: Value) -> Value:
+                return VSym(ready=evaluator._cycle)
+
+            return VBuiltin(name, arity, run)
+
+        for arity, names in _DATA_OPS.items():
+            for name in names:
+                self._env.bind(name, make_dataop(name, arity))
+        for name in _MARKERS:
+            self._env.bind(name, VMarker(name))
+
+    def _load(self, description: Description) -> None:
+        for decl in description.declarations:
+            if isinstance(decl, UnitDecl):
+                if decl.name in self.units:
+                    raise SadlEvalError(f"duplicate unit {decl.name!r}", decl.location)
+                self.units[decl.name] = decl.count
+                self._env.bind(decl.name, VUnitRef(decl.name))
+            elif isinstance(decl, RegisterDecl):
+                vfile = VFile(decl.name, decl.size, decl.typ.bits)
+                self.files[decl.name] = vfile
+                self._env.bind(decl.name, vfile)
+            elif isinstance(decl, AliasDecl):
+                self._env.bind(decl.name, VAlias(decl, self._env))
+            elif isinstance(decl, ValDecl):
+                self._bind_names(decl.names, decl.expr, decl.is_list, self._env.bind)
+            elif isinstance(decl, SemDecl):
+                self._bind_names(
+                    decl.mnemonics, decl.expr, decl.is_list, self._bind_sem
+                )
+            else:  # pragma: no cover
+                raise SadlEvalError(f"unknown declaration {decl!r}", decl.location)
+
+    def _bind_sem(self, name: str, thunk: Value) -> None:
+        self._sems[name] = thunk
+
+    def _bind_names(self, names, expr: Expr, is_list: bool, bind) -> None:
+        if not is_list:
+            bind(names[0], VThunk(expr, self._env))
+            return
+        if isinstance(expr, Distribute) and len(expr.items) != len(names):
+            raise SadlEvalError(
+                f"{len(names)} names but {len(expr.items)} distributed values",
+                expr.location,
+            )
+        for j, name in enumerate(names):
+            bind(name, VThunk(expr, self._env, select=j))
+
+    # -- thunks -----------------------------------------------------------------
+
+    def _eval_thunk(self, thunk: VThunk) -> Value:
+        if thunk.select is not None and isinstance(thunk.expr, Distribute):
+            call = Apply(
+                thunk.expr.location, thunk.expr.fn, thunk.expr.items[thunk.select]
+            )
+            return self._eval(call, thunk.env)
+        value = self._eval(thunk.expr, thunk.env)
+        if thunk.select is not None and isinstance(value, VList):
+            return value.items[thunk.select]
+        # A list-form declaration without a distributed result shares one
+        # expression across all names (e.g. ``sem [ one two ] is …``).
+        return value
+
+    # -- expression evaluation -----------------------------------------------------
+
+    def _eval(self, expr: Expr, env: Environment) -> Value:
+        method = getattr(self, f"_eval_{type(expr).__name__}")
+        return method(expr, env)
+
+    def _eval_Name(self, expr: Name, env: Environment) -> Value:
+        value = env.lookup(expr.ident)
+        if value is None:
+            value = self._fields.get(expr.ident)
+        if value is None:
+            raise SadlEvalError(f"unbound name {expr.ident!r}", expr.location)
+        if isinstance(value, VThunk):
+            return self._eval_thunk(value)
+        return value
+
+    def _eval_IntLit(self, expr: IntLit, env: Environment) -> Value:
+        return VInt(expr.value)
+
+    def _eval_UnitLit(self, expr: UnitLit, env: Environment) -> Value:
+        return UNIT
+
+    def _eval_FieldRef(self, expr: FieldRef, env: Environment) -> Value:
+        # An immediate operand: present in the instruction word, so its
+        # value exists from the moment the instruction issues.
+        return VSym(ready=self._cycle)
+
+    def _eval_ListExpr(self, expr: ListExpr, env: Environment) -> Value:
+        return VList(tuple(self._eval(item, env) for item in expr.items))
+
+    def _eval_Lambda(self, expr: Lambda, env: Environment) -> Value:
+        return VClosure(expr.param, expr.body, env)
+
+    def _eval_Apply(self, expr: Apply, env: Environment) -> Value:
+        fn = self._eval(expr.fn, env)
+        arg = self._eval(expr.arg, env)
+        return self._apply(fn, arg, expr)
+
+    def _apply(self, fn: Value, arg: Value, expr: Expr) -> Value:
+        if isinstance(fn, VClosure):
+            child = fn.env.child()
+            child.bind(fn.param, arg)
+            return self._eval(fn.body, child)
+        if isinstance(fn, VBuiltin):
+            args = fn.args + (arg,)
+            if len(args) == fn.arity:
+                return fn.fn(self, *args)
+            return VBuiltin(fn.name, fn.arity, fn.fn, args)
+        raise SadlEvalError(f"cannot apply {fn!r}", expr.location)
+
+    def _eval_Distribute(self, expr: Distribute, env: Environment) -> Value:
+        fn = self._eval(expr.fn, env)
+        results = []
+        for item in expr.items:
+            results.append(self._apply(fn, self._eval(item, env), expr))
+        return VList(tuple(results))
+
+    def _eval_Seq(self, expr: Seq, env: Environment) -> Value:
+        child = env.child()
+        value: Value = UNIT
+        for item in expr.items:
+            value = self._eval(item, child)
+            if isinstance(value, VMarker):
+                self._require_trace(expr).flags.add(value.name)
+                value = UNIT
+        return value
+
+    def _eval_Assign(self, expr: Assign, env: Environment) -> Value:
+        rhs = self._eval(expr.rhs, env)
+        if isinstance(expr.lhs, Name):
+            env.bind(expr.lhs.ident, rhs)
+            return rhs
+        lvalue = self._eval_lvalue(expr.lhs, env)
+        ready = rhs.ready if isinstance(rhs, VSym) else self._cycle
+        self._require_trace(expr).writes.append(
+            RegAccess(
+                file=lvalue.file.name,
+                index=lvalue.index,
+                cycle=ready + 1,
+                width=lvalue.width,
+            )
+        )
+        return rhs
+
+    def _eval_Ternary(self, expr: Ternary, env: Environment) -> Value:
+        cond = self._eval(expr.cond, env)
+        if not isinstance(cond, VInt):
+            raise SadlEvalError(
+                f"condition must be an integer, got {cond!r}", expr.location
+            )
+        branch = expr.then if cond.value else expr.otherwise
+        return self._eval(branch, env)
+
+    def _eval_Compare(self, expr: Compare, env: Environment) -> Value:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if isinstance(left, VInt) and isinstance(right, VInt):
+            return VInt(int(left.value == right.value))
+        raise SadlEvalError(
+            "comparison requires concrete integers (decode-time fields)",
+            expr.location,
+        )
+
+    # -- register accesses -----------------------------------------------------------
+
+    def _eval_Index(self, expr: Index, env: Environment) -> Value:
+        base = self._eval(expr.base, env)
+        if isinstance(base, VList):
+            index = self._eval(expr.index, env)
+            if not isinstance(index, VInt):
+                raise SadlEvalError("list index must be an integer", expr.location)
+            return base.items[index.value]
+        if isinstance(base, VFile):
+            index = self._index_value(self._eval(expr.index, env), expr)
+            width = self._current_width(base)
+            self._require_trace(expr).reads.append(
+                RegAccess(file=base.name, index=index, cycle=self._cycle, width=width)
+            )
+            return VSym(ready=self._cycle)
+        if isinstance(base, VAlias):
+            return self._eval_alias(base, expr, env, lvalue=False)
+        raise SadlEvalError(f"cannot index {base!r}", expr.location)
+
+    def _eval_alias(
+        self, alias: VAlias, expr: Index, env: Environment, *, lvalue: bool
+    ) -> Value:
+        index = self._eval(expr.index, env)
+        child = alias.env.child()
+        child.bind(alias.decl.param, index)
+        self._width_bits.append(alias.decl.typ.bits)
+        try:
+            if lvalue:
+                return self._lvalue_of_body(alias.decl.body, child)
+            return self._eval(alias.decl.body, child)
+        finally:
+            self._width_bits.pop()
+
+    def _lvalue_of_body(self, body: Expr, env: Environment) -> VLValue:
+        """Evaluate an alias body for writing: run every step normally
+        except the final register access, which becomes the destination."""
+        if isinstance(body, Seq):
+            child = env.child()
+            for item in body.items[:-1]:
+                value = self._eval(item, child)
+                if isinstance(value, VMarker):
+                    self._require_trace(body).flags.add(value.name)
+            return self._eval_lvalue(body.items[-1], child)
+        return self._eval_lvalue(body, env)
+
+    def _eval_lvalue(self, expr: Expr, env: Environment) -> VLValue:
+        if isinstance(expr, Index):
+            base = self._eval(expr.base, env)
+            if isinstance(base, VFile):
+                index = self._index_value(self._eval(expr.index, env), expr)
+                return VLValue(base, index, self._current_width(base))
+            if isinstance(base, VAlias):
+                result = self._eval_alias(base, expr, env, lvalue=True)
+                if isinstance(result, VLValue):
+                    return result
+        raise SadlEvalError("invalid assignment target", expr.location)
+
+    def _index_value(self, value: Value, expr: Expr) -> int | str:
+        if isinstance(value, VInt):
+            return value.value
+        if isinstance(value, VFieldIndex):
+            return value.name
+        raise SadlEvalError(f"invalid register index {value!r}", expr.location)
+
+    def _current_width(self, vfile: VFile) -> int:
+        if not self._width_bits:
+            return 1
+        return max(1, self._width_bits[-1] // vfile.bits)
+
+    # -- commands -----------------------------------------------------------------------
+
+    def _unit_name(self, expr: Expr, env: Environment) -> str:
+        value = self._eval(expr, env)
+        if isinstance(value, VUnitRef):
+            return value.name
+        raise SadlEvalError(f"expected a unit, got {value!r}", expr.location)
+
+    def _count(self, expr: Expr | None, env: Environment, default: int = 1) -> int:
+        if expr is None:
+            return default
+        value = self._eval(expr, env)
+        if isinstance(value, VInt):
+            return value.value
+        raise SadlEvalError(f"expected an integer, got {value!r}", expr.location)
+
+    def _eval_CommandA(self, expr: CommandA, env: Environment) -> Value:
+        unit = self._unit_name(expr.unit, env)
+        self._check_unit(unit, expr)
+        count = self._count(expr.num, env)
+        self._require_trace(expr).acquires.append(UnitEvent(unit, count, self._cycle))
+        return UNIT
+
+    def _eval_CommandR(self, expr: CommandR, env: Environment) -> Value:
+        unit = self._unit_name(expr.unit, env)
+        self._check_unit(unit, expr)
+        count = self._count(expr.num, env)
+        self._require_trace(expr).releases.append(UnitEvent(unit, count, self._cycle))
+        return UNIT
+
+    def _eval_CommandAR(self, expr: CommandAR, env: Environment) -> Value:
+        unit = self._unit_name(expr.unit, env)
+        self._check_unit(unit, expr)
+        count = self._count(expr.num, env)
+        delay = self._count(expr.delay, env)
+        trace = self._require_trace(expr)
+        trace.acquires.append(UnitEvent(unit, count, self._cycle))
+        trace.releases.append(UnitEvent(unit, count, self._cycle + delay))
+        return UNIT
+
+    def _eval_CommandD(self, expr: CommandD, env: Environment) -> Value:
+        self._cycle += self._count(expr.delay, env)
+        return UNIT
+
+    def _check_unit(self, unit: str, expr: Expr) -> None:
+        if unit not in self.units:
+            raise SadlEvalError(f"undeclared unit {unit!r}", expr.location)
+
+    def _require_trace(self, expr: Expr) -> Trace:
+        if self._trace is None:
+            raise SadlEvalError(
+                "timing command evaluated outside an instruction trace "
+                "(vals with side effects must be used from sem bodies)",
+                expr.location,
+            )
+        return self._trace

@@ -1,0 +1,171 @@
+"""Tokenizer for the Spawn Architecture Description Language.
+
+SADL identifiers come in two flavours: alphanumeric names (``ALU``,
+``multi``, ``add32``) and *operator names* — runs of symbol characters
+like ``+`` or ``>>`` that descriptions bind with ``val`` and pass to
+lambdas (see Figure 2 of the paper). Both lex to :data:`IDENT` tokens;
+the reserved punctuation (``:=``, ``?``, ``:``, ``=``, ``\\``, ``.``,
+``@``, ``#``, brackets, comma) is excluded from operator names.
+
+Comments are ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SadlSyntaxError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    INT = "integer"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    ASSIGN = ":="
+    QUESTION = "?"
+    COLON = ":"
+    EQUALS = "="
+    LAMBDA = "\\"
+    DOT = "."
+    AT = "@"
+    HASH = "#"
+    EOF = "end of input"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text, 0)
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"
+
+
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    "?": TokenKind.QUESTION,
+    "=": TokenKind.EQUALS,
+    "\\": TokenKind.LAMBDA,
+    ".": TokenKind.DOT,
+    "@": TokenKind.AT,
+    "#": TokenKind.HASH,
+}
+
+#: Characters that may form operator identifiers.
+_OPERATOR_CHARS = set("+-*/&|^<>~!%")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str, filename: str = "<sadl>") -> list[Token]:
+    """Tokenize ``source``, returning a token list ending with EOF."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, col, filename)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        start = loc()
+
+        if ch == ":":
+            if i + 1 < n and source[i + 1] == "=":
+                tokens.append(Token(TokenKind.ASSIGN, ":=", start))
+                i += 2
+                col += 2
+            else:
+                tokens.append(Token(TokenKind.COLON, ":", start))
+                i += 1
+                col += 1
+            continue
+
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, start))
+            i += 1
+            col += 1
+            continue
+
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.INT, text, start))
+            col += j - i
+            i = j
+            continue
+
+        if _is_name_start(ch):
+            j = i
+            while j < n and _is_name_char(source[j]):
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.IDENT, text, start))
+            col += j - i
+            i = j
+            continue
+
+        if ch in _OPERATOR_CHARS:
+            j = i
+            while j < n and source[j] in _OPERATOR_CHARS:
+                # Stop before a comment opener inside an operator run.
+                if source.startswith("//", j):
+                    break
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.IDENT, text, start))
+            col += j - i
+            i = j
+            continue
+
+        raise SadlSyntaxError(f"unexpected character {ch!r}", start)
+
+    tokens.append(Token(TokenKind.EOF, "", loc()))
+    return tokens

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for SADL.
+
+The grammar (commas separate sequence steps, juxtaposition is function
+application, ``@`` distributes a function over a list):
+
+.. code-block:: text
+
+   description := declaration*
+   declaration := 'unit' IDENT INT (',' IDENT INT)*
+                | 'register' type IDENT '[' INT ']'
+                | 'alias' type IDENT '[' IDENT ']' 'is' expr
+                | ('val' | 'sem') names 'is' expr
+   type        := IDENT '{' INT '}'
+   names       := IDENT | '[' IDENT+ ']'
+   expr        := '\\' IDENT '.' expr | seq
+   seq         := assign (',' assign)*
+   assign      := ternary [':=' (lambda | ternary)]
+   ternary     := compare ['?' ternary ':' ternary]
+   compare     := app ['=' app]
+   app         := postfix (postfix | '@' list)*
+   postfix     := primary ('[' expr ']')*
+   primary     := INT | '(' ')' | '(' expr ')' | '#' IDENT
+                | command | IDENT
+   command     := 'A' coperand [INT] | 'R' coperand [INT]
+                | 'AR' coperand [INT [INT]] | 'D' [INT]
+
+``A``/``R``/``AR``/``D`` are contextual keywords: ``A`` followed by an
+identifier is an acquire command, while ``R[...]`` (followed by ``[``)
+is an ordinary register-file access — this is exactly how the paper's
+Figure 2 uses ``R`` for both the integer file and the release command.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AliasDecl,
+    Apply,
+    Assign,
+    CommandA,
+    CommandAR,
+    CommandD,
+    CommandR,
+    Compare,
+    Declaration,
+    Description,
+    Distribute,
+    Expr,
+    FieldRef,
+    Index,
+    IntLit,
+    Lambda,
+    ListExpr,
+    Name,
+    RegisterDecl,
+    SemDecl,
+    Seq,
+    Ternary,
+    TypeSpec,
+    UnitDecl,
+    UnitLit,
+    ValDecl,
+)
+from .errors import SadlSyntaxError
+from .lexer import Token, TokenKind, tokenize
+
+_DECL_KEYWORDS = {"unit", "register", "alias", "val", "sem"}
+_RESERVED = _DECL_KEYWORDS | {"is"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind is kind and (text is None or token.text == text)
+
+    def _accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            want = text or kind.value
+            raise SadlSyntaxError(
+                f"expected {want!r}, found {token.text or token.kind.value!r}",
+                token.location,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenKind.IDENT, word)
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_description(self, filename: str = "<sadl>") -> Description:
+        declarations: list[Declaration] = []
+        while not self._check(TokenKind.EOF):
+            declarations.extend(self._parse_declaration())
+        return Description(tuple(declarations), filename)
+
+    def _parse_declaration(self) -> list[Declaration]:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT or token.text not in _DECL_KEYWORDS:
+            raise SadlSyntaxError(
+                f"expected a declaration keyword, found {token.text!r}",
+                token.location,
+            )
+        if token.text == "unit":
+            return self._parse_unit()
+        if token.text == "register":
+            return [self._parse_register()]
+        if token.text == "alias":
+            return [self._parse_alias()]
+        return [self._parse_val_or_sem(token.text)]
+
+    def _parse_unit(self) -> list[Declaration]:
+        keyword = self._expect_keyword("unit")
+        decls: list[Declaration] = []
+        while True:
+            name = self._expect(TokenKind.IDENT)
+            count = self._expect(TokenKind.INT)
+            decls.append(UnitDecl(keyword.location, name.text, count.int_value))
+            if not self._accept(TokenKind.COMMA):
+                break
+        return decls
+
+    def _parse_type(self) -> TypeSpec:
+        base = self._expect(TokenKind.IDENT)
+        if base.text not in ("untyped", "signed", "unsigned", "float"):
+            raise SadlSyntaxError(f"unknown type {base.text!r}", base.location)
+        self._expect(TokenKind.LBRACE)
+        bits = self._expect(TokenKind.INT)
+        self._expect(TokenKind.RBRACE)
+        return TypeSpec(base.text, bits.int_value)
+
+    def _parse_register(self) -> Declaration:
+        keyword = self._expect_keyword("register")
+        typ = self._parse_type()
+        name = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LBRACKET)
+        size = self._expect(TokenKind.INT)
+        self._expect(TokenKind.RBRACKET)
+        return RegisterDecl(keyword.location, typ, name.text, size.int_value)
+
+    def _parse_alias(self) -> Declaration:
+        keyword = self._expect_keyword("alias")
+        typ = self._parse_type()
+        name = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LBRACKET)
+        param = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.RBRACKET)
+        self._expect_keyword("is")
+        body = self.parse_expr()
+        return AliasDecl(keyword.location, typ, name.text, param.text, body)
+
+    def _parse_val_or_sem(self, which: str) -> Declaration:
+        keyword = self._expect_keyword(which)
+        names, is_list = self._parse_names()
+        self._expect_keyword("is")
+        expr = self.parse_expr()
+        if which == "val":
+            return ValDecl(keyword.location, names, expr, is_list)
+        return SemDecl(keyword.location, names, expr, is_list)
+
+    def _parse_names(self) -> tuple[tuple[str, ...], bool]:
+        if self._accept(TokenKind.LBRACKET):
+            names = []
+            while not self._check(TokenKind.RBRACKET):
+                names.append(self._expect(TokenKind.IDENT).text)
+            self._expect(TokenKind.RBRACKET)
+            if not names:
+                raise SadlSyntaxError("empty name list", self._peek().location)
+            return tuple(names), True
+        return (self._expect(TokenKind.IDENT).text,), False
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        if self._check(TokenKind.LAMBDA):
+            return self._parse_lambda()
+        return self._parse_seq()
+
+    def _parse_lambda(self) -> Expr:
+        backslash = self._expect(TokenKind.LAMBDA)
+        param = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.DOT)
+        body = self.parse_expr()
+        return Lambda(backslash.location, param.text, body)
+
+    def _parse_seq(self) -> Expr:
+        first = self._parse_assign()
+        if not self._check(TokenKind.COMMA):
+            return first
+        items = [first]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_assign())
+        return Seq(first.location, tuple(items))
+
+    def _parse_assign(self) -> Expr:
+        lhs = self._parse_ternary()
+        if self._accept(TokenKind.ASSIGN):
+            if self._check(TokenKind.LAMBDA):
+                rhs = self._parse_lambda()
+            else:
+                rhs = self._parse_ternary()
+            return Assign(lhs.location, lhs, rhs)
+        return lhs
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_compare()
+        if self._accept(TokenKind.QUESTION):
+            then = self._parse_ternary()
+            self._expect(TokenKind.COLON)
+            otherwise = self._parse_ternary()
+            return Ternary(cond.location, cond, then, otherwise)
+        return cond
+
+    def _parse_compare(self) -> Expr:
+        left = self._parse_app()
+        if self._accept(TokenKind.EQUALS):
+            right = self._parse_app()
+            return Compare(left.location, left, right)
+        return left
+
+    def _starts_primary(self) -> bool:
+        token = self._peek()
+        if token.kind in (TokenKind.INT, TokenKind.LPAREN, TokenKind.HASH):
+            return True
+        return token.kind is TokenKind.IDENT and token.text not in _RESERVED
+
+    def _parse_app(self) -> Expr:
+        expr = self._parse_postfix()
+        while True:
+            if self._check(TokenKind.AT):
+                at = self._advance()
+                items = self._parse_list()
+                expr = Distribute(at.location, expr, items)
+            elif self._starts_primary():
+                arg = self._parse_postfix()
+                expr = Apply(expr.location, expr, arg)
+            else:
+                return expr
+
+    def _parse_list(self) -> tuple[Expr, ...]:
+        self._expect(TokenKind.LBRACKET)
+        items: list[Expr] = []
+        while not self._check(TokenKind.RBRACKET):
+            items.append(self._parse_postfix())
+        self._expect(TokenKind.RBRACKET)
+        return tuple(items)
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._check(TokenKind.LBRACKET):
+            bracket = self._advance()
+            index = self.parse_expr()
+            self._expect(TokenKind.RBRACKET)
+            expr = Index(bracket.location, expr, index)
+        return expr
+
+    # -- primaries and commands -----------------------------------------------
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntLit(token.location, token.int_value)
+
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._accept(TokenKind.RPAREN):
+                return UnitLit(token.location)
+            inner = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+
+        if token.kind is TokenKind.HASH:
+            self._advance()
+            name = self._expect(TokenKind.IDENT)
+            return FieldRef(token.location, name.text)
+
+        if token.kind is TokenKind.IDENT:
+            if token.text in _RESERVED:
+                raise SadlSyntaxError(
+                    f"unexpected keyword {token.text!r} in expression",
+                    token.location,
+                )
+            command = self._try_parse_command()
+            if command is not None:
+                return command
+            self._advance()
+            return Name(token.location, token.text)
+
+        raise SadlSyntaxError(
+            f"unexpected {token.text or token.kind.value!r} in expression",
+            token.location,
+        )
+
+    def _try_parse_command(self) -> Expr | None:
+        token = self._peek()
+        text = token.text
+        if text in ("A", "R", "AR"):
+            # A command only when followed by a unit name; 'R[' is the
+            # integer register file.
+            nxt = self._peek(1)
+            if nxt.kind is not TokenKind.IDENT or nxt.text in _RESERVED:
+                return None
+            self._advance()
+            unit = Name(self._peek().location, self._expect(TokenKind.IDENT).text)
+            num = self._maybe_int()
+            if text == "AR":
+                delay = self._maybe_int() if num is not None else None
+                return CommandAR(token.location, unit, num, delay)
+            if text == "A":
+                return CommandA(token.location, unit, num)
+            return CommandR(token.location, unit, num)
+        if text == "D":
+            nxt = self._peek(1)
+            if nxt.kind is TokenKind.INT:
+                self._advance()
+                delay = self._advance()
+                return CommandD(token.location, IntLit(delay.location, delay.int_value))
+            if nxt.kind in (
+                TokenKind.COMMA,
+                TokenKind.RPAREN,
+                TokenKind.RBRACKET,
+                TokenKind.EOF,
+                TokenKind.QUESTION,
+                TokenKind.COLON,
+            ) or (nxt.kind is TokenKind.IDENT and nxt.text in _DECL_KEYWORDS):
+                self._advance()
+                return CommandD(token.location, None)
+        return None
+
+    def _maybe_int(self) -> Expr | None:
+        if self._check(TokenKind.INT):
+            token = self._advance()
+            return IntLit(token.location, token.int_value)
+        return None
+
+
+def parse(source: str, filename: str = "<sadl>") -> Description:
+    """Parse SADL source text into a :class:`Description`."""
+    return Parser(tokenize(source, filename)).parse_description(filename)
+
+
+def parse_expression(source: str, filename: str = "<expr>") -> Expr:
+    """Parse a single SADL expression (used by tests and the REPL-style
+    exploration in the examples)."""
+    parser = Parser(tokenize(source, filename))
+    expr = parser.parse_expr()
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise SadlSyntaxError(f"trailing input {token.text!r}", token.location)
+    return expr

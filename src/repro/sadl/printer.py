@@ -1,0 +1,146 @@
+"""SADL pretty-printer: AST back to parseable source.
+
+Used by tooling that manipulates descriptions programmatically (the
+synthetic-machine generator works textually; a future one could work on
+ASTs) and by the round-trip property test pinning the parser: printing a
+parse and re-parsing it must reach a fixed point.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AliasDecl,
+    Apply,
+    Assign,
+    CommandA,
+    CommandAR,
+    CommandD,
+    CommandR,
+    Compare,
+    Declaration,
+    Description,
+    Distribute,
+    Expr,
+    FieldRef,
+    Index,
+    IntLit,
+    Lambda,
+    ListExpr,
+    Name,
+    RegisterDecl,
+    SemDecl,
+    Seq,
+    Ternary,
+    TypeSpec,
+    UnitDecl,
+    UnitLit,
+    ValDecl,
+)
+
+# Precedence levels, loosest to tightest; used to decide parenthesization.
+_SEQ, _ASSIGN, _TERNARY, _COMPARE, _APPLY, _ATOM = range(6)
+
+
+def print_description(description: Description) -> str:
+    lines = [_print_declaration(d) for d in description.declarations]
+    return "\n".join(lines) + "\n"
+
+
+def _print_declaration(decl: Declaration) -> str:
+    if isinstance(decl, UnitDecl):
+        return f"unit {decl.name} {decl.count}"
+    if isinstance(decl, RegisterDecl):
+        return f"register {_type(decl.typ)} {decl.name}[{decl.size}]"
+    if isinstance(decl, AliasDecl):
+        return (
+            f"alias {_type(decl.typ)} {decl.name}[{decl.param}] "
+            f"is {print_expr(decl.body)}"
+        )
+    if isinstance(decl, ValDecl):
+        return f"val {_names(decl.names, decl.is_list)} is {print_expr(decl.expr)}"
+    if isinstance(decl, SemDecl):
+        return (
+            f"sem {_names(decl.mnemonics, decl.is_list)} is {print_expr(decl.expr)}"
+        )
+    raise TypeError(f"unknown declaration {decl!r}")
+
+
+def _type(typ: TypeSpec) -> str:
+    return f"{typ.base}{{{typ.bits}}}"
+
+
+def _names(names, is_list: bool) -> str:
+    if is_list:
+        return "[ " + " ".join(names) + " ]"
+    return names[0]
+
+
+def print_expr(expr: Expr) -> str:
+    return _expr(expr, _SEQ)
+
+
+def _expr(expr: Expr, level: int) -> str:
+    text, this_level = _render(expr)
+    if this_level < level:
+        return f"({text})"
+    return text
+
+
+def _render(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, Name):
+        return expr.ident, _ATOM
+    if isinstance(expr, IntLit):
+        return str(expr.value), _ATOM
+    if isinstance(expr, UnitLit):
+        return "()", _ATOM
+    if isinstance(expr, FieldRef):
+        return f"#{expr.name}", _ATOM
+    if isinstance(expr, ListExpr):
+        return "[ " + " ".join(_expr(i, _ATOM) for i in expr.items) + " ]", _ATOM
+    if isinstance(expr, Lambda):
+        return f"\\{expr.param}. {_expr(expr.body, _SEQ)}", _SEQ
+    if isinstance(expr, Seq):
+        return ", ".join(_expr(i, _ASSIGN) for i in expr.items), _SEQ
+    if isinstance(expr, Assign):
+        return (
+            f"{_expr(expr.lhs, _TERNARY)} := {_expr(expr.rhs, _TERNARY)}",
+            _ASSIGN,
+        )
+    if isinstance(expr, Ternary):
+        return (
+            f"{_expr(expr.cond, _COMPARE)} ? {_expr(expr.then, _TERNARY)} "
+            f": {_expr(expr.otherwise, _TERNARY)}",
+            _TERNARY,
+        )
+    if isinstance(expr, Compare):
+        return (
+            f"{_expr(expr.left, _APPLY)} = {_expr(expr.right, _APPLY)}",
+            _COMPARE,
+        )
+    if isinstance(expr, Apply):
+        return f"{_expr(expr.fn, _APPLY)} {_expr(expr.arg, _ATOM)}", _APPLY
+    if isinstance(expr, Distribute):
+        items = " ".join(_expr(i, _ATOM) for i in expr.items)
+        return f"{_expr(expr.fn, _APPLY)} @ [ {items} ]", _APPLY
+    if isinstance(expr, Index):
+        return f"{_expr(expr.base, _ATOM)}[{_expr(expr.index, _SEQ)}]", _ATOM
+    if isinstance(expr, CommandA):
+        return _command("A", expr.unit, expr.num, None), _APPLY
+    if isinstance(expr, CommandR):
+        return _command("R", expr.unit, expr.num, None), _APPLY
+    if isinstance(expr, CommandAR):
+        return _command("AR", expr.unit, expr.num, expr.delay), _APPLY
+    if isinstance(expr, CommandD):
+        if expr.delay is None:
+            return "D", _APPLY
+        return f"D {_expr(expr.delay, _ATOM)}", _APPLY
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _command(keyword: str, unit: Expr, num: Expr | None, delay: Expr | None) -> str:
+    parts = [keyword, _expr(unit, _ATOM)]
+    if num is not None:
+        parts.append(_expr(num, _ATOM))
+        if delay is not None:
+            parts.append(_expr(delay, _ATOM))
+    return " ".join(parts)

@@ -1,0 +1,80 @@
+"""Timing traces — what evaluating a SADL semantic expression produces.
+
+A :class:`Trace` is the paper's "complete map of an instruction's
+actions as it moves through a processor's execution pipeline": per-cycle
+resource acquire/release events plus the cycles at which architectural
+registers are read and written. Register indices may be symbolic operand
+field names (``"rs1"``) resolved against a concrete instruction at
+scheduling time, or literal integers for implicit resources like the
+condition codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UnitEvent:
+    """Acquire or release ``count`` copies of ``unit`` at relative ``cycle``."""
+
+    unit: str
+    count: int
+    cycle: int
+
+
+@dataclass(frozen=True)
+class RegAccess:
+    """A register-file access.
+
+    For reads, ``cycle`` is the pipeline cycle in which the read occurs.
+    For writes, ``cycle`` is the first cycle in which the value is usable
+    by another instruction (the paper records the computation cycle; the
+    value is available from the following cycle).
+    """
+
+    file: str
+    index: int | str
+    cycle: int
+    width: int = 1
+
+
+@dataclass
+class Trace:
+    """The complete pipeline behaviour of one instruction variant."""
+
+    acquires: list[UnitEvent] = field(default_factory=list)
+    releases: list[UnitEvent] = field(default_factory=list)
+    reads: list[RegAccess] = field(default_factory=list)
+    writes: list[RegAccess] = field(default_factory=list)
+    flags: set[str] = field(default_factory=set)
+    #: total cycles to pass through the pipeline (final cycle counter + 1).
+    cycles: int = 1
+
+    def signature(self) -> tuple:
+        """A hashable identity used for timing-group formation: two
+        instructions with equal signatures behave identically in the
+        pipeline."""
+        return (
+            self.cycles,
+            tuple(sorted((e.unit, e.count, e.cycle) for e in self.acquires)),
+            tuple(sorted((e.unit, e.count, e.cycle) for e in self.releases)),
+            tuple(sorted((a.file, str(a.index), a.cycle, a.width) for a in self.reads)),
+            tuple(sorted((a.file, str(a.index), a.cycle, a.width) for a in self.writes)),
+            tuple(sorted(self.flags)),
+        )
+
+    def acquires_at(self, cycle: int) -> list[UnitEvent]:
+        return [e for e in self.acquires if e.cycle == cycle]
+
+    def releases_at(self, cycle: int) -> list[UnitEvent]:
+        return [e for e in self.releases if e.cycle == cycle]
+
+    @property
+    def max_event_cycle(self) -> int:
+        cycles = [self.cycles - 1]
+        cycles.extend(e.cycle for e in self.acquires)
+        cycles.extend(e.cycle for e in self.releases)
+        cycles.extend(a.cycle for a in self.reads)
+        cycles.extend(a.cycle for a in self.writes)
+        return max(cycles)

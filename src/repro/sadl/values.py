@@ -1,0 +1,176 @@
+"""Runtime values for the SADL evaluator.
+
+SADL is a tiny call-by-value lambda language whose evaluation has
+*timing side effects*: executing a semantic expression does not compute
+data (the data semantics live in :mod:`repro.isa.semantics`) — it emits
+a :class:`Trace` of pipeline events. Data values are therefore symbolic
+(:class:`VSym`), carrying only the relative cycle at whose end they were
+computed, which is exactly what the paper says Spawn records for result
+forwarding.
+
+``val`` declarations behave as macros (:class:`VThunk`): their body is
+re-evaluated at each use site, so a macro like Figure 2's ``multi``
+(``AR Group, ()``) re-acquires an issue slot every time it is spliced
+into an instruction's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .ast_nodes import AliasDecl, Expr, TypeSpec
+
+
+class Value:
+    """Base class for SADL runtime values."""
+
+
+@dataclass(frozen=True)
+class VUnitValue(Value):
+    """The unit value ``()``."""
+
+    def __repr__(self) -> str:
+        return "()"
+
+
+UNIT = VUnitValue()
+
+
+@dataclass(frozen=True)
+class VInt(Value):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VSym(Value):
+    """A symbolic data value: ``ready`` is the relative pipeline cycle at
+    whose *end* the value exists (usable from cycle ``ready + 1``)."""
+
+    ready: int
+
+    def __repr__(self) -> str:
+        return f"<data ready@{self.ready}>"
+
+
+@dataclass(frozen=True)
+class VFieldIndex(Value):
+    """A symbolic register-number operand field (``rs1``, ``rs2``, ``rd``)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"<field {self.name}>"
+
+
+@dataclass(frozen=True)
+class VClosure(Value):
+    param: str
+    body: Expr
+    env: "Environment"
+
+    def __repr__(self) -> str:
+        return f"<\\{self.param}. ...>"
+
+
+@dataclass(frozen=True)
+class VBuiltin(Value):
+    """A curried builtin. ``fn`` runs once ``arity`` arguments are
+    collected; it receives the evaluator so it can emit trace events."""
+
+    name: str
+    arity: int
+    fn: Callable
+    args: tuple[Value, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"<builtin {self.name}/{self.arity}>"
+
+
+@dataclass(frozen=True)
+class VMarker(Value):
+    """A flag marker like Figure 2's ``isShift`` — evaluating it in a
+    sequence tags the instruction's trace."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VList(Value):
+    items: tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class VUnitRef(Value):
+    """A pipeline resource declared with ``unit``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VFile(Value):
+    """A register file declared with ``register``."""
+
+    name: str
+    size: int
+    bits: int
+
+
+@dataclass(frozen=True)
+class VAlias(Value):
+    decl: AliasDecl
+    env: "Environment"
+
+    def access_width(self, file: VFile) -> int:
+        """How many physical registers one alias access spans (doubles
+        span an even/odd pair on SPARC)."""
+        return max(1, self.decl.typ.bits // file.bits)
+
+
+@dataclass(frozen=True)
+class VThunk(Value):
+    """A ``val`` macro body, re-evaluated at each use.
+
+    ``select`` is set for list-form declarations (``val [a b] is … @ […]``):
+    it picks this name's element of the distributed result.
+    """
+
+    expr: Expr
+    env: "Environment"
+    select: int | None = None
+
+
+@dataclass(frozen=True)
+class VLValue(Value):
+    """Internal: the destination of a register write."""
+
+    file: VFile
+    index: int | str
+    width: int
+
+
+class Environment:
+    """A lexical environment chain."""
+
+    __slots__ = ("_bindings", "_parent")
+
+    def __init__(self, parent: "Environment | None" = None) -> None:
+        self._bindings: dict[str, Value] = {}
+        self._parent = parent
+
+    def bind(self, name: str, value: Value) -> None:
+        self._bindings[name] = value
+
+    def lookup(self, name: str) -> Value | None:
+        env: Environment | None = self
+        while env is not None:
+            if name in env._bindings:
+                return env._bindings[name]
+            env = env._parent
+        return None
+
+    def child(self) -> "Environment":
+        return Environment(self)

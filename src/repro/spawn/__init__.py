@@ -1,0 +1,36 @@
+"""Spawn — the SADL description compiler (paper §3).
+
+Turns parsed SADL descriptions into :class:`MachineModel` objects
+(timing groups + resolved register access times) and, like the original
+tool generated C++, generates specialized Python source for
+``pipeline_stalls`` (:mod:`repro.spawn.codegen`).
+"""
+
+from .codegen import compile_machine, generate_source
+from .library import (
+    CLOCK_MHZ,
+    MACHINES,
+    description_text,
+    load_machine,
+    load_machine_from_source,
+)
+from .model import InstructionTiming, MachineModel, ModelError
+from .synthetic_machines import load_superscalar, superscalar_description
+from .validate import Finding, validate_machine
+
+__all__ = [
+    "CLOCK_MHZ",
+    "Finding",
+    "MACHINES",
+    "InstructionTiming",
+    "MachineModel",
+    "ModelError",
+    "compile_machine",
+    "description_text",
+    "generate_source",
+    "load_machine",
+    "load_machine_from_source",
+    "load_superscalar",
+    "superscalar_description",
+    "validate_machine",
+]

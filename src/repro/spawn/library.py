@@ -1,0 +1,49 @@
+"""Loader for the machine descriptions shipped with the library.
+
+The paper's group modelled the ROSS hyperSPARC, SUN SuperSPARC, and SUN
+UltraSPARC; so do we. Descriptions live as ``.sadl`` files next to this
+module and are compiled to :class:`~repro.spawn.model.MachineModel`
+objects on first use.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from importlib import resources
+
+from ..sadl.parser import parse
+from .model import MachineModel
+
+#: Machines with shipped descriptions.
+MACHINES = ("hypersparc", "supersparc", "ultrasparc")
+
+#: Nominal clock rates (MHz) of the parts used in the paper, so cycle
+#: counts can be reported as (scaled) seconds like the paper's tables.
+CLOCK_MHZ = {
+    "hypersparc": 66.0,
+    "supersparc": 50.0,
+    "ultrasparc": 167.0,
+}
+
+
+def description_text(machine: str) -> str:
+    """The raw SADL source for a shipped machine description."""
+    if machine not in MACHINES:
+        raise KeyError(
+            f"unknown machine {machine!r}; shipped descriptions: {MACHINES}"
+        )
+    package = resources.files(__package__) / "descriptions" / f"{machine}.sadl"
+    return package.read_text(encoding="utf-8")
+
+
+@lru_cache(maxsize=None)
+def load_machine(machine: str) -> MachineModel:
+    """Parse and compile a shipped description into a machine model."""
+    source = description_text(machine)
+    return MachineModel(parse(source, f"{machine}.sadl"), name=machine)
+
+
+def load_machine_from_source(source: str, name: str = "custom") -> MachineModel:
+    """Compile a user-supplied SADL description (see
+    ``examples/custom_machine.py``)."""
+    return MachineModel(parse(source, f"{name}.sadl"), name=name)

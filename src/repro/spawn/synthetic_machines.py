@@ -1,0 +1,205 @@
+"""Parametric superscalar descriptions — the paper's "wider
+microarchitectures" extrapolation (§5).
+
+The conclusion argues scheduling will become more attractive "with …
+wider microarchitectures that offer further opportunities to hide
+instrumentation". :func:`superscalar_description` emits a SADL
+description for an N-wide in-order machine scaled from the UltraSPARC
+resource mix, so the width-sweep bench can measure % hidden as issue
+width grows from 1 to 8.
+"""
+
+from __future__ import annotations
+
+from .library import load_machine_from_source
+from .model import MachineModel
+
+_TEMPLATE = """// Synthetic {width}-wide in-order superscalar (UltraSPARC-style mix).
+unit Group {width}
+val multi is AR Group, ()
+val single is AR Group {width}, ()
+
+unit IEU {ieu}, ALUr {alur}, ALUw {aluw}
+unit LSU {lsu}, LSUr {lsur}, LSUw {lsuw}
+unit FPA {fpa}, FPM {fpm}, FPD 1
+unit FPr {fpr}, FPw {fpw}
+unit BR 1
+
+register untyped{{32}} R[32]
+register untyped{{32}} F[32]
+register untyped{{4}}  CC[2]
+register untyped{{32}} YR[1]
+
+alias signed{{32}} R4r[i] is AR ALUr, R[i]
+alias signed{{32}} R4w[i] is AR ALUw, R[i]
+alias signed{{32}} L4r[i] is AR LSUr, R[i]
+alias signed{{32}} L4w[i] is AR LSUw, R[i]
+alias signed{{64}} L8w[i] is AR LSUw, R[i]
+alias float{{32}}  F4r[i] is AR FPr, F[i]
+alias float{{32}}  F4w[i] is AR FPw, F[i]
+alias float{{64}}  F8r[i] is AR FPr, F[i]
+alias float{{64}}  F8w[i] is AR FPw, F[i]
+alias float{{32}}  FL4w[i] is AR LSUw, F[i]
+alias float{{64}}  FL8w[i] is AR LSUw, F[i]
+alias float{{32}}  FL4r[i] is AR LSUr, F[i]
+alias float{{64}}  FL8r[i] is AR LSUr, F[i]
+
+val [ + - & | ^ &~ |~ ^~ << >> >>> ]
+  is (\\op.\\a.\\b. A IEU, x:=op a b, D 1, R IEU, x)
+  @ [ add32 sub32 and32 or32 xor32 andn32 orn32 xnor32 sll32 srl32 sra32 ]
+
+val src2  is iflag=1 ? #simm13 : R4r[rs2]
+val lsrc2 is iflag=1 ? #simm13 : L4r[rs2]
+
+sem [ add sub and or xor andn orn xnor sll srl sra save restore ]
+  is (\\op. multi, D 1, s1:=R4r[rs1], s2:=src2, R4w[rd]:=op s1 s2)
+  @ [ + - & | ^ &~ |~ ^~ << >> >>> + + ]
+
+sem [ addcc subcc andcc orcc xorcc ]
+  is (\\op. multi, D 1, s1:=R4r[rs1], s2:=src2,
+      x:=op s1 s2, R4w[rd]:=x, CC[0]:=x)
+  @ [ + - & | ^ ]
+
+sem [ addx subx ]
+  is (\\op. multi, D 1, s1:=R4r[rs1], s2:=src2, c:=CC[0],
+      R4w[rd]:=op s1 s2)
+  @ [ + - ]
+
+sem [ umul smul ]
+  is single, D 1, s1:=R4r[rs1], s2:=src2,
+     A IEU, D 8, x:=mul32 s1 s2, D 1, R IEU,
+     R4w[rd]:=x, YR[0]:=x
+sem [ smulcc ]
+  is single, D 1, s1:=R4r[rs1], s2:=src2,
+     A IEU, D 8, x:=mul32 s1 s2, D 1, R IEU,
+     R4w[rd]:=x, YR[0]:=x, CC[0]:=x
+sem [ udiv sdiv ]
+  is single, D 1, s1:=R4r[rs1], s2:=src2, y:=YR[0],
+     A IEU, D 20, x:=div32 s1 s2, D 1, R IEU, R4w[rd]:=x
+
+sem [ rdy ] is multi, D 1, y:=YR[0], x:=or32 y y, R4w[rd]:=x
+sem [ wry ] is multi, D 1, s1:=R4r[rs1], s2:=src2, YR[0]:=xor32 s1 s2
+
+sem [ sethi ] is multi, x:=hi22 #imm22, D 1, R4w[rd]:=x
+sem [ nop ]   is multi, D 1
+
+sem [ ld ldub lduh ldsb ldsh ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2,
+     AR LSU, D 1, x:=load32 a o, D 1, L4w[rd]:=x
+sem [ ldd ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2,
+     AR LSU 1 2, D 1, x:=load64 a o, D 1, L8w[rd]:=x
+sem [ ldf ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2,
+     AR LSU, D 1, x:=load32 a o, D 1, FL4w[rd]:=x
+sem [ lddf ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2,
+     AR LSU 1 2, D 1, x:=load64 a o, D 1, FL8w[rd]:=x
+
+sem [ st stb sth ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2, d:=L4r[rd],
+     AR LSU 1 1, x:=store32 a d, D 1
+sem [ std ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2, d:=L4r[rd],
+     AR LSU 1 2, x:=store64 a d, D 2
+sem [ stf ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2, d:=FL4r[rd],
+     AR LSU 1 1, x:=store32 a d, D 1
+sem [ stdf ]
+  is multi, D 1, a:=L4r[rs1], o:=lsrc2, d:=FL8r[rd],
+     AR LSU 1 2, x:=store64 a d, D 2
+
+sem [ be bne bg ble bge bl bgu bleu bcc bcs bpos bneg bvc bvs ]
+  is multi, AR BR 1 2, D 2, c:=CC[0], D 1
+sem [ fbe fbne fbg fble fbge fbl fbu fbo fbug fbul fbuge fbule fbue fblg ]
+  is multi, AR BR 1 2, D 2, c:=CC[1], D 1
+sem [ ba bn fba fbn ]
+  is multi, AR BR 1 2, D 1
+sem [ call ]
+  is multi, AR BR 1 2, D 1, x:=add32 #disp30 #disp30, R4w[15]:=x
+sem [ jmpl ]
+  is multi, AR BR 1 2, D 1, a:=R4r[rs1], o:=src2, x:=add32 a o, R4w[rd]:=x
+
+sem [ fadds fsubs ]
+  is multi, D 1, a:=F4r[rs1], b:=F4r[rs2],
+     AR FPA, D 2, x:=fadd a b, D 1, F4w[rd]:=x
+sem [ faddd fsubd ]
+  is multi, D 1, a:=F8r[rs1], b:=F8r[rs2],
+     AR FPA, D 2, x:=fadd a b, D 1, F8w[rd]:=x
+sem [ fitos fstoi ]
+  is multi, D 1, b:=F4r[rs2],
+     AR FPA, D 2, x:=fitos b, D 1, F4w[rd]:=x
+sem [ fitod fstod ]
+  is multi, D 1, b:=F4r[rs2],
+     AR FPA, D 2, x:=fitod b, D 1, F8w[rd]:=x
+sem [ fdtos fdtoi ]
+  is multi, D 1, b:=F8r[rs2],
+     AR FPA, D 2, x:=fdtos b, D 1, F4w[rd]:=x
+sem [ fmuls ]
+  is multi, D 1, a:=F4r[rs1], b:=F4r[rs2],
+     AR FPM, D 2, x:=fmul a b, D 1, F4w[rd]:=x
+sem [ fmuld ]
+  is multi, D 1, a:=F8r[rs1], b:=F8r[rs2],
+     AR FPM, D 2, x:=fmul a b, D 1, F8w[rd]:=x
+sem [ fdivs ]
+  is multi, D 1, a:=F4r[rs1], b:=F4r[rs2],
+     AR FPD 1 12, D 11, x:=fdiv a b, D 1, F4w[rd]:=x
+sem [ fdivd ]
+  is multi, D 1, a:=F8r[rs1], b:=F8r[rs2],
+     AR FPD 1 22, D 21, x:=fdiv a b, D 1, F8w[rd]:=x
+sem [ fsqrts ]
+  is multi, D 1, b:=F4r[rs2],
+     AR FPD 1 12, D 11, x:=fsqrt b, D 1, F4w[rd]:=x
+sem [ fsqrtd ]
+  is multi, D 1, b:=F8r[rs2],
+     AR FPD 1 22, D 21, x:=fsqrt b, D 1, F8w[rd]:=x
+sem [ fmovs fnegs fabss ]
+  is multi, D 1, b:=F4r[rs2],
+     A FPA, x:=fmov b, D 1, R FPA, F4w[rd]:=x
+sem [ fcmps ]
+  is multi, D 1, a:=F4r[rs1], b:=F4r[rs2],
+     AR FPA, D 2, x:=fcmp a b, D 1, CC[1]:=x
+sem [ fcmpd ]
+  is multi, D 1, a:=F8r[rs1], b:=F8r[rs2],
+     AR FPA, D 2, x:=fcmp a b, D 1, CC[1]:=x
+"""
+
+
+def superscalar_description(
+    width: int,
+    *,
+    ieu: int | None = None,
+    lsu: int | None = None,
+    fp_pipes: int | None = None,
+) -> str:
+    """SADL source for a synthetic ``width``-wide machine.
+
+    Defaults scale the UltraSPARC mix: half the slots are integer units,
+    a quarter are load/store ports, and the FP add/multiply pipes grow
+    with width.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    ieu = ieu if ieu is not None else max(1, width // 2)
+    lsu = lsu if lsu is not None else max(1, width // 4)
+    fp = fp_pipes if fp_pipes is not None else max(1, width // 4)
+    return _TEMPLATE.format(
+        width=width,
+        ieu=ieu,
+        alur=2 * ieu,
+        aluw=ieu,
+        lsu=lsu,
+        lsur=3 * lsu,
+        lsuw=lsu,
+        fpa=fp,
+        fpm=fp,
+        fpr=2 * 2 * fp,
+        fpw=2 * fp,
+    )
+
+
+def load_superscalar(width: int, **kwargs) -> MachineModel:
+    """Compile a synthetic ``width``-wide machine model."""
+    return load_machine_from_source(
+        superscalar_description(width, **kwargs), name=f"synthetic{width}w"
+    )

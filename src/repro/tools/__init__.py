@@ -1,0 +1,1 @@
+"""Command-line tools built on the library (see :mod:`repro.tools.qpt_cli`)."""

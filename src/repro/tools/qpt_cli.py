@@ -1,0 +1,224 @@
+"""``qpt`` — the profiling tool as a command line, like the original.
+
+Operates on RXE executables:
+
+.. code-block:: console
+
+   $ python -m repro.tools.qpt_cli instrument prog.rxe -o prog.qpt.rxe \\
+         --machine ultrasparc --schedule
+   $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
+   $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc
+   $ python -m repro.tools.qpt_cli disasm prog.rxe
+   $ python -m repro.tools.qpt_cli validate --machine supersparc
+   $ python -m repro.tools.qpt_cli codegen --machine ultrasparc -o ps.py
+
+``instrument`` writes a JSON sidecar (``<out>.json``) recording counter
+addresses and the placement plan so ``run --profile`` can print exact
+per-block execution counts after the simulated run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core.block_scheduler import BlockScheduler
+from ..core.dependence import SchedulingPolicy
+from ..eel.executable import Executable
+from ..isa.disasm import disassemble_executable
+from ..pipeline.timing import timed_run
+from ..qpt.profiling import SlowProfiler
+from ..spawn.codegen import generate_source
+from ..spawn.library import MACHINES, load_machine
+from ..spawn.validate import validate_machine
+
+
+def _load(path: str) -> Executable:
+    with open(path, "rb") as handle:
+        return Executable.from_bytes(handle.read())
+
+
+def _save(executable: Executable, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(executable.to_bytes())
+
+
+def cmd_instrument(args) -> int:
+    executable = _load(args.input)
+    transform = None
+    if args.schedule:
+        policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
+        transform = BlockScheduler(load_machine(args.machine), policy)
+    profiler = SlowProfiler(executable, skip_redundant=not args.no_skip)
+    profiled = profiler.instrument(transform)
+    _save(profiled.executable, args.output)
+
+    sidecar = {
+        "counters": {
+            str(index): profiled.counters.address_of(index)
+            for index in profiled.counters.block_indexes
+        },
+        "derived_from": {
+            str(k): v for k, v in profiled.plan.derived_from.items()
+        },
+        "blocks": {
+            str(b.index): b.address for b in profiled.cfg
+        },
+    }
+    with open(args.output + ".json", "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle, indent=2)
+
+    print(
+        f"instrumented {len(profiled.plan.instrumented)} blocks "
+        f"({len(profiled.plan.derived_from)} skipped as redundant); "
+        f"text {executable.text_size} -> {profiled.executable.text_size} bytes "
+        f"({profiled.text_expansion:.2f}x)"
+    )
+    if args.schedule:
+        stats = transform.stats
+        print(
+            f"scheduled {stats.blocks} blocks: {stats.original_cycles} -> "
+            f"{stats.scheduled_cycles} isolated-block cycles"
+        )
+    print(f"wrote {args.output} and {args.output}.json")
+    return 0
+
+
+def cmd_run(args) -> int:
+    executable = _load(args.input)
+    result = executable.run(max_instructions=args.max_instructions)
+    print(f"executed {result.instructions_executed} instructions")
+    for reg in (8, 9, 10, 11):  # %o0-%o3, the conventional results
+        print(f"  %o{reg - 8} = {result.state.get_reg(reg):#010x}")
+    if args.profile:
+        with open(args.profile, encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        memory = result.state.memory
+        raw = {
+            int(index): memory.read_word(address)
+            for index, address in sidecar["counters"].items()
+        }
+        derived = {int(k): v for k, v in sidecar["derived_from"].items()}
+        print("block execution counts:")
+        for index in sorted(int(k) for k in sidecar["blocks"]):
+            source = index
+            while source not in raw:
+                source = derived[source]
+            print(f"  block {index}: {raw[source]}")
+    return 0
+
+
+def cmd_time(args) -> int:
+    executable = _load(args.input)
+    model = load_machine(args.machine)
+    run = timed_run(executable=executable, model=model)
+    print(
+        f"{args.input}: {run.cycles} cycles on {args.machine} "
+        f"({run.instructions} instructions, IPC {run.ipc:.2f})"
+    )
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(disassemble_executable(_load(args.input), show_words=not args.no_words))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    model = load_machine(args.machine)
+    findings = validate_machine(model)
+    if not findings:
+        print(f"{args.machine}: description is clean")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def cmd_chart(args) -> int:
+    from ..eel.cfg import build_cfg
+    from ..pipeline.viz import schedule_chart, unit_occupancy
+
+    executable = _load(args.input)
+    model = load_machine(args.machine)
+    cfg = build_cfg(executable)
+    if not 0 <= args.block < len(cfg):
+        print(f"block {args.block} out of range (program has {len(cfg)} blocks)")
+        return 1
+    block = cfg.blocks[args.block]
+    instructions = block.instructions()
+    print(f"block {block.index} @ {block.address:#x} on {args.machine}:")
+    print(schedule_chart(model, instructions))
+    print()
+    print(unit_occupancy(model, instructions))
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    source = generate_source(load_machine(args.machine))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="qpt", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("instrument", help="insert profiling counters")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("--schedule", action="store_true",
+                   help="schedule instrumentation into unused cycles")
+    p.add_argument("--fill-delay-slots", action="store_true")
+    p.add_argument("--no-skip", action="store_true",
+                   help="instrument every block (disable the skip rule)")
+    p.set_defaults(func=cmd_instrument)
+
+    p = sub.add_parser("run", help="execute in the functional simulator")
+    p.add_argument("input")
+    p.add_argument("--profile", help="counter sidecar from 'instrument'")
+    p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("time", help="trace-driven pipeline timing")
+    p.add_argument("input")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.set_defaults(func=cmd_time)
+
+    p = sub.add_parser("disasm", help="disassemble the text section")
+    p.add_argument("input")
+    p.add_argument("--no-words", action="store_true")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("validate", help="lint a machine description")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("chart", help="render one block's pipeline schedule")
+    p.add_argument("input")
+    p.add_argument("--block", type=int, default=0)
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.set_defaults(func=cmd_chart)
+
+    p = sub.add_parser("codegen", help="emit generated pipeline_stalls")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_codegen)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Workloads: SPEC95-calibrated synthetic programs and real kernels."""
+
+from .builder import BuildError, ProgramBuilder
+from .generator import (
+    FP_WORK,
+    INT_WORK,
+    SyntheticProgram,
+    WorkloadSpec,
+    generate,
+)
+from .kernels import (
+    Kernel,
+    all_kernels,
+    branchy_classify,
+    crc_accumulate,
+    dot_product,
+    fib_iter,
+    memset_words,
+    popcount_words,
+    saxpy,
+    sum_loop,
+)
+from .spec95 import (
+    CFP95,
+    CINT95,
+    PAPER_BLOCK_SIZES_SUPER,
+    PAPER_BLOCK_SIZES_ULTRA,
+    all_benchmarks,
+    benchmark_spec,
+    generate_benchmark,
+    is_fp,
+)
+
+__all__ = [
+    "BuildError",
+    "CFP95",
+    "CINT95",
+    "FP_WORK",
+    "INT_WORK",
+    "Kernel",
+    "PAPER_BLOCK_SIZES_SUPER",
+    "PAPER_BLOCK_SIZES_ULTRA",
+    "ProgramBuilder",
+    "SyntheticProgram",
+    "WorkloadSpec",
+    "all_benchmarks",
+    "all_kernels",
+    "benchmark_spec",
+    "branchy_classify",
+    "crc_accumulate",
+    "dot_product",
+    "fib_iter",
+    "generate",
+    "generate_benchmark",
+    "is_fp",
+    "memset_words",
+    "popcount_words",
+    "saxpy",
+    "sum_loop",
+]

@@ -1,0 +1,391 @@
+"""Hand-written kernels: real programs with checkable answers.
+
+Unlike the synthetic SPEC stand-ins (which are only ever *timed*), these
+kernels compute meaningful results in the functional simulator, so the
+whole toolchain — editing, profiling, scheduling — can be validated
+end to end against known outputs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from ..eel.executable import DATA_BASE, Executable, TEXT_BASE
+from ..eel.image import Section, SectionKind, Symbol
+from ..isa.asm import Assembler
+from ..isa.machine_state import MachineState
+from ..isa.simulator import RunResult
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A runnable test program with an expected-result check."""
+
+    name: str
+    description: str
+    executable: Executable
+    check: Callable[[RunResult], bool]
+    result_of: Callable[[RunResult], object]
+
+
+def _assemble(source: str, data: bytes = b"") -> Executable:
+    assembler = Assembler(base_address=TEXT_BASE)
+    assembler.define("DATA", DATA_BASE)
+    program = assembler.assemble(source)
+    sections = []
+    if data:
+        sections.append(Section(".data", SectionKind.DATA, DATA_BASE, data))
+    return Executable.from_instructions(
+        program,
+        text_base=TEXT_BASE,
+        data_sections=sections,
+        symbols=[Symbol("main", TEXT_BASE)],
+    )
+
+
+def sum_loop(n: int = 100) -> Kernel:
+    """Sum the integers 1..n into %o1."""
+    exe = _assemble(
+        f"""
+            clr %o1
+            set {n}, %o0
+        loop:
+            add %o1, %o0, %o1
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+    expected = n * (n + 1) // 2
+    return Kernel(
+        name="sum_loop",
+        description=f"sum of 1..{n}",
+        executable=exe,
+        check=lambda res: res.state.get_reg(9) == expected,
+        result_of=lambda res: res.state.get_reg(9),
+    )
+
+
+def dot_product(values: list[float] | None = None) -> Kernel:
+    """Double-precision dot product of a vector with itself."""
+    if values is None:
+        values = [1.5, -2.0, 0.25, 4.0, 3.5, -1.25, 2.0, 0.5]
+    data = b"".join(struct.pack(">d", v) for v in values)
+    n = len(values)
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {n}, %o2
+            ! %f0:%f1 accumulates; zero it via integer stores
+            st %g0, [%o0 + {8 * n}]
+            st %g0, [%o0 + {8 * n + 4}]
+            lddf [%o0 + {8 * n}], %f0
+        loop:
+            lddf [%o0], %f2
+            fmuld %f2, %f2, %f4
+            faddd %f0, %f4, %f0
+            add %o0, 8, %o0
+            subcc %o2, 1, %o2
+            bne loop
+            nop
+            set DATA, %o0
+            stdf %f0, [%o0 + {8 * n}]
+            retl
+            nop
+        """,
+        data=data,
+    )
+    expected = sum(v * v for v in values)
+
+    def result(res: RunResult) -> float:
+        raw = res.state.memory.read(DATA_BASE + 8 * n, 4) << 32
+        raw |= res.state.memory.read(DATA_BASE + 8 * n + 4, 4)
+        return struct.unpack(">d", struct.pack(">Q", raw))[0]
+
+    return Kernel(
+        name="dot_product",
+        description=f"dot product of {n} doubles",
+        executable=exe,
+        check=lambda res: abs(result(res) - expected) < 1e-9,
+        result_of=result,
+    )
+
+
+def memset_words(count: int = 32, value: int = 0xA5A5A5A5) -> Kernel:
+    """Fill ``count`` words with a constant."""
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {count}, %o1
+            set {value}, %o2
+        loop:
+            st %o2, [%o0]
+            add %o0, 4, %o0
+            subcc %o1, 1, %o1
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+
+    def ok(res: RunResult) -> bool:
+        return all(
+            res.state.memory.read_word(DATA_BASE + 4 * i) == value
+            for i in range(count)
+        )
+
+    return Kernel(
+        name="memset_words",
+        description=f"fill {count} words",
+        executable=exe,
+        check=ok,
+        result_of=lambda res: res.state.memory.read_word(DATA_BASE),
+    )
+
+
+def fib_iter(n: int = 20) -> Kernel:
+    """Iterative Fibonacci: F(n) in %o0."""
+    exe = _assemble(
+        f"""
+            clr %o0            ! F(0)
+            mov 1, %o1         ! F(1)
+            set {n}, %o2
+        loop:
+            add %o0, %o1, %o3
+            mov %o1, %o0
+            mov %o3, %o1
+            subcc %o2, 1, %o2
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+
+    def fib(k: int) -> int:
+        a, b = 0, 1
+        for _ in range(k):
+            a, b = b, a + b
+        return a & 0xFFFFFFFF
+
+    expected = fib(n)
+    return Kernel(
+        name="fib_iter",
+        description=f"Fibonacci F({n})",
+        executable=exe,
+        check=lambda res: res.state.get_reg(8) == expected,
+        result_of=lambda res: res.state.get_reg(8),
+    )
+
+
+def branchy_classify(count: int = 64) -> Kernel:
+    """Classify bytes of the data section into three counters — a
+    small-block, branch-heavy integer kernel (SPECINT-shaped)."""
+    data = bytes((i * 37 + 11) & 0xFF for i in range(count))
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {count}, %o1
+            clr %o2            ! small
+            clr %o3            ! medium
+            clr %o4            ! large
+        loop:
+            ldub [%o0], %o5
+            cmp %o5, 85
+            bgu medium
+            nop
+            add %o2, 1, %o2
+            ba next
+            nop
+        medium:
+            cmp %o5, 170
+            bgu large
+            nop
+            add %o3, 1, %o3
+            ba next
+            nop
+        large:
+            add %o4, 1, %o4
+        next:
+            add %o0, 1, %o0
+            subcc %o1, 1, %o1
+            bne loop
+            nop
+            retl
+            nop
+        """,
+        data=data,
+    )
+    small = sum(1 for b in data if b <= 85)
+    medium = sum(1 for b in data if 85 < b <= 170)
+    large = sum(1 for b in data if b > 170)
+
+    def ok(res: RunResult) -> bool:
+        return (
+            res.state.get_reg(10) == small
+            and res.state.get_reg(11) == medium
+            and res.state.get_reg(12) == large
+        )
+
+    return Kernel(
+        name="branchy_classify",
+        description="byte classification with a 3-way branch tree",
+        executable=exe,
+        check=ok,
+        result_of=lambda res: (
+            res.state.get_reg(10),
+            res.state.get_reg(11),
+            res.state.get_reg(12),
+        ),
+    )
+
+
+def crc_accumulate(count: int = 48) -> Kernel:
+    """A shift/xor checksum over the data section — shift-heavy integer
+    code (exercises the single shifter on SuperSPARC)."""
+    data = bytes((i * 151 + 7) & 0xFF for i in range(count))
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {count}, %o1
+            clr %o2
+        loop:
+            ldub [%o0], %o3
+            xor %o2, %o3, %o2
+            sll %o2, 5, %o4
+            srl %o2, 27, %o5
+            or %o4, %o5, %o2    ! rotate left 5
+            add %o0, 1, %o0
+            subcc %o1, 1, %o1
+            bne loop
+            nop
+            retl
+            nop
+        """,
+        data=data,
+    )
+
+    def model(values: bytes) -> int:
+        crc = 0
+        for byte in values:
+            crc ^= byte
+            crc = ((crc << 5) | (crc >> 27)) & 0xFFFFFFFF
+        return crc
+
+    expected = model(data)
+    return Kernel(
+        name="crc_accumulate",
+        description=f"rotate-xor checksum over {count} bytes",
+        executable=exe,
+        check=lambda res: res.state.get_reg(10) == expected,
+        result_of=lambda res: res.state.get_reg(10),
+    )
+
+
+def saxpy(n: int = 12, a: float = 2.5) -> Kernel:
+    """Single-precision a*x + y over two vectors — FP streaming code."""
+    xs = [0.5 * i - 2.0 for i in range(n)]
+    ys = [1.0 / (i + 1) for i in range(n)]
+    data = b"".join(struct.pack(">f", v) for v in xs)
+    data += b"".join(struct.pack(">f", v) for v in ys)
+    # The scalar a, stored after the vectors.
+    data += struct.pack(">f", a)
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {n}, %o2
+            ldf [%o0 + {8 * n}], %f0      ! a
+        loop:
+            ldf [%o0], %f1                ! x[i]
+            ldf [%o0 + {4 * n}], %f2      ! y[i]
+            fmuls %f0, %f1, %f3
+            fadds %f3, %f2, %f4
+            stf %f4, [%o0 + {4 * n}]      ! y[i] = a*x[i] + y[i]
+            add %o0, 4, %o0
+            subcc %o2, 1, %o2
+            bne loop
+            nop
+            retl
+            nop
+        """,
+        data=data,
+    )
+
+    import struct as _struct
+
+    def expected_value(i: int) -> float:
+        def f32(v):
+            return _struct.unpack(">f", _struct.pack(">f", v))[0]
+
+        return f32(f32(f32(a) * f32(xs[i])) + f32(ys[i]))
+
+    def ok(res: RunResult) -> bool:
+        for i in range(n):
+            raw = res.state.memory.read_word(DATA_BASE + 4 * n + 4 * i)
+            got = _struct.unpack(">f", _struct.pack(">I", raw))[0]
+            if abs(got - expected_value(i)) > 1e-6:
+                return False
+        return True
+
+    return Kernel(
+        name="saxpy",
+        description=f"single-precision a*x+y over {n} elements",
+        executable=exe,
+        check=ok,
+        result_of=lambda res: res.state.memory.read_word(DATA_BASE + 4 * n),
+    )
+
+
+def popcount_words(count: int = 16) -> Kernel:
+    """Population count over words — tight dependent integer loops."""
+    data = bytes((i * 97 + 13) & 0xFF for i in range(4 * count))
+    exe = _assemble(
+        f"""
+            set DATA, %o0
+            set {count}, %o1
+            clr %o2              ! total bits
+        words:
+            ld [%o0], %o3
+            set 32, %o4
+        bits:
+            and %o3, 1, %o5
+            add %o2, %o5, %o2
+            srl %o3, 1, %o3
+            subcc %o4, 1, %o4
+            bne bits
+            nop
+            add %o0, 4, %o0
+            subcc %o1, 1, %o1
+            bne words
+            nop
+            retl
+            nop
+        """,
+        data=data,
+    )
+    expected = sum(bin(b).count("1") for b in data)
+    return Kernel(
+        name="popcount_words",
+        description=f"popcount over {count} words",
+        executable=exe,
+        check=lambda res: res.state.get_reg(10) == expected,
+        result_of=lambda res: res.state.get_reg(10),
+    )
+
+
+def all_kernels() -> list[Kernel]:
+    return [
+        sum_loop(),
+        dot_product(),
+        memset_words(),
+        fib_iter(),
+        branchy_classify(),
+        crc_accumulate(),
+        saxpy(),
+        popcount_words(),
+    ]

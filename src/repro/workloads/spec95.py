@@ -1,0 +1,139 @@
+"""SPEC95 benchmark calibration — one entry per row of the paper's tables.
+
+Each benchmark is a :class:`~repro.workloads.generator.WorkloadSpec`
+whose dynamic basic-block size is calibrated to the ``Avg. BB Size``
+column the paper reports (Table 1/2 sizes for the UltraSPARC runs,
+Table 3 sizes for the SuperSPARC runs — the paper's two compilations
+differ slightly). Integer benchmarks get small diamond-broken blocks;
+floating-point benchmarks get long straight-line loop bodies dominated
+by double-precision arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .generator import SyntheticProgram, WorkloadSpec, generate
+
+CINT95 = (
+    "099.go",
+    "124.m88ksim",
+    "126.gcc",
+    "129.compress",
+    "130.li",
+    "132.ijpeg",
+    "134.perl",
+    "147.vortex",
+)
+
+CFP95 = (
+    "101.tomcatv",
+    "102.swim",
+    "103.su2cor",
+    "104.hydro2d",
+    "107.mgrid",
+    "110.applu",
+    "125.turb3d",
+    "141.apsi",
+    "145.fpppp",
+    "146.wave5",
+)
+
+#: name -> (avg bb size on UltraSPARC [Tables 1/2],
+#:          avg bb size on SuperSPARC [Table 3])
+_BLOCK_SIZES: dict[str, tuple[float, float]] = {
+    "099.go": (2.9, 2.8),
+    "124.m88ksim": (2.2, 2.3),
+    "126.gcc": (2.2, 2.2),
+    "129.compress": (3.0, 3.0),
+    "130.li": (2.0, 2.0),
+    "132.ijpeg": (6.2, 6.4),
+    "134.perl": (2.4, 2.3),
+    "147.vortex": (2.1, 2.1),
+    "101.tomcatv": (13.8, 11.4),
+    "102.swim": (49.0, 66.1),
+    "103.su2cor": (10.2, 10.1),
+    "104.hydro2d": (4.7, 4.4),
+    "107.mgrid": (32.4, 46.9),
+    "110.applu": (12.5, 9.3),
+    "125.turb3d": (6.1, 5.7),
+    "141.apsi": (10.4, 11.8),
+    "145.fpppp": (33.9, 28.2),
+    "146.wave5": (10.9, 13.3),
+}
+
+#: Paper Avg. BB Size columns, re-exported for assertions and reports.
+PAPER_BLOCK_SIZES_ULTRA = {k: v[0] for k, v in _BLOCK_SIZES.items()}
+PAPER_BLOCK_SIZES_SUPER = {k: v[1] for k, v in _BLOCK_SIZES.items()}
+
+
+def is_fp(benchmark: str) -> bool:
+    if benchmark in CFP95:
+        return True
+    if benchmark in CINT95:
+        return False
+    raise KeyError(f"unknown SPEC95 benchmark {benchmark!r}")
+
+
+def benchmark_spec(
+    benchmark: str, *, machine: str = "ultrasparc", trip_count: int = 64
+) -> WorkloadSpec:
+    """The calibrated workload spec for one SPEC95 benchmark."""
+    ultra_size, super_size = _BLOCK_SIZES[benchmark]
+    size = super_size if machine == "supersparc" else ultra_size
+    fp = is_fp(benchmark)
+    seed = abs(hash_name(benchmark)) % (2**31)
+    if fp:
+        return WorkloadSpec(
+            name=benchmark,
+            seed=seed,
+            kind="fp",
+            avg_block_size=size,
+            loops=6,
+            trip_count=trip_count,
+            diamond_prob=0.25 if size < 8 else 0.0,
+            # Software-pipelined FP loops expose plenty of ILP; the
+            # load/store port, not the dependence chains, bounds them.
+            chain_density=0.10,
+            # FP inner loops stream arrays: ~40% of operations touch
+            # memory, which is what bounds how much instrumentation the
+            # single load/store port lets the scheduler hide (§4.1).
+            load_fraction=0.65,
+            store_fraction=0.25,
+            fp_fraction=0.42,
+            call_prob=0.15,
+        )
+    # Integer codes are dependence-bound: compilers find ~1 IPC on these
+    # machines, dominated by load-use chains and short tests.
+    return WorkloadSpec(
+        name=benchmark,
+        seed=seed,
+        kind="int",
+        avg_block_size=size,
+        loops=6,
+        trip_count=trip_count,
+        diamond_prob=0.9 if size < 4 else 0.4,
+        chain_density=0.55,
+        load_fraction=0.32,
+        store_fraction=0.12,
+        call_prob=0.4,
+    )
+
+
+def hash_name(name: str) -> int:
+    """A stable (non-randomized) string hash for seeding."""
+    value = 5381
+    for ch in name:
+        value = ((value * 33) + ord(ch)) & 0x7FFFFFFF
+    return value
+
+
+def generate_benchmark(
+    benchmark: str, *, machine: str = "ultrasparc", trip_count: int = 64
+) -> SyntheticProgram:
+    """Generate the calibrated synthetic stand-in for one benchmark."""
+    return generate(benchmark_spec(benchmark, machine=machine, trip_count=trip_count))
+
+
+def all_benchmarks() -> tuple[str, ...]:
+    return CINT95 + CFP95

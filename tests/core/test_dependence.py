@@ -1,0 +1,92 @@
+"""Dependence-graph unit tests, including the paper's aliasing policy."""
+
+from repro.core import SchedulingPolicy, build_dependence_graph
+from repro.isa import TAG_INSTRUMENTATION, Instruction, r
+
+
+def add(rd, rs1, rs2):
+    return Instruction("add", rd=r(rd), rs1=r(rs1), rs2=r(rs2))
+
+
+def ld(rd, rs1, imm=0, tag="orig"):
+    return Instruction("ld", rd=r(rd), rs1=r(rs1), imm=imm, tag=tag)
+
+
+def st(rd, rs1, imm=0, tag="orig"):
+    return Instruction("st", rd=r(rd), rs1=r(rs1), imm=imm, tag=tag)
+
+
+def edges(graph):
+    return {(i, j) for i in range(graph.size) for j in graph.succs[i]}
+
+
+def test_raw_edge():
+    graph = build_dependence_graph([add(3, 1, 2), add(5, 3, 4)])
+    assert edges(graph) == {(0, 1)}
+
+
+def test_war_edge():
+    graph = build_dependence_graph([add(5, 3, 4), add(3, 1, 2)])
+    assert edges(graph) == {(0, 1)}
+
+
+def test_waw_edge():
+    graph = build_dependence_graph([add(3, 1, 2), add(3, 4, 5)])
+    assert edges(graph) == {(0, 1)}
+
+
+def test_independent_instructions_unordered():
+    graph = build_dependence_graph([add(3, 1, 2), add(6, 4, 5)])
+    assert edges(graph) == set()
+    assert graph.roots() == [0, 1]
+
+
+def test_condition_codes_create_dependences():
+    cmp = Instruction("subcc", rd=r(0), rs1=r(1), rs2=r(2))
+    addx = Instruction("addx", rd=r(3), rs1=r(3), imm=0)
+    graph = build_dependence_graph([cmp, addx])
+    assert (0, 1) in edges(graph)
+
+
+def test_original_memory_conservative():
+    # Original store conflicts with original load and store, but two
+    # loads never conflict.
+    graph = build_dependence_graph([ld(3, 30), st(4, 29), ld(5, 28)])
+    assert (0, 1) in edges(graph)
+    assert (1, 2) in edges(graph)
+    assert (0, 2) not in edges(graph)
+
+
+def test_instrumentation_memory_is_disjoint_by_default():
+    graph = build_dependence_graph(
+        [st(4, 29), ld(3, 30, tag=TAG_INSTRUMENTATION), st(3, 30, tag=TAG_INSTRUMENTATION)]
+    )
+    e = edges(graph)
+    # Instrumentation ld/st order between themselves (RAW on %g3 plus
+    # memory), but no edge from the original store to instrumentation.
+    assert (1, 2) in e
+    assert (0, 1) not in e
+    assert (0, 2) not in e
+
+
+def test_restricted_policy_orders_instrumentation_against_original():
+    policy = SchedulingPolicy(restrict_instrumentation_memory=True)
+    graph = build_dependence_graph(
+        [st(4, 29), ld(3, 30, tag=TAG_INSTRUMENTATION)], policy
+    )
+    assert (0, 1) in edges(graph)
+
+
+def test_is_valid_order():
+    graph = build_dependence_graph([add(3, 1, 2), add(5, 3, 4), add(6, 1, 2)])
+    assert graph.is_valid_order([0, 2, 1])
+    assert graph.is_valid_order([0, 1, 2])
+    assert not graph.is_valid_order([1, 0, 2])
+    assert not graph.is_valid_order([0, 1])
+    assert not graph.is_valid_order([0, 0, 1])
+
+
+def test_transitive_chain():
+    graph = build_dependence_graph([add(2, 1, 1), add(3, 2, 2), add(4, 3, 3)])
+    assert (0, 1) in edges(graph)
+    assert (1, 2) in edges(graph)

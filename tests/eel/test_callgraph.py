@@ -1,0 +1,86 @@
+"""Call-graph tests."""
+
+from repro.eel import Executable, Symbol, TEXT_BASE, build_call_graph, build_cfg
+from repro.isa import assemble
+
+PROGRAM = """
+    main:
+        mov %o7, %l1
+        call alpha
+        nop
+        call beta
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    alpha:
+        mov %o7, %l2
+        call beta
+        nop
+        mov %l2, %o7
+        jmpl %o7 + 8, %g0
+        nop
+    beta:
+        add %o0, 1, %o0
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def make():
+    program = assemble(PROGRAM, base_address=TEXT_BASE)
+    labels = {"main": 0, "alpha": 8, "beta": 14}
+    exe = Executable.from_instructions(
+        program,
+        symbols=[Symbol(n, TEXT_BASE + 4 * i) for n, i in labels.items()],
+    )
+    cfg = build_cfg(exe)
+    return build_call_graph(exe, cfg)
+
+
+def test_edges():
+    graph = make()
+    assert graph.edges == {("main", "alpha"), ("main", "beta"), ("alpha", "beta")}
+
+
+def test_callers_and_callees():
+    graph = make()
+    assert graph.callees_of("main") == {"alpha", "beta"}
+    assert graph.callers_of("beta") == {"main", "alpha"}
+    assert graph.callees_of("beta") == set()
+
+
+def test_leaves():
+    graph = make()
+    assert graph.leaves() == ["beta"]
+
+
+def test_bottom_up_order():
+    graph = make()
+    order = graph.bottom_up()
+    assert order.index("beta") < order.index("alpha") < order.index("main")
+    assert set(order) == {"main", "alpha", "beta"}
+
+
+def test_no_indirect_calls_here():
+    graph = make()
+    # The jmpls above are returns (%g0 link), not indirect calls.
+    assert graph.indirect_sites() == []
+
+
+def test_indirect_call_detected():
+    program = assemble(
+        """
+        main:
+            jmpl %o0 + 0, %o7    ! indirect call: links into %o7
+            nop
+            retl
+            nop
+        """,
+        base_address=TEXT_BASE,
+    )
+    exe = Executable.from_instructions(
+        program, symbols=[Symbol("main", TEXT_BASE)]
+    )
+    graph = build_call_graph(exe, build_cfg(exe))
+    assert len(graph.indirect_sites()) == 1

@@ -1,0 +1,163 @@
+"""CFG recovery tests, including SPARC delay-slot structure."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.eel import CfgError, Executable, Symbol, TEXT_BASE, build_cfg
+
+
+def cfg_of(source, symbols=()):
+    program = assemble(source, base_address=TEXT_BASE)
+    exe = Executable.from_instructions(
+        program, symbols=[Symbol(n, a) for n, a in symbols]
+    )
+    return build_cfg(exe)
+
+
+def test_single_block():
+    cfg = cfg_of("add %g1, 1, %g1\nretl\nnop")
+    assert len(cfg) == 1
+    block = cfg.blocks[0]
+    assert len(block.body) == 1
+    assert block.terminator.mnemonic == "jmpl"
+    assert block.delay.mnemonic == "nop"
+    assert block.succs == []  # indirect exit
+
+
+def test_loop_structure():
+    cfg = cfg_of(
+        """
+            clr %o1
+            mov 10, %o0
+        loop:
+            add %o1, %o0, %o1
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+    assert len(cfg) == 3
+    preamble, loop, exit_block = cfg.blocks
+    assert preamble.terminator is None
+    assert [e.kind for e in preamble.succs] == ["fallthrough"]
+    assert loop.has_conditional_exit
+    kinds = {e.kind: e.dst for e in loop.succs}
+    assert kinds == {"taken": loop.index, "fallthrough": exit_block.index}
+    assert {e.src for e in loop.preds} == {preamble.index, loop.index}
+
+
+def test_delay_slot_attached_to_branch_block():
+    cfg = cfg_of(
+        """
+            cmp %o0, 0
+            be skip
+            add %o1, 1, %o1    ! delay slot
+            sub %o1, 2, %o1
+        skip:
+            retl
+            nop
+        """
+    )
+    branch_block = cfg.blocks[0]
+    assert branch_block.delay.mnemonic == "add"
+    assert len(branch_block.body) == 1  # just the cmp
+    # The fall-through block starts after the delay slot.
+    assert cfg.blocks[1].body[0].mnemonic == "sub"
+
+
+def test_unconditional_branch_has_single_successor():
+    cfg = cfg_of(
+        """
+            ba end
+            nop
+            add %g1, 1, %g1    ! unreachable
+        end:
+            retl
+            nop
+        """
+    )
+    first = cfg.blocks[0]
+    assert [e.kind for e in first.succs] == ["taken"]
+
+
+def test_call_creates_return_edge_and_callee():
+    cfg = cfg_of(
+        """
+            mov %o7, %l1
+            call func
+            nop
+            mov %l1, %o7
+            retl
+            nop
+        func:
+            jmpl %o7 + 8, %g0
+            nop
+        """
+    )
+    call_block = cfg.blocks[0]
+    assert call_block.terminator.mnemonic == "call"
+    assert call_block.callee == cfg.blocks[2].address  # the 'func' block
+    assert [e.kind for e in call_block.succs] == ["fallthrough"]
+    assert call_block.succs[0].dst == cfg.blocks[1].index
+
+
+def test_function_symbols_are_leaders():
+    source = """
+        add %g1, 1, %g1
+        add %g2, 1, %g2
+        retl
+        nop
+    """
+    cfg = cfg_of(source, symbols=[("main", TEXT_BASE), ("mid", TEXT_BASE + 4)])
+    assert len(cfg) == 2
+    assert cfg.blocks[1].address == TEXT_BASE + 4
+
+
+def test_entry_index():
+    program = assemble("nop\nstart: retl\nnop", base_address=TEXT_BASE)
+    exe = Executable.from_instructions(program, entry=TEXT_BASE + 4)
+    cfg = build_cfg(exe)
+    assert cfg.entry.address == TEXT_BASE + 4
+
+
+def test_branch_into_delay_slot_rejected():
+    with pytest.raises(CfgError):
+        cfg_of(
+            """
+                ba slot
+                nop
+                ba done
+            slot:
+                nop
+            done:
+                retl
+                nop
+            """
+        )
+
+
+def test_cti_in_delay_slot_rejected():
+    with pytest.raises(CfgError):
+        cfg_of("ba out\nba out\nout: retl\nnop")
+
+
+def test_annulled_branch_recorded():
+    cfg = cfg_of(
+        """
+            cmp %o0, 0
+            bne,a target
+            add %o1, 1, %o1
+        target:
+            retl
+            nop
+        """
+    )
+    assert cfg.blocks[0].terminator.annul
+
+
+def test_block_instruction_count():
+    cfg = cfg_of("add %g1,1,%g1\nadd %g2,1,%g2\nretl\nnop")
+    assert cfg.blocks[0].instruction_count == 4
+    assert len(cfg.blocks[0].instructions()) == 4

@@ -1,0 +1,93 @@
+"""Dataflow-framework and reaching-definitions tests."""
+
+from repro.eel import Executable, TEXT_BASE, build_cfg
+from repro.eel.dataflow import ReachingDefinitions
+from repro.isa import assemble, r
+
+
+def analyze(source):
+    exe = Executable.from_instructions(assemble(source, base_address=TEXT_BASE))
+    cfg = build_cfg(exe)
+    return cfg, ReachingDefinitions(cfg)
+
+
+def test_straightline_definitions_reach_next_block():
+    cfg, reaching = analyze(
+        """
+            clr %o1
+            ba next
+            nop
+        next:
+            add %o1, 1, %o1
+            retl
+            nop
+        """
+    )
+    defs = reaching.definitions_of(cfg.blocks[1], r(9))
+    assert len(defs) == 1
+    assert defs[0][0] == 0  # defined in block 0
+    assert reaching.has_unique_definition(cfg.blocks[1], r(9))
+
+
+def test_redefinition_kills():
+    cfg, reaching = analyze(
+        """
+            clr %o1
+            mov 5, %o1       ! kills the clr
+            ba next
+            nop
+        next:
+            retl
+            nop
+        """
+    )
+    defs = reaching.definitions_of(cfg.blocks[1], r(9))
+    assert len(defs) == 1
+    assert defs[0][1] == 1  # the second instruction's definition
+
+
+def test_diamond_merges_definitions():
+    cfg, reaching = analyze(
+        """
+            cmp %o0, 0
+            be right
+            nop
+            mov 1, %o1
+            ba join
+            nop
+        right:
+            mov 2, %o1
+        join:
+            retl
+            nop
+        """
+    )
+    join = next(b for b in cfg if b.terminator and b.terminator.mnemonic == "jmpl")
+    defs = reaching.definitions_of(join, r(9))
+    assert len(defs) == 2  # both arms' definitions reach the join
+    assert not reaching.has_unique_definition(join, r(9))
+
+
+def test_loop_definition_reaches_own_header():
+    cfg, reaching = analyze(
+        """
+            clr %o1
+            mov 3, %o0
+        loop:
+            add %o1, 1, %o1
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+    loop_block = cfg.blocks[1]
+    defs = reaching.definitions_of(loop_block, r(9))
+    # The initial clr and the loop's own add both reach the header.
+    assert len(defs) == 2
+
+
+def test_undefined_register_has_no_definitions():
+    cfg, reaching = analyze("retl\nnop")
+    assert reaching.definitions_of(cfg.blocks[0], r(20)) == []

@@ -1,0 +1,124 @@
+"""Dominator-tree and natural-loop tests."""
+
+import pytest
+
+from repro.eel import (
+    DominatorTree,
+    Executable,
+    LoopForest,
+    TEXT_BASE,
+    build_cfg,
+)
+from repro.isa import assemble
+
+NESTED_LOOPS = """
+        set 4, %o0
+    outer:
+        set 3, %o1
+    inner:
+        add %o2, 1, %o2
+        subcc %o1, 1, %o1
+        bne inner
+        nop
+        subcc %o0, 1, %o0
+        bne outer
+        nop
+        retl
+        nop
+"""
+
+DIAMOND = """
+        cmp %o0, 0
+        be right
+        nop
+        add %o1, 1, %o1
+        ba join
+        nop
+    right:
+        add %o1, 2, %o1
+    join:
+        retl
+        nop
+"""
+
+
+def analyze(source):
+    exe = Executable.from_instructions(assemble(source, base_address=TEXT_BASE))
+    cfg = build_cfg(exe)
+    return cfg, DominatorTree(cfg)
+
+
+def test_entry_dominates_everything():
+    cfg, dom = analyze(NESTED_LOOPS)
+    for block in cfg:
+        if dom.reachable(block):
+            assert dom.dominates(cfg.entry_index, block.index)
+
+
+def test_every_block_dominates_itself():
+    cfg, dom = analyze(DIAMOND)
+    for block in cfg:
+        assert dom.dominates(block.index, block.index)
+
+
+def test_diamond_arms_do_not_dominate_join():
+    cfg, dom = analyze(DIAMOND)
+    # Blocks: 0 = test, 1 = left arm, 2 = right arm, 3 = join.
+    assert dom.dominates(0, 3)
+    assert not dom.dominates(1, 3)
+    assert not dom.dominates(2, 3)
+    assert dom.immediate_dominator(3) == 0
+
+
+def test_entry_has_no_idom():
+    cfg, dom = analyze(DIAMOND)
+    assert dom.immediate_dominator(cfg.entry_index) is None
+
+
+def test_dominator_chain():
+    cfg, dom = analyze(NESTED_LOOPS)
+    last = cfg.blocks[-1]
+    chain = dom.dominators_of(last)
+    assert chain[0] == last.index
+    assert chain[-1] == cfg.entry_index
+    # The chain is strictly up the tree.
+    assert len(chain) == len(set(chain))
+
+
+def test_loop_detection_nested():
+    cfg, dom = analyze(NESTED_LOOPS)
+    loops = LoopForest(cfg, dom)
+    assert len(loops.loops) == 2
+    sizes = sorted(loop.size for loop in loops.loops)
+    inner, outer = sizes
+    assert inner < outer
+    # The inner loop's blocks are inside the outer loop.
+    inner_loop = min(loops.loops, key=lambda l: l.size)
+    outer_loop = max(loops.loops, key=lambda l: l.size)
+    assert inner_loop.blocks <= outer_loop.blocks
+
+
+def test_loop_depths():
+    cfg, _ = analyze(NESTED_LOOPS)
+    loops = LoopForest(cfg)
+    depths = {b.index: loops.depth(b.index) for b in cfg}
+    assert max(depths.values()) == 2  # the inner loop body
+    assert depths[cfg.entry_index] == 0  # preamble outside all loops
+    inner = loops.innermost(max(depths, key=depths.get))
+    assert inner is not None and inner.size == min(l.size for l in loops.loops)
+
+
+def test_acyclic_cfg_has_no_loops():
+    cfg, _ = analyze(DIAMOND)
+    loops = LoopForest(cfg)
+    assert loops.loops == []
+    assert loops.innermost(0) is None
+
+
+def test_back_edges_recorded():
+    cfg, _ = analyze(NESTED_LOOPS)
+    loops = LoopForest(cfg)
+    for loop in loops.loops:
+        for src, dst in loop.back_edges:
+            assert dst == loop.header
+            assert src in loop.blocks

@@ -1,0 +1,136 @@
+"""Edge-instrumentation tests: counters on edges fire exactly when that
+edge executes, on every edge kind."""
+
+import pytest
+
+from repro.eel import EditError, Editor, Executable, TEXT_BASE
+from repro.isa import Instruction, TAG_INSTRUMENTATION, assemble, r
+
+PROGRAM = """
+        clr %o3
+        mov 10, %o0
+    loop:
+        andcc %o0, 1, %g0
+        be even
+        nop
+        add %o3, %o0, %o3     ! odd arm (fallthrough from the be)
+        ba join
+        nop
+    even:
+        add %o3, 2, %o3
+    join:
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+
+def bump(reg_index):
+    return [
+        Instruction("add", rd=r(reg_index), rs1=r(reg_index), imm=1).retag(
+            TAG_INSTRUMENTATION
+        )
+    ]
+
+
+def make_editor():
+    exe = Executable.from_instructions(assemble(PROGRAM, base_address=TEXT_BASE))
+    return Editor(exe)
+
+
+def find_edge(cfg, kind, src_pred):
+    for block in cfg:
+        for edge in block.succs:
+            if edge.kind == kind and src_pred(block):
+                return edge
+    raise AssertionError("no such edge")
+
+
+def test_taken_edge_counts_taken_executions():
+    editor = make_editor()
+    # The 'be even' taken edge: executed when %o0 is even = 5 times.
+    edge = find_edge(
+        editor.cfg, "taken", lambda b: b.terminator and b.terminator.mnemonic == "be"
+    )
+    editor.instrument_edge(edge, bump(6))
+    result = editor.build().run()
+    assert result.state.get_reg(6) == 5
+    assert result.state.get_reg(11) == sum(range(1, 11, 2)) + 2 * 5  # behaviour
+
+
+def test_fallthrough_edge_counts_untaken_executions():
+    editor = make_editor()
+    # The 'be' fall-through edge: odd iterations = 5 times.
+    be_block = next(
+        b for b in editor.cfg if b.terminator and b.terminator.mnemonic == "be"
+    )
+    edge = next(e for e in be_block.succs if e.kind == "fallthrough")
+    editor.instrument_edge(edge, bump(6))
+    result = editor.build().run()
+    assert result.state.get_reg(6) == 5
+
+
+def test_back_edge_counts_iterations_minus_one():
+    editor = make_editor()
+    # The bne back edge executes 9 times (10 iterations, last untaken).
+    edge = find_edge(
+        editor.cfg, "taken", lambda b: b.terminator and b.terminator.mnemonic == "bne"
+    )
+    editor.instrument_edge(edge, bump(6))
+    result = editor.build().run()
+    assert result.state.get_reg(6) == 9
+
+
+def test_multiple_edges_at_once():
+    editor = make_editor()
+    be_block = next(
+        b for b in editor.cfg if b.terminator and b.terminator.mnemonic == "be"
+    )
+    taken = next(e for e in be_block.succs if e.kind == "taken")
+    fall = next(e for e in be_block.succs if e.kind == "fallthrough")
+    editor.instrument_edge(taken, bump(6))
+    editor.instrument_edge(fall, bump(7))
+    result = editor.build().run()
+    assert result.state.get_reg(6) == 5
+    assert result.state.get_reg(7) == 5
+    # Together they cover every execution of the branch block.
+    assert result.state.get_reg(6) + result.state.get_reg(7) == 10
+
+
+def test_unconditional_edge():
+    editor = make_editor()
+    edge = find_edge(
+        editor.cfg, "taken", lambda b: b.terminator and b.terminator.mnemonic == "ba"
+    )
+    editor.instrument_edge(edge, bump(6))
+    result = editor.build().run()
+    assert result.state.get_reg(6) == 5  # the odd arm's ba join
+
+
+def test_control_rejected_on_edges():
+    editor = make_editor()
+    edge = editor.cfg.blocks[0].succs[0]
+    with pytest.raises(EditError):
+        editor.instrument_edge(edge, [Instruction("ba", imm=1)])
+
+
+def test_foreign_edge_rejected():
+    editor = make_editor()
+    from repro.eel import Edge
+
+    with pytest.raises(EditError):
+        editor.instrument_edge(Edge(0, 3, "taken"), bump(6))
+
+
+def test_text_grows_by_trampoline_size():
+    editor = make_editor()
+    edge = find_edge(
+        editor.cfg, "taken", lambda b: b.terminator and b.terminator.mnemonic == "be"
+    )
+    before = editor.executable.text_size
+    editor.instrument_edge(edge, bump(6))
+    edited = editor.build()
+    # 1 instrumentation instruction + ba + nop.
+    assert edited.text_size == before + 4 * 3

@@ -1,0 +1,235 @@
+"""Editor tests: identity edits, insertion, retargeting, verification.
+
+The key invariant is behavioural identity: an edited program (with or
+without counting instrumentation) must compute exactly what the original
+computed.
+"""
+
+import pytest
+
+from repro.isa import TAG_INSTRUMENTATION, assemble, r
+from repro.isa.instruction import Instruction, nop
+from repro.eel import (
+    DATA_BASE,
+    EditError,
+    Editor,
+    Executable,
+    Section,
+    SectionKind,
+    Symbol,
+    TEXT_BASE,
+    build_cfg,
+    identity_edit,
+    snippet_from_asm,
+)
+
+PROGRAM = """
+        clr %o1
+        mov 10, %o0
+    loop:
+        add %o1, %o0, %o1
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        mov %o7, %l1
+        call double
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    double:
+        add %o1, %o1, %o1
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def make_exe():
+    return Executable.from_instructions(
+        assemble(PROGRAM, base_address=TEXT_BASE),
+        symbols=[Symbol("main", TEXT_BASE)],
+    )
+
+
+def test_identity_edit_is_behaviour_identical():
+    exe = make_exe()
+    edited = identity_edit(exe)
+    assert edited.run().state.get_reg(9) == exe.run().state.get_reg(9) == 110
+
+
+def test_identity_edit_preserves_size():
+    exe = make_exe()
+    assert identity_edit(exe).text_size == exe.text_size
+
+
+def test_insertion_shifts_code_and_retargets_branches():
+    exe = make_exe()
+    editor = Editor(exe)
+    pad = [nop().retag(TAG_INSTRUMENTATION) for _ in range(3)]
+    for block in editor.cfg:
+        editor.insert_before(block, list(pad))
+    edited = editor.build()
+    assert edited.text_size == exe.text_size + 4 * 3 * len(editor.cfg)
+    # Behaviour unchanged: nops compute nothing.
+    assert edited.run().state.get_reg(9) == 110
+
+
+def test_insertion_of_real_instrumentation_counts_correctly():
+    exe = make_exe()
+    editor = Editor(exe)
+    counter = DATA_BASE + 0x100
+    snippet = snippet_from_asm(
+        "count",
+        f"""
+        sethi %hi({counter}), %g6
+        ld [%g6 + %lo({counter})], %g7
+        add %g7, 1, %g7
+        st %g7, [%g6 + %lo({counter})]
+        """,
+    )
+    loop_block = next(b for b in editor.cfg if b.has_conditional_exit)
+    editor.insert_before(loop_block, snippet.materialize())
+    edited = editor.build()
+    result = edited.run()
+    assert result.state.get_reg(9) == 110  # original behaviour intact
+    assert result.state.memory.read_word(counter) == 10  # loop ran 10 times
+
+
+def test_transform_hook_receives_merged_body():
+    exe = make_exe()
+    editor = Editor(exe)
+    marker = Instruction("or", rd=r(7), rs1=r(0), imm=1).retag(TAG_INSTRUMENTATION)
+    editor.insert_before(editor.cfg.blocks[0], [marker])
+    seen = []
+
+    def transform(block, body):
+        seen.append((block.index, [i.tag for i in body]))
+        return body
+
+    editor.build(transform)
+    tags = dict(seen)[0]
+    assert tags[0] == TAG_INSTRUMENTATION
+    assert all(t == "orig" for t in tags[1:])
+
+
+def test_transform_can_reorder_body():
+    exe = make_exe()
+    editor = Editor(exe)
+
+    def reverse_independent(block, body):
+        # Reversing is only safe for blocks of independent instructions;
+        # block 0 (clr, mov) qualifies.
+        if block.index == 0:
+            return list(reversed(body))
+        return body
+
+    edited = editor.build(reverse_independent)
+    assert edited.run().state.get_reg(9) == 110
+
+
+def test_transform_can_fill_delay_slot():
+    exe = make_exe()
+    editor = Editor(exe)
+
+    def fill(block, body):
+        if block.index == 0:
+            # Move the block's last instruction into the (nop) delay slot
+            # of... block 0 has no terminator; return unchanged.
+            return body
+        return body
+
+    edited = editor.build(fill)
+    assert edited.run().state.get_reg(9) == 110
+
+
+def test_control_flow_not_insertable():
+    exe = make_exe()
+    editor = Editor(exe)
+    with pytest.raises(EditError):
+        editor.insert_before(0, [Instruction("ba", imm=1)])
+
+
+def test_overlapping_section_rejected():
+    exe = make_exe()
+    editor = Editor(exe)
+    editor.add_data_section(Section(".counters", SectionKind.DATA, DATA_BASE, b"\0" * 16))
+    with pytest.raises(EditError):
+        editor.add_data_section(
+            Section(".oops", SectionKind.DATA, DATA_BASE + 8, b"\0" * 16)
+        )
+
+
+def test_new_section_carried_into_output():
+    exe = make_exe()
+    editor = Editor(exe)
+    editor.add_data_section(
+        Section(".counters", SectionKind.DATA, DATA_BASE, b"\0" * 16)
+    )
+    edited = editor.build()
+    assert edited.section(".counters").size == 16
+
+
+def test_symbols_remapped():
+    exe = make_exe()
+    editor = Editor(exe)
+    editor.insert_before(0, [nop(), nop()])
+    edited = editor.build()
+    # main was at the first block; insertion happens inside the block,
+    # so the block address (and the symbol) stay put...
+    assert edited.symbol("main").address == TEXT_BASE
+    # ...but later function symbols move.
+    exe2 = Executable.from_instructions(
+        assemble(PROGRAM, base_address=TEXT_BASE),
+        symbols=[
+            Symbol("main", TEXT_BASE),
+            Symbol("double", TEXT_BASE + 4 * 12),
+        ],
+    )
+    editor2 = Editor(exe2)
+    editor2.insert_before(0, [nop(), nop()])
+    edited2 = editor2.build()
+    assert edited2.symbol("double").address == TEXT_BASE + 4 * 14
+
+
+def test_entry_remapped():
+    program = assemble("nop\nstart: retl\nnop", base_address=TEXT_BASE)
+    exe = Executable.from_instructions(program, entry=TEXT_BASE + 4)
+    editor = Editor(exe)
+    editor.insert_before(0, [nop()])
+    edited = editor.build()
+    assert edited.entry == TEXT_BASE + 8
+
+
+def test_insert_at_end_runs_before_terminator():
+    exe = make_exe()
+    editor = Editor(exe)
+    # Count loop-block executions with an end-of-block increment into
+    # %g6 (reserved, program never touches it).
+    loop_block = next(b for b in editor.cfg if b.has_conditional_exit)
+    bump = Instruction("add", rd=r(6), rs1=r(6), imm=1).retag(TAG_INSTRUMENTATION)
+    editor.insert_at_end(loop_block, [bump])
+    edited = editor.build()
+    result = edited.run()
+    assert result.state.get_reg(9) == 110  # behaviour intact
+    assert result.state.get_reg(6) == 10  # 10 loop iterations
+
+
+def test_insert_both_ends():
+    exe = make_exe()
+    editor = Editor(exe)
+    loop_block = next(b for b in editor.cfg if b.has_conditional_exit)
+    editor.insert_before(
+        loop_block, [Instruction("add", rd=r(6), rs1=r(6), imm=1).retag(TAG_INSTRUMENTATION)]
+    )
+    editor.insert_at_end(
+        loop_block, [Instruction("add", rd=r(7), rs1=r(7), imm=1).retag(TAG_INSTRUMENTATION)]
+    )
+    assert editor.inserted_instruction_count == 2
+    result = editor.build().run()
+    assert result.state.get_reg(6) == result.state.get_reg(7) == 10
+
+
+def test_insert_at_end_rejects_control():
+    editor = Editor(make_exe())
+    with pytest.raises(EditError):
+        editor.insert_at_end(0, [Instruction("ba", imm=1)])

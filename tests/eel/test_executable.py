@@ -1,0 +1,99 @@
+"""RXE container tests: serialization round-trip, decoding, running."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.eel import (
+    DATA_BASE,
+    Executable,
+    Section,
+    SectionKind,
+    Symbol,
+    SymbolKind,
+    TEXT_BASE,
+)
+
+SUM_LOOP = """
+    clr %o1
+    mov 10, %o0
+loop:
+    add %o1, %o0, %o1
+    subcc %o0, 1, %o0
+    bne loop
+    nop
+    retl
+    nop
+"""
+
+
+def make_exe(source=SUM_LOOP, **kwargs):
+    return Executable.from_instructions(
+        assemble(source, base_address=TEXT_BASE), **kwargs
+    )
+
+
+def test_from_instructions_encodes_text():
+    exe = make_exe()
+    assert exe.text_size == 8 * 4
+    assert exe.instruction_count == 8
+
+
+def test_decode_text_roundtrip():
+    program = assemble(SUM_LOOP, base_address=TEXT_BASE)
+    exe = Executable.from_instructions(program)
+    decoded = exe.decode_text()
+    assert [a for a, _ in decoded] == [TEXT_BASE + 4 * i for i in range(len(program))]
+    assert [i.mnemonic for _, i in decoded] == [i.mnemonic for i in program]
+
+
+def test_run_executes_program():
+    result = make_exe().run()
+    assert result.state.get_reg(9) == 55  # %o1 = sum 1..10
+
+
+def test_serialization_roundtrip():
+    exe = make_exe(
+        symbols=[Symbol("main", TEXT_BASE, 32, SymbolKind.FUNCTION)],
+        data_sections=[
+            Section(".data", SectionKind.DATA, DATA_BASE, b"\x01\x02\x03\x04"),
+            Section(".bss", SectionKind.BSS, DATA_BASE + 0x1000, bss_size=64),
+        ],
+    )
+    again = Executable.from_bytes(exe.to_bytes())
+    assert again.entry == exe.entry
+    assert [s.name for s in again.sections] == [".text", ".data", ".bss"]
+    assert again.section(".data").data == b"\x01\x02\x03\x04"
+    assert again.section(".bss").size == 64
+    assert again.symbol("main").address == TEXT_BASE
+    assert again.run().state.get_reg(9) == 55
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        Executable.from_bytes(b"ELF!" + b"\x00" * 32)
+
+
+def test_data_sections_loaded_into_memory():
+    exe = make_exe(
+        data_sections=[
+            Section(".data", SectionKind.DATA, DATA_BASE, b"\xde\xad\xbe\xef")
+        ]
+    )
+    state = exe.load_state()
+    assert state.memory.read_word(DATA_BASE) == 0xDEADBEEF
+
+
+def test_missing_section_raises():
+    with pytest.raises(KeyError):
+        make_exe().section(".rodata")
+
+
+def test_function_symbols_sorted():
+    exe = make_exe(
+        symbols=[
+            Symbol("b", TEXT_BASE + 16),
+            Symbol("a", TEXT_BASE),
+            Symbol("obj", DATA_BASE, kind=SymbolKind.OBJECT),
+        ]
+    )
+    assert [s.name for s in exe.function_symbols()] == ["a", "b"]

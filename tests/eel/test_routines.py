@@ -1,0 +1,62 @@
+"""Routine-splitting tests."""
+
+from repro.eel import Executable, Symbol, TEXT_BASE, build_cfg, split_routines
+from repro.isa import assemble
+
+PROGRAM = """
+    main:
+        mov %o7, %l1
+        call helper
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    helper:
+        add %o0, 1, %o0
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def make():
+    program = assemble(PROGRAM, base_address=TEXT_BASE)
+    # 'helper' label position: count instructions before it (6).
+    exe = Executable.from_instructions(
+        program,
+        symbols=[
+            Symbol("main", TEXT_BASE),
+            Symbol("helper", TEXT_BASE + 4 * 6),
+        ],
+    )
+    return exe, build_cfg(exe)
+
+
+def test_split_by_symbols():
+    exe, cfg = make()
+    routines = split_routines(exe, cfg)
+    assert [r.name for r in routines] == ["main", "helper"]
+    main, helper = routines
+    assert main.entry_address == TEXT_BASE
+    assert helper.entry_address == TEXT_BASE + 24
+    assert main.instruction_count + helper.instruction_count == sum(
+        b.instruction_count for b in cfg
+    )
+
+
+def test_entry_and_exit_blocks():
+    exe, cfg = make()
+    main, helper = split_routines(exe, cfg)
+    assert main.entry_block().address == TEXT_BASE
+    # helper's single block ends in jmpl: it is an exit.
+    exits = helper.exit_blocks()
+    assert len(exits) == 1
+    assert exits[0].terminator.mnemonic == "jmpl"
+
+
+def test_program_without_symbols_is_one_routine():
+    program = assemble("add %g1, 1, %g1\nretl\nnop", base_address=TEXT_BASE)
+    exe = Executable.from_instructions(program)
+    cfg = build_cfg(exe)
+    routines = split_routines(exe, cfg)
+    assert len(routines) == 1
+    assert routines[0].name == "<entry>"

@@ -1,0 +1,40 @@
+"""Snippet tests."""
+
+import pytest
+
+from repro.eel import Snippet, SnippetError, snippet_from_asm
+from repro.isa import Instruction, TAG_INSTRUMENTATION, r
+
+
+def test_snippet_from_asm():
+    snippet = snippet_from_asm("bump", "add %g6, 1, %g6")
+    assert len(snippet) == 1
+    assert snippet.name == "bump"
+
+
+def test_materialize_tags_instrumentation():
+    snippet = snippet_from_asm("bump", "add %g6, 1, %g6\nadd %g7, 1, %g7")
+    instances = snippet.materialize()
+    assert all(inst.tag == TAG_INSTRUMENTATION for inst in instances)
+    # The snippet's own instructions stay untagged (reusable template).
+    assert all(inst.tag != TAG_INSTRUMENTATION for inst in snippet.instructions)
+
+
+def test_materialize_returns_fresh_lists():
+    snippet = snippet_from_asm("bump", "add %g6, 1, %g6")
+    a = snippet.materialize()
+    b = snippet.materialize()
+    assert a == b
+    assert a is not b
+
+
+def test_control_transfer_rejected():
+    with pytest.raises(SnippetError):
+        Snippet("bad", (Instruction("ba", imm=2),))
+    with pytest.raises(SnippetError):
+        snippet_from_asm("bad", "call 0x100\nnop")
+
+
+def test_pseudo_ops_expand():
+    snippet = snippet_from_asm("setup", "set 0x12345678, %g6")
+    assert [i.mnemonic for i in snippet.instructions] == ["sethi", "or"]

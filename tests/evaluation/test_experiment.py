@@ -1,0 +1,148 @@
+"""Evaluation-harness tests: result arithmetic, protocol wiring, and the
+qualitative shape the paper reports (small trip counts keep this fast;
+the full tables live in benchmarks/)."""
+
+import pytest
+
+from repro.cache import ICacheModel
+from repro.evaluation import (
+    BenchmarkResult,
+    EXPERIMENTS,
+    ExperimentConfig,
+    TABLE_CONFIGS,
+    TableResult,
+    run_profiling_experiment,
+    run_table,
+)
+
+
+def result(uninst, inst, sched, **kw):
+    return BenchmarkResult(
+        benchmark="x",
+        machine="ultrasparc",
+        avg_block_size=3.0,
+        uninstrumented_cycles=uninst,
+        instrumented_cycles=inst,
+        scheduled_cycles=sched,
+        **kw,
+    )
+
+
+def test_pct_hidden_arithmetic():
+    r = result(100, 200, 150)
+    assert r.pct_hidden == pytest.approx(0.5)
+    assert r.instrumented_ratio == pytest.approx(2.0)
+    assert r.scheduled_ratio == pytest.approx(1.5)
+    assert r.overhead_cycles == 100
+
+
+def test_pct_hidden_can_be_negative():
+    # De-scheduling: the scheduled binary is slower than unscheduled.
+    r = result(100, 200, 220)
+    assert r.pct_hidden == pytest.approx(-0.2)
+
+
+def test_pct_hidden_zero_overhead_guard():
+    r = result(100, 100, 90)
+    assert r.pct_hidden == 0.0
+
+
+def test_table_configs_match_paper_protocols():
+    assert TABLE_CONFIGS[1].machine == "ultrasparc"
+    assert not TABLE_CONFIGS[1].reschedule_baseline
+    assert TABLE_CONFIGS[2].machine == "ultrasparc"
+    assert TABLE_CONFIGS[2].reschedule_baseline
+    assert TABLE_CONFIGS[3].machine == "supersparc"
+    assert not TABLE_CONFIGS[3].reschedule_baseline
+
+
+def test_experiment_registry_covers_all_artifacts():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "table2",
+        "table3",
+        "figure1",
+        "figure2",
+        "figure3",
+    }
+
+
+@pytest.mark.parametrize("bench_name", ["130.li", "101.tomcatv"])
+def test_experiment_basic_shape(bench_name):
+    r = run_profiling_experiment(
+        bench_name, ExperimentConfig(trip_count=12)
+    )
+    # Instrumentation always costs; scheduling never exceeds plain
+    # instrumentation.
+    assert r.instrumented_cycles > r.uninstrumented_cycles
+    assert r.scheduled_cycles <= r.instrumented_cycles
+    assert r.text_expansion > 1.0
+
+
+def test_int_overhead_ratio_exceeds_fp():
+    """The paper's clearest contrast: profiling costs ~2.3x on integer
+    codes but only ~1.2x on FP codes (small vs large blocks)."""
+    li = run_profiling_experiment("130.li", ExperimentConfig(trip_count=12))
+    swim = run_profiling_experiment("102.swim", ExperimentConfig(trip_count=12))
+    assert li.instrumented_ratio > 1.8
+    assert swim.instrumented_ratio < 1.4
+    assert li.instrumented_ratio > swim.instrumented_ratio
+
+
+def test_fp_hides_more_than_int():
+    go = run_profiling_experiment("099.go", ExperimentConfig(trip_count=12))
+    tomcatv = run_profiling_experiment("101.tomcatv", ExperimentConfig(trip_count=12))
+    assert tomcatv.pct_hidden > go.pct_hidden
+
+
+def test_icache_model_reduces_hiding():
+    with_cache = run_profiling_experiment(
+        "126.gcc", ExperimentConfig(trip_count=12, model_icache=True)
+    )
+    without = run_profiling_experiment(
+        "126.gcc", ExperimentConfig(trip_count=12, model_icache=False)
+    )
+    # The i-cache penalty is not hideable, so it can only dilute the
+    # hidden fraction (and inflate the overhead ratio).
+    assert with_cache.instrumented_ratio >= without.instrumented_ratio
+    assert with_cache.pct_hidden <= without.pct_hidden + 1e-9
+
+
+def test_run_table_renders(capsys):
+    table = run_table(1, benchmarks=("130.li", "101.tomcatv"), trip_count=10)
+    text = table.render()
+    assert "Table 1" in text
+    assert "130.li" in text
+    assert "101.tomcatv" in text
+    assert "%" in text
+
+
+def test_table_averages():
+    table = TableResult(table=1, config=TABLE_CONFIGS[1])
+    table.rows = [
+        result(100, 200, 150),  # would need real names to count
+    ]
+    # Rows with unknown names fall outside both suites.
+    assert table.average_hidden("int") == 0.0
+
+
+def test_icache_model_validation():
+    with pytest.raises(ValueError):
+        ICacheModel(base_miss_rate=2.0)
+    with pytest.raises(ValueError):
+        ICacheModel(base_miss_rate=0.01, miss_penalty=-1)
+    model = ICacheModel(base_miss_rate=0.01)
+    assert model.miss_rate(2.0) == pytest.approx(0.04)
+    with pytest.raises(ValueError):
+        model.miss_rate(0.5)
+    assert model.penalty_cycles(1000, 2.0) == 400
+
+
+def test_cycles_to_seconds_scaling():
+    from repro.evaluation import cycles_to_seconds, speedup
+
+    assert cycles_to_seconds(50_000_000, "supersparc") == pytest.approx(1.0)
+    assert cycles_to_seconds(167_000_000, "ultrasparc") == pytest.approx(1.0)
+    assert speedup("ultrasparc", "supersparc") == pytest.approx(3.34)
+    with pytest.raises(KeyError):
+        cycles_to_seconds(1, "pentium")

@@ -1,0 +1,30 @@
+"""Sweep-API tests (small sizes keep them fast; the benches do the
+full-resolution versions)."""
+
+from repro.evaluation import block_size_sweep, width_sweep
+from repro.workloads import WorkloadSpec, generate
+
+
+def test_block_size_sweep_shape():
+    points = block_size_sweep(sizes=(3.0, 12.0), trip_count=10)
+    assert [p.knob for p in points] == [3.0, 12.0]
+    small, large = points
+    # Bigger blocks: cheaper instrumentation, easier hiding.
+    assert small.instrumented_ratio > large.instrumented_ratio
+    assert large.pct_hidden > small.pct_hidden
+
+
+def test_width_sweep_shape():
+    program = generate(
+        WorkloadSpec(
+            name="w", seed=3, kind="int", avg_block_size=3.0, loops=3, trip_count=10
+        )
+    )
+    points = width_sweep(widths=(1, 4), program=program)
+    one, four = points
+    assert one.width == 1 and four.width == 4
+    # Scheduled instrumentation is cheaper per instruction on the wider
+    # machine, and never more expensive than unscheduled.
+    assert four.cost_per_added_scheduled <= one.cost_per_added_scheduled
+    for point in points:
+        assert point.cost_per_added_scheduled <= point.cost_per_added_unscheduled + 1e-9

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; if an API change breaks one,
+this is where it surfaces. The heavyweight sweep scripts are exercised
+through their argument parsing and a reduced invocation.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,needle",
+    [
+        ("quickstart.py", "overhead hidden by scheduling"),
+        ("profiling_tool.py", "all kernels verified"),
+        ("custom_machine.py", "generated pipeline_stalls module"),
+        ("visualize_schedule.py", "issue cycles"),
+        ("error_checking.py", "null-base dereferences detected"),
+    ],
+)
+def test_example_runs(name, needle):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert needle in result.stdout
+
+
+def test_reproduce_tables_help():
+    result = run_example("reproduce_tables.py", "--help")
+    assert result.returncode == 0
+    assert "Table" in result.stdout or "table" in result.stdout
+
+
+def test_reproduce_tables_small_run():
+    result = run_example("reproduce_tables.py", "1", "--trips", "4", timeout=420)
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout
+    assert "CFP95 Average" in result.stdout
+    assert "paper averages" in result.stdout

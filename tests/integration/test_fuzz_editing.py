@@ -1,0 +1,105 @@
+"""Editing/scheduling fuzz over randomly generated programs.
+
+For random synthetic workloads: identity edits, instrumentation, and
+instrumentation-with-scheduling must preserve behaviour (memory contents
+and work registers), profiling counts must stay exact, and CFG structure
+must survive re-layout. These are the editor-integrity invariants from
+DESIGN.md §5, driven by hypothesis across the generator's whole
+parameter space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockScheduler
+from repro.eel import build_cfg, identity_edit
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads import WorkloadSpec, generate
+
+_MODELS = {name: load_machine(name) for name in ("hypersparc", "ultrasparc")}
+
+
+@st.composite
+def _specs(draw):
+    kind = draw(st.sampled_from(["int", "fp"]))
+    return WorkloadSpec(
+        name="fuzz",
+        seed=draw(st.integers(0, 2**16)),
+        kind=kind,
+        avg_block_size=draw(st.floats(2.2, 6.0)) if kind == "int" else draw(st.floats(6.0, 20.0)),
+        loops=draw(st.integers(1, 4)),
+        trip_count=draw(st.integers(2, 10)),
+        diamond_prob=draw(st.floats(0.0, 1.0)),
+        chain_density=draw(st.floats(0.0, 0.9)),
+        load_fraction=draw(st.floats(0.0, 0.5)),
+        store_fraction=draw(st.floats(0.0, 0.3)),
+        call_prob=draw(st.floats(0.0, 0.6)),
+    )
+
+
+def _observable(run_result):
+    """Program-visible state: memory outside the profiling counter
+    segment (counters legitimately differ), work registers, FP file.
+    %g6/%g7 are excluded — they are QPT's reserved scratch."""
+    from repro.qpt import COUNTER_BASE
+
+    state = run_result.state
+    memory = {
+        address: value
+        for address, value in state.memory.snapshot().items()
+        if not COUNTER_BASE <= address < COUNTER_BASE + 0x10000
+    }
+    return (
+        memory,
+        [state.get_reg(i) for i in range(1, 6)],
+        [state.get_reg(i) for i in range(16, 24)],
+        state.fregs,
+    )
+
+
+@given(spec=_specs())
+@settings(max_examples=30, deadline=None)
+def test_identity_edit_behaviour_identical(spec):
+    program = generate(spec)
+    original = _observable(program.executable.run())
+    edited = _observable(identity_edit(program.executable).run())
+    assert original == edited
+
+
+@given(spec=_specs(), machine=st.sampled_from(sorted(_MODELS)))
+@settings(max_examples=25, deadline=None)
+def test_scheduled_profiling_preserves_behaviour_and_counts(spec, machine):
+    program = generate(spec)
+    truth = program.executable.run(count_executions=True)
+    cfg = build_cfg(program.executable)
+    expected_counts = {b.index: truth.count_at(b.address) for b in cfg}
+
+    profiled = SlowProfiler(program.executable).instrument(
+        BlockScheduler(_MODELS[machine])
+    )
+    result = profiled.run()
+    assert _observable(truth) == _observable(result)
+    assert profiled.block_counts(result) == expected_counts
+
+
+@given(spec=_specs())
+@settings(max_examples=30, deadline=None)
+def test_cfg_invariants(spec):
+    program = generate(spec)
+    cfg = build_cfg(program.executable)
+    text_instructions = program.executable.instruction_count
+    # Blocks partition the text.
+    assert sum(b.instruction_count for b in cfg) == text_instructions
+    addresses = sorted(b.address for b in cfg)
+    assert len(addresses) == len(set(addresses))
+    # Edge symmetry: every successor edge appears in the target's preds.
+    for block in cfg:
+        for edge in block.succs:
+            assert edge in cfg.blocks[edge.dst].preds
+        for edge in block.preds:
+            assert edge in cfg.blocks[edge.src].succs
+    # Analytic frequencies equal functional counts.
+    run = program.executable.run(count_executions=True)
+    for block in cfg:
+        assert run.count_at(block.address) == program.frequencies[block.index]

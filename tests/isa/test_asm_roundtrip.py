@@ -1,0 +1,98 @@
+"""Property: the assembler parses exactly what the formatter prints.
+
+``format_instruction`` is EEL's human-facing view of an instruction; the
+assembler is the human-facing way in. For every non-control instruction
+we support, text -> parse -> instruction must be the identity.
+(Control transfers are excluded: their displacements print as raw word
+offsets rather than labels.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, assemble, f, format_instruction, r
+from repro.isa.opcodes import Category, Format, Slot, all_mnemonics, lookup
+
+_ROUNDTRIPPABLE = [
+    m
+    for m in all_mnemonics()
+    if not lookup(m).is_control and lookup(m).fmt is not Format.CALL
+]
+
+
+def _strategy(mnemonic):
+    info = lookup(mnemonic)
+    kinds = info.operand_kinds
+
+    def reg_for(slot):
+        if slot not in kinds:
+            return st.none()
+        if kinds[slot] == "f":
+            if info.fp_width == 2:
+                return st.integers(0, 15).map(lambda i: f(2 * i))
+            return st.integers(0, 31).map(f)
+        return st.integers(0, 31).map(r)
+
+    if mnemonic == "nop":
+        return st.just(Instruction("nop", imm=0))
+    if mnemonic == "sethi":
+        return st.builds(
+            Instruction,
+            mnemonic=st.just(mnemonic),
+            rd=st.integers(1, 31).map(r),
+            imm=st.integers(0, (1 << 22) - 1),
+        )
+    if info.fmt is Format.FPOP:
+        return st.builds(
+            Instruction,
+            mnemonic=st.just(mnemonic),
+            rd=reg_for(Slot.RD),
+            rs1=reg_for(Slot.RS1),
+            rs2=reg_for(Slot.RS2),
+        )
+    if info.memory is not None:
+        # Loads/stores: [base + imm] or [base + reg].
+        base = dict(
+            mnemonic=st.just(mnemonic),
+            rd=reg_for(Slot.RD),
+            rs1=st.integers(0, 31).map(r),
+        )
+        return st.one_of(
+            st.builds(Instruction, imm=st.integers(-4096, 4095), **base),
+            st.builds(Instruction, rs2=st.integers(1, 31).map(r), **base),
+        )
+    base = dict(
+        mnemonic=st.just(mnemonic),
+        rd=reg_for(Slot.RD),
+        rs1=reg_for(Slot.RS1),
+    )
+    if Slot.RS2 in kinds:
+        return st.one_of(
+            st.builds(Instruction, rs2=st.integers(0, 31).map(r), **base),
+            st.builds(Instruction, imm=st.integers(-4096, 4095), **base),
+        )
+    return st.builds(Instruction, **base)
+
+
+_instructions = st.sampled_from(_ROUNDTRIPPABLE).flatmap(_strategy)
+
+
+@given(_instructions)
+@settings(max_examples=400, deadline=None)
+def test_format_assemble_roundtrip(inst):
+    text = format_instruction(inst)
+    parsed = assemble(text)
+    assert len(parsed) == 1
+    again = parsed[0].with_seq(-1)
+    assert again == inst.with_seq(-1), f"{text!r} -> {again}"
+
+
+def test_memory_zero_offset_roundtrip():
+    # 'ld [%o0], %o1' prints without the +0 but must parse back equal.
+    inst = Instruction("ld", rd=r(9), rs1=r(8), imm=0)
+    assert assemble(format_instruction(inst))[0].with_seq(-1) == inst.with_seq(-1)
+
+
+def test_negative_offset_roundtrip():
+    inst = Instruction("st", rd=r(9), rs1=r(8), imm=-64)
+    assert assemble(format_instruction(inst))[0].with_seq(-1) == inst.with_seq(-1)

@@ -1,0 +1,235 @@
+"""Assembler and whole-program simulator tests."""
+
+import pytest
+
+from repro.isa import (
+    AsmError,
+    Instruction,
+    MachineState,
+    SimulationLimit,
+    Simulator,
+    assemble,
+    r,
+)
+from repro.isa.simulator import STOP_ADDRESS
+
+
+def run(source, *, state=None, base=0x1000, count=False, fuel=2_000_000):
+    program = assemble(source, base_address=base)
+    sim = Simulator.from_instructions(program, base_address=base)
+    return sim.run(
+        base, state=state, count_executions=count, max_instructions=fuel
+    )
+
+
+def test_assemble_basic():
+    insts = assemble("add %g1, %g2, %g3\nsub %g3, 1, %g4")
+    assert insts[0] == Instruction("add", rd=r(3), rs1=r(1), rs2=r(2), seq=0)
+    assert insts[1] == Instruction("sub", rd=r(4), rs1=r(3), imm=1, seq=1)
+
+
+def test_assemble_memory_forms():
+    insts = assemble(
+        """
+        ld [%o0 + 4], %o1
+        ld [%o0 - 4], %o2
+        ld [%o0 + %o3], %o4
+        st %o1, [%o0]
+        """
+    )
+    assert insts[0].imm == 4
+    assert insts[1].imm == -4
+    assert insts[2].rs2 == r(11)
+    assert insts[3].memory == "store"
+    assert insts[3].imm == 0
+
+
+def test_assemble_labels_and_branches():
+    insts = assemble(
+        """
+        loop:   subcc %o0, 1, %o0
+                bne loop
+                nop
+        """
+    )
+    assert insts[1].imm == -1  # one word back
+
+
+def test_forward_branch():
+    insts = assemble(
+        """
+            ba done
+            nop
+            add %g1, 1, %g1
+        done:
+            nop
+        """
+    )
+    assert insts[0].imm == 3
+
+
+def test_set_pseudo_expands():
+    insts = assemble("set 0x12345678, %g1")
+    assert len(insts) == 2
+    assert insts[0].mnemonic == "sethi"
+    assert insts[1].mnemonic == "or"
+    small = assemble("set 100, %g1")
+    assert len(small) == 1
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AsmError):
+        assemble("ba nowhere\nnop")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AsmError):
+        assemble("x: nop\nx: nop")
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AsmError):
+        assemble("bogus %g1, %g2")
+
+
+def test_comments_ignored():
+    insts = assemble("! whole line\nadd %g1, 1, %g1  ! trailing\n# hash comment")
+    assert len(insts) == 1
+
+
+def test_simple_loop_sums_1_to_10():
+    result = run(
+        """
+            clr %o1             ! sum = 0
+            mov 10, %o0         ! i = 10
+        loop:
+            add %o1, %o0, %o1   ! sum += i
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            retl
+            nop
+        """
+    )
+    assert result.state.get_reg(9) == 55
+
+
+def test_annulled_delay_slot_untaken():
+    # bne,a: the delay slot executes only when the branch is taken.
+    result = run(
+        """
+            clr %o0
+            cmp %o0, 0          ! equal -> bne untaken
+            bne,a skip
+            add %o0, 100, %o0   ! must be annulled
+            add %o0, 1, %o0
+        skip:
+            retl
+            nop
+        """
+    )
+    assert result.state.get_reg(8) == 1
+
+
+def test_annulled_delay_slot_taken():
+    result = run(
+        """
+            clr %o0
+            cmp %o0, 1          ! not equal -> bne taken
+            bne,a skip
+            add %o0, 100, %o0   ! executes (taken)
+            add %o0, 1, %o0     ! skipped
+        skip:
+            retl
+            nop
+        """
+    )
+    assert result.state.get_reg(8) == 100
+
+
+def test_ba_annul_always_annuls():
+    result = run(
+        """
+            clr %o0
+            ba,a skip
+            add %o0, 100, %o0   ! always annulled
+        skip:
+            retl
+            nop
+        """
+    )
+    assert result.state.get_reg(8) == 0
+
+
+def test_delay_slot_executes_for_plain_branch():
+    result = run(
+        """
+            clr %o0
+            ba skip
+            add %o0, 7, %o0     ! delay slot: executes
+        skip:
+            retl
+            nop
+        """
+    )
+    assert result.state.get_reg(8) == 7
+
+
+def test_call_and_return():
+    result = run(
+        """
+            mov %o7, %l1        ! save the sentinel return address
+            call func
+            mov 5, %o0          ! delay slot sets the argument
+            mov %l1, %o7        ! restore it
+            retl
+            nop
+        func:
+            add %o0, 1, %o0
+            jmpl %o7 + 8, %g0   ! return
+            nop
+        """
+    )
+    assert result.state.get_reg(8) == 6
+
+
+def test_execution_counts():
+    result = run(
+        """
+            mov 3, %o0
+        loop:
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            retl
+            nop
+        """,
+        count=True,
+    )
+    # loop body at 0x1004 executes 3 times.
+    assert result.count_at(0x1004) == 3
+    assert result.count_at(0x1000) == 1
+
+
+def test_runaway_loop_hits_fuel_limit():
+    with pytest.raises(SimulationLimit):
+        run("loop: ba loop\nnop", fuel=1000)
+
+
+def test_memory_visible_after_run():
+    state = MachineState()
+    state.set_reg(8, 0x2000)
+    result = run(
+        """
+            mov 42, %o1
+            st %o1, [%o0 + 8]
+            retl
+            nop
+        """,
+        state=state,
+    )
+    assert result.state.memory.read_word(0x2008) == 42
+
+
+def test_stop_address_constant_is_aligned():
+    assert STOP_ADDRESS % 4 == 0

@@ -1,0 +1,59 @@
+"""Disassembly-listing tests."""
+
+from repro.eel import Executable, Symbol, TEXT_BASE
+from repro.isa import assemble, disassemble_executable, format_listing
+
+
+def test_listing_has_addresses_and_words():
+    exe = Executable.from_instructions(
+        assemble("add %g1, 1, %g1\nretl\nnop", base_address=TEXT_BASE)
+    )
+    text = disassemble_executable(exe)
+    assert "0x00010000" in text
+    assert "add %g1, 1, %g1" in text
+    # Encoded word present in hex.
+    assert len([line for line in text.splitlines() if ":" in line]) >= 3
+
+
+def test_branch_targets_get_labels():
+    exe = Executable.from_instructions(
+        assemble(
+            """
+            loop:
+                subcc %o0, 1, %o0
+                bne loop
+                nop
+                retl
+                nop
+            """,
+            base_address=TEXT_BASE,
+        )
+    )
+    text = disassemble_executable(exe)
+    assert "L0:" in text
+    assert "bne L0" in text
+
+
+def test_symbols_override_generated_labels():
+    program = assemble("main: ba main\nnop", base_address=TEXT_BASE)
+    exe = Executable.from_instructions(
+        program, symbols=[Symbol("main", TEXT_BASE)]
+    )
+    text = disassemble_executable(exe)
+    assert "main:" in text
+    assert "ba main" in text
+
+
+def test_words_can_be_hidden():
+    exe = Executable.from_instructions(
+        assemble("nop", base_address=TEXT_BASE)
+    )
+    with_words = disassemble_executable(exe)
+    without = disassemble_executable(exe, show_words=False)
+    assert len(without) < len(with_words)
+
+
+def test_format_listing_raw():
+    program = assemble("add %g1, %g2, %g3")
+    text = format_listing([(0, program[0])])
+    assert "add %g1, %g2, %g3" in text

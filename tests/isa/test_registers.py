@@ -1,0 +1,84 @@
+"""Unit tests for the SPARC register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    FCC,
+    G0,
+    ICC,
+    O7,
+    SP,
+    Reg,
+    RegKind,
+    f,
+    parse_reg,
+    r,
+)
+
+
+def test_g0_is_zero_register():
+    assert G0.is_zero
+    assert not r(1).is_zero
+    assert not f(0).is_zero
+
+
+def test_bank_names():
+    assert r(0).name == "%g0"
+    assert r(7).name == "%g7"
+    assert r(8).name == "%o0"
+    assert r(15).name == "%o7"
+    assert r(16).name == "%l0"
+    assert r(24).name == "%i0"
+    assert r(31).name == "%i7"
+    assert f(12).name == "%f12"
+
+
+def test_special_registers():
+    assert ICC.kind is RegKind.ICC
+    assert FCC.kind is RegKind.FCC
+    assert O7 == r(15)
+    assert SP == r(14)
+
+
+def test_index_bounds():
+    with pytest.raises(ValueError):
+        r(32)
+    with pytest.raises(ValueError):
+        f(-1)
+    with pytest.raises(ValueError):
+        Reg(RegKind.ICC, 1)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("%g0", r(0)),
+        ("%o3", r(11)),
+        ("%l5", r(21)),
+        ("%i7", r(31)),
+        ("%r17", r(17)),
+        ("%f31", f(31)),
+        ("%sp", r(14)),
+        ("%fp", r(30)),
+        ("%SP", r(14)),
+    ],
+)
+def test_parse_reg(text, expected):
+    assert parse_reg(text) == expected
+
+
+@pytest.mark.parametrize("text", ["o3", "%x3", "%o8", "%g", "%f32", "42"])
+def test_parse_reg_rejects(text):
+    with pytest.raises(ValueError):
+        parse_reg(text)
+
+
+def test_parse_roundtrips_names():
+    for index in range(32):
+        assert parse_reg(r(index).name) == r(index)
+        assert parse_reg(f(index).name) == f(index)
+
+
+def test_regs_are_hashable_and_ordered():
+    assert len({r(1), r(1), r(2)}) == 2
+    assert sorted([f(2), f(1)]) == [f(1), f(2)]

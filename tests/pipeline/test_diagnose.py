@@ -1,0 +1,82 @@
+"""Stall-diagnosis tests: the explanation must match the stall count and
+name the hazard a human would name."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, f, r
+from repro.pipeline import (
+    PipelineState,
+    explain_stall,
+    issue,
+    pipeline_stalls,
+    stall_breakdown,
+)
+from repro.spawn import load_machine
+
+MODEL = load_machine("ultrasparc")
+
+
+def fresh():
+    return PipelineState(MODEL)
+
+
+def test_no_hazard_on_empty_pipeline():
+    state = fresh()
+    assert explain_stall(0, state, Instruction("add", rd=r(1), rs1=r(2), imm=1)) is None
+
+
+def test_raw_hazard_named():
+    state = fresh()
+    issue(0, state, Instruction("ld", rd=r(3), rs1=r(30), imm=0))
+    hazard = explain_stall(0, state, Instruction("add", rd=r(4), rs1=r(3), imm=1))
+    assert hazard is not None
+    assert hazard.kind == "raw"
+    assert hazard.register == r(3)
+    assert "RAW" in str(hazard)
+
+
+def test_structural_hazard_named():
+    state = fresh()
+    issue(0, state, Instruction("ld", rd=r(3), rs1=r(30), imm=0))
+    hazard = explain_stall(0, state, Instruction("ld", rd=r(4), rs1=r(30), imm=4))
+    assert hazard is not None
+    assert hazard.kind == "structural"
+    assert hazard.unit == "LSU"
+    assert "structural" in str(hazard)
+
+
+def test_breakdown_length_equals_stalls():
+    state = fresh()
+    issue(0, state, Instruction("fdivd", rd=f(0), rs1=f(2), rs2=f(4)))
+    consumer = Instruction("faddd", rd=f(6), rs1=f(0), rs2=f(8))
+    stalls = pipeline_stalls(0, state, consumer)
+    hazards = stall_breakdown(0, state, consumer)
+    assert len(hazards) == stalls
+    assert all(h.kind == "raw" for h in hazards)
+
+
+_SAMPLES = [
+    Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+    Instruction("ld", rd=r(4), rs1=r(30), imm=8),
+    Instruction("st", rd=r(4), rs1=r(30), imm=8),
+    Instruction("subcc", rd=r(0), rs1=r(3), imm=1),
+    Instruction("be", imm=4),
+    Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4)),
+    Instruction("sethi", rd=r(1), imm=0x40),
+]
+
+
+@given(indexes=st.lists(st.integers(0, len(_SAMPLES) - 1), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_breakdown_always_matches_stall_count(indexes):
+    """Property: for any pipeline state, the number of explained hazard
+    cycles equals pipeline_stalls' answer."""
+    state = fresh()
+    cycle = 0
+    for i in indexes[:-1]:
+        cycle = issue(cycle, state, _SAMPLES[i]).issue_cycle
+    candidate = _SAMPLES[indexes[-1]]
+    stalls = pipeline_stalls(cycle, state, candidate)
+    assert len(stall_breakdown(cycle, state, candidate)) == stalls

@@ -1,0 +1,119 @@
+"""Trace-driven timing tests (timed_run)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eel import Executable, TEXT_BASE
+from repro.isa import Instruction, assemble, f, r
+from repro.pipeline import PipelineState, timed_run, walk
+from repro.spawn import load_machine
+
+ULTRA = load_machine("ultrasparc")
+HYPER = load_machine("hypersparc")
+
+
+def make(source):
+    return Executable.from_instructions(assemble(source, base_address=TEXT_BASE))
+
+
+LOOP = """
+        set 10, %o0
+    loop:
+        ld [%i0], %o1
+        add %o1, 1, %o2
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+
+def test_cycles_at_least_instructions_over_width():
+    exe = make(LOOP)
+    run = timed_run(ULTRA, exe)
+    assert run.instructions == 1 + 10 * 5 + 2  # set + 10 iterations + retl/nop
+    assert run.cycles >= run.instructions / 4  # 4-wide ceiling
+    assert 0 < run.ipc <= 4.0
+
+
+def test_narrower_machine_is_slower():
+    exe = make(LOOP)
+    assert timed_run(HYPER, exe).cycles >= timed_run(ULTRA, exe).cycles
+
+
+def test_stalls_carry_across_blocks():
+    # A load at a block's end stalls its use at the next block's top —
+    # invisible to per-block timing, visible to the trace.
+    dependent = make(
+        """
+            ld [%i0], %o1
+            ba next
+            nop
+        next:
+            add %o1, 1, %o2
+            add %o2, 1, %o3
+            add %o3, 1, %o4
+            retl
+            nop
+        """
+    )
+    independent = make(
+        """
+            ld [%i0], %o1
+            ba next
+            nop
+        next:
+            add %l1, 1, %o2
+            add %l2, 1, %o3
+            add %l3, 1, %o4
+            retl
+            nop
+        """
+    )
+    assert timed_run(ULTRA, dependent).cycles > timed_run(ULTRA, independent).cycles
+
+
+def test_timed_run_returns_functional_result():
+    exe = make(LOOP)
+    run = timed_run(ULTRA, exe, count_executions=True)
+    assert run.result.state.get_reg(10) > 0  # %o2 got a value
+    assert run.result.count_at(TEXT_BASE + 8) == 10  # loop head
+
+
+def test_determinism():
+    exe = make(LOOP)
+    assert timed_run(ULTRA, exe).cycles == timed_run(ULTRA, exe).cycles
+
+
+_SAMPLES = [
+    Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+    Instruction("ld", rd=r(4), rs1=r(30), imm=8),
+    Instruction("st", rd=r(4), rs1=r(30), imm=8),
+    Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4)),
+    Instruction("subcc", rd=r(0), rs1=r(3), imm=1),
+]
+
+
+@given(
+    history=st.lists(st.integers(0, len(_SAMPLES) - 1), max_size=6),
+    candidate=st.integers(0, len(_SAMPLES) - 1),
+    delay=st.integers(0, 5),
+)
+@settings(max_examples=100, deadline=None)
+def test_issue_cycle_monotone_in_start(history, candidate, delay):
+    """Property: asking to issue later never yields an earlier issue
+    cycle, and issuing at s always gives issue_cycle >= s."""
+    from repro.pipeline import issue
+
+    state = PipelineState(ULTRA)
+    cycle = 0
+    for index in history:
+        cycle = issue(cycle, state, _SAMPLES[index]).issue_cycle
+    timing = ULTRA.timing(_SAMPLES[candidate])
+    early = walk(cycle, state, timing).issue_cycle
+    late = walk(cycle + delay, state, timing).issue_cycle
+    assert early >= cycle
+    assert late >= cycle + delay
+    assert late >= early

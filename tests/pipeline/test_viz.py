@@ -1,0 +1,47 @@
+"""Pipeline-visualization tests (structure, not aesthetics)."""
+
+from repro.isa import TAG_INSTRUMENTATION, assemble
+from repro.pipeline import schedule_chart, unit_occupancy
+from repro.spawn import load_machine
+
+MACHINE = load_machine("ultrasparc")
+
+
+def test_chart_one_row_per_instruction():
+    block = assemble("add %o0, 1, %o0\nld [%o0], %o1\nadd %o1, 1, %o2")
+    chart = schedule_chart(MACHINE, block)
+    rows = [line for line in chart.splitlines() if "I" in line and "%" in line]
+    assert len(rows) == 3
+    assert "issue cycles" in chart
+
+
+def test_instrumentation_marked():
+    block = assemble("add %o0, 1, %o0")
+    tagged = [i.retag(TAG_INSTRUMENTATION) for i in assemble("add %l0, 1, %l0")]
+    chart = schedule_chart(MACHINE, tagged + block)
+    assert any(line.startswith("+") for line in chart.splitlines())
+
+
+def test_issue_cycle_marks_position():
+    # Two dependent adds: the second 'I' is one column right of the first.
+    block = assemble("add %o0, 1, %o1\nadd %o1, 1, %o2")
+    chart = schedule_chart(MACHINE, block)
+    rows = [line for line in chart.splitlines() if "I" in line]
+    first = rows[0].index("I")
+    second = rows[1].index("I")
+    assert second == first + 1
+
+
+def test_unit_occupancy_lists_all_units():
+    block = assemble("ld [%o0], %o1\nst %o1, [%o0 + 4]")
+    table = unit_occupancy(MACHINE, block)
+    for unit in MACHINE.units:
+        assert unit in table
+    # The LSU is busy at least one cycle.
+    lsu_row = next(l for l in table.splitlines() if l.startswith("LSU "))
+    assert "1" in lsu_row
+
+
+def test_empty_block():
+    chart = schedule_chart(MACHINE, [])
+    assert "0 instructions" in chart

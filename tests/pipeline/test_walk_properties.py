@@ -1,0 +1,86 @@
+"""Walk/issue agreement and occupancy-conservation properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, f, r
+from repro.pipeline import PipelineState, issue, walk
+from repro.spawn import MACHINES, load_machine
+
+_MODELS = {name: load_machine(name) for name in MACHINES}
+
+_SAMPLES = [
+    Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+    Instruction("add", rd=r(1), rs1=r(3), imm=1),
+    Instruction("ld", rd=r(4), rs1=r(30), imm=8),
+    Instruction("st", rd=r(4), rs1=r(30), imm=8),
+    Instruction("sethi", rd=r(5), imm=0x100),
+    Instruction("subcc", rd=r(0), rs1=r(3), imm=1),
+    Instruction("be", imm=4),
+    Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4)),
+    Instruction("fmuld", rd=f(6), rs1=f(0), rs2=f(8)),
+    Instruction("nop", imm=0),
+]
+
+
+@given(
+    machine=st.sampled_from(MACHINES),
+    indexes=st.lists(st.integers(0, len(_SAMPLES) - 1), min_size=1, max_size=12),
+)
+@settings(max_examples=120, deadline=None)
+def test_walk_predicts_issue(machine, indexes):
+    """The pure query (walk) and the committing operation (issue) must
+    agree on every instruction's issue cycle — the paper generated both
+    from the same annotations to guarantee exactly this."""
+    model = _MODELS[machine]
+    state = PipelineState(model)
+    cycle = 0
+    for index in indexes:
+        inst = _SAMPLES[index]
+        predicted = walk(cycle, state, model.timing(inst))
+        committed = issue(cycle, state, inst)
+        assert predicted.issue_cycle == committed.issue_cycle
+        assert predicted.stalls == committed.stalls
+        assert predicted.completion_cycle == committed.completion_cycle
+        cycle = committed.issue_cycle
+
+
+@given(
+    machine=st.sampled_from(MACHINES),
+    indexes=st.lists(st.integers(0, len(_SAMPLES) - 1), min_size=1, max_size=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_unit_occupancy_never_negative(machine, indexes):
+    """Committing any instruction sequence never over-subscribes a unit
+    (the timeline would raise on a negative free count)."""
+    model = _MODELS[machine]
+    state = PipelineState(model)
+    cycle = 0
+    for index in indexes:
+        cycle = issue(cycle, state, _SAMPLES[index]).issue_cycle
+    horizon = cycle + 40
+    for c in range(horizon):
+        for unit, unit_index in model.unit_index.items():
+            free = state.free_units(c, unit_index)
+            assert 0 <= free <= model.units[unit], (unit, c)
+
+
+@given(
+    machine=st.sampled_from(MACHINES),
+    indexes=st.lists(st.integers(0, len(_SAMPLES) - 1), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_everything_eventually_released(machine, indexes):
+    """Far beyond the last instruction, every unit is fully free: every
+    acquire was paired with (or closed into) a release."""
+    model = _MODELS[machine]
+    state = PipelineState(model)
+    cycle = 0
+    completion = 0
+    for index in indexes:
+        result = issue(cycle, state, _SAMPLES[index])
+        cycle = result.issue_cycle
+        completion = max(completion, result.completion_cycle)
+    far = completion + 64
+    for unit, unit_index in model.unit_index.items():
+        assert state.free_units(far, unit_index) == model.units[unit]

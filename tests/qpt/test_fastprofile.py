@@ -1,0 +1,165 @@
+"""Ball–Larus fast-profiling tests: derived edge and block counts must
+be exact, with fewer counters than slow profiling uses."""
+
+import pytest
+
+from repro.core import BlockScheduler
+from repro.eel import Executable, Symbol, TEXT_BASE, build_cfg
+from repro.isa import assemble
+from repro.qpt import FastProfiler, SlowProfiler
+from repro.spawn import load_machine
+
+DIAMOND_LOOP = """
+        clr %o3
+        mov 10, %o0
+    loop:
+        andcc %o0, 1, %g0
+        be even
+        nop
+        add %o3, %o0, %o3
+        ba join
+        nop
+    even:
+        add %o3, 2, %o3
+    join:
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+CALL_PROGRAM = """
+    main:
+        mov %o7, %l1
+        mov 6, %o0
+    mloop:
+        call helper
+        nop
+        subcc %o0, 1, %o0
+        bne mloop
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    helper:
+        add %o1, 1, %o1
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def make(source, symbols=()):
+    return Executable.from_instructions(
+        assemble(source, base_address=TEXT_BASE),
+        symbols=[Symbol(n, TEXT_BASE + 4 * i) for n, i in symbols],
+    )
+
+
+def ground_truth(exe):
+    """True block counts and (src,dst) edge transition counts."""
+    cfg = build_cfg(exe)
+    leaders = {b.address: b.index for b in cfg}
+    transitions = {}
+    previous = [None]
+
+    def hook(address, inst):
+        block = leaders.get(address)
+        if block is None:
+            return
+        if previous[0] is not None:
+            key = (previous[0], block)
+            transitions[key] = transitions.get(key, 0) + 1
+        previous[0] = block
+
+    result = exe.run(count_executions=True, on_execute=hook)
+    blocks = {b.index: result.count_at(b.address) for b in cfg}
+    return blocks, transitions, result
+
+
+def test_edge_counts_exact_on_diamond_loop():
+    exe = make(DIAMOND_LOOP)
+    true_blocks, true_edges, reference = ground_truth(exe)
+    profiled = FastProfiler(exe).instrument()
+    result = profiled.run()
+
+    # Behaviour preserved.
+    assert result.state.get_reg(11) == reference.state.get_reg(11)
+
+    edges = profiled.edge_counts(result)
+    for edge, count in edges.items():
+        if edge.is_virtual:
+            continue
+        if edge.is_exit:
+            # A return edge fires once per execution of its block.
+            assert count == true_blocks[edge.src], edge
+            continue
+        assert count == true_edges.get((edge.src, edge.dst), 0), edge
+
+
+def test_block_counts_exact():
+    exe = make(DIAMOND_LOOP)
+    true_blocks, _, _ = ground_truth(exe)
+    profiled = FastProfiler(exe).instrument()
+    counts = profiled.block_counts(profiled.run())
+    assert counts == true_blocks
+
+
+def test_fewer_counters_than_slow_profiling():
+    exe = make(DIAMOND_LOOP)
+    fast = FastProfiler(exe).instrument()
+    slow = SlowProfiler(exe, skip_redundant=True).instrument()
+    assert fast.counters_used < len(slow.plan.instrumented)
+    cfg = build_cfg(exe)
+    total_edges = sum(len(b.succs) for b in cfg)
+    assert fast.counters_used < total_edges  # the spanning tree saves
+
+
+def test_hot_back_edge_left_uninstrumented():
+    exe = make(DIAMOND_LOOP)
+    profiled = FastProfiler(exe).instrument()
+    cfg = profiled.cfg
+    loop_head = next(b for b in cfg if any(e.dst < e.src for e in b.preds))
+    back_edges = [
+        e for e in profiled.counter_of if e.dst == loop_head.index and e.src > e.dst
+    ]
+    # The deepest edge (the back edge) rides the spanning tree.
+    assert back_edges == []
+
+
+def test_multi_routine_program():
+    exe = make(CALL_PROGRAM, symbols=[("main", 0), ("helper", 10)])
+    true_blocks, _, reference = ground_truth(exe)
+    profiled = FastProfiler(exe).instrument()
+    result = profiled.run()
+    assert result.state.get_reg(9) == reference.state.get_reg(9) == 6
+    counts = profiled.block_counts(result)
+    assert counts == true_blocks
+
+
+def test_virtual_entry_edge_counts_invocations():
+    exe = make(CALL_PROGRAM, symbols=[("main", 0), ("helper", 10)])
+    profiled = FastProfiler(exe).instrument()
+    edges = profiled.edge_counts(profiled.run())
+    helper_plan = next(p for p in profiled.plans if p.name == "helper")
+    virtual_in = next(
+        e for e in helper_plan.edges if e.is_virtual and e.dst == helper_plan.entry
+    )
+    assert edges[virtual_in] == 6  # helper called six times
+
+
+def test_fast_profiling_with_scheduling():
+    machine = load_machine("ultrasparc")
+    exe = make(DIAMOND_LOOP)
+    true_blocks, _, _ = ground_truth(exe)
+    profiled = FastProfiler(exe).instrument(BlockScheduler(machine))
+    counts = profiled.block_counts(profiled.run())
+    assert counts == true_blocks
+
+
+def test_kernels_survive_fast_profiling():
+    from repro.workloads import all_kernels
+
+    for kernel in all_kernels():
+        profiled = FastProfiler(kernel.executable).instrument()
+        assert kernel.check(profiled.run()), kernel.name

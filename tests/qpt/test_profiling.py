@@ -1,0 +1,153 @@
+"""End-to-end QPT profiling tests: the profiled program must behave
+identically AND report exact block execution counts — with and without
+the scheduler in the loop. This is the paper's Figure 3 flow verified
+functionally."""
+
+import pytest
+
+from repro.core import BlockScheduler, SchedulingPolicy
+from repro.eel import Executable, TEXT_BASE, build_cfg
+from repro.isa import assemble, r
+from repro.qpt import RESERVED_SCRATCH, SlowProfiler, counter_snippet, plan_placement
+from repro.spawn import load_machine
+
+PROGRAM = """
+        clr %o1
+        mov 10, %o0
+    loop:
+        andcc %o0, 1, %g0
+        be even
+        nop
+        add %o1, %o0, %o1     ! odd arm
+        ba join
+        nop
+    even:
+        add %o1, 2, %o1
+    join:
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        retl
+        nop
+"""
+
+
+def make_exe(source=PROGRAM):
+    return Executable.from_instructions(assemble(source, base_address=TEXT_BASE))
+
+
+def reference_counts(exe):
+    """Ground truth from the functional simulator."""
+    cfg = build_cfg(exe)
+    result = exe.run(count_executions=True)
+    return {b.index: result.count_at(b.address) for b in cfg}, result
+
+
+def test_counter_snippet_is_four_instructions():
+    snippet = counter_snippet(0x0C000010, r(6), r(7))
+    assert [i.mnemonic for i in snippet] == ["sethi", "ld", "add", "st"]
+    assert all(i.is_instrumentation for i in snippet)
+
+
+@pytest.mark.parametrize("skip_redundant", [True, False])
+def test_profiling_counts_are_exact(skip_redundant):
+    exe = make_exe()
+    truth, reference = reference_counts(exe)
+    profiled = SlowProfiler(exe, skip_redundant=skip_redundant).instrument()
+    result = profiled.run()
+    # Original behaviour preserved.
+    assert result.state.get_reg(9) == reference.state.get_reg(9)
+    # Counts exact for every block (including reconstructed ones).
+    assert profiled.block_counts(result) == truth
+
+
+@pytest.mark.parametrize("machine", ["hypersparc", "supersparc", "ultrasparc"])
+def test_profiling_with_scheduling_still_exact(machine):
+    exe = make_exe()
+    truth, reference = reference_counts(exe)
+    scheduler = BlockScheduler(load_machine(machine))
+    profiled = SlowProfiler(exe).instrument(scheduler)
+    result = profiled.run()
+    assert result.state.get_reg(9) == reference.state.get_reg(9)
+    assert profiled.block_counts(result) == truth
+    assert scheduler.stats.blocks > 0
+
+
+CALL_PROGRAM = """
+        mov %o7, %l1
+        mov 5, %o0
+        call helper
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    helper:
+        add %o0, 1, %o0
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def test_skip_rule_reduces_instrumentation():
+    # A call splits linear code: the return-point block has a single
+    # single-exit predecessor, so its count derives from the call block.
+    exe = make_exe(CALL_PROGRAM)
+    with_skip = SlowProfiler(exe, skip_redundant=True).instrument()
+    without = SlowProfiler(exe, skip_redundant=False).instrument()
+    assert with_skip.added_instructions < without.added_instructions
+    assert len(with_skip.plan.derived_from) > 0
+
+
+def test_skip_rule_counts_still_exact():
+    exe = make_exe(CALL_PROGRAM)
+    truth, _ = reference_counts(exe)
+    profiled = SlowProfiler(exe, skip_redundant=True).instrument()
+    assert profiled.block_counts(profiled.run()) == truth
+
+
+def test_diamond_cfg_needs_every_counter():
+    # In the loop-diamond program no block is redundant: both rules
+    # require an unconditional single-entry/single-exit pinch.
+    exe = make_exe()
+    profiled = SlowProfiler(exe, skip_redundant=True).instrument()
+    assert not profiled.plan.derived_from
+
+
+def test_placement_rules():
+    exe = make_exe()
+    cfg = build_cfg(exe)
+    plan = plan_placement(cfg)
+    # Every block's count is recoverable.
+    for block in cfg:
+        assert (
+            block.index in plan.instrumented or block.index in plan.derived_from
+        )
+    # Skipped blocks derive from an instrumented one.
+    for skipped, source in plan.derived_from.items():
+        assert source in plan.instrumented
+
+
+def test_text_expansion_factor():
+    exe = make_exe()
+    profiled = SlowProfiler(exe, skip_redundant=False).instrument()
+    # 4 instructions per block on a small program: text grows noticeably.
+    assert profiled.text_expansion > 1.5
+
+
+def test_reserved_scratch_used_when_everything_live():
+    # The tight return block keeps everything conservatively live.
+    exe = make_exe("add %o0, %o1, %o0\nretl\nnop")
+    profiled = SlowProfiler(exe).instrument()
+    for regs in profiled.scratch.values():
+        assert regs == RESERVED_SCRATCH
+
+
+def test_counts_survive_delay_slot_filling():
+    exe = make_exe()
+    truth, _ = reference_counts(exe)
+    scheduler = BlockScheduler(
+        load_machine("ultrasparc"), SchedulingPolicy(fill_delay_slots=True)
+    )
+    profiled = SlowProfiler(exe).instrument(scheduler)
+    result = profiled.run()
+    assert profiled.block_counts(result) == truth

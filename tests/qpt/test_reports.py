@@ -1,0 +1,74 @@
+"""Profile-report tests."""
+
+from repro.eel import Executable, Symbol, TEXT_BASE
+from repro.isa import assemble
+from repro.qpt import SlowProfiler, build_profile, profile_report
+
+PROGRAM = """
+    main:
+        clr %o1
+        set 20, %o0
+    loop:
+        add %o1, %o0, %o1
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        mov %o7, %l1
+        call helper
+        nop
+        mov %l1, %o7
+        retl
+        nop
+    helper:
+        add %o1, 1, %o1
+        jmpl %o7 + 8, %g0
+        nop
+"""
+
+
+def make_profiled():
+    program = assemble(PROGRAM, base_address=TEXT_BASE)
+    helper_index = 12  # instructions before the 'helper' label
+    exe = Executable.from_instructions(
+        program,
+        symbols=[
+            Symbol("main", TEXT_BASE),
+            Symbol("helper", TEXT_BASE + 4 * helper_index),
+        ],
+    )
+    profiled = SlowProfiler(exe).instrument()
+    return profiled, profiled.run()
+
+
+def test_hottest_block_is_the_loop():
+    profiled, result = make_profiled()
+    profile = build_profile(profiled, result)
+    hottest = profile.hottest(1)[0]
+    assert hottest.executions == 20
+    assert hottest.loop_depth == 1
+
+
+def test_total_dynamic_instructions_positive():
+    profiled, result = make_profiled()
+    profile = build_profile(profiled, result)
+    assert profile.total_dynamic_instructions > 20 * 3
+
+
+def test_routine_breakdown():
+    profiled, result = make_profiled()
+    profile = build_profile(profiled, result)
+    names = [routine.name for routine in profile.routines]
+    assert set(names) == {"main", "helper"}
+    main = next(r for r in profile.routines if r.name == "main")
+    helper = next(r for r in profile.routines if r.name == "helper")
+    assert main.dynamic_instructions > helper.dynamic_instructions
+    assert helper.executions == 1
+
+
+def test_report_renders():
+    profiled, result = make_profiled()
+    text = profile_report(profiled, result, top=5)
+    assert "hottest blocks" in text
+    assert "routines:" in text
+    assert "main" in text and "helper" in text
+    assert "*" in text  # the loop block's depth marker

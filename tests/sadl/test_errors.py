@@ -1,0 +1,97 @@
+"""SADL evaluator error-path tests — the diagnostics a description
+author actually hits."""
+
+import pytest
+
+from repro.sadl import DescriptionEvaluator, SadlEvalError, parse
+
+
+def evaluator(source):
+    return DescriptionEvaluator(parse(source))
+
+
+def trace(source, mnemonic="x", fields=None):
+    return evaluator(source).trace_for(mnemonic, fields)
+
+
+def test_apply_non_function():
+    with pytest.raises(SadlEvalError, match="cannot apply"):
+        trace("unit G 1\nsem [ x ] is AR G, y := 1 2")
+
+
+def test_index_non_indexable():
+    with pytest.raises(SadlEvalError, match="cannot index"):
+        trace("unit G 1\nsem [ x ] is AR G, y := G[0]")
+
+
+def test_invalid_register_index():
+    with pytest.raises(SadlEvalError, match="invalid register index"):
+        trace(
+            """
+            unit G 1
+            register untyped{32} R[32]
+            sem [ x ] is AR G, y := R[()]
+            """
+        )
+
+
+def test_assign_to_non_lvalue():
+    with pytest.raises(SadlEvalError, match="assignment target"):
+        trace("unit G 1\nsem [ x ] is AR G, 1[0] := 2")
+
+
+def test_ternary_non_integer_condition():
+    with pytest.raises(SadlEvalError, match="condition"):
+        trace("unit G 1\nsem [ x ] is AR G, (() ? 1 : 2)")
+
+
+def test_compare_requires_concrete_integers():
+    # rs1 is a symbolic field: comparing it is a decode-time error.
+    with pytest.raises(SadlEvalError, match="concrete"):
+        trace("unit G 1\nsem [ x ] is AR G, (rs1 = 1 ? 1 : 2)")
+
+
+def test_distribute_length_mismatch():
+    with pytest.raises(SadlEvalError, match="distributed"):
+        evaluator(r"unit G 1\nval [ a b c ] is (\x. x) @ [ 1 2 ]".replace(r"\n", "\n"))
+
+
+def test_command_outside_trace():
+    # Forcing a val with timing side effects outside any sem evaluation
+    # must be caught (there is no instruction trace to record into).
+    ev = evaluator("unit G 1\nval eager is AR G, ()")
+    with pytest.raises(SadlEvalError, match="outside an instruction trace"):
+        ev._eval_thunk(ev._env.lookup("eager"))
+
+
+def test_unit_operand_must_be_unit():
+    with pytest.raises(SadlEvalError, match="expected a unit"):
+        trace("unit G 1\nval notunit is 5\nsem [ x ] is A notunit, D 1")
+
+
+def test_command_result_is_not_applicable():
+    # 'A G w' parses as (A G) applied to w: commands yield the unit
+    # value, which cannot be applied.
+    with pytest.raises(SadlEvalError, match="cannot apply"):
+        trace(
+            """
+            unit G 2
+            val w is ()
+            sem [ x ] is A G w, D 1
+            """
+        )
+
+
+def test_field_defaults():
+    # iflag defaults to 0: the register path of a conditional is taken.
+    ev = evaluator(
+        """
+        unit G 1
+        register untyped{32} R[32]
+        sem [ x ] is AR G, D 1, y := (iflag = 1 ? #simm13 : R[rs2])
+        """
+    )
+    tr = ev.trace_for("x")
+    assert [(a.index, a.cycle) for a in tr.reads] == [("rs2", 1)]
+    tr = ev.trace_for("x", {"iflag": 1})
+    assert tr.reads == []

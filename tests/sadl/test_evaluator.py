@@ -1,0 +1,236 @@
+"""Evaluator tests, including the paper's Figure 2 walkthrough.
+
+The paper states what Spawn must infer from the Figure 2 description:
+"these instructions can be dual issued, execute in 3 cycles, read their
+operands in cycle 1, produce a value at the end of cycle 1 that
+subsequent instructions can use, and update the register file in
+cycle 2." The tests below pin exactly those facts.
+"""
+
+import pytest
+
+from repro.sadl import DescriptionEvaluator, SadlEvalError, parse
+
+FIGURE2 = r"""
+// *** Define processor resources (ROSS hyperSPARC) ***
+unit Group 2
+val multi is AR Group, ()
+val single is AR Group 2, ()
+unit ALU 1, ALUr 2, ALUw 1
+unit LSU 1, LSUr 2, LSUw 1
+
+// *** Define registers ***
+register untyped{32} R[32]
+alias signed{32} R4r[i] is AR ALUr, R[i]
+alias signed{32} R4w[i] is AR ALUw, R[i]
+
+// *** Define instructions ***
+val [ + - & | ^ ]
+  is (\op.\a.\b. A ALU, x:=op a b, D 1, R ALU, x)
+  @ [ add32 sub32 and32 or32 xor32 ]
+val [ << >> ]
+  is (\op.\a.\b. A ALU, isShift, x:=op a b, D 1, R ALU, x)
+  @ [ sll32 sra32 ]
+val src2 is iflag=1 ? #simm13 : R4r[rs2]
+sem [ add sub sra ]
+  is (\op. multi, D 1, s1:=R4r[rs1], s2:=src2, R4w[rd]:=op s1 s2)
+  @ [ + - >> ]
+"""
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return DescriptionEvaluator(parse(FIGURE2, "figure2.sadl"))
+
+
+def acquires(trace, unit):
+    return [(e.cycle, e.count) for e in trace.acquires if e.unit == unit]
+
+
+def releases(trace, unit):
+    return [(e.cycle, e.count) for e in trace.releases if e.unit == unit]
+
+
+def test_units_collected(figure2):
+    assert figure2.units == {
+        "Group": 2,
+        "ALU": 1,
+        "ALUr": 2,
+        "ALUw": 1,
+        "LSU": 1,
+        "LSUr": 2,
+        "LSUw": 1,
+    }
+
+
+def test_sem_mnemonics(figure2):
+    assert figure2.mnemonics() == ("add", "sra", "sub")
+    assert figure2.has_sem("add")
+    assert not figure2.has_sem("ld")
+
+
+def test_add_executes_in_three_cycles(figure2):
+    trace = figure2.trace_for("add")
+    assert trace.cycles == 3
+
+
+def test_add_is_dual_issuable(figure2):
+    # "multi" acquires one of the two Group slots in cycle 0 and frees
+    # it after one cycle.
+    trace = figure2.trace_for("add")
+    assert acquires(trace, "Group") == [(0, 1)]
+    assert releases(trace, "Group") == [(1, 1)]
+
+
+def test_add_reads_operands_in_cycle_1(figure2):
+    trace = figure2.trace_for("add")
+    reads = {(a.index, a.cycle) for a in trace.reads}
+    assert reads == {("rs1", 1), ("rs2", 1)}
+
+
+def test_add_value_available_in_cycle_2(figure2):
+    # Computed at the end of cycle 1 -> usable from cycle 2.
+    trace = figure2.trace_for("add")
+    assert [(w.index, w.cycle) for w in trace.writes] == [("rd", 2)]
+
+
+def test_add_alu_usage(figure2):
+    trace = figure2.trace_for("add")
+    assert acquires(trace, "ALU") == [(1, 1)]
+    assert releases(trace, "ALU") == [(2, 1)]
+    # Two read ports in cycle 1, released in cycle 2.
+    assert acquires(trace, "ALUr") == [(1, 1), (1, 1)]
+    assert releases(trace, "ALUr") == [(2, 1), (2, 1)]
+    # Write port acquired in cycle 2 ("update the register file in
+    # cycle 2").
+    assert acquires(trace, "ALUw") == [(2, 1)]
+
+
+def test_immediate_variant_reads_only_rs1(figure2):
+    trace = figure2.trace_for("add", {"iflag": 1})
+    assert [(a.index, a.cycle) for a in trace.reads] == [("rs1", 1)]
+    # Only one read port needed.
+    assert acquires(trace, "ALUr") == [(1, 1)]
+
+
+def test_sra_carries_shift_flag(figure2):
+    trace = figure2.trace_for("sra")
+    assert "isShift" in trace.flags
+    assert "isShift" not in figure2.trace_for("add").flags
+
+
+def test_sub_and_add_have_identical_timing(figure2):
+    add = figure2.trace_for("add")
+    sub = figure2.trace_for("sub")
+    assert add.signature() == sub.signature()
+    # sra differs (the isShift flag).
+    assert add.signature() != figure2.trace_for("sra").signature()
+
+
+def test_trace_is_reproducible(figure2):
+    a = figure2.trace_for("add")
+    b = figure2.trace_for("add")
+    assert a.signature() == b.signature()
+
+
+def test_unknown_mnemonic_raises(figure2):
+    with pytest.raises(SadlEvalError):
+        figure2.trace_for("frobnicate")
+
+
+def test_single_issue_acquires_both_slots():
+    desc = parse(
+        """
+        unit Group 2
+        val single is AR Group 2, ()
+        sem [ special ] is single, D 1
+        """
+    )
+    ev = DescriptionEvaluator(desc)
+    trace = ev.trace_for("special")
+    assert acquires(trace, "Group") == [(0, 2)]
+
+
+def test_shared_sem_without_distribution():
+    desc = parse(
+        """
+        unit Group 2
+        sem [ one two ] is AR Group, D 1
+        """
+    )
+    ev = DescriptionEvaluator(desc)
+    assert ev.trace_for("one").signature() == ev.trace_for("two").signature()
+
+
+def test_double_width_alias_spans_register_pair():
+    desc = parse(
+        """
+        unit Group 2, FPr 2
+        register untyped{32} F[32]
+        alias float{64} F8r[i] is AR FPr, F[i]
+        sem [ faddd ] is AR Group, D 1, a:=F8r[rs1], D 1
+        """
+    )
+    ev = DescriptionEvaluator(desc)
+    trace = ev.trace_for("faddd")
+    assert [(a.index, a.cycle, a.width) for a in trace.reads] == [("rs1", 1, 2)]
+
+
+def test_ar_delay_extends_hold():
+    desc = parse(
+        """
+        unit Group 2, LSU 1
+        sem [ st ] is AR Group, AR LSU 1 2, D 1
+        """
+    )
+    ev = DescriptionEvaluator(desc)
+    trace = ev.trace_for("st")
+    assert acquires(trace, "LSU") == [(0, 1)]
+    assert releases(trace, "LSU") == [(2, 1)]
+
+
+def test_fixed_index_file_access():
+    # Condition codes modelled as a one-entry file with a literal index.
+    desc = parse(
+        """
+        unit Group 2
+        register untyped{4} CC[2]
+        sem [ subcc ] is AR Group, D 1, x:=CC[0], CC[0]:=x, D 1
+        """
+    )
+    ev = DescriptionEvaluator(desc)
+    trace = ev.trace_for("subcc")
+    assert [(a.index, a.cycle) for a in trace.reads] == [(0, 1)]
+    assert [(w.index, w.cycle) for w in trace.writes] == [(0, 2)]
+
+
+def test_undeclared_unit_rejected():
+    desc = parse("sem [ x ] is A Bogus, D 1")
+    ev = DescriptionEvaluator(desc)
+    with pytest.raises(SadlEvalError):
+        ev.trace_for("x")
+
+
+def test_unbound_name_rejected():
+    desc = parse("unit G 1\nsem [ x ] is AR G, mystery")
+    ev = DescriptionEvaluator(desc)
+    with pytest.raises(SadlEvalError):
+        ev.trace_for("x")
+
+
+def test_duplicate_unit_rejected():
+    with pytest.raises(SadlEvalError):
+        DescriptionEvaluator(parse("unit G 1\nunit G 2"))
+
+
+def test_val_macro_reexpands_per_use():
+    # 'multi' used twice must acquire the Group slot twice.
+    desc = parse(
+        """
+        unit Group 2
+        val multi is AR Group, ()
+        sem [ weird ] is multi, D 1, multi, D 1
+        """
+    )
+    trace = DescriptionEvaluator(desc).trace_for("weird")
+    assert acquires(trace, "Group") == [(0, 1), (1, 1)]

@@ -1,0 +1,88 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.sadl import SadlSyntaxError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+def test_empty_input():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_ints():
+    assert texts("unit Group 2") == ["unit", "Group", "2"]
+    assert kinds("ALU 0x10") == [TokenKind.IDENT, TokenKind.INT]
+    assert tokenize("0x1F")[0].int_value == 31
+
+
+def test_operator_identifiers():
+    assert texts("+ - & | ^ << >>") == ["+", "-", "&", "|", "^", "<<", ">>"]
+    assert kinds("+")[0] is TokenKind.IDENT
+
+
+def test_assign_vs_colon():
+    assert kinds("x := 1") == [TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.INT]
+    assert kinds("a ? b : c") == [
+        TokenKind.IDENT,
+        TokenKind.QUESTION,
+        TokenKind.IDENT,
+        TokenKind.COLON,
+        TokenKind.IDENT,
+    ]
+
+
+def test_lambda_tokens():
+    assert kinds(r"\op. op") == [
+        TokenKind.LAMBDA,
+        TokenKind.IDENT,
+        TokenKind.DOT,
+        TokenKind.IDENT,
+    ]
+
+
+def test_comments_stripped():
+    assert texts("ALU // the arithmetic unit\nLSU") == ["ALU", "LSU"]
+    assert texts("// only a comment") == []
+
+
+def test_hash_field():
+    assert kinds("#simm13") == [TokenKind.HASH, TokenKind.IDENT]
+
+
+def test_braces_and_brackets():
+    assert kinds("signed{32} R[32]") == [
+        TokenKind.IDENT,
+        TokenKind.LBRACE,
+        TokenKind.INT,
+        TokenKind.RBRACE,
+        TokenKind.IDENT,
+        TokenKind.LBRACKET,
+        TokenKind.INT,
+        TokenKind.RBRACKET,
+    ]
+
+
+def test_locations_track_lines():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].location.line == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_rejects_unknown_character():
+    with pytest.raises(SadlSyntaxError):
+        tokenize("a ; b")
+
+
+def test_operator_run_stops_at_comment():
+    assert texts("+// comment") == ["+"]

@@ -1,0 +1,206 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.sadl import SadlSyntaxError, parse, parse_expression
+from repro.sadl.ast_nodes import (
+    AliasDecl,
+    Apply,
+    Assign,
+    CommandA,
+    CommandAR,
+    CommandD,
+    CommandR,
+    Compare,
+    Distribute,
+    FieldRef,
+    Index,
+    IntLit,
+    Lambda,
+    Name,
+    RegisterDecl,
+    SemDecl,
+    Seq,
+    Ternary,
+    UnitDecl,
+    UnitLit,
+    ValDecl,
+)
+
+
+def test_unit_declaration_list():
+    desc = parse("unit ALU 1, ALUr 2, ALUw 1")
+    assert [(d.name, d.count) for d in desc.declarations] == [
+        ("ALU", 1),
+        ("ALUr", 2),
+        ("ALUw", 1),
+    ]
+    assert all(isinstance(d, UnitDecl) for d in desc.declarations)
+
+
+def test_register_declaration():
+    desc = parse("register untyped{32} R[32]")
+    decl = desc.declarations[0]
+    assert isinstance(decl, RegisterDecl)
+    assert decl.name == "R"
+    assert decl.size == 32
+    assert decl.typ.bits == 32
+
+
+def test_alias_declaration():
+    desc = parse("unit ALUr 2\nregister untyped{32} R[32]\n"
+                 "alias signed{32} R4r[i] is AR ALUr, R[i]")
+    decl = desc.declarations[-1]
+    assert isinstance(decl, AliasDecl)
+    assert decl.param == "i"
+    body = decl.body
+    assert isinstance(body, Seq)
+    assert isinstance(body.items[0], CommandAR)
+    assert isinstance(body.items[1], Index)
+
+
+def test_val_single_and_list():
+    desc = parse("unit Group 2\nval multi is AR Group, ()\n"
+                 "val [ a b ] is f @ [ x y ]")
+    multi = desc.declarations[1]
+    assert isinstance(multi, ValDecl)
+    assert multi.names == ("multi",)
+    assert not multi.is_list
+    listed = desc.declarations[2]
+    assert listed.names == ("a", "b")
+    assert listed.is_list
+    assert isinstance(listed.expr, Distribute)
+
+
+def test_sem_declaration():
+    desc = parse("sem [ add sub ] is body @ [ x y ]")
+    decl = desc.declarations[0]
+    assert isinstance(decl, SemDecl)
+    assert decl.mnemonics == ("add", "sub")
+
+
+def test_lambda_currying():
+    expr = parse_expression(r"\op.\a.\b. op a b")
+    assert isinstance(expr, Lambda)
+    assert isinstance(expr.body, Lambda)
+    inner = expr.body.body
+    assert isinstance(inner, Lambda)
+    app = inner.body
+    assert isinstance(app, Apply)
+    assert isinstance(app.fn, Apply)  # left-associative application
+
+
+def test_sequence_and_assignment():
+    expr = parse_expression("A ALU, x := op a b, D 1, R ALU, x")
+    assert isinstance(expr, Seq)
+    assert isinstance(expr.items[0], CommandA)
+    assert isinstance(expr.items[1], Assign)
+    assert isinstance(expr.items[2], CommandD)
+    assert isinstance(expr.items[3], CommandR)
+    assert isinstance(expr.items[4], Name)
+
+
+def test_ternary_with_field_and_compare():
+    expr = parse_expression("iflag=1 ? #simm13 : R4r[rs2]")
+    assert isinstance(expr, Ternary)
+    assert isinstance(expr.cond, Compare)
+    assert isinstance(expr.then, FieldRef)
+    assert expr.then.name == "simm13"
+    assert isinstance(expr.otherwise, Index)
+
+
+def test_command_disambiguation():
+    # R followed by '[' is the register file; by a name it's release.
+    access = parse_expression("R[i]")
+    assert isinstance(access, Index)
+    assert isinstance(access.base, Name)
+    release = parse_expression("R ALU")
+    assert isinstance(release, CommandR)
+    acquire = parse_expression("A ALU 2")
+    assert isinstance(acquire, CommandA)
+    assert acquire.num.value == 2
+
+
+def test_ar_command_with_num_and_delay():
+    cmd = parse_expression("AR LSU 1 2")
+    assert isinstance(cmd, CommandAR)
+    assert cmd.num.value == 1
+    assert cmd.delay.value == 2
+    bare = parse_expression("AR Group")
+    assert bare.num is None and bare.delay is None
+
+
+def test_d_command_forms():
+    with_delay = parse_expression("D 2")
+    assert isinstance(with_delay, CommandD)
+    assert with_delay.delay.value == 2
+    seq = parse_expression("D, x")
+    assert isinstance(seq.items[0], CommandD)
+    assert seq.items[0].delay is None
+
+
+def test_unit_literal():
+    expr = parse_expression("AR Group, ()")
+    assert isinstance(expr.items[1], UnitLit)
+
+
+def test_register_write_target():
+    expr = parse_expression("R4w[rd] := op s1 s2")
+    assert isinstance(expr, Assign)
+    assert isinstance(expr.lhs, Index)
+
+
+def test_distribute_over_operator_names():
+    expr = parse_expression(r"(\op. op) @ [ + - >> ]")
+    assert isinstance(expr, Distribute)
+    assert [item.ident for item in expr.items] == ["+", "-", ">>"]
+
+
+def test_nested_index_expression():
+    expr = parse_expression("R[i]")
+    assert isinstance(expr.index, Name)
+
+
+def test_parse_figure2_style_description():
+    source = r"""
+    // *** Define processor resources ***
+    unit Group 2
+    val multi is AR Group, ()
+    val single is AR Group 2, ()
+    unit ALU 1, ALUr 2, ALUw 1
+    unit LSU 1, LSUr 2, LSUw 1
+    register untyped{32} R[32]
+    alias signed{32} R4r[i] is AR ALUr, R[i]
+    alias signed{32} R4w[i] is AR ALUw, R[i]
+    val [ + - & | ^ ]
+      is (\op.\a.\b. A ALU, x:=op a b, D 1, R ALU, x)
+      @ [ add32 sub32 and32 or32 xor32 ]
+    val [ << >> ]
+      is (\op.\a.\b. A ALU, isShift, x:=op a b, D 1, R ALU, x)
+      @ [ sll32 sra32 ]
+    val src2 is iflag=1 ? #simm13 : R4r[rs2]
+    sem [ add sub sra ]
+      is (\op. multi, D 1, s1:=R4r[rs1], s2:=src2, R4w[rd]:=op s1 s2)
+      @ [ + - >> ]
+    """
+    desc = parse(source)
+    kinds = [type(d).__name__ for d in desc.declarations]
+    assert kinds.count("UnitDecl") == 7
+    assert kinds.count("ValDecl") == 5
+    assert kinds.count("SemDecl") == 1
+    assert kinds.count("AliasDecl") == 2
+
+
+def test_syntax_errors():
+    with pytest.raises(SadlSyntaxError):
+        parse("unit")
+    with pytest.raises(SadlSyntaxError):
+        parse("val x 1")  # missing 'is'
+    with pytest.raises(SadlSyntaxError):
+        parse("val [] is 1")
+    with pytest.raises(SadlSyntaxError):
+        parse_expression("(a")
+    with pytest.raises(SadlSyntaxError):
+        parse_expression("a b) c")
+    with pytest.raises(SadlSyntaxError):
+        parse("bogus thing 1")

@@ -1,0 +1,83 @@
+"""Pretty-printer tests: printing reaches a parse/print fixed point, and
+the printed form of every shipped description still compiles to an
+identical machine model."""
+
+import pytest
+
+from repro.isa import Instruction, r
+from repro.sadl import parse, parse_expression, print_description, print_expr
+from repro.spawn import MACHINES, MachineModel, description_text, load_machine
+
+
+def normal_form(source: str) -> str:
+    return print_description(parse(source))
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "unit Group 2",
+        "register untyped{32} R[32]",
+        "alias signed{32} R4r[i] is AR ALUr, R[i]",
+        "val multi is AR Group, ()",
+        "val [ a b ] is f @ [ x y ]",
+        "sem [ add sub ] is body @ [ x y ]",
+        "sem [ one two ] is AR Group, D 1",
+    ],
+)
+def test_declaration_fixed_point(source):
+    once = normal_form(source)
+    assert normal_form(once) == once
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        r"\op.\a.\b. A ALU, x := op a b, D 1, R ALU, x",
+        "iflag = 1 ? #simm13 : R4r[rs2]",
+        "AR LSU 1 2",
+        "A ALU 2",
+        "D",
+        "D 3",
+        "R4w[rd] := op s1 s2",
+        "f @ [ + - >> ]",
+        "()",
+        "R[15] := x",
+    ],
+)
+def test_expression_fixed_point(expr):
+    once = print_expr(parse_expression(expr))
+    again = print_expr(parse_expression(once))
+    assert once == again
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_printed_descriptions_compile_identically(machine):
+    """The strongest property: print(parse(shipped)) builds a machine
+    model with identical timing for every instruction."""
+    original = load_machine(machine)
+    printed = print_description(parse(description_text(machine)))
+    reparsed = MachineModel(parse(printed), name=f"{machine}-reprinted")
+
+    for mnemonic in ("add", "ld", "st", "faddd", "be", "sethi", "fdivd"):
+        sample = _sample(mnemonic)
+        a = original.timing(sample)
+        b = reparsed.timing(sample)
+        assert a.trace.signature() == b.trace.signature(), mnemonic
+        assert a.reads == b.reads
+        assert a.writes == b.writes
+
+
+def _sample(mnemonic):
+    from repro.isa import f as freg
+
+    table = {
+        "add": Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+        "ld": Instruction("ld", rd=r(3), rs1=r(1), imm=4),
+        "st": Instruction("st", rd=r(3), rs1=r(1), imm=4),
+        "faddd": Instruction("faddd", rd=freg(0), rs1=freg(2), rs2=freg(4)),
+        "be": Instruction("be", imm=4),
+        "sethi": Instruction("sethi", rd=r(1), imm=0x10),
+        "fdivd": Instruction("fdivd", rd=freg(0), rs1=freg(2), rs2=freg(4)),
+    }
+    return table[mnemonic]

@@ -1,0 +1,156 @@
+"""Machine-model tests: every shipped description must cover the full
+supported ISA, and resolved timings must match the descriptions."""
+
+import pytest
+
+from repro.isa import Instruction, all_mnemonics, f, lookup, r
+from repro.isa.registers import FCC, ICC, O7, Y
+from repro.spawn import MACHINES, ModelError, load_machine, load_machine_from_source
+
+
+@pytest.fixture(scope="module", params=MACHINES)
+def machine(request):
+    return load_machine(request.param)
+
+
+def _sample_instruction(mnemonic, use_imm):
+    info = lookup(mnemonic)
+    from repro.isa.opcodes import Format, Slot
+
+    kinds = info.operand_kinds
+
+    def reg(slot):
+        if slot not in kinds:
+            return None
+        if kinds[slot] == "f":
+            return f(4 if slot is Slot.RS1 else (8 if slot is Slot.RS2 else 0))
+        return {Slot.RD: r(3), Slot.RS1: r(1), Slot.RS2: r(2)}[slot]
+
+    if info.fmt in (Format.CALL, Format.BRANCH):
+        return Instruction(mnemonic, imm=4)
+    if mnemonic == "sethi":
+        return Instruction(mnemonic, rd=r(1), imm=0x100)
+    if mnemonic == "nop":
+        return Instruction(mnemonic, imm=0)
+    if use_imm and kinds.get(Slot.RS2) == "r":
+        return Instruction(mnemonic, rd=reg(Slot.RD), rs1=reg(Slot.RS1), imm=8)
+    return Instruction(
+        mnemonic, rd=reg(Slot.RD), rs1=reg(Slot.RS1), rs2=reg(Slot.RS2)
+    )
+
+
+def test_every_mnemonic_is_modelled(machine):
+    """The paper's point about one description underlying everything:
+    the model must produce a timing for every instruction we can decode."""
+    for mnemonic in all_mnemonics():
+        for use_imm in (False, True):
+            inst = _sample_instruction(mnemonic, use_imm)
+            timing = machine.timing(inst)
+            assert timing.cycles >= 1
+            assert timing.trace.acquires, mnemonic
+
+
+def test_groups_are_shared(machine):
+    add = machine.group_of(Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)))
+    sub = machine.group_of(Instruction("sub", rd=r(3), rs1=r(1), rs2=r(2)))
+    assert add == sub
+    ld = machine.group_of(Instruction("ld", rd=r(3), rs1=r(1), imm=0))
+    assert ld != add
+    # Far fewer groups than (mnemonic, immediate) variants.
+    assert machine.group_count < 2 * len(all_mnemonics()) / 2
+
+
+def test_timing_resolves_registers(machine):
+    inst = Instruction("add", rd=r(3), rs1=r(1), rs2=r(2))
+    timing = machine.timing(inst)
+    read_regs = {reg for reg, _ in timing.reads}
+    assert read_regs == {r(1), r(2)}
+    assert [reg for reg, _ in timing.writes] == [r(3)]
+
+
+def test_g0_dropped_from_timing(machine):
+    inst = Instruction("subcc", rd=r(0), rs1=r(1), rs2=r(2))
+    timing = machine.timing(inst)
+    write_regs = [reg for reg, _ in timing.writes]
+    assert r(0) not in write_regs
+    assert ICC in write_regs
+
+
+def test_double_precision_spans_pairs(machine):
+    inst = Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4))
+    timing = machine.timing(inst)
+    read_regs = {reg for reg, _ in timing.reads}
+    assert read_regs == {f(2), f(3), f(4), f(5)}
+    assert {reg for reg, _ in timing.writes} == {f(0), f(1)}
+
+
+def test_fcmp_writes_fcc(machine):
+    inst = Instruction("fcmpd", rs1=f(0), rs2=f(2))
+    timing = machine.timing(inst)
+    assert [reg for reg, _ in timing.writes] == [FCC]
+
+
+def test_call_writes_o7(machine):
+    timing = machine.timing(Instruction("call", imm=16))
+    assert [reg for reg, _ in timing.writes] == [O7]
+
+
+def test_mul_writes_y(machine):
+    inst = Instruction("smul", rd=r(3), rs1=r(1), rs2=r(2))
+    write_regs = {reg for reg, _ in machine.timing(inst).writes}
+    assert Y in write_regs
+
+
+def test_immediate_variant_reads_fewer_ports(machine):
+    reg_form = machine.timing(Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)))
+    imm_form = machine.timing(Instruction("add", rd=r(3), rs1=r(1), imm=4))
+    assert len(imm_form.reads) < len(reg_form.reads)
+
+
+def test_load_latency_ordering():
+    """UltraSPARC loads have a longer use latency than hyperSPARC and
+    SuperSPARC loads (2 cycles vs 1)."""
+
+    def load_avail(machine_name):
+        machine = load_machine(machine_name)
+        timing = machine.timing(Instruction("ld", rd=r(3), rs1=r(1), imm=0))
+        return dict((reg, cy) for reg, cy in timing.writes)[r(3)]
+
+    assert load_avail("ultrasparc") == load_avail("supersparc") + 1
+    assert load_avail("supersparc") == load_avail("hypersparc")
+
+
+def test_issue_widths():
+    assert load_machine("hypersparc").units["Group"] == 2
+    assert load_machine("supersparc").units["Group"] == 3
+    assert load_machine("ultrasparc").units["Group"] == 4
+
+
+def test_ultrasparc_integer_issue_limit():
+    # "for purely integer codes, the UltraSPARC can launch at most two
+    # instructions in parallel" (paper §4.2).
+    assert load_machine("ultrasparc").units["IEU"] == 2
+
+
+def test_over_capacity_acquire_rejected():
+    model = load_machine_from_source(
+        """
+        unit Group 1
+        sem [ greedy ] is AR Group 2, D 1
+        """
+    )
+    with pytest.raises(ModelError):
+        model.timing(Instruction("nop", imm=0).retag("orig"))
+
+
+def test_unmodelled_instruction_rejected():
+    model = load_machine_from_source("unit Group 1\nsem [ nop ] is AR Group, D 1")
+    with pytest.raises(ModelError):
+        model.timing(Instruction("add", rd=r(1), rs1=r(1), rs2=r(2)))
+
+
+def test_variant_caching_returns_same_trace(machine):
+    a = machine.timing(Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)))
+    b = machine.timing(Instruction("add", rd=r(5), rs1=r(6), rs2=r(7)))
+    assert a.group == b.group
+    assert a.trace is b.trace

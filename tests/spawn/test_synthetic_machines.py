@@ -1,0 +1,58 @@
+"""Synthetic-machine generator tests."""
+
+import pytest
+
+from repro.isa import Instruction, r
+from repro.pipeline import BlockSimulator
+from repro.spawn import load_superscalar, superscalar_description, validate_machine
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_widths_compile_and_validate(width):
+    model = load_superscalar(width)
+    assert model.units["Group"] == width
+    findings = validate_machine(model)
+    assert findings == [], "\n".join(map(str, findings))
+
+
+def test_resource_scaling():
+    assert load_superscalar(8).units["IEU"] == 4
+    assert load_superscalar(8).units["LSU"] == 2
+    assert load_superscalar(1).units["IEU"] == 1
+    assert load_superscalar(1).units["LSU"] == 1
+
+
+def test_explicit_overrides():
+    model = load_superscalar(4, ieu=3, lsu=2, fp_pipes=2)
+    assert model.units["IEU"] == 3
+    assert model.units["LSU"] == 2
+    assert model.units["FPA"] == 2
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        superscalar_description(0)
+
+
+def test_scalar_machine_serializes_everything():
+    model = load_superscalar(1)
+    sim = BlockSimulator(model)
+    block = [
+        Instruction("add", rd=r(1), rs1=r(1), imm=1),
+        Instruction("add", rd=r(2), rs1=r(2), imm=1),
+        Instruction("add", rd=r(3), rs1=r(3), imm=1),
+    ]
+    timing = sim.time_block(block)
+    assert timing.issue_times == [0, 1, 2]
+
+
+def test_wider_machine_is_never_slower():
+    narrow = BlockSimulator(load_superscalar(2))
+    wide = BlockSimulator(load_superscalar(8))
+    block = [
+        Instruction("add", rd=r(i), rs1=r(i), imm=1) for i in range(1, 6)
+    ] + [
+        Instruction("ld", rd=r(8), rs1=r(30), imm=0),
+        Instruction("st", rd=r(8), rs1=r(30), imm=4),
+    ]
+    assert wide.block_cycles(block) <= narrow.block_cycles(block)

@@ -1,0 +1,74 @@
+"""Description-linter tests."""
+
+import pytest
+
+from repro.spawn import (
+    MACHINES,
+    load_machine,
+    load_machine_from_source,
+    validate_machine,
+)
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_shipped_descriptions_are_clean(machine):
+    findings = validate_machine(load_machine(machine))
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_missing_semantics_reported():
+    model = load_machine_from_source(
+        "unit Group 1\nsem [ nop ] is AR Group, D 1"
+    )
+    findings = validate_machine(model)
+    assert any(f.mnemonic == "add" and f.severity == "error" for f in findings)
+    # Partial descriptions are allowed when declared as such.
+    partial = validate_machine(model, require_full_isa=False)
+    assert not any(f.mnemonic == "add" for f in partial)
+
+
+def test_missing_issue_slot_reported():
+    model = load_machine_from_source(
+        """
+        unit Group 2, ALU 1
+        sem [ nop ] is AR ALU, D 1
+        """
+    )
+    findings = validate_machine(model, require_full_isa=False)
+    assert any("issue-width" in f.message for f in findings)
+
+
+def test_no_group_unit_warns():
+    model = load_machine_from_source(
+        "unit ALU 1\nsem [ nop ] is AR ALU, D 1"
+    )
+    findings = validate_machine(model, require_full_isa=False)
+    assert any(f.severity == "warning" and "Group" in f.message for f in findings)
+
+
+def test_over_release_reported():
+    model = load_machine_from_source(
+        """
+        unit Group 2, ALU 1
+        sem [ nop ] is AR Group, A ALU, D 1, R ALU 1, R ALU 1
+        """
+    )
+    findings = validate_machine(model, require_full_isa=False)
+    # A-then-two-Rs releases 2 having acquired 1 (plus the AR pair from
+    # Group is balanced).
+    assert any("releases" in f.message for f in findings)
+
+
+def test_free_instruction_warns():
+    model = load_machine_from_source(
+        "unit Group 1\nsem [ nop ] is D 1"
+    )
+    findings = validate_machine(model, require_full_isa=False)
+    assert any("acquires no units" in f.message for f in findings)
+
+
+def test_findings_render():
+    model = load_machine_from_source("unit Group 1\nsem [ nop ] is AR Group, D 1")
+    findings = validate_machine(model)
+    assert all(str(f).startswith("[error]") or str(f).startswith("[warning]")
+               for f in findings)

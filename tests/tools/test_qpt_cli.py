@@ -1,0 +1,102 @@
+"""CLI tests: every subcommand end to end, on real RXE files."""
+
+import json
+
+import pytest
+
+from repro.tools.qpt_cli import main
+from repro.workloads import sum_loop
+
+
+@pytest.fixture
+def program(tmp_path):
+    kernel = sum_loop(12)
+    path = tmp_path / "sum.rxe"
+    path.write_bytes(kernel.executable.to_bytes())
+    return path, kernel
+
+
+def test_instrument_and_run_with_profile(tmp_path, program, capsys):
+    path, kernel = program
+    out = tmp_path / "sum.qpt.rxe"
+    assert main(["instrument", str(path), "-o", str(out), "--schedule"]) == 0
+    captured = capsys.readouterr().out
+    assert "instrumented" in captured
+    assert out.exists() and (tmp_path / "sum.qpt.rxe.json").exists()
+
+    sidecar = json.loads((tmp_path / "sum.qpt.rxe.json").read_text())
+    assert sidecar["counters"]
+
+    assert (
+        main(["run", str(out), "--profile", str(out) + ".json"]) == 0
+    )
+    captured = capsys.readouterr().out
+    assert "block execution counts" in captured
+    # The loop block ran 12 times.
+    assert any(": 12" in line for line in captured.splitlines())
+    # %o1 holds the sum 1..12 = 78 = 0x4e.
+    assert "%o1 = 0x0000004e" in captured
+
+
+def test_instrument_no_schedule(tmp_path, program):
+    path, _ = program
+    out = tmp_path / "plain.rxe"
+    assert main(["instrument", str(path), "-o", str(out), "--no-skip"]) == 0
+
+
+def test_time_command(program, capsys):
+    path, _ = program
+    assert main(["time", str(path), "--machine", "supersparc"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles on supersparc" in out
+    assert "IPC" in out
+
+
+def test_disasm_command(program, capsys):
+    path, _ = program
+    assert main(["disasm", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "subcc" in out
+    assert "bne" in out
+
+
+def test_validate_command(capsys):
+    assert main(["validate", "--machine", "hypersparc"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_codegen_command(tmp_path, capsys):
+    out = tmp_path / "ps.py"
+    assert main(["codegen", "--machine", "ultrasparc", "-o", str(out)]) == 0
+    source = out.read_text()
+    compile(source, str(out), "exec")
+    assert "GROUP_ACQUIRES" in source
+
+
+def test_scheduled_binary_is_faster(tmp_path, program, capsys):
+    path, _ = program
+    plain = tmp_path / "plain.rxe"
+    sched = tmp_path / "sched.rxe"
+    main(["instrument", str(path), "-o", str(plain)])
+    main(["instrument", str(path), "-o", str(sched), "--schedule"])
+    capsys.readouterr()
+
+    main(["time", str(plain)])
+    plain_cycles = int(capsys.readouterr().out.split()[1])
+    main(["time", str(sched)])
+    sched_cycles = int(capsys.readouterr().out.split()[1])
+    assert sched_cycles <= plain_cycles
+
+
+def test_chart_command(program, capsys):
+    path, _ = program
+    assert main(["chart", str(path), "--block", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "issue cycles" in out
+    assert "LSU" in out
+
+
+def test_chart_block_out_of_range(program, capsys):
+    path, _ = program
+    assert main(["chart", str(path), "--block", "99"]) == 1
+    assert "out of range" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""ProgramBuilder tests."""
+
+import pytest
+
+from repro.isa import Instruction, r
+from repro.workloads import BuildError, ProgramBuilder
+
+
+def test_emit_and_resolve_forward_branch():
+    builder = ProgramBuilder()
+    builder.emit(Instruction("ba", target="end"), freq=1)
+    builder.emit(Instruction("nop", imm=0), freq=1)
+    builder.emit(Instruction("add", rd=r(1), rs1=r(1), imm=1), freq=1)
+    builder.label("end")
+    builder.emit(Instruction("nop", imm=0), freq=1)
+    resolved = builder.resolve()
+    assert resolved[0].imm == 3
+    assert resolved[0].target is None
+    assert [i.seq for i in resolved] == [0, 1, 2, 3]
+
+
+def test_backward_branch():
+    builder = ProgramBuilder()
+    builder.label("top")
+    builder.emit(Instruction("add", rd=r(1), rs1=r(1), imm=1), freq=4)
+    builder.emit(Instruction("bne", target="top"), freq=4)
+    builder.emit(Instruction("nop", imm=0), freq=4)
+    resolved = builder.resolve()
+    assert resolved[1].imm == -1
+
+
+def test_duplicate_label_rejected():
+    builder = ProgramBuilder()
+    builder.label("x")
+    with pytest.raises(BuildError):
+        builder.label("x")
+
+
+def test_undefined_label_rejected():
+    builder = ProgramBuilder()
+    builder.emit(Instruction("ba", target="nowhere"), freq=1)
+    with pytest.raises(BuildError):
+        builder.resolve()
+
+
+def test_build_maps_frequencies_to_blocks():
+    builder = ProgramBuilder()
+    builder.emit(Instruction("or", rd=r(8), rs1=r(0), imm=3), freq=1)
+    builder.label("loop")
+    builder.emit(Instruction("subcc", rd=r(8), rs1=r(8), imm=1), freq=3)
+    builder.emit(Instruction("bne", target="loop"), freq=3)
+    builder.emit(Instruction("nop", imm=0), freq=3)
+    builder.emit(Instruction("jmpl", rd=r(0), rs1=r(15), imm=8), freq=1)
+    builder.emit(Instruction("nop", imm=0), freq=1)
+    exe, cfg, freqs = builder.build()
+    assert len(cfg) == 3
+    assert freqs[cfg.blocks[0].index] == 1
+    assert freqs[cfg.blocks[1].index] == 3
+    assert freqs[cfg.blocks[2].index] == 1
+    # Functional check: the counts are real.
+    run = exe.run(count_executions=True)
+    for block in cfg:
+        assert run.count_at(block.address) == freqs[block.index]

@@ -1,0 +1,132 @@
+"""Synthetic-workload generator tests: structure, determinism,
+calibration, and the exactness of the analytic execution frequencies."""
+
+import pytest
+
+from repro.eel import identity_edit
+from repro.qpt import SlowProfiler
+from repro.workloads import (
+    CFP95,
+    CINT95,
+    PAPER_BLOCK_SIZES_ULTRA,
+    WorkloadSpec,
+    benchmark_spec,
+    generate,
+    generate_benchmark,
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="test",
+        seed=7,
+        kind="int",
+        avg_block_size=3.0,
+        loops=3,
+        trip_count=12,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def test_generation_is_deterministic():
+    a = generate(small_spec())
+    b = generate(small_spec())
+    assert a.executable.to_bytes() == b.executable.to_bytes()
+    assert a.frequencies == b.frequencies
+
+
+def test_different_seeds_differ():
+    a = generate(small_spec(seed=1))
+    b = generate(small_spec(seed=2))
+    assert a.executable.to_bytes() != b.executable.to_bytes()
+
+
+def test_analytic_frequencies_match_functional_run():
+    program = generate(small_spec())
+    result = program.executable.run(count_executions=True)
+    for block in program.cfg:
+        assert result.count_at(block.address) == program.frequencies[block.index], (
+            f"block {block.index} at {block.address:#x}"
+        )
+
+
+def test_fp_program_frequencies_exact():
+    program = generate(small_spec(kind="fp", avg_block_size=12.0, diamond_prob=0.3))
+    result = program.executable.run(count_executions=True)
+    for block in program.cfg:
+        assert result.count_at(block.address) == program.frequencies[block.index]
+
+
+def test_calibration_hits_target():
+    for target in (2.5, 6.0, 14.0):
+        kind = "int" if target < 5 else "fp"
+        program = generate(
+            small_spec(kind=kind, avg_block_size=target, loops=6, trip_count=50)
+        )
+        assert abs(program.avg_dynamic_block_size - target) <= 0.25 * target
+
+
+def test_generated_program_survives_editing_and_profiling():
+    program = generate(small_spec())
+    identity = identity_edit(program.executable)
+    original = program.executable.run()
+    edited = identity.run()
+    assert original.state.memory.snapshot() == edited.state.memory.snapshot()
+    profiled = SlowProfiler(program.executable).instrument()
+    counts = profiled.block_counts(profiled.run())
+    assert counts == {
+        b.index: program.frequencies[b.index] for b in program.cfg
+    }
+
+
+def test_reserved_registers_untouched():
+    # %g6/%g7 belong to QPT; the generator must never allocate them.
+    program = generate(small_spec(loops=6, trip_count=20))
+    for _, inst in program.executable.decode_text():
+        for reg in inst.regs_read() | inst.regs_written():
+            assert reg.name not in ("%g6", "%g7")
+
+
+@pytest.mark.parametrize("bench_name", CINT95[:2] + CFP95[:2])
+def test_benchmark_specs_generate(bench_name):
+    program = generate_benchmark(bench_name, trip_count=16)
+    assert program.total_dynamic_instructions > 0
+    target = PAPER_BLOCK_SIZES_ULTRA[bench_name]
+    # SPARC structure puts a floor under tiny targets: a block is at
+    # least a branch plus its delay slot, so sub-2.4 benchmarks land
+    # near ~2.8 (documented in EXPERIMENTS.md).
+    tolerance = max(0.3 * target, 1.0)
+    assert abs(program.avg_dynamic_block_size - target) <= tolerance
+
+
+def test_int_vs_fp_mix():
+    int_prog = generate(small_spec(kind="int", avg_block_size=3.0))
+    fp_prog = generate(small_spec(kind="fp", avg_block_size=14.0))
+
+    def fp_ops(program):
+        return sum(
+            1
+            for _, inst in program.executable.decode_text()
+            if inst.mnemonic.startswith("f")
+        )
+
+    assert fp_ops(int_prog) == 0
+    assert fp_ops(fp_prog) > 0
+
+
+def test_spec_lookup_tables():
+    assert len(CINT95) == 8
+    assert len(CFP95) == 10
+    spec = benchmark_spec("130.li")
+    assert spec.kind == "int"
+    assert spec.avg_block_size == 2.0
+    spec = benchmark_spec("102.swim", machine="supersparc")
+    assert spec.avg_block_size == 66.1
+    with pytest.raises(KeyError):
+        benchmark_spec("999.bogus")
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="x", seed=1, kind="vector", avg_block_size=3.0)

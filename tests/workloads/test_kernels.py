@@ -1,0 +1,58 @@
+"""Kernel correctness, plus the full edit/profile/schedule pipeline over
+every kernel — the strongest end-to-end check in the suite."""
+
+import pytest
+
+from repro.core import BlockScheduler, SchedulingPolicy
+from repro.eel import identity_edit
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads import all_kernels
+
+KERNELS = all_kernels()
+
+
+@pytest.fixture(scope="module")
+def ultra():
+    return load_machine("ultrasparc")
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_kernel_computes_expected_result(kernel):
+    assert kernel.check(kernel.executable.run())
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_identity_edit_preserves_kernel(kernel):
+    assert kernel.check(identity_edit(kernel.executable).run())
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_profiled_kernel_still_correct(kernel):
+    profiled = SlowProfiler(kernel.executable).instrument()
+    assert kernel.check(profiled.run())
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_profiled_and_scheduled_kernel_still_correct(kernel, ultra):
+    scheduler = BlockScheduler(ultra)
+    profiled = SlowProfiler(kernel.executable).instrument(scheduler)
+    assert kernel.check(profiled.run())
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_scheduled_with_delay_fill_still_correct(kernel, ultra):
+    scheduler = BlockScheduler(ultra, SchedulingPolicy(fill_delay_slots=True))
+    profiled = SlowProfiler(kernel.executable).instrument(scheduler)
+    assert kernel.check(profiled.run())
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_profiling_counts_match_simulator(kernel):
+    from repro.eel import build_cfg
+
+    cfg = build_cfg(kernel.executable)
+    reference = kernel.executable.run(count_executions=True)
+    truth = {b.index: reference.count_at(b.address) for b in cfg}
+    profiled = SlowProfiler(kernel.executable).instrument()
+    assert profiled.block_counts(profiled.run()) == truth
