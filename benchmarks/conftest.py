@@ -8,11 +8,19 @@ output under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Default target of ``--bench-json``: the machine-readable perf
+#: trajectory at the repo root, one aggregate record per bench.
+BENCH_JSON_DEFAULT = REPO_ROOT / "BENCH_headline.json"
 
 #: Trip count used by the table benches: large enough for stable
 #: weighting, small enough that a full table runs in tens of seconds.
@@ -24,6 +32,58 @@ def save_result(name: str, text: str) -> pathlib.Path:
     path = RESULTS_DIR / name
     path.write_text(text, encoding="utf-8")
     return path
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        nargs="?",
+        const=str(BENCH_JSON_DEFAULT),
+        default=None,
+        metavar="PATH",
+        help="write aggregate bench results (name, cycles, %%hidden, wall "
+        f"time) as JSON; default path {BENCH_JSON_DEFAULT}",
+    )
+
+
+def _aggregate_record(bench) -> dict:
+    """One JSON record per pytest-benchmark entry: the headline numbers
+    promoted to top-level keys, everything else under ``extra``."""
+    extra = dict(getattr(bench, "extra_info", {}) or {})
+    stats = getattr(bench, "stats", None)
+    inner = getattr(stats, "stats", stats)
+    record = {
+        "name": bench.name,
+        "wall_time_s": getattr(inner, "mean", None),
+        "cycles": None,
+        "pct_hidden": None,
+        "extra": extra,
+    }
+    for key, value in extra.items():
+        lowered = key.lower()
+        if record["cycles"] is None and "cycles" in lowered:
+            record["cycles"] = value
+        if record["pct_hidden"] is None and "hidden" in lowered:
+            record["pct_hidden"] = value
+    # The headline bench reports the paper's two suite averages.
+    if record["pct_hidden"] is None and {"int", "fp"} <= extra.keys():
+        record["pct_hidden"] = {"int": extra["int"], "fp": extra["fp"]}
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    payload = {
+        "generated_unix": time.time(),
+        "results": [_aggregate_record(bench) for bench in benchmarks],
+    }
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out} ({len(payload['results'])} bench records)")
 
 
 @pytest.fixture

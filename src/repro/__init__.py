@@ -25,6 +25,9 @@ The library re-creates the paper's full stack in Python:
 * :mod:`repro.cache` — the Lebeck–Wood instrumentation i-cache model.
 * :mod:`repro.evaluation` — the experiment harness that regenerates the
   paper's Tables 1–3.
+* :mod:`repro.obs` — zero-dependency observability: recorders (metrics,
+  Chrome trace events) and hazard-attribution telemetry threaded through
+  the whole scheduling pipeline.
 """
 
 __version__ = "1.0.0"

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from ..eel.cfg import BasicBlock
 from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.report import SCHED_BLOCKS, SCHED_DELAY_SLOTS
 from ..spawn.model import MachineModel
 from .dependence import SchedulingPolicy
 from .list_scheduler import ListScheduler, ScheduleResult
@@ -52,21 +54,27 @@ class BlockScheduler:
     """Schedules each basic block as the editor lays it out (Figure 3)."""
 
     def __init__(
-        self, model: MachineModel, policy: SchedulingPolicy | None = None
+        self,
+        model: MachineModel,
+        policy: SchedulingPolicy | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
-        self.scheduler = ListScheduler(model, self.policy)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.scheduler = ListScheduler(model, self.policy, self.recorder)
         self.stats = SchedulerStats()
 
     # The editor transform protocol.
     def __call__(
         self, block: BasicBlock, body: list[Instruction]
     ) -> tuple[list[Instruction], Instruction | None]:
-        scheduled = self.schedule_body(body)
-        delay = block.delay
-        if self.policy.fill_delay_slots:
-            scheduled, delay = self._refill_delay_slot(block, scheduled)
+        with self.recorder.span("core.schedule_block", block=block.index):
+            scheduled = self.schedule_body(body)
+            delay = block.delay
+            if self.policy.fill_delay_slots:
+                scheduled, delay = self._refill_delay_slot(block, scheduled)
+        self.recorder.count(SCHED_BLOCKS)
         return scheduled, delay
 
     def schedule_body(self, body: list[Instruction]) -> list[Instruction]:
@@ -102,12 +110,15 @@ class BlockScheduler:
         if candidate.regs_written() & term.regs_read():
             return scheduled, delay
         self.stats.delay_slots_filled += 1
+        self.recorder.count(SCHED_DELAY_SLOTS)
         return scheduled[:-1], candidate
 
 
 def reschedule_transform(
-    model: MachineModel, policy: SchedulingPolicy | None = None
+    model: MachineModel,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
 ) -> BlockScheduler:
     """A fresh transform for rescheduling a program's original code
     (the Table 2 protocol's first step)."""
-    return BlockScheduler(model, policy)
+    return BlockScheduler(model, policy, recorder)

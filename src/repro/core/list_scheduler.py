@@ -17,11 +17,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.report import (
+    SCHED_CHOSEN_STALLS,
+    SCHED_DECISIONS,
+    SCHED_READY_SET,
+    SCHED_TIE_BREAK,
+)
 from ..pipeline.stalls import issue, walk
 from ..pipeline.state import PipelineState
 from ..spawn.model import MachineModel
 from .dependence import DependenceGraph, SchedulingPolicy, build_dependence_graph
 from .priorities import chain_lengths
+
+#: The meaning of each priority-key component, per policy — used to name
+#: which component decided a forward-pass pick (the tie-break telemetry).
+_KEY_COMPONENTS = {
+    "stalls_chain": ("stalls", "chain", "program_order"),
+    "chain_stalls": ("chain", "stalls", "program_order"),
+    "program_order": ("program_order", "stalls"),
+}
 
 
 @dataclass
@@ -44,10 +59,14 @@ class ListScheduler:
     """EEL's local instruction scheduler for one machine model."""
 
     def __init__(
-        self, model: MachineModel, policy: SchedulingPolicy | None = None
+        self,
+        model: MachineModel,
+        policy: SchedulingPolicy | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # -- public API -------------------------------------------------------------
 
@@ -59,9 +78,13 @@ class ListScheduler:
                     f"region contains control transfer {inst.mnemonic!r}; "
                     "split regions first (see repro.core.regions)"
                 )
-        graph = build_dependence_graph(region, self.policy)
-        heights = chain_lengths(self.model, graph)
-        order = self._forward_pass(graph, heights)
+        rec = self.recorder
+        with rec.span("core.dependence_graph"):
+            graph = build_dependence_graph(region, self.policy)
+        with rec.span("core.backward_pass"):
+            heights = chain_lengths(self.model, graph)
+        with rec.span("core.forward_pass"):
+            order = self._forward_pass(graph, heights)
         scheduled = [region[i] for i in order]
         return ScheduleResult(
             instructions=scheduled,
@@ -80,10 +103,15 @@ class ListScheduler:
         order: list[int] = []
         state = PipelineState(self.model)
         cycle = 0
+        rec = self.recorder
+        telemetry = rec.enabled
+        keys: list[tuple] | None = [] if telemetry else None
 
         while ready:
             best = None
             best_key = None
+            if telemetry:
+                keys.clear()
             for node in ready:
                 timing = self.model.timing(graph.nodes[node])
                 stalls = walk(cycle, state, timing).stalls
@@ -96,10 +124,14 @@ class ListScheduler:
                     key = (node, stalls)
                 else:
                     key = (stalls, -heights[node], node)
+                if telemetry:
+                    keys.append(key)
                 if best_key is None or key < best_key:
                     best_key = key
                     best = node
-            result = issue(cycle, state, graph.nodes[best])
+            if telemetry:
+                self._record_decision(rec, keys, best_key)
+            result = issue(cycle, state, graph.nodes[best], rec)
             cycle = result.issue_cycle
             order.append(best)
             ready.remove(best)
@@ -111,6 +143,27 @@ class ListScheduler:
         if len(order) != n:  # pragma: no cover - DAGs are acyclic by construction
             raise RuntimeError("dependence graph had a cycle")
         return order
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _record_decision(
+        self, rec: Recorder, keys: list[tuple], best_key: tuple
+    ) -> None:
+        """Record one forward-pass pick: candidate-set size, the chosen
+        instruction's stall count, and which priority component decided
+        (the tie-break reason)."""
+        components = _KEY_COMPONENTS[self.policy.priority]
+        rec.count(SCHED_DECISIONS)
+        rec.observe(SCHED_READY_SET, len(keys))
+        stalls_index = components.index("stalls")
+        rec.observe(SCHED_CHOSEN_STALLS, best_key[stalls_index])
+        depth = 1
+        for depth in range(1, len(best_key) + 1):
+            matching = sum(1 for key in keys if key[:depth] == best_key[:depth])
+            if matching == 1:
+                break
+        reason = components[min(depth, len(components)) - 1]
+        rec.count(SCHED_TIE_BREAK, reason=reason)
 
     # -- measurement -------------------------------------------------------------
 

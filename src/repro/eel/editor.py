@@ -19,6 +19,7 @@ from typing import Callable
 
 from ..isa.instruction import Instruction, nop
 from ..isa.opcodes import Category
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .cfg import CFG, BasicBlock, Edge, build_cfg
 from .executable import Executable
 from .image import Section, SectionKind, Symbol
@@ -61,9 +62,18 @@ class _LaidOutBlock:
 class Editor:
     """Accumulates edits against one executable, then builds a new one."""
 
-    def __init__(self, executable: Executable, cfg: CFG | None = None) -> None:
+    def __init__(
+        self,
+        executable: Executable,
+        cfg: CFG | None = None,
+        recorder: Recorder | None = None,
+    ) -> None:
         self.executable = executable
-        self.cfg = cfg if cfg is not None else build_cfg(executable)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if cfg is None:
+            with self.recorder.span("eel.cfg_build"):
+                cfg = build_cfg(executable)
+        self.cfg = cfg
         self._insertions: dict[int, list[Instruction]] = {}
         self._appends: dict[int, list[Instruction]] = {}
         #: (src, dst) -> instructions, for taken-branch edges.
@@ -155,6 +165,10 @@ class Editor:
         the output is a re-laid-out, behaviour-identical program — the
         standard sanity check for an executable editor.
         """
+        with self.recorder.span("eel.layout"):
+            return self._build(transform)
+
+    def _build(self, transform: BlockTransform | None) -> Executable:
         laid_out: list[_LaidOutBlock] = []
         taken_override: dict[int, _LaidOutBlock] = {}
         for block in self.cfg:

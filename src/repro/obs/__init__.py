@@ -1,0 +1,62 @@
+"""Observability: tracing, metrics, and hazard-attribution telemetry.
+
+The instrument panel for the scheduling pipeline. A
+:class:`Recorder` is threaded (always optionally) through the editor,
+the profiler, the schedulers, and the timing simulators; when it is the
+:data:`NULL_RECORDER` nothing is measured and behaviour is identical to
+an unrecorded run. See ``docs/observability.md``.
+
+This package is intentionally zero-dependency — it imports nothing from
+the rest of ``repro`` so every layer can depend on it.
+"""
+
+from .metrics import Distribution, LabelKey, MetricsRegistry, label_key
+from .recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+)
+from .report import (
+    HAZARD_KINDS,
+    HAZARDS,
+    ISSUES,
+    SCHED_BLOCKS,
+    SCHED_CHOSEN_STALLS,
+    SCHED_DECISIONS,
+    SCHED_DELAY_SLOTS,
+    SCHED_READY_SET,
+    SCHED_TIE_BREAK,
+    STALL_CYCLES,
+    phase_timing_table,
+    render_stats,
+    scheduler_table,
+    stall_attribution_table,
+)
+
+__all__ = [
+    "Distribution",
+    "HAZARD_KINDS",
+    "HAZARDS",
+    "ISSUES",
+    "LabelKey",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SCHED_BLOCKS",
+    "SCHED_CHOSEN_STALLS",
+    "SCHED_DECISIONS",
+    "SCHED_DELAY_SLOTS",
+    "SCHED_READY_SET",
+    "SCHED_TIE_BREAK",
+    "STALL_CYCLES",
+    "TraceRecorder",
+    "label_key",
+    "phase_timing_table",
+    "render_stats",
+    "scheduler_table",
+    "stall_attribution_table",
+]

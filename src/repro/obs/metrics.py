@@ -1,0 +1,128 @@
+"""A zero-dependency metrics registry: counters, histograms, timers.
+
+Every series is a metric *name* plus a set of string *labels* — the
+Prometheus data model, scaled down to what an in-process performance
+tool needs. Counters accumulate (stall cycles by hazard kind),
+histograms summarize distributions (ready-set sizes), and timers are
+histograms over seconds fed by :meth:`repro.obs.recorder.MetricsRecorder.span`.
+
+The registry is deliberately dumb about label schemas: two series under
+one name may carry different label keys (``unit=LSU`` for structural
+stalls, ``regclass=INT`` for register hazards), which keeps the hazard
+buckets self-describing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: A label set, normalized to a sorted tuple of (key, value) pairs so it
+#: can key a dict.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Distribution:
+    """Streaming summary of an observed series (histogram/timer cell)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Labeled counters, histograms, and timers for one recording run."""
+
+    counters: dict[str, dict[LabelKey, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[LabelKey, Distribution]] = field(default_factory=dict)
+    #: timers are histograms whose unit is seconds, kept apart so the
+    #: reporter can render them as phase timings.
+    timers: dict[str, dict[LabelKey, Distribution]] = field(default_factory=dict)
+
+    # -- writing ---------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        series = self.counters.setdefault(name, {})
+        key = label_key(labels)
+        series[key] = series.get(key, 0.0) + value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        series = self.histograms.setdefault(name, {})
+        key = label_key(labels)
+        cell = series.get(key)
+        if cell is None:
+            cell = series[key] = Distribution()
+        cell.observe(value)
+
+    def add_time(self, name: str, seconds: float, **labels: object) -> None:
+        series = self.timers.setdefault(name, {})
+        key = label_key(labels)
+        cell = series.get(key)
+        if cell is None:
+            cell = series[key] = Distribution()
+        cell.observe(seconds)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_series(self, name: str) -> dict[LabelKey, float]:
+        """All cells of one counter, keyed by normalized labels."""
+        return dict(self.counters.get(name, {}))
+
+    def counter_total(self, name: str, **match: object) -> float:
+        """Sum of a counter's cells whose labels include ``match``."""
+        want = set(label_key(match))
+        return sum(
+            value
+            for key, value in self.counters.get(name, {}).items()
+            if want <= set(key)
+        )
+
+    def snapshot(self) -> dict:
+        """A JSON-able dump of every series — what experiments attach to
+        their results and benchmarks assert on."""
+
+        def counters(series: dict[LabelKey, float]) -> list[dict]:
+            return [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(series.items())
+            ]
+
+        def distributions(series: dict[LabelKey, Distribution]) -> list[dict]:
+            return [
+                {
+                    "labels": dict(key),
+                    "count": cell.count,
+                    "total": cell.total,
+                    "min": cell.min if cell.count else None,
+                    "max": cell.max if cell.count else None,
+                    "mean": cell.mean,
+                }
+                for key, cell in sorted(series.items())
+            ]
+
+        return {
+            "counters": {name: counters(s) for name, s in self.counters.items()},
+            "histograms": {
+                name: distributions(s) for name, s in self.histograms.items()
+            },
+            "timers": {name: distributions(s) for name, s in self.timers.items()},
+        }

@@ -1,0 +1,177 @@
+"""Recorders: where the pipeline's telemetry goes.
+
+Three implementations of one tiny protocol:
+
+* :class:`NullRecorder` — the default everywhere. ``enabled`` is False
+  and every instrumented call site checks it (or uses the shared no-op
+  span), so a disabled run does no classification work and produces
+  byte-identical schedules and cycle counts.
+* :class:`MetricsRecorder` — aggregates counters/histograms and phase
+  timings into a :class:`~repro.obs.metrics.MetricsRegistry`.
+* :class:`TraceRecorder` — everything MetricsRecorder does, plus a
+  Chrome trace-event log (load the written file in ``chrome://tracing``
+  or https://ui.perfetto.dev). Nested ``span`` calls become nested
+  slices on one track.
+
+The package is zero-dependency and imports nothing from the rest of
+``repro``, so any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Protocol, runtime_checkable
+
+from .metrics import MetricsRegistry
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What instrumented code expects from a telemetry sink."""
+
+    #: False promises that count/observe/span are no-ops, letting hot
+    #: paths skip even the work of building label dicts.
+    enabled: bool
+    metrics: MetricsRegistry | None
+
+    def span(self, name: str, **args: object):
+        """Context manager timing one phase (nested spans nest)."""
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None: ...
+
+    def observe(self, name: str, value: float, **labels: object) -> None: ...
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Discards everything; the shared default sink."""
+
+    enabled = False
+    metrics: MetricsRegistry | None = None
+
+    def span(self, name: str, **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+
+#: The process-wide disabled sink. Passing this (or None) to any
+#: instrumented API is the "observability off" state.
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """Times one phase; on exit reports to the owning recorder."""
+
+    __slots__ = ("_recorder", "name", "args", "_start")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str, args: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._recorder._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._end_span(self.name, self.args, self._start)
+        return False
+
+
+class MetricsRecorder:
+    """Aggregating sink: counters, histograms, and phase timers."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        clock=time.perf_counter,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+
+    def span(self, name: str, **args: object) -> _Span:
+        return _Span(self, name, args)
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    def _end_span(self, name: str, args: dict, start: float) -> None:
+        self.metrics.add_time(name, self._clock() - start)
+
+
+class TraceRecorder(MetricsRecorder):
+    """MetricsRecorder plus a Chrome trace-event JSON log."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        clock=time.perf_counter,
+    ) -> None:
+        super().__init__(metrics, clock=clock)
+        self.events: list[dict] = []
+        self._epoch = self._clock()
+
+    def _end_span(self, name: str, args: dict, start: float) -> None:
+        end = self._clock()
+        self.metrics.add_time(name, end - start)
+        event = {
+            "name": name,
+            "ph": "X",  # complete event: ts + dur
+            "ts": (start - self._epoch) * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": 1,
+            "tid": 1,
+        }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        self.events.append(event)
+
+    def trace_json(self) -> dict:
+        """The Chrome trace-event file content (JSON object format)."""
+        metadata = {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro scheduling pipeline"},
+        }
+        return {
+            "traceEvents": [metadata] + self.events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.trace_json(), handle)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

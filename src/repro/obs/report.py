@@ -1,0 +1,142 @@
+"""Canonical metric names and human-readable rendering.
+
+The instrumented layers agree on these names so the reporter (and
+benchmark assertions) can find them. ``pipeline.stall_cycles`` is the
+*attribution*: each committed stall cycle counted exactly once, under
+its primary (first-failing) hazard — so its grand total equals the sum
+of ``WalkResult.stalls`` over every issued instruction.
+``pipeline.hazards`` counts every failing condition, including the
+overlapping ones behind the primary, and therefore may exceed it.
+"""
+
+from __future__ import annotations
+
+from .metrics import LabelKey, MetricsRegistry
+
+#: One count per committed stall cycle, labeled with the primary hazard:
+#: ``kind=structural, unit=<unit>`` or ``kind=raw|waw|war,
+#: regclass=<register file>``.
+STALL_CYCLES = "pipeline.stall_cycles"
+
+#: Every failing hazard condition observed during stalled cycles (a
+#: cycle blocked by both a RAW and a structural hazard counts in both).
+HAZARDS = "pipeline.hazards"
+
+#: Committed instruction issues (one per ``pipeline.stalls.issue``).
+ISSUES = "pipeline.issues"
+
+#: One per forward-pass scheduling decision.
+SCHED_DECISIONS = "scheduler.decisions"
+#: Histogram of the candidate (ready) set size at each decision.
+SCHED_READY_SET = "scheduler.ready_set_size"
+#: Histogram of the chosen instruction's stall count.
+SCHED_CHOSEN_STALLS = "scheduler.chosen_stalls"
+#: Which priority component decided: reason=stalls|chain|program_order.
+SCHED_TIE_BREAK = "scheduler.tie_break"
+#: Blocks handed to the block scheduler / delay slots it refilled.
+SCHED_BLOCKS = "scheduler.blocks"
+SCHED_DELAY_SLOTS = "scheduler.delay_slots_filled"
+
+#: The four hazard buckets, in reporting order.
+HAZARD_KINDS = ("structural", "raw", "waw", "war")
+
+
+def _fmt_labels(key: LabelKey, drop: frozenset[str] = frozenset()) -> str:
+    parts = [f"{k}={v}" for k, v in key if k not in drop]
+    return " ".join(parts) if parts else "-"
+
+
+def _label(key: LabelKey, name: str) -> str | None:
+    for k, v in key:
+        if k == name:
+            return v
+    return None
+
+
+def stall_attribution_table(metrics: MetricsRegistry) -> str:
+    """The structural/RAW/WAW/WAR cycle totals by unit / register class."""
+    series = metrics.counter_series(STALL_CYCLES)
+    lines = ["stall attribution (cycles, by primary hazard):"]
+    if series:
+        width = max(len(_fmt_labels(key, frozenset(("kind",)))) for key in series)
+        rows = sorted(series.items(), key=lambda kv: (-kv[1], kv[0]))
+        for key, value in rows:
+            kind = _label(key, "kind") or "?"
+            where = _fmt_labels(key, frozenset(("kind",)))
+            lines.append(f"  {kind:<11} {where:<{width}}  {int(value):>8}")
+    totals = "  ".join(
+        f"{kind}={int(metrics.counter_total(STALL_CYCLES, kind=kind))}"
+        for kind in HAZARD_KINDS
+    )
+    total = int(metrics.counter_total(STALL_CYCLES))
+    lines.append(f"  total {total} stall cycles  ({totals})")
+    overlapping = int(metrics.counter_total(HAZARDS)) - total
+    if overlapping > 0:
+        lines.append(
+            f"  (+{overlapping} overlapping hazard conditions beyond the primary)"
+        )
+    return "\n".join(lines)
+
+
+def phase_timing_table(metrics: MetricsRegistry) -> str:
+    """Phase spans, aggregated: calls, total and mean milliseconds."""
+    lines = ["phase timings:"]
+    rows = []
+    for name, series in metrics.timers.items():
+        for key, cell in series.items():
+            label = name if not key else f"{name}[{_fmt_labels(key)}]"
+            rows.append((cell.total, label, cell))
+    if not rows:
+        lines.append("  (no phases recorded)")
+        return "\n".join(lines)
+    width = max(len(label) for _, label, _ in rows)
+    lines.append(f"  {'phase':<{width}}  {'calls':>7}  {'total ms':>10}  {'mean ms':>9}")
+    for total, label, cell in sorted(rows, key=lambda row: -row[0]):
+        lines.append(
+            f"  {label:<{width}}  {cell.count:>7}  {total * 1e3:>10.3f}"
+            f"  {cell.mean * 1e3:>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def scheduler_table(metrics: MetricsRegistry) -> str:
+    """Forward-pass decision telemetry, when a scheduler ran."""
+    decisions = int(metrics.counter_total(SCHED_DECISIONS))
+    if decisions == 0:
+        return ""
+    lines = [f"scheduler decisions: {decisions}"]
+    ready = metrics.histograms.get(SCHED_READY_SET, {})
+    for key, cell in sorted(ready.items()):
+        lines.append(
+            f"  ready-set size: mean {cell.mean:.2f}, max {int(cell.max)}"
+        )
+    chosen = metrics.histograms.get(SCHED_CHOSEN_STALLS, {})
+    for key, cell in sorted(chosen.items()):
+        lines.append(
+            f"  chosen stalls:  mean {cell.mean:.2f}, max {int(cell.max)}"
+        )
+    ties = metrics.counter_series(SCHED_TIE_BREAK)
+    if ties:
+        breakdown = ", ".join(
+            f"{_label(key, 'reason')}={int(value)}"
+            for key, value in sorted(ties.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"  decided by:     {breakdown}")
+    blocks = int(metrics.counter_total(SCHED_BLOCKS))
+    slots = int(metrics.counter_total(SCHED_DELAY_SLOTS))
+    if blocks:
+        lines.append(f"  blocks scheduled: {blocks} (delay slots refilled: {slots})")
+    return "\n".join(lines)
+
+
+def render_stats(metrics: MetricsRegistry) -> str:
+    """The full ``--stats`` panel: attribution, decisions, timings."""
+    sections = [stall_attribution_table(metrics)]
+    scheduler = scheduler_table(metrics)
+    if scheduler:
+        sections.append(scheduler)
+    sections.append(phase_timing_table(metrics))
+    issues = int(metrics.counter_total(ISSUES))
+    if issues:
+        sections.append(f"instructions issued: {issues}")
+    return "\n\n".join(sections)

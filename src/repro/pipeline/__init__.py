@@ -1,6 +1,6 @@
 """The in-order superscalar pipeline model (paper §3.2 and Appendix A)."""
 
-from .diagnose import Hazard, explain_stall, stall_breakdown
+from .diagnose import Hazard, all_hazards, attribute_stalls, explain_stall, stall_breakdown
 from .ooo import OoOConfig, OoORun, OoOSimulator, ooo_timed_run
 from .simulator import BlockSimulator, BlockTiming
 from .stalls import (
@@ -28,6 +28,8 @@ __all__ = [
     "PipelineState",
     "TimedRun",
     "WalkResult",
+    "all_hazards",
+    "attribute_stalls",
     "explain_stall",
     "issue",
     "ooo_timed_run",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..spawn.model import MachineModel
 from .stalls import issue, pipeline_stalls, walk
 from .state import PipelineState
@@ -46,8 +47,11 @@ class BlockTiming:
 class BlockSimulator:
     """Times straight-line code on a machine model, in order."""
 
-    def __init__(self, model: MachineModel) -> None:
+    def __init__(
+        self, model: MachineModel, recorder: Recorder | None = None
+    ) -> None:
         self.model = model
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     def time_block(self, instructions: list[Instruction]) -> BlockTiming:
         """Issue ``instructions`` in order through a fresh pipeline."""
@@ -57,7 +61,7 @@ class BlockSimulator:
         drain = 0
         issue_times: list[int] = []
         for inst in instructions:
-            result = issue(cycle, state, inst)
+            result = issue(cycle, state, inst, self.recorder)
             stall_total += result.stalls
             cycle = result.issue_cycle
             drain = max(drain, result.completion_cycle)

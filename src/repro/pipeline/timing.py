@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa.simulator import RunResult
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..spawn.model import MachineModel
 from .stalls import issue
 from .state import PipelineState
@@ -41,20 +42,23 @@ def timed_run(
     *,
     max_instructions: int = 5_000_000,
     count_executions: bool = False,
+    recorder: Recorder | None = None,
 ) -> TimedRun:
     """Run ``executable`` functionally while timing it on ``model``."""
+    rec = recorder if recorder is not None else NULL_RECORDER
     state = PipelineState(model)
     last_issue = -1
 
     def hook(address: int, inst) -> None:
         nonlocal last_issue
-        last_issue = issue(max(last_issue, 0), state, inst).issue_cycle
+        last_issue = issue(max(last_issue, 0), state, inst, rec).issue_cycle
 
-    result = executable.run(
-        max_instructions=max_instructions,
-        count_executions=count_executions,
-        on_execute=hook,
-    )
+    with rec.span("pipeline.timed_run"):
+        result = executable.run(
+            max_instructions=max_instructions,
+            count_executions=count_executions,
+            on_execute=hook,
+        )
     return TimedRun(
         cycles=last_issue + 1,
         instructions=result.instructions_executed,

@@ -28,6 +28,7 @@ from ..isa.instruction import TAG_INSTRUMENTATION, Instruction
 from ..isa.registers import Reg, r
 from ..isa.simulator import RunResult
 from ..isa import synth
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .counters import COUNTER_BASE, CounterSegment
 from .placement import PlacementPlan, plan_placement
 
@@ -89,30 +90,38 @@ class SlowProfiler:
         counter_base: int = COUNTER_BASE,
         skip_redundant: bool = True,
         use_liveness: bool = True,
+        recorder: Recorder | None = None,
     ) -> None:
         self.executable = executable
         self.counter_base = counter_base
         self.skip_redundant = skip_redundant
         self.use_liveness = use_liveness
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     def instrument(self, transform: BlockTransform | None = None) -> ProfiledProgram:
         """Insert counters into every planned block and build the new
         executable; ``transform`` (typically a
         :class:`~repro.core.block_scheduler.BlockScheduler`) schedules
         each block as it is laid out."""
-        editor = Editor(self.executable)
+        rec = self.recorder
+        editor = Editor(self.executable, recorder=rec)
         cfg = editor.cfg
-        plan = plan_placement(cfg, skip_redundant=self.skip_redundant)
+        with rec.span("qpt.placement"):
+            plan = plan_placement(cfg, skip_redundant=self.skip_redundant)
         counters = CounterSegment(base=self.counter_base)
-        liveness = LivenessAnalysis(cfg) if self.use_liveness else None
+        liveness = None
+        if self.use_liveness:
+            with rec.span("qpt.liveness"):
+                liveness = LivenessAnalysis(cfg)
         scratch: dict[int, tuple[Reg, Reg]] = {}
 
-        for index in sorted(plan.instrumented):
-            block = cfg.blocks[index]
-            address = counters.allocate(index)
-            regs = self._pick_scratch(liveness, block)
-            scratch[index] = regs
-            editor.insert_before(block, counter_snippet(address, *regs))
+        with rec.span("qpt.insert_counters"):
+            for index in sorted(plan.instrumented):
+                block = cfg.blocks[index]
+                address = counters.allocate(index)
+                regs = self._pick_scratch(liveness, block)
+                scratch[index] = regs
+                editor.insert_before(block, counter_snippet(address, *regs))
 
         editor.add_data_section(counters.section())
         edited = editor.build(transform)

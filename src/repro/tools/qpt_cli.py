@@ -7,7 +7,8 @@ Operates on RXE executables:
    $ python -m repro.tools.qpt_cli instrument prog.rxe -o prog.qpt.rxe \\
          --machine ultrasparc --schedule
    $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
-   $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc
+   $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc \\
+         --stats --trace prog.trace.json
    $ python -m repro.tools.qpt_cli disasm prog.rxe
    $ python -m repro.tools.qpt_cli validate --machine supersparc
    $ python -m repro.tools.qpt_cli codegen --machine ultrasparc -o ps.py
@@ -21,12 +22,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from ..core.block_scheduler import BlockScheduler
 from ..core.dependence import SchedulingPolicy
 from ..eel.executable import Executable
 from ..isa.disasm import disassemble_executable
+from ..obs import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    Recorder,
+    TraceRecorder,
+    render_stats,
+)
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
 from ..spawn.codegen import generate_source
@@ -39,18 +48,57 @@ def _load(path: str) -> Executable:
         return Executable.from_bytes(handle.read())
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print stall-attribution buckets and phase timings",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write a Chrome trace-event file (chrome://tracing)",
+    )
+
+
+def _make_recorder(args) -> Recorder:
+    if getattr(args, "trace", None):
+        return TraceRecorder()
+    if getattr(args, "stats", False):
+        return MetricsRecorder()
+    return NULL_RECORDER
+
+
+def _finish_obs(args, recorder: Recorder) -> int:
+    if getattr(args, "stats", False):
+        print()
+        print(render_stats(recorder.metrics))
+    trace = getattr(args, "trace", None)
+    if trace:
+        try:
+            recorder.write(trace)
+        except OSError as exc:
+            print(f"error: cannot write trace {trace!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote trace {trace}")
+    return 0
+
+
 def _save(executable: Executable, path: str) -> None:
     with open(path, "wb") as handle:
         handle.write(executable.to_bytes())
 
 
 def cmd_instrument(args) -> int:
+    recorder = _make_recorder(args)
     executable = _load(args.input)
     transform = None
     if args.schedule:
         policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
-        transform = BlockScheduler(load_machine(args.machine), policy)
-    profiler = SlowProfiler(executable, skip_redundant=not args.no_skip)
+        transform = BlockScheduler(load_machine(args.machine), policy, recorder)
+    profiler = SlowProfiler(
+        executable, skip_redundant=not args.no_skip, recorder=recorder
+    )
     profiled = profiler.instrument(transform)
     _save(profiled.executable, args.output)
 
@@ -82,10 +130,19 @@ def cmd_instrument(args) -> int:
             f"{stats.scheduled_cycles} isolated-block cycles"
         )
     print(f"wrote {args.output} and {args.output}.json")
-    return 0
+    return _finish_obs(args, recorder)
 
 
 def cmd_run(args) -> int:
+    if args.profile and not os.path.exists(args.profile):
+        print(
+            f"error: profile sidecar {args.profile!r} does not exist.\n"
+            f"'instrument ... -o <out>' writes it next to the executable "
+            f"as '<out>.json' (expected here: {args.input + '.json'!r}); "
+            f"run instrument first or point --profile at that file.",
+            file=sys.stderr,
+        )
+        return 2
     executable = _load(args.input)
     result = executable.run(max_instructions=args.max_instructions)
     print(f"executed {result.instructions_executed} instructions")
@@ -110,14 +167,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_time(args) -> int:
-    executable = _load(args.input)
-    model = load_machine(args.machine)
-    run = timed_run(executable=executable, model=model)
+    recorder = _make_recorder(args)
+    with recorder.span("cli.load", path=args.input):
+        executable = _load(args.input)
+        model = load_machine(args.machine)
+    run = timed_run(executable=executable, model=model, recorder=recorder)
     print(
         f"{args.input}: {run.cycles} cycles on {args.machine} "
         f"({run.instructions} instructions, IPC {run.ipc:.2f})"
     )
-    return 0
+    return _finish_obs(args, recorder)
 
 
 def cmd_disasm(args) -> int:
@@ -179,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fill-delay-slots", action="store_true")
     p.add_argument("--no-skip", action="store_true",
                    help="instrument every block (disable the skip rule)")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_instrument)
 
     p = sub.add_parser("run", help="execute in the functional simulator")
@@ -190,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("time", help="trace-driven pipeline timing")
     p.add_argument("input")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_time)
 
     p = sub.add_parser("disasm", help="disassemble the text section")

@@ -138,6 +138,31 @@ def test_icache_model_validation():
     assert model.penalty_cycles(1000, 2.0) == 400
 
 
+def test_experiment_attaches_metric_summary():
+    """With a recorder, the result carries a metrics snapshot the
+    benchmarks can assert on; without one, nothing is attached and the
+    headline numbers are unchanged."""
+    from repro.obs import MetricsRecorder
+
+    recorder = MetricsRecorder()
+    observed = run_profiling_experiment(
+        "130.li", ExperimentConfig(trip_count=8), recorder=recorder
+    )
+    plain = run_profiling_experiment("130.li", ExperimentConfig(trip_count=8))
+
+    assert plain.metrics is None
+    assert observed.metrics is not None
+    assert observed.uninstrumented_cycles == plain.uninstrumented_cycles
+    assert observed.instrumented_cycles == plain.instrumented_cycles
+    assert observed.scheduled_cycles == plain.scheduled_cycles
+
+    snapshot = observed.metrics
+    assert "scheduler.decisions" in snapshot["counters"]
+    phase_names = set(snapshot["timers"])
+    assert {"eval.compile", "eval.instrument", "eval.time"} <= phase_names
+    assert "core.forward_pass" in phase_names
+
+
 def test_cycles_to_seconds_scaling():
     from repro.evaluation import cycles_to_seconds, speedup
 

@@ -1,0 +1,138 @@
+"""Hazard-attribution invariants.
+
+The contract: attribution observes, never participates. Bucket totals
+must account for exactly the stall cycles the pipeline reports, and a
+disabled recorder must change nothing about scheduling or timing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ListScheduler
+from repro.isa import Instruction, f, r
+from repro.obs import (
+    HAZARDS,
+    ISSUES,
+    MetricsRecorder,
+    NullRecorder,
+    STALL_CYCLES,
+)
+from repro.pipeline import PipelineState, issue, timed_run, walk
+from repro.spawn import MACHINES, load_machine
+from repro.workloads import sum_loop
+
+_MODELS = {name: load_machine(name) for name in MACHINES}
+
+#: Straight-line samples only — regions must be branch-free.
+_SAMPLES = [
+    Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+    Instruction("add", rd=r(1), rs1=r(3), imm=1),
+    Instruction("ld", rd=r(4), rs1=r(30), imm=8),
+    Instruction("st", rd=r(4), rs1=r(30), imm=8),
+    Instruction("ld", rd=r(5), rs1=r(30), imm=16),
+    Instruction("sethi", rd=r(5), imm=0x100),
+    Instruction("subcc", rd=r(0), rs1=r(3), imm=1),
+    Instruction("faddd", rd=f(0), rs1=f(2), rs2=f(4)),
+    Instruction("fmuld", rd=f(6), rs1=f(0), rs2=f(8)),
+    Instruction("fdivd", rd=f(2), rs1=f(6), rs2=f(0)),
+]
+
+region_strategy = st.lists(
+    st.integers(0, len(_SAMPLES) - 1), min_size=1, max_size=10
+)
+
+
+def _replay_stalls(model, instructions) -> int:
+    """Sum of WalkResult.stalls issuing ``instructions`` in order."""
+    state = PipelineState(model)
+    cycle = 0
+    total = 0
+    for inst in instructions:
+        result = issue(cycle, state, inst)
+        total += result.stalls
+        cycle = result.issue_cycle
+    return total
+
+
+@given(machine=st.sampled_from(MACHINES), indexes=region_strategy)
+@settings(max_examples=60, deadline=None)
+def test_bucket_totals_equal_walk_stalls(machine, indexes):
+    """Property: for any scheduled region, the per-bucket attributed
+    stall cycles sum exactly to pipeline_stalls' totals for the
+    schedule the forward pass committed."""
+    model = _MODELS[machine]
+    region = [_SAMPLES[i] for i in indexes]
+    recorder = MetricsRecorder()
+    result = ListScheduler(model, recorder=recorder).schedule_region(region)
+
+    attributed = recorder.metrics.counter_total(STALL_CYCLES)
+    assert attributed == _replay_stalls(model, result.instructions)
+    # Overlap accounting can only add hazards, never lose them.
+    assert recorder.metrics.counter_total(HAZARDS) >= attributed
+    # Every bucket is one of the four kinds, keyed by unit or regclass.
+    for key in recorder.metrics.counter_series(STALL_CYCLES):
+        labels = dict(key)
+        assert labels["kind"] in ("structural", "raw", "waw", "war")
+        assert ("unit" in labels) != ("regclass" in labels)
+
+
+@given(machine=st.sampled_from(MACHINES), indexes=region_strategy)
+@settings(max_examples=60, deadline=None)
+def test_null_recorder_is_behavior_identical(machine, indexes):
+    """Property: scheduling with no recorder, with NullRecorder, and
+    with a live MetricsRecorder produces the identical schedule and
+    cycle counts — observation never participates."""
+    model = _MODELS[machine]
+    region = [_SAMPLES[i] for i in indexes]
+    plain = ListScheduler(model).schedule_region(region)
+    nulled = ListScheduler(model, recorder=NullRecorder()).schedule_region(region)
+    recorded = ListScheduler(model, recorder=MetricsRecorder()).schedule_region(region)
+
+    assert plain.order == nulled.order == recorded.order
+    assert plain.instructions == nulled.instructions == recorded.instructions
+    assert (
+        plain.scheduled_cycles == nulled.scheduled_cycles == recorded.scheduled_cycles
+    )
+    assert plain.original_cycles == nulled.original_cycles
+
+
+@given(indexes=region_strategy)
+@settings(max_examples=40, deadline=None)
+def test_issue_attribution_matches_per_instruction_stalls(indexes):
+    """Raw issue(): the recorder's running bucket total tracks each
+    committed instruction's stall count on the live pipeline state."""
+    model = _MODELS["ultrasparc"]
+    recorder = MetricsRecorder()
+    state = PipelineState(model)
+    cycle = 0
+    expected = 0
+    for i in indexes:
+        inst = _SAMPLES[i]
+        predicted = walk(cycle, state, model.timing(inst)).stalls
+        result = issue(cycle, state, inst, recorder)
+        assert result.stalls == predicted
+        expected += result.stalls
+        cycle = result.issue_cycle
+        assert recorder.metrics.counter_total(STALL_CYCLES) == expected
+    assert recorder.metrics.counter_total(ISSUES) == len(indexes)
+
+
+def test_timed_run_cycles_identical_with_and_without_recorder():
+    """Whole-program timing: the recorder observes a real workload's
+    run without perturbing its cycle count, and accounts for every
+    stall cycle the pipeline saw."""
+    model = _MODELS["ultrasparc"]
+    executable = sum_loop(12).executable
+    plain = timed_run(model, executable)
+    recorder = MetricsRecorder()
+    recorded = timed_run(model, executable, recorder=recorder)
+
+    assert recorded.cycles == plain.cycles
+    assert recorded.instructions == plain.instructions
+    attributed = recorder.metrics.counter_total(STALL_CYCLES)
+    issued = recorder.metrics.counter_total(ISSUES)
+    assert issued == plain.instructions
+    # cycles = instructions issued in order: last issue cycle + 1; the
+    # stalls are the gaps, so they can never exceed total cycles.
+    assert 0 < attributed < plain.cycles
+    assert recorder.metrics.timers["pipeline.timed_run"][()].count == 1

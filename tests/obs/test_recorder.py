@@ -1,0 +1,106 @@
+"""Recorder and metrics-registry unit tests."""
+
+import json
+
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    phase_timing_table,
+    render_stats,
+)
+
+
+def test_null_recorder_is_disabled_noop():
+    rec = NULL_RECORDER
+    assert rec.enabled is False
+    assert rec.metrics is None
+    with rec.span("anything", block=3):
+        rec.count("x")
+        rec.observe("y", 1.0)
+    # Protocol conformance for all three implementations.
+    assert isinstance(NullRecorder(), Recorder)
+    assert isinstance(MetricsRecorder(), Recorder)
+    assert isinstance(TraceRecorder(), Recorder)
+
+
+def test_counters_accumulate_per_label_set():
+    reg = MetricsRegistry()
+    reg.inc("stalls", 2, kind="raw", regclass="INT")
+    reg.inc("stalls", 1, kind="raw", regclass="INT")
+    reg.inc("stalls", 5, kind="structural", unit="LSU")
+    assert reg.counter_total("stalls") == 8
+    assert reg.counter_total("stalls", kind="raw") == 3
+    assert reg.counter_total("stalls", unit="LSU") == 5
+    assert reg.counter_total("stalls", kind="waw") == 0
+
+
+def test_histograms_track_distribution():
+    reg = MetricsRegistry()
+    for value in (1, 5, 3):
+        reg.observe("ready", value)
+    cell = reg.histograms["ready"][()]
+    assert cell.count == 3
+    assert cell.min == 1 and cell.max == 5
+    assert cell.mean == 3
+
+
+def test_snapshot_is_json_able():
+    rec = MetricsRecorder()
+    rec.count("a", kind="raw")
+    rec.observe("b", 2.5, phase="x")
+    with rec.span("phase.one"):
+        pass
+    snap = rec.metrics.snapshot()
+    text = json.dumps(snap)
+    assert "phase.one" in text
+    assert snap["counters"]["a"][0]["labels"] == {"kind": "raw"}
+
+
+def test_spans_feed_phase_timers():
+    ticks = iter(range(100))
+    rec = MetricsRecorder(clock=lambda: next(ticks))
+    with rec.span("outer"):
+        with rec.span("inner"):
+            pass
+    timers = rec.metrics.timers
+    assert timers["outer"][()].count == 1
+    assert timers["inner"][()].count == 1
+    # inner [2,3) nests inside outer [1,4) on the fake clock.
+    assert timers["outer"][()].total > timers["inner"][()].total
+    assert "phase timings" in phase_timing_table(rec.metrics)
+
+
+def test_trace_recorder_emits_chrome_trace_events(tmp_path):
+    ticks = iter(x / 1000.0 for x in range(100))
+    rec = TraceRecorder(clock=lambda: next(ticks))
+    with rec.span("outer", label="a"):
+        with rec.span("inner"):
+            rec.count("c")
+    trace = rec.trace_json()
+    # Valid Chrome trace-event JSON object format.
+    text = json.dumps(trace)
+    assert json.loads(text) == trace
+    events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    assert [e["name"] for e in events] == ["inner", "outer"]  # exit order
+    outer = next(e for e in events if e["name"] == "outer")
+    inner = next(e for e in events if e["name"] == "inner")
+    # Nesting: inner lies within outer on the one track.
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    assert outer["args"] == {"label": "a"}
+
+    path = tmp_path / "t.json"
+    rec.write(str(path))
+    reloaded = json.loads(path.read_text())
+    assert reloaded["traceEvents"][0]["ph"] == "M"  # process metadata
+
+
+def test_render_stats_mentions_all_hazard_kinds():
+    rec = MetricsRecorder()
+    text = render_stats(rec.metrics)
+    for kind in ("structural", "raw", "waw", "war"):
+        assert kind in text

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.isa import Instruction, f, r
 from repro.pipeline import (
     PipelineState,
+    all_hazards,
     explain_stall,
     issue,
     pipeline_stalls,
@@ -55,6 +56,49 @@ def test_breakdown_length_equals_stalls():
     hazards = stall_breakdown(0, state, consumer)
     assert len(hazards) == stalls
     assert all(h.kind == "raw" for h in hazards)
+
+
+def test_all_hazards_empty_when_issuable():
+    state = fresh()
+    assert all_hazards(0, state, Instruction("add", rd=r(1), rs1=r(2), imm=1)) == []
+
+
+def test_all_hazards_reports_overlapping_conditions():
+    """A candidate blocked by a busy unit *and* a pending operand must
+    surface both — explain_stall alone undercounts overlapping hazards."""
+    state = fresh()
+    issue(0, state, Instruction("ld", rd=r(3), rs1=r(30), imm=0))
+    # Another load of the loaded value: structural on the LSU and RAW
+    # on %r3 at the same candidate cycle.
+    candidate = Instruction("ld", rd=r(4), rs1=r(3), imm=0)
+    hazards = all_hazards(0, state, candidate)
+    assert len(hazards) >= 2
+    assert {h.kind for h in hazards} >= {"structural", "raw"}
+
+
+def test_all_hazards_first_element_is_explain_stall():
+    state = fresh()
+    issue(0, state, Instruction("ld", rd=r(3), rs1=r(30), imm=0))
+    candidate = Instruction("ld", rd=r(4), rs1=r(3), imm=0)
+    assert all_hazards(0, state, candidate)[0] == explain_stall(0, state, candidate)
+
+
+@given(indexes=st.lists(st.integers(0, 6), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_all_hazards_agrees_with_explain_stall(indexes):
+    """Property: all_hazards is empty exactly when explain_stall is
+    None, and otherwise leads with the same hazard."""
+    state = fresh()
+    cycle = 0
+    for i in indexes[:-1]:
+        cycle = issue(cycle, state, _SAMPLES[i]).issue_cycle
+    candidate = _SAMPLES[indexes[-1]]
+    first = explain_stall(cycle, state, candidate)
+    every = all_hazards(cycle, state, candidate)
+    if first is None:
+        assert every == []
+    else:
+        assert every[0] == first
 
 
 _SAMPLES = [

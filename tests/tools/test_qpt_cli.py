@@ -88,6 +88,58 @@ def test_scheduled_binary_is_faster(tmp_path, program, capsys):
     assert sched_cycles <= plain_cycles
 
 
+def test_run_profile_missing_sidecar_fails_clearly(program, capsys):
+    path, _ = program
+    missing = str(path) + ".json"
+    assert main(["run", str(path), "--profile", missing]) == 2
+    err = capsys.readouterr().err
+    assert "profile sidecar" in err
+    assert missing in err  # names the expected <out>.json path
+    assert "instrument" in err
+
+
+def test_time_stats_prints_attribution_and_phases(program, capsys):
+    path, _ = program
+    assert main(["time", str(path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "stall attribution" in out
+    for kind in ("structural=", "raw=", "waw=", "war="):
+        assert kind in out
+    assert "phase timings" in out
+    assert "pipeline.timed_run" in out
+
+
+def test_time_trace_writes_chrome_trace(tmp_path, program, capsys):
+    path, _ = program
+    trace = tmp_path / "t.json"
+    assert main(["time", str(path), "--trace", str(trace)]) == 0
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e.get("name") == "pipeline.timed_run" for e in events)
+    assert all({"ph", "pid", "tid"} <= e.keys() for e in events)
+
+
+def test_time_stats_does_not_change_cycles(program, capsys):
+    path, _ = program
+    main(["time", str(path)])
+    plain_cycles = capsys.readouterr().out.split()[1]
+    main(["time", str(path), "--stats"])
+    stats_cycles = capsys.readouterr().out.split()[1]
+    assert plain_cycles == stats_cycles
+
+
+def test_instrument_stats_reports_scheduler_decisions(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "sum.qpt.rxe"
+    assert (
+        main(["instrument", str(path), "-o", str(out), "--schedule", "--stats"])
+        == 0
+    )
+    captured = capsys.readouterr().out
+    assert "scheduler decisions" in captured
+    assert "decided by" in captured
+    assert "core.forward_pass" in captured
+
+
 def test_chart_command(program, capsys):
     path, _ = program
     assert main(["chart", str(path), "--block", "1"]) == 0
