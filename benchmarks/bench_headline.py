@@ -9,7 +9,13 @@ UltraSPARC) and Table 3 (SuperSPARC) averages combined.
 
 from conftest import save_result
 
-from repro.evaluation import headline_summary
+from repro.evaluation import ExperimentConfig, headline_summary, run_profiling_experiment
+from repro.obs import (
+    GUARD_BLOCKS_VERIFIED,
+    GUARD_FALLBACKS,
+    GUARD_QUARANTINED,
+    MetricsRecorder,
+)
 
 
 def test_headline_summary(once):
@@ -19,6 +25,24 @@ def test_headline_summary(once):
         "\n".join(f"{key}: {value:.3f}" for key, value in summary.items()) + "\n",
     )
     once.extra_info.update({k: round(v, 3) for k, v in summary.items()})
+
+    # The guarded (verify-and-fallback) path on one benchmark: the
+    # quarantine/fallback counters ride along in BENCH_headline.json,
+    # and a healthy pipeline quarantines nothing.
+    recorder = MetricsRecorder()
+    run_profiling_experiment(
+        "099.go", ExperimentConfig(trip_count=10, guarded=True), recorder=recorder
+    )
+    metrics = recorder.metrics
+    guard_counts = {
+        "guard_blocks_verified": int(metrics.counter_total(GUARD_BLOCKS_VERIFIED)),
+        "guard_quarantined": int(metrics.counter_total(GUARD_QUARANTINED)),
+        "guard_fallbacks": int(metrics.counter_total(GUARD_FALLBACKS)),
+    }
+    once.extra_info.update(guard_counts)
+    assert guard_counts["guard_blocks_verified"] > 0
+    assert guard_counts["guard_quarantined"] == 0
+    assert guard_counts["guard_fallbacks"] == 0
 
     # Both suites hide a meaningful average fraction; FP hides more,
     # as in the paper's 13% vs 33%.

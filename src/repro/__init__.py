@@ -28,6 +28,9 @@ The library re-creates the paper's full stack in Python:
 * :mod:`repro.obs` — zero-dependency observability: recorders (metrics,
   Chrome trace events) and hazard-attribution telemetry threaded through
   the whole scheduling pipeline.
+* :mod:`repro.robust` — verify-and-fallback guarded scheduling,
+  per-block/per-routine budgets, and a fault-injection harness; the
+  unified error taxonomy is rooted at :class:`repro.errors.ReproError`.
 """
 
 __version__ = "1.0.0"

@@ -12,7 +12,7 @@ from .editor import BlockTransform, EditError, Editor, identity_edit
 from .loops import Loop, LoopForest
 from .routine import Routine, split_routines
 from .executable import DATA_BASE, TEXT_BASE, Executable
-from .image import Section, SectionKind, Symbol, SymbolKind
+from .image import ImageError, Section, SectionKind, Symbol, SymbolKind
 from .liveness import BlockLiveness, LivenessAnalysis
 from .snippet import Snippet, SnippetError, snippet_from_asm
 
@@ -27,6 +27,7 @@ __all__ = [
     "DATA_BASE",
     "DominatorTree",
     "EditError",
+    "ImageError",
     "Editor",
     "Edge",
     "Executable",

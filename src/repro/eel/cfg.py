@@ -20,9 +20,10 @@ from dataclasses import dataclass, field
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Category
 from .executable import Executable
+from ..errors import ReproError
 
 
-class CfgError(Exception):
+class CfgError(ReproError):
     """The text's control structure cannot be expressed as a clean CFG
     (e.g. a branch into a delay slot)."""
 

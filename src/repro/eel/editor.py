@@ -23,6 +23,7 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from .cfg import CFG, BasicBlock, Edge, build_cfg
 from .executable import Executable
 from .image import Section, SectionKind, Symbol
+from ..errors import ReproError
 
 #: A block transform maps (block, body) to either a new body, or a
 #: (body, delay) pair when it also fills the delay slot. ``body``
@@ -34,7 +35,7 @@ BlockTransform = Callable[
 ]
 
 
-class EditError(Exception):
+class EditError(ReproError):
     pass
 
 
@@ -244,9 +245,26 @@ class Editor:
         if transform is not None:
             result = transform(block, body)
             if isinstance(result, tuple):
+                if len(result) != 2:
+                    raise EditError(
+                        f"block transform returned a {len(result)}-tuple "
+                        "(expected (body, delay))"
+                    )
                 body, delay = result
             else:
                 body = result
+            if not isinstance(body, list) or not all(
+                isinstance(inst, Instruction) for inst in body
+            ):
+                raise EditError(
+                    "block transform must return a list of Instructions "
+                    f"(got {type(body).__name__})"
+                )
+            if delay is not None and not isinstance(delay, Instruction):
+                raise EditError(
+                    "block transform returned a non-instruction delay "
+                    f"slot ({type(delay).__name__})"
+                )
         return _LaidOutBlock(
             source=block,
             body=list(body),
@@ -274,7 +292,12 @@ class Editor:
                 cti_address = block.new_address + 4 * len(block.body)
                 if block.source is None:
                     # Trampoline: jump back to its edge's destination.
-                    target = new_address[block.jump_to_block]
+                    target = new_address.get(block.jump_to_block)
+                    if target is None:
+                        raise EditError(
+                            f"trampoline jumps to unknown block "
+                            f"{block.jump_to_block}"
+                        )
                     out.append(term.with_target(None, (target - cti_address) // 4))
                 else:
                     out.append(

@@ -11,6 +11,7 @@ from ..isa.instruction import Instruction
 from ..isa.machine_state import MachineState
 from ..isa.simulator import RunResult, Simulator
 from .image import (
+    ImageError,
     Section,
     SectionKind,
     Symbol,
@@ -143,7 +144,7 @@ class Executable:
     def from_bytes(cls, data: bytes) -> "Executable":
         reader = _Reader(data)
         if reader.take(4) != MAGIC:
-            raise ValueError("not an RXE image (bad magic)")
+            raise ImageError("not an RXE image (bad magic)")
         entry = reader.u32()
         sections = [unpack_section(reader) for _ in range(reader.u32())]
         symbols = [unpack_symbol(reader) for _ in range(reader.u32())]

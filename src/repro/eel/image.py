@@ -16,6 +16,13 @@ import enum
 import struct
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
+
+
+class ImageError(ReproError, ValueError):
+    """Raised for malformed or truncated RXE images."""
+
+
 
 class SectionKind(enum.Enum):
     TEXT = 0
@@ -70,7 +77,7 @@ class _Reader:
 
     def take(self, count: int) -> bytes:
         if self.pos + count > len(self.data):
-            raise ValueError("truncated RXE image")
+            raise ImageError("truncated RXE image")
         chunk = self.data[self.pos : self.pos + count]
         self.pos += count
         return chunk

@@ -13,9 +13,10 @@ from dataclasses import dataclass
 
 from ..isa.asm import assemble
 from ..isa.instruction import TAG_INSTRUMENTATION, Instruction
+from ..errors import ReproError
 
 
-class SnippetError(ValueError):
+class SnippetError(ReproError, ValueError):
     pass
 
 

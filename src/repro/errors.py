@@ -1,0 +1,61 @@
+"""The unified error taxonomy — every layer fails typed.
+
+The paper's motivation for SADL/Spawn was that hand-written instruction
+manipulation code "hid subtle bugs for months"; the first line of
+defence against that class of bug is that nothing in this library fails
+with a bare ``Exception`` (or, worse, a silently wrong result).
+:class:`ReproError` is the base every layer's error type derives from:
+
+* :class:`~repro.isa.decode.DecodeError`, ``EncodeError``, ``AsmError``,
+  ``MemoryFault`` — the ISA substrate;
+* :class:`~repro.isa.semantics.SemanticsError` — functional execution;
+* :class:`~repro.sadl.errors.SadlError` — description parsing/evaluation;
+* :class:`~repro.spawn.model.ModelError` — machine-model resolution;
+* :class:`~repro.eel.editor.EditError`, ``CfgError``, ``SnippetError``
+  — executable editing;
+* ``BuildError``, ``FastProfileError`` — workloads and fast profiling;
+* :class:`VerificationError` and :class:`BudgetExceeded` — the guarded
+  scheduling layer (:mod:`repro.robust`).
+
+Callers that want "anything this library can legitimately raise" catch
+``ReproError``; the CLI does exactly that at top level and turns it into
+``error: ...`` on stderr plus a nonzero exit. This module is zero-
+dependency (it imports nothing from the rest of ``repro``) so every
+layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every typed error the library raises."""
+
+
+class VerificationError(ReproError):
+    """A scheduled region failed post-schedule verification.
+
+    Raised only in *strict* guarded scheduling; in safe mode the guard
+    falls back to the original order and records a quarantine report
+    instead. ``failures`` carries the verifier's individual findings.
+    """
+
+    def __init__(self, message: str, failures: tuple[str, ...] = (), block: int | None = None) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.block = block
+
+
+class BudgetExceeded(ReproError):
+    """A guard budget (instruction count or wall-clock deadline) ran out.
+
+    Raised only in strict mode; safe mode degrades gracefully to the
+    unscheduled instruction order.
+    """
+
+    def __init__(self, message: str, budget: str = "", block: int | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.block = block
+
+
+__all__ = ["BudgetExceeded", "ReproError", "VerificationError"]

@@ -33,6 +33,7 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..pipeline.simulator import BlockSimulator
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
+from ..robust.guard import GuardBudget, GuardedBlockScheduler
 from ..spawn.library import load_machine
 from ..spawn.model import MachineModel
 from ..workloads.generator import SyntheticProgram
@@ -132,6 +133,11 @@ class ExperimentConfig:
     #: False: frequency-weighted per-block issue cycles (fast, analytic).
     trace_timing: bool = True
     max_instructions: int = 5_000_000
+    #: schedule through the verify-and-fallback guard
+    #: (:class:`~repro.robust.guard.GuardedBlockScheduler`); quarantine
+    #: and fallback counters then land in ``BenchmarkResult.metrics``.
+    guarded: bool = False
+    guard_budget: GuardBudget | None = None
 
 
 def run_profiling_experiment(
@@ -178,6 +184,13 @@ def run_profiling_experiment(
                 text_expansion=expansion,
             )
 
+    def block_scheduler(recorder: Recorder | None = None):
+        if config.guarded:
+            return GuardedBlockScheduler(
+                model, config.policy, recorder, budget=config.guard_budget
+            )
+        return BlockScheduler(model, config.policy, recorder)
+
     # The "compiled -fast -xO4" input: a stronger-than-EEL scheduler has
     # already ordered every block.
     optimizer = ImprovedScheduler(
@@ -192,9 +205,7 @@ def run_profiling_experiment(
     baseline_ratio = 1.0
     if config.reschedule_baseline:
         with rec.span("eval.reschedule_baseline", benchmark=benchmark):
-            baseline = Editor(compiled, recorder=rec).build(
-                BlockScheduler(model, config.policy)
-            )
+            baseline = Editor(compiled, recorder=rec).build(block_scheduler())
         uninstrumented = cycles(baseline)
         baseline_ratio = uninstrumented / original_cycles
 
@@ -204,7 +215,7 @@ def run_profiling_experiment(
 
     with rec.span("eval.instrument_scheduled", benchmark=benchmark):
         scheduled_program = SlowProfiler(baseline, recorder=rec).instrument(
-            BlockScheduler(model, config.policy, rec)
+            block_scheduler(rec)
         )
     scheduled = cycles(scheduled_program.executable, scheduled_program.text_expansion)
 

@@ -21,9 +21,10 @@ from .instruction import Instruction
 from .opcodes import Category, Format, Slot, is_known, lookup
 from .registers import G0, Reg, parse_reg
 from . import synth
+from ..errors import ReproError
 
 
-class AsmError(ValueError):
+class AsmError(ReproError, ValueError):
     """Raised on malformed assembly input."""
 
     def __init__(self, line_no: int, text: str, message: str) -> None:

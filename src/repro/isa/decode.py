@@ -25,6 +25,7 @@ _MEM_BY_OP3: dict[int, str] = {}
 _FPOP_BY_OPF: dict[tuple[int, int], str] = {}
 
 from . import opcodes as _opcodes  # noqa: E402  (table introspection)
+from ..errors import ReproError
 
 for _m in _opcodes.all_mnemonics():
     _info = _opcodes.lookup(_m)
@@ -36,7 +37,7 @@ for _m in _opcodes.all_mnemonics():
         _FPOP_BY_OPF[(_info.op3, _info.opf)] = _m
 
 
-class DecodeError(ValueError):
+class DecodeError(ReproError, ValueError):
     """Raised for instruction words outside the supported V8 subset."""
 
 
@@ -47,6 +48,16 @@ def _sign_extend(value: int, bits: int) -> int:
 
 def _reg(kind: str, num: int) -> Reg:
     return Reg(RegKind.FP if kind == "f" else RegKind.INT, num)
+
+
+def _check_unused(word: int, field: str, value: int, used: bool) -> None:
+    """Operand fields an instruction does not use must encode as zero
+    (the encoder writes zeros there); anything else is a corrupt word,
+    not a quiet don't-care."""
+    if not used and value:
+        raise DecodeError(
+            f"unused {field} field is {value:#x} in word {word:#010x}"
+        )
 
 
 def decode(word: int) -> Instruction:
@@ -74,6 +85,8 @@ def decode(word: int) -> Instruction:
         if mnemonic is None:
             raise DecodeError(f"unsupported FP opf {opf:#x} in word {word:#010x}")
         info = lookup(mnemonic)
+        _check_unused(word, "rd", rd, Slot.RD in info.operand_kinds)
+        _check_unused(word, "rs1", rs1, Slot.RS1 in info.operand_kinds)
         return Instruction(
             mnemonic,
             rd=_reg("f", rd) if Slot.RD in info.operand_kinds else None,
@@ -89,6 +102,15 @@ def decode(word: int) -> Instruction:
         )
     info = lookup(mnemonic)
     kinds = info.operand_kinds
+    if not use_imm and (word >> 5) & 0xFF:
+        # The asi field of register-form format 3: always zero in this
+        # subset. Rejecting nonzero values here is what makes a flipped
+        # bit a DecodeError instead of a silently different instruction.
+        raise DecodeError(f"reserved asi bits set in word {word:#010x}")
+    _check_unused(word, "rd", rd, Slot.RD in kinds)
+    _check_unused(word, "rs1", rs1, Slot.RS1 in kinds)
+    if not use_imm:
+        _check_unused(word, "rs2", rs2, Slot.RS2 in kinds)
     return Instruction(
         mnemonic,
         rd=_reg(kinds[Slot.RD], rd) if Slot.RD in kinds else None,

@@ -13,9 +13,10 @@ import struct
 from .instruction import Instruction
 from .opcodes import Format, Slot, lookup
 from .registers import Reg
+from ..errors import ReproError
 
 
-class EncodeError(ValueError):
+class EncodeError(ReproError, ValueError):
     """Raised when an instruction cannot be represented in SPARC V8."""
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from ..errors import ReproError
 
 MASK32 = 0xFFFFFFFF
 
@@ -22,7 +23,7 @@ FCC_GREATER = 2
 FCC_UNORDERED = 3
 
 
-class MemoryFault(Exception):
+class MemoryFault(ReproError):
     """Raised on misaligned accesses."""
 
 

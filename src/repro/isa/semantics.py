@@ -29,11 +29,12 @@ from .machine_state import (
     MachineState,
 )
 from .opcodes import Category, Format
+from ..errors import ReproError
 
 SIGN_BIT = 0x80000000
 
 
-class SemanticsError(Exception):
+class SemanticsError(ReproError):
     """Raised when an instruction cannot be executed functionally."""
 
 

@@ -19,6 +19,9 @@ from .recorder import (
     TraceRecorder,
 )
 from .report import (
+    GUARD_BLOCKS_VERIFIED,
+    GUARD_FALLBACKS,
+    GUARD_QUARANTINED,
     HAZARD_KINDS,
     HAZARDS,
     ISSUES,
@@ -29,6 +32,7 @@ from .report import (
     SCHED_READY_SET,
     SCHED_TIE_BREAK,
     STALL_CYCLES,
+    guard_table,
     phase_timing_table,
     render_stats,
     scheduler_table,
@@ -37,6 +41,9 @@ from .report import (
 
 __all__ = [
     "Distribution",
+    "GUARD_BLOCKS_VERIFIED",
+    "GUARD_FALLBACKS",
+    "GUARD_QUARANTINED",
     "HAZARD_KINDS",
     "HAZARDS",
     "ISSUES",
@@ -54,6 +61,7 @@ __all__ = [
     "SCHED_TIE_BREAK",
     "STALL_CYCLES",
     "TraceRecorder",
+    "guard_table",
     "label_key",
     "phase_timing_table",
     "render_stats",

@@ -37,6 +37,13 @@ SCHED_TIE_BREAK = "scheduler.tie_break"
 SCHED_BLOCKS = "scheduler.blocks"
 SCHED_DELAY_SLOTS = "scheduler.delay_slots_filled"
 
+#: Blocks that passed post-schedule verification in the guarded path.
+GUARD_BLOCKS_VERIFIED = "guard.blocks_verified"
+#: Quarantined blocks, labeled ``kind=verification|scheduler-error|budget|model``.
+GUARD_QUARANTINED = "guard.quarantined"
+#: Blocks emitted in their original order instead of the schedule.
+GUARD_FALLBACKS = "guard.fallbacks"
+
 #: The four hazard buckets, in reporting order.
 HAZARD_KINDS = ("structural", "raw", "waw", "war")
 
@@ -129,12 +136,33 @@ def scheduler_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def guard_table(metrics: MetricsRegistry) -> str:
+    """Verify-and-fallback telemetry, when guarded scheduling ran."""
+    verified = int(metrics.counter_total(GUARD_BLOCKS_VERIFIED))
+    quarantined = int(metrics.counter_total(GUARD_QUARANTINED))
+    if verified == 0 and quarantined == 0:
+        return ""
+    fallbacks = int(metrics.counter_total(GUARD_FALLBACKS))
+    lines = [
+        f"guarded scheduling: {verified} blocks verified, "
+        f"{quarantined} quarantined (fallbacks: {fallbacks})"
+    ]
+    series = metrics.counter_series(GUARD_QUARANTINED)
+    for key, value in sorted(series.items(), key=lambda kv: -kv[1]):
+        kind = _label(key, "kind") or "?"
+        lines.append(f"  {kind:<16} {int(value):>8}")
+    return "\n".join(lines)
+
+
 def render_stats(metrics: MetricsRegistry) -> str:
     """The full ``--stats`` panel: attribution, decisions, timings."""
     sections = [stall_attribution_table(metrics)]
     scheduler = scheduler_table(metrics)
     if scheduler:
         sections.append(scheduler)
+    guard = guard_table(metrics)
+    if guard:
+        sections.append(guard)
     sections.append(phase_timing_table(metrics))
     issues = int(metrics.counter_total(ISSUES))
     if issues:

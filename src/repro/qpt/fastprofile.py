@@ -35,6 +35,7 @@ from ..eel.routine import split_routines
 from ..isa.simulator import RunResult
 from .counters import COUNTER_BASE, CounterSegment
 from .profiling import RESERVED_SCRATCH, counter_snippet
+from ..errors import ReproError
 
 #: Node id for a routine's virtual exit.
 _EXIT = -1
@@ -67,7 +68,7 @@ class FlowEdge:
         return Edge(self.src, self.dst, self.kind)
 
 
-class FastProfileError(Exception):
+class FastProfileError(ReproError):
     pass
 
 

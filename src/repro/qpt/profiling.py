@@ -60,6 +60,10 @@ class ProfiledProgram:
     counters: CounterSegment
     #: scratch registers chosen per instrumented block.
     scratch: dict[int, tuple[Reg, Reg]] = field(default_factory=dict)
+    #: quarantine reports from a guarded transform
+    #: (:class:`~repro.robust.guard.GuardedBlockScheduler`); empty when
+    #: the transform was unguarded or every block verified.
+    quarantine: tuple = ()
 
     @property
     def added_instructions(self) -> int:
@@ -132,6 +136,7 @@ class SlowProfiler:
             plan=plan,
             counters=counters,
             scratch=scratch,
+            quarantine=tuple(getattr(transform, "quarantine", ())),
         )
 
     def _pick_scratch(self, liveness: LivenessAnalysis | None, block) -> tuple[Reg, Reg]:

@@ -1,0 +1,60 @@
+"""Robustness: guarded scheduling, fault injection, typed errors.
+
+The enforcement layer for the paper's safety claim. An executable
+editor that reorders instructions must prove each edit safe or refuse
+to make it; this package makes that a *runtime* property of the
+production path, not a test-suite-only one:
+
+* :class:`GuardedBlockScheduler` — verify-and-fallback around the block
+  scheduler: every scheduled block is re-proven by
+  :func:`~repro.core.verify.verify_schedule`; failures fall back to the
+  original instruction order and are quarantined
+  (:class:`QuarantineReport`), with budgets (:class:`GuardBudget`) for
+  graceful degradation under instruction-count or wall-clock pressure.
+* :mod:`repro.robust.faults` — a fault-injection harness that corrupts
+  machine models, instruction encodings, and scheduler decisions, and
+  asserts every injected fault is caught.
+* the unified error taxonomy rooted at
+  :class:`~repro.errors.ReproError` (re-exported here), so every layer
+  fails with a typed, catchable error.
+
+See ``docs/robustness.md``.
+"""
+
+from ..errors import BudgetExceeded, ReproError, VerificationError
+from .faults import (
+    MODEL_FAULTS,
+    SCHEDULER_MUTATIONS,
+    CorruptedModel,
+    FaultInjectionReport,
+    FaultOutcome,
+    ModelFault,
+    SabotagedScheduler,
+    default_workload,
+    inject_encoding_faults,
+    inject_model_faults,
+    inject_scheduler_faults,
+    run_fault_injection,
+)
+from .guard import GuardBudget, GuardedBlockScheduler, QuarantineReport
+
+__all__ = [
+    "BudgetExceeded",
+    "CorruptedModel",
+    "FaultInjectionReport",
+    "FaultOutcome",
+    "GuardBudget",
+    "GuardedBlockScheduler",
+    "MODEL_FAULTS",
+    "ModelFault",
+    "QuarantineReport",
+    "ReproError",
+    "SCHEDULER_MUTATIONS",
+    "SabotagedScheduler",
+    "VerificationError",
+    "default_workload",
+    "inject_encoding_faults",
+    "inject_model_faults",
+    "inject_scheduler_faults",
+    "run_fault_injection",
+]

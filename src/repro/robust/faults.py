@@ -1,0 +1,443 @@
+"""Fault injection: prove the guards catch what they claim to catch.
+
+The harness deliberately breaks each layer the guarded pipeline defends
+and asserts the break is *caught* — a quarantine or a typed error, never
+a silently wrong output:
+
+* **model faults** (:data:`MODEL_FAULTS`) corrupt a machine model's
+  timing traces — a write latency of zero, a read after retirement, a
+  dropped ``release``, issue-slot acquires swapped onto the wrong unit,
+  over-releases, capacity overflows. Every one must be flagged by
+  :func:`~repro.spawn.validate.validate_machine` and must quarantine a
+  :class:`~repro.robust.guard.GuardedBlockScheduler` at construction.
+* **encoding faults** flip every bit of every instruction word of a
+  real program. Each flip must either raise
+  :class:`~repro.isa.decode.DecodeError` or decode to an instruction
+  that re-encodes to exactly the flipped word (the change is visible in
+  the IR). A flip that decodes but re-encodes differently is a *silent
+  misdecode* — the paper's "dominant source of subtle bugs" — and
+  counts as an escape.
+* **scheduler faults** (:data:`SCHEDULER_MUTATIONS`) wrap the real
+  scheduler in a :class:`SabotagedScheduler` that applies an illegal
+  mutation (swapping a dependent pair, dropping or duplicating an
+  instruction) to each block's schedule. Every sabotaged block must be
+  quarantined by the guard's ``verify_schedule`` check.
+
+``python -m repro.tools.qpt_cli faults --machine ultrasparc`` runs the
+whole catalog and exits nonzero if anything escapes; CI runs it against
+the UltraSPARC model and a synthetic 4-wide machine.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.dependence import SchedulingPolicy, build_dependence_graph
+from ..core.block_scheduler import BlockScheduler
+from ..core.verify import DEFAULT_SEED
+from ..eel.editor import Editor
+from ..eel.executable import Executable
+from ..isa.decode import DecodeError, decode
+from ..isa.encode import encode
+from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..sadl.trace import Trace, UnitEvent
+from ..spawn.model import MachineModel
+from ..spawn.validate import validate_machine
+from .guard import GuardedBlockScheduler
+
+# -- model corruption ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelFault:
+    """One way to corrupt a machine description's timing traces."""
+
+    name: str
+    description: str
+    corrupt: Callable[[Trace, MachineModel], Trace]
+
+
+def _copy_trace(trace: Trace) -> Trace:
+    return Trace(
+        acquires=list(trace.acquires),
+        releases=list(trace.releases),
+        reads=list(trace.reads),
+        writes=list(trace.writes),
+        flags=set(trace.flags),
+        cycles=trace.cycles,
+    )
+
+
+def _fault_write_latency_zero(trace: Trace, model: MachineModel) -> Trace:
+    trace.writes = [
+        type(a)(a.file, a.index, 0, a.width) for a in trace.writes
+    ]
+    return trace
+
+
+def _fault_read_after_retire(trace: Trace, model: MachineModel) -> Trace:
+    trace.reads = [
+        type(a)(a.file, a.index, trace.cycles + 1, a.width) for a in trace.reads
+    ]
+    return trace
+
+
+def _fault_dropped_release(trace: Trace, model: MachineModel) -> Trace:
+    trace.releases = []
+    return trace
+
+
+def _fault_swapped_units(trace: Trace, model: MachineModel) -> Trace:
+    other = next((u for u in sorted(model.units) if u != "Group"), None)
+    if other is None:
+        return trace
+
+    def swap(event: UnitEvent) -> UnitEvent:
+        if event.unit == "Group":
+            return UnitEvent(other, event.count, event.cycle)
+        if event.unit == other:
+            return UnitEvent("Group", event.count, event.cycle)
+        return event
+
+    trace.acquires = [swap(e) for e in trace.acquires]
+    trace.releases = [swap(e) for e in trace.releases]
+    return trace
+
+
+def _fault_over_release(trace: Trace, model: MachineModel) -> Trace:
+    if trace.releases:
+        first = trace.releases[0]
+        trace.releases = list(trace.releases) + [
+            UnitEvent(first.unit, first.count + 1, first.cycle)
+        ]
+    return trace
+
+
+def _fault_capacity_overflow(trace: Trace, model: MachineModel) -> Trace:
+    if trace.acquires:
+        first = trace.acquires[0]
+        capacity = model.units.get(first.unit, 1)
+        trace.acquires = [UnitEvent(first.unit, capacity + 1, first.cycle)] + list(
+            trace.acquires[1:]
+        )
+    return trace
+
+
+#: The model-corruption catalog: every entry must be caught by
+#: ``validate_machine`` (and therefore quarantine a guard at init).
+MODEL_FAULTS: tuple[ModelFault, ...] = (
+    ModelFault(
+        "write-latency-zero",
+        "every write's value usable in cycle 0 (impossible forwarding)",
+        _fault_write_latency_zero,
+    ),
+    ModelFault(
+        "read-after-retire",
+        "every register read moved past the end of the pipeline",
+        _fault_read_after_retire,
+    ),
+    ModelFault(
+        "dropped-release",
+        "all unit releases removed: capacity leaks until deadlock",
+        _fault_dropped_release,
+    ),
+    ModelFault(
+        "swapped-units",
+        "issue-slot ('Group') events swapped with another unit",
+        _fault_swapped_units,
+    ),
+    ModelFault(
+        "over-release",
+        "a unit released more times than it was acquired",
+        _fault_over_release,
+    ),
+    ModelFault(
+        "capacity-overflow",
+        "an acquire demands more copies of a unit than the machine has",
+        _fault_capacity_overflow,
+    ),
+)
+
+
+class CorruptedModel:
+    """A machine model with a :class:`ModelFault` applied to every trace.
+
+    Duck-types the :class:`~repro.spawn.model.MachineModel` surface that
+    ``validate_machine`` and the schedulers use; everything it does not
+    override delegates to the base model.
+    """
+
+    def __init__(self, base: MachineModel, fault: ModelFault) -> None:
+        self._base = base
+        self.fault = fault
+        self.name = f"{base.name}+{fault.name}"
+
+    def __getattr__(self, attr: str):
+        return getattr(self._base, attr)
+
+    def _variant(self, mnemonic: str, uses_imm: bool):
+        group, trace = self._base._variant(mnemonic, uses_imm)
+        corrupted = self.fault.corrupt(_copy_trace(trace), self._base)
+        # Re-run the build-time capacity check on the corrupted trace so
+        # capacity faults surface as ModelError, exactly as they would
+        # had the description itself been wrong.
+        self._base._validate(mnemonic, corrupted)
+        return group, corrupted
+
+
+# -- scheduler sabotage ----------------------------------------------------------
+
+
+def _mutate_swap_dependent(
+    scheduled: list[Instruction], policy: SchedulingPolicy
+) -> list[Instruction] | None:
+    graph = build_dependence_graph(scheduled, policy)
+    for src in range(graph.size):
+        for dst in sorted(graph.succs[src]):
+            if str(scheduled[src]) != str(scheduled[dst]):
+                out = list(scheduled)
+                out[src], out[dst] = out[dst], out[src]
+                return out
+    return None
+
+
+def _mutate_drop_last(
+    scheduled: list[Instruction], policy: SchedulingPolicy
+) -> list[Instruction] | None:
+    return scheduled[:-1] if scheduled else None
+
+
+def _mutate_duplicate_first(
+    scheduled: list[Instruction], policy: SchedulingPolicy
+) -> list[Instruction] | None:
+    return [scheduled[0]] + list(scheduled) if scheduled else None
+
+
+#: Illegal post-schedule mutations; each returns None when a block
+#: offers no opportunity to apply it.
+SCHEDULER_MUTATIONS: dict[str, Callable] = {
+    "swap-dependent-pair": _mutate_swap_dependent,
+    "drop-instruction": _mutate_drop_last,
+    "duplicate-instruction": _mutate_duplicate_first,
+}
+
+
+class SabotagedScheduler(BlockScheduler):
+    """A deliberately buggy scheduler: schedules correctly, then applies
+    an illegal mutation — the guard must refuse every mutated block."""
+
+    def __init__(
+        self,
+        model: MachineModel,
+        policy: SchedulingPolicy | None = None,
+        recorder: Recorder | None = None,
+        *,
+        mutation: str = "swap-dependent-pair",
+    ) -> None:
+        super().__init__(model, policy, recorder)
+        if mutation not in SCHEDULER_MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {mutation!r}; choose from "
+                f"{sorted(SCHEDULER_MUTATIONS)}"
+            )
+        self.mutation = mutation
+        self.mutations_applied = 0
+
+    def schedule_body(self, body: list[Instruction]) -> list[Instruction]:
+        scheduled = super().schedule_body(body)
+        mutated = SCHEDULER_MUTATIONS[self.mutation](scheduled, self.policy)
+        if mutated is None:
+            return scheduled
+        self.mutations_applied += 1
+        return mutated
+
+
+# -- outcomes --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of injecting one fault class."""
+
+    fault: str
+    #: 'model' | 'encoding' | 'scheduler'
+    layer: str
+    injected: int
+    caught: int
+    details: tuple[str, ...] = ()
+
+    @property
+    def escaped(self) -> int:
+        return self.injected - self.caught
+
+
+@dataclass
+class FaultInjectionReport:
+    machine: str
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return sum(o.injected for o in self.outcomes)
+
+    @property
+    def escaped(self) -> int:
+        return sum(o.escaped for o in self.outcomes)
+
+    @property
+    def clean(self) -> bool:
+        """True when every injected fault was caught — and faults were
+        actually injected (an empty run proves nothing)."""
+        return self.injected > 0 and self.escaped == 0
+
+    def render(self) -> str:
+        lines = [f"fault injection against {self.machine}:"]
+        width = max(len(o.fault) for o in self.outcomes) if self.outcomes else 8
+        for o in self.outcomes:
+            status = "ok" if o.escaped == 0 else f"ESCAPED {o.escaped}"
+            lines.append(
+                f"  {o.layer:<9} {o.fault:<{width}}  "
+                f"injected {o.injected:>5}  caught {o.caught:>5}  {status}"
+            )
+            for detail in o.details[:2]:
+                lines.append(f"            {detail}")
+        verdict = (
+            "all injected faults caught"
+            if self.clean
+            else f"{self.escaped} of {self.injected} faults ESCAPED the guards"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+# -- the harness -----------------------------------------------------------------
+
+
+def default_workload() -> Executable:
+    """A small mixed workload for the encoding/scheduler fault classes."""
+    from ..workloads import sum_loop
+
+    return sum_loop(12).executable
+
+
+def inject_model_faults(
+    model: MachineModel, faults: tuple[ModelFault, ...] = MODEL_FAULTS
+) -> list[FaultOutcome]:
+    outcomes = []
+    for fault in faults:
+        corrupted = CorruptedModel(model, fault)
+        findings = validate_machine(corrupted, require_full_isa=False)
+        errors = [f for f in findings if f.severity == "error"]
+        guard = GuardedBlockScheduler(corrupted, validate_model=True)
+        guarded = any(q.kind == "model" for q in guard.quarantine)
+        caught = 1 if (errors and guarded) else 0
+        outcomes.append(
+            FaultOutcome(
+                fault=fault.name,
+                layer="model",
+                injected=1,
+                caught=caught,
+                details=(str(errors[0]),) if errors else ("no finding",),
+            )
+        )
+    return outcomes
+
+
+def inject_encoding_faults(executable: Executable) -> FaultOutcome:
+    """Flip every bit of every text word; count silent misdecodes."""
+    data = executable.text_section().data
+    injected = caught = 0
+    details: list[str] = []
+    for (word,) in struct.iter_unpack(">I", data):
+        for bit in range(32):
+            corrupted = word ^ (1 << bit)
+            injected += 1
+            try:
+                inst = decode(corrupted)
+            except DecodeError:
+                caught += 1
+                continue
+            if encode(inst) == corrupted:
+                caught += 1  # faithful decode: the fault is visible in the IR
+            elif len(details) < 4:
+                details.append(
+                    f"silent misdecode {corrupted:#010x} -> {inst!s}"
+                )
+    return FaultOutcome(
+        fault="bit-flip",
+        layer="encoding",
+        injected=injected,
+        caught=caught,
+        details=tuple(details),
+    )
+
+
+def inject_scheduler_faults(
+    model: MachineModel,
+    executable: Executable,
+    *,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    verify_trials: int = 2,
+    verify_seed: int = DEFAULT_SEED,
+) -> list[FaultOutcome]:
+    outcomes = []
+    rec = recorder if recorder is not None else NULL_RECORDER
+    for name in SCHEDULER_MUTATIONS:
+        inner = SabotagedScheduler(model, policy, rec, mutation=name)
+        guard = GuardedBlockScheduler(
+            model,
+            policy,
+            rec,
+            inner=inner,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+            validate_model=False,
+        )
+        Editor(executable, recorder=rec).build(guard)
+        caught = sum(
+            1
+            for q in guard.quarantine
+            if q.kind in ("verification", "scheduler-error")
+        )
+        outcomes.append(
+            FaultOutcome(
+                fault=name,
+                layer="scheduler",
+                injected=inner.mutations_applied,
+                caught=min(caught, inner.mutations_applied),
+                details=tuple(str(q) for q in guard.quarantine[:1]),
+            )
+        )
+    return outcomes
+
+
+def run_fault_injection(
+    model: MachineModel,
+    *,
+    executable: Executable | None = None,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    verify_trials: int = 2,
+    verify_seed: int = DEFAULT_SEED,
+) -> FaultInjectionReport:
+    """Run the whole catalog against ``model``; see the module docstring."""
+    if executable is None:
+        executable = default_workload()
+    report = FaultInjectionReport(machine=model.name)
+    report.outcomes.extend(inject_model_faults(model))
+    report.outcomes.append(inject_encoding_faults(executable))
+    report.outcomes.extend(
+        inject_scheduler_faults(
+            model,
+            executable,
+            policy=policy,
+            recorder=recorder,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+        )
+    )
+    return report

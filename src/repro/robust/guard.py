@@ -1,0 +1,323 @@
+"""Guarded scheduling: verify every block's schedule, or refuse it.
+
+An executable editor that reorders instructions must *prove* each edit
+safe or decline to make it. :class:`GuardedBlockScheduler` wraps the
+ordinary :class:`~repro.core.block_scheduler.BlockScheduler` in exactly
+that contract:
+
+* every scheduled block is re-checked by
+  :func:`~repro.core.verify.verify_schedule` (permutation + dependence
+  DAG + optional differential execution);
+* on any verification failure — or any exception out of the scheduler —
+  the block **falls back to its original instruction order** and is
+  *quarantined*: a :class:`QuarantineReport` is recorded and counted
+  through the :mod:`repro.obs` recorder, and the edit proceeds;
+* per-block and per-routine budgets (:class:`GuardBudget`) bound the
+  work: oversized blocks and blocks past a wall-clock deadline degrade
+  gracefully to unscheduled instrumentation;
+* the machine model itself is linted at construction
+  (:func:`~repro.spawn.validate.validate_machine`); a corrupt model
+  quarantines *all* scheduling rather than corrupting output.
+
+In **strict** mode the guard raises instead of falling back:
+:class:`~repro.errors.VerificationError` on a failed proof,
+:class:`~repro.errors.BudgetExceeded` on an exhausted budget, and
+:class:`~repro.spawn.model.ModelError` on a bad machine description.
+
+With no faults present the guarded path emits byte-identical schedules
+to the unguarded path — the guard only ever *observes* the inner
+scheduler's output or discards it wholesale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.block_scheduler import BlockScheduler, SchedulerStats
+from ..core.dependence import SchedulingPolicy, build_dependence_graph
+from ..core.verify import DEFAULT_SEED, verify_schedule
+from ..eel.cfg import BasicBlock
+from ..errors import BudgetExceeded, VerificationError
+from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.report import (
+    GUARD_BLOCKS_VERIFIED,
+    GUARD_FALLBACKS,
+    GUARD_QUARANTINED,
+    SCHED_BLOCKS,
+)
+from ..spawn.model import MachineModel, ModelError
+from ..spawn.validate import validate_machine
+
+
+@dataclass(frozen=True)
+class GuardBudget:
+    """Resource bounds for guarded scheduling; ``None`` disables a bound.
+
+    All deadlines are cooperative wall-clock checks made between blocks
+    and around each block's schedule-and-verify step — a budget cannot
+    preempt a block mid-schedule, it can only refuse to *use* a result
+    that arrived too late (or skip scheduling once the routine deadline
+    has passed).
+    """
+
+    #: blocks with more instructions than this are not scheduled at all.
+    max_block_instructions: int | None = None
+    #: per-block schedule+verify wall-clock deadline, in seconds.
+    block_deadline_s: float | None = None
+    #: cumulative wall-clock deadline across every block this guard
+    #: schedules (one editor pass = one routine/program).
+    routine_deadline_s: float | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_block_instructions is None
+            and self.block_deadline_s is None
+            and self.routine_deadline_s is None
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """One refused schedule: which block, why, and what was suspect."""
+
+    #: original CFG block index (-1 when the failure is not block-local,
+    #: e.g. a corrupt machine model).
+    block: int
+    #: the block's original address (0 when not block-local).
+    address: int
+    #: 'verification' | 'scheduler-error' | 'budget' | 'model'
+    kind: str
+    reason: str
+    #: rendered offending instructions, when identifiable.
+    offending: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        where = f"block {self.block} @ {self.address:#x}" if self.block >= 0 else "model"
+        text = f"[{self.kind}] {where}: {self.reason}"
+        if self.offending:
+            text += " | " + " ; ".join(self.offending)
+        return text
+
+
+class GuardedBlockScheduler:
+    """A :data:`~repro.eel.editor.BlockTransform` with verify-and-fallback.
+
+    Drop-in replacement for :class:`BlockScheduler` as an editor
+    transform. ``inner`` defaults to a fresh ``BlockScheduler``; tests
+    and the fault-injection harness substitute deliberately broken
+    schedulers to prove the guard catches them.
+    """
+
+    def __init__(
+        self,
+        model: MachineModel,
+        policy: SchedulingPolicy | None = None,
+        recorder: Recorder | None = None,
+        *,
+        inner: BlockScheduler | None = None,
+        budget: GuardBudget | None = None,
+        strict: bool = False,
+        verify_trials: int = 4,
+        verify_seed: int = DEFAULT_SEED,
+        validate_model: bool = True,
+        clock=time.perf_counter,
+    ) -> None:
+        self.model = model
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.inner = inner if inner is not None else BlockScheduler(
+            model, policy, self.recorder
+        )
+        self.policy = self.inner.policy
+        self.budget = budget if budget is not None else GuardBudget()
+        self.strict = strict
+        self.verify_trials = verify_trials
+        self.verify_seed = verify_seed
+        self._clock = clock
+        self._elapsed = 0.0
+        self.quarantine: list[QuarantineReport] = []
+        self.model_findings = ()
+        if validate_model:
+            self.model_findings = tuple(
+                f
+                for f in validate_machine(model, require_full_isa=False)
+                if f.severity == "error"
+            )
+        if self.model_findings:
+            reason = "; ".join(str(f) for f in self.model_findings[:4])
+            if strict:
+                raise ModelError(
+                    f"{model.name}: description failed validation: {reason}"
+                )
+            self._record(
+                QuarantineReport(block=-1, address=0, kind="model", reason=reason)
+            )
+
+    # -- observers ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> SchedulerStats:
+        """The inner scheduler's accumulated stats (unverified blocks
+        included: they describe attempted scheduling work)."""
+        return self.inner.stats
+
+    @property
+    def fallbacks(self) -> int:
+        """Blocks emitted in their original order."""
+        return sum(1 for report in self.quarantine if report.block >= 0)
+
+    # -- the editor transform protocol -------------------------------------------
+
+    def __call__(
+        self, block: BasicBlock, body: list[Instruction]
+    ) -> tuple[list[Instruction], Instruction | None]:
+        original = list(body)
+
+        if self.model_findings:
+            # The model is quarantined wholesale; every block degrades.
+            self._count_fallback()
+            return original, block.delay
+
+        limit = self.budget.max_block_instructions
+        if limit is not None and len(original) > limit:
+            self._budget_stop(
+                block,
+                "max_block_instructions",
+                f"{len(original)} instructions exceed the per-block "
+                f"budget of {limit}",
+            )
+            return original, block.delay
+        deadline = self.budget.routine_deadline_s
+        if deadline is not None and self._elapsed > deadline:
+            self._budget_stop(
+                block,
+                "routine_deadline_s",
+                f"routine budget of {deadline:g}s exhausted after "
+                f"{self._elapsed:.3f}s",
+            )
+            return original, block.delay
+
+        start = self._clock()
+        try:
+            with self.recorder.span("robust.guard_block", block=block.index):
+                scheduled = self.inner.schedule_body(original)
+                verdict = verify_schedule(
+                    original,
+                    scheduled,
+                    policy=self.policy,
+                    trials=self.verify_trials,
+                    seed=self.verify_seed,
+                )
+        except Exception as exc:  # a buggy scheduler must not crash the edit
+            if self.strict:
+                raise VerificationError(
+                    f"scheduler raised {type(exc).__name__}: {exc}",
+                    block=block.index,
+                ) from exc
+            self._quarantine_block(
+                block, "scheduler-error", f"{type(exc).__name__}: {exc}"
+            )
+            return original, block.delay
+        self._elapsed += self._clock() - start
+
+        if not verdict:
+            reason = "; ".join(verdict.failures)
+            if self.strict:
+                raise VerificationError(
+                    reason, failures=tuple(verdict.failures), block=block.index
+                )
+            self._quarantine_block(
+                block,
+                "verification",
+                reason,
+                offending=_offenders(original, scheduled, self.policy),
+            )
+            return original, block.delay
+
+        block_deadline = self.budget.block_deadline_s
+        block_elapsed = self._clock() - start
+        if block_deadline is not None and block_elapsed > block_deadline:
+            self._budget_stop(
+                block,
+                "block_deadline_s",
+                f"block took {block_elapsed:.3f}s against a deadline of "
+                f"{block_deadline:g}s",
+            )
+            return original, block.delay
+
+        # Proven safe: emit, refilling the delay slot exactly as the
+        # unguarded scheduler would.
+        self.recorder.count(GUARD_BLOCKS_VERIFIED)
+        delay = block.delay
+        if self.policy.fill_delay_slots:
+            scheduled, delay = self.inner._refill_delay_slot(block, scheduled)
+        self.recorder.count(SCHED_BLOCKS)
+        return scheduled, delay
+
+    # -- internals ---------------------------------------------------------------
+
+    def _budget_stop(self, block: BasicBlock, which: str, reason: str) -> None:
+        if self.strict:
+            raise BudgetExceeded(reason, budget=which, block=block.index)
+        self._quarantine_block(block, "budget", reason)
+
+    def _quarantine_block(
+        self,
+        block: BasicBlock,
+        kind: str,
+        reason: str,
+        offending: tuple[str, ...] = (),
+    ) -> None:
+        self._record(
+            QuarantineReport(
+                block=block.index,
+                address=block.address,
+                kind=kind,
+                reason=reason,
+                offending=offending,
+            )
+        )
+        self._count_fallback()
+
+    def _record(self, report: QuarantineReport) -> None:
+        self.quarantine.append(report)
+        self.recorder.count(GUARD_QUARANTINED, kind=report.kind)
+
+    def _count_fallback(self) -> None:
+        self.recorder.count(GUARD_FALLBACKS)
+
+
+def _offenders(
+    original: list[Instruction],
+    scheduled: list[Instruction],
+    policy: SchedulingPolicy,
+) -> tuple[str, ...]:
+    """Pin the failure on concrete instructions, for the report."""
+    counts: dict[str, int] = {}
+    for inst in original:
+        counts[str(inst)] = counts.get(str(inst), 0) + 1
+    for inst in scheduled:
+        key = str(inst)
+        if counts.get(key, 0) == 0:
+            return (f"extra/unknown instruction {key!r}",)
+        counts[key] -= 1
+    missing = [key for key, left in counts.items() if left > 0]
+    if missing:
+        return tuple(f"missing instruction {key!r}" for key in missing[:4])
+
+    graph = build_dependence_graph(original, policy)
+    remaining: dict[str, list[int]] = {}
+    for index, inst in enumerate(original):
+        remaining.setdefault(str(inst), []).append(index)
+    order = [remaining[str(inst)].pop(0) for inst in scheduled]
+    position = {node: pos for pos, node in enumerate(order)}
+    for src in range(graph.size):
+        for dst in graph.succs[src]:
+            if position[src] > position[dst]:
+                return (
+                    f"{original[dst]!s} scheduled before its dependence "
+                    f"{original[src]!s}",
+                )
+    return ()

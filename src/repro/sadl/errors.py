@@ -8,6 +8,7 @@ easy to validate against architecture manuals.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -22,7 +23,7 @@ class SourceLocation:
         return f"{self.filename}:{self.line}:{self.column}"
 
 
-class SadlError(Exception):
+class SadlError(ReproError):
     """Base class for all SADL diagnostics."""
 
     def __init__(self, message: str, location: SourceLocation | None = None) -> None:

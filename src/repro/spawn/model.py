@@ -24,9 +24,10 @@ from ..isa.registers import FCC, ICC, Reg, RegKind, Y
 from ..sadl.ast_nodes import Description
 from ..sadl.evaluator import DescriptionEvaluator
 from ..sadl.trace import RegAccess, Trace
+from ..errors import ReproError
 
 
-class ModelError(Exception):
+class ModelError(ReproError):
     """Raised when a description cannot model a requested instruction."""
 
 

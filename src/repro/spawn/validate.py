@@ -65,7 +65,8 @@ def validate_machine(
             try:
                 _, trace = model._variant(mnemonic, uses_imm)
             except ModelError as exc:
-                findings.append(Finding("error", mnemonic, str(exc)))
+                # ModelError messages already name the mnemonic.
+                findings.append(Finding("error", None, str(exc)))
                 continue
             findings.extend(_check_trace(model, mnemonic, trace, issue_unit))
     return _dedup(findings)
@@ -95,6 +96,24 @@ def _check_trace(model, mnemonic, trace, issue_unit) -> list[Finding]:
                 )
             )
 
+    # Acquires bounded by the unit's capacity (hard error at model
+    # build; re-checked here so corrupted/wrapped models are caught too).
+    for event in trace.acquires:
+        capacity = model.units.get(event.unit)
+        if capacity is None:
+            findings.append(
+                Finding("error", mnemonic, f"acquires unknown unit {event.unit!r}")
+            )
+        elif event.count > capacity:
+            findings.append(
+                Finding(
+                    "error",
+                    mnemonic,
+                    f"acquires {event.count} of unit {event.unit!r} but the "
+                    f"machine only has {capacity}",
+                )
+            )
+
     # Releases bounded by acquires, per unit.
     acquired: dict[str, int] = {}
     for event in trace.acquires:
@@ -110,6 +129,20 @@ def _check_trace(model, mnemonic, trace, issue_unit) -> list[Finding]:
                     mnemonic,
                     f"releases {count} of {unit!r} but acquires only "
                     f"{acquired.get(unit, 0)}",
+                )
+            )
+    # ...and every acquire must be released by the end of the trace:
+    # a dropped release leaks unit capacity, and after enough issues the
+    # unit is permanently exhausted — the pipeline deadlocks.
+    for unit, count in acquired.items():
+        if released.get(unit, 0) < count:
+            findings.append(
+                Finding(
+                    "error",
+                    mnemonic,
+                    f"acquires {count} of {unit!r} but releases only "
+                    f"{released.get(unit, 0)}: the unit leaks and will "
+                    "eventually deadlock the pipeline",
                 )
             )
 

@@ -5,8 +5,9 @@ Operates on RXE executables:
 .. code-block:: console
 
    $ python -m repro.tools.qpt_cli instrument prog.rxe -o prog.qpt.rxe \\
-         --machine ultrasparc --schedule
+         --machine ultrasparc --schedule --safe
    $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
+   $ python -m repro.tools.qpt_cli faults --machine ultrasparc
    $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc \\
          --stats --trace prog.trace.json
    $ python -m repro.tools.qpt_cli disasm prog.rxe
@@ -16,6 +17,12 @@ Operates on RXE executables:
 ``instrument`` writes a JSON sidecar (``<out>.json``) recording counter
 addresses and the placement plan so ``run --profile`` can print exact
 per-block execution counts after the simulated run.
+
+``--safe``/``--strict`` turn on guarded scheduling (verify-and-fallback;
+see ``docs/robustness.md``); ``faults`` runs the fault-injection
+harness and exits nonzero if any injected fault escapes the guards. Any
+typed library error (:class:`~repro.errors.ReproError`) from a
+subcommand prints ``error: ...`` and exits 1 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -27,7 +34,9 @@ import sys
 
 from ..core.block_scheduler import BlockScheduler
 from ..core.dependence import SchedulingPolicy
+from ..core.verify import DEFAULT_SEED
 from ..eel.executable import Executable
+from ..errors import ReproError
 from ..isa.disasm import disassemble_executable
 from ..obs import (
     NULL_RECORDER,
@@ -38,6 +47,7 @@ from ..obs import (
 )
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
+from ..robust import GuardedBlockScheduler, run_fault_injection
 from ..spawn.codegen import generate_source
 from ..spawn.library import MACHINES, load_machine
 from ..spawn.validate import validate_machine
@@ -93,9 +103,27 @@ def cmd_instrument(args) -> int:
     recorder = _make_recorder(args)
     executable = _load(args.input)
     transform = None
+    guarded = args.safe or args.strict
+    if guarded and not args.schedule:
+        print("error: --safe/--strict require --schedule", file=sys.stderr)
+        return 2
     if args.schedule:
         policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
-        transform = BlockScheduler(load_machine(args.machine), policy, recorder)
+        model = load_machine(args.machine)
+        if guarded:
+            # safe: verify every block, fall back + report on failure.
+            # strict: the first quarantine raises a typed error, which
+            # the top-level handler turns into exit 1.
+            transform = GuardedBlockScheduler(
+                model,
+                policy,
+                recorder,
+                strict=args.strict,
+                verify_seed=args.verify_seed,
+                verify_trials=args.verify_trials,
+            )
+        else:
+            transform = BlockScheduler(model, policy, recorder)
     profiler = SlowProfiler(
         executable, skip_redundant=not args.no_skip, recorder=recorder
     )
@@ -129,6 +157,14 @@ def cmd_instrument(args) -> int:
             f"scheduled {stats.blocks} blocks: {stats.original_cycles} -> "
             f"{stats.scheduled_cycles} isolated-block cycles"
         )
+    if guarded:
+        reports = transform.quarantine
+        print(
+            f"guarded scheduling: {len(reports)} quarantined "
+            f"(verify seed {args.verify_seed})"
+        )
+        for report in reports:
+            print(f"  {report}")
     print(f"wrote {args.output} and {args.output}.json")
     return _finish_obs(args, recorder)
 
@@ -214,6 +250,21 @@ def cmd_chart(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    if args.synthetic_width:
+        from ..spawn import load_superscalar
+
+        model = load_superscalar(args.synthetic_width)
+    else:
+        model = load_machine(args.machine)
+    executable = _load(args.input) if args.input else None
+    report = run_fault_injection(
+        model, executable=executable, verify_seed=args.verify_seed
+    )
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def cmd_codegen(args) -> int:
     source = generate_source(load_machine(args.machine))
     if args.output:
@@ -238,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fill-delay-slots", action="store_true")
     p.add_argument("--no-skip", action="store_true",
                    help="instrument every block (disable the skip rule)")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--safe", action="store_true",
+                      help="verify every scheduled block; fall back to the "
+                      "original order and report on any failure")
+    mode.add_argument("--strict", action="store_true",
+                      help="verify every scheduled block; exit nonzero on "
+                      "the first quarantine")
+    p.add_argument("--verify-seed", type=int, default=DEFAULT_SEED,
+                   help="RNG seed for differential verification runs "
+                   "(default %(default)s; fixed for reproducibility)")
+    p.add_argument("--verify-trials", type=int, default=4,
+                   help="differential trials per block (default %(default)s)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_instrument)
 
@@ -268,6 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.set_defaults(func=cmd_chart)
 
+    p = sub.add_parser("faults", help="run the fault-injection harness")
+    p.add_argument("input", nargs="?",
+                   help="RXE executable for the encoding/scheduler fault "
+                   "classes (default: a built-in kernel)")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("--synthetic-width", type=int, metavar="N",
+                   help="target an N-wide synthetic machine instead of "
+                   "--machine")
+    p.add_argument("--verify-seed", type=int, default=DEFAULT_SEED)
+    p.set_defaults(func=cmd_faults)
+
     p = sub.add_parser("codegen", help="emit generated pipeline_stalls")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.add_argument("-o", "--output")
@@ -278,7 +352,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Every library error derives from ReproError (DecodeError,
+        # EditError, ModelError, SemanticsError, VerificationError,
+        # BudgetExceeded, ...): a typed failure is a diagnostic, not a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -17,9 +17,10 @@ from ..eel.cfg import CFG, build_cfg
 from ..eel.executable import DATA_BASE, Executable, TEXT_BASE
 from ..eel.image import Section, SectionKind
 from ..isa.instruction import Instruction
+from ..errors import ReproError
 
 
-class BuildError(Exception):
+class BuildError(ReproError):
     pass
 
 

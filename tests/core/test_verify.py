@@ -6,7 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ListScheduler, verify_schedule
-from repro.isa import Instruction, assemble, r
+from repro.core.verify import DEFAULT_SEED
+from repro.errors import VerificationError
+from repro.isa import TAG_INSTRUMENTATION, Instruction, assemble, r
 from repro.spawn import MACHINES, load_machine
 
 SCHEDULERS = {name: ListScheduler(load_machine(name)) for name in MACHINES}
@@ -61,6 +63,51 @@ def test_control_regions_skip_differential():
     region = [Instruction("ba", imm=2), Instruction("nop", imm=0)]
     # Identity order: permutation + DAG hold; differential skipped.
     assert verify_schedule(region, list(region))
+
+
+def _aliasing_divergence_case():
+    """A reordering the DAG *accepts* but differential execution rejects.
+
+    The instrumentation-aliasing policy assumes instrumentation memory is
+    disjoint from program memory, so a program store and an
+    instrumentation load at the same address get no dependence edge. Make
+    the instrumentation load actually alias the program's store (both via
+    %r24, the differential runner's original-memory base) and only the
+    differential check can see the divergence.
+    """
+    store = Instruction("st", rd=r(9), rs1=r(24), imm=0)
+    load = Instruction("ld", rd=r(10), rs1=r(24), imm=0).retag(TAG_INSTRUMENTATION)
+    return [store, load], [load, store]
+
+
+def test_differential_catches_divergence_the_dag_misses():
+    original, swapped = _aliasing_divergence_case()
+    verdict = verify_schedule(original, swapped)
+    assert not verdict
+    assert not any("DAG" in f for f in verdict.failures)
+    assert any("diverged" in f for f in verdict.failures)
+
+
+def test_differential_seed_is_reproducible():
+    original, swapped = _aliasing_divergence_case()
+    first = verify_schedule(original, swapped, seed=7)
+    second = verify_schedule(original, swapped, seed=7)
+    assert first.failures == second.failures
+    # The documented default is a fixed seed, never time-derived.
+    assert DEFAULT_SEED == 0
+    assert verify_schedule(original, swapped).failures == verify_schedule(
+        original, swapped, seed=DEFAULT_SEED
+    ).failures
+
+
+def test_raise_if_failed():
+    region = assemble("add %o0, 1, %o1\nadd %o1, 1, %o2")
+    verify_schedule(region, list(region)).raise_if_failed()  # ok: no-op
+    verdict = verify_schedule(region, region[:1])
+    with pytest.raises(VerificationError) as info:
+        verdict.raise_if_failed(block=5)
+    assert info.value.block == 5
+    assert info.value.failures == tuple(verdict.failures)
 
 
 _alu = st.sampled_from(["add", "sub", "xor", "and", "or"])

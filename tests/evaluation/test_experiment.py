@@ -163,6 +163,28 @@ def test_experiment_attaches_metric_summary():
     assert "core.forward_pass" in phase_names
 
 
+def test_guarded_experiment_matches_unguarded():
+    """The verify-and-fallback guard must be a pure observer: with no
+    faults injected it changes neither the schedules nor the cycle
+    counts, and its counters land in the metrics snapshot."""
+    from repro.obs import GUARD_BLOCKS_VERIFIED, GUARD_QUARANTINED, MetricsRecorder
+
+    recorder = MetricsRecorder()
+    guarded = run_profiling_experiment(
+        "130.li", ExperimentConfig(trip_count=8, guarded=True), recorder=recorder
+    )
+    plain = run_profiling_experiment("130.li", ExperimentConfig(trip_count=8))
+
+    assert guarded.uninstrumented_cycles == plain.uninstrumented_cycles
+    assert guarded.instrumented_cycles == plain.instrumented_cycles
+    assert guarded.scheduled_cycles == plain.scheduled_cycles
+
+    counters = guarded.metrics["counters"]
+    assert GUARD_BLOCKS_VERIFIED in counters
+    assert GUARD_QUARANTINED not in counters  # nothing quarantined
+    assert recorder.metrics.counter_total(GUARD_BLOCKS_VERIFIED) > 0
+
+
 def test_cycles_to_seconds_scaling():
     from repro.evaluation import cycles_to_seconds, speedup
 

@@ -104,3 +104,30 @@ def test_render_stats_mentions_all_hazard_kinds():
     text = render_stats(rec.metrics)
     for kind in ("structural", "raw", "waw", "war"):
         assert kind in text
+
+
+def test_guard_table_renders_quarantine_breakdown():
+    from repro.obs import (
+        GUARD_BLOCKS_VERIFIED,
+        GUARD_FALLBACKS,
+        GUARD_QUARANTINED,
+        guard_table,
+    )
+
+    rec = MetricsRecorder()
+    assert guard_table(rec.metrics) == ""  # silent when the guard never ran
+    assert "guarded scheduling" not in render_stats(rec.metrics)
+
+    for _ in range(5):
+        rec.count(GUARD_BLOCKS_VERIFIED)
+    rec.count(GUARD_QUARANTINED, kind="verification")
+    rec.count(GUARD_QUARANTINED, kind="budget")
+    rec.count(GUARD_FALLBACKS)
+    rec.count(GUARD_FALLBACKS)
+
+    text = guard_table(rec.metrics)
+    assert "5 blocks verified" in text
+    assert "2 quarantined" in text
+    assert "fallbacks: 2" in text
+    assert "verification" in text and "budget" in text
+    assert text in render_stats(rec.metrics)

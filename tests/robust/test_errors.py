@@ -1,0 +1,66 @@
+"""The unified error taxonomy: one root, old catch sites preserved."""
+
+import pytest
+
+from repro.errors import BudgetExceeded, ReproError, VerificationError
+from repro.eel.cfg import CfgError
+from repro.eel.editor import EditError
+from repro.eel.image import ImageError
+from repro.eel.snippet import SnippetError
+from repro.isa.asm import AsmError
+from repro.isa.decode import DecodeError
+from repro.isa.encode import EncodeError
+from repro.isa.machine_state import MemoryFault
+from repro.isa.semantics import SemanticsError
+from repro.qpt.fastprofile import FastProfileError
+from repro.sadl.errors import SadlError
+from repro.spawn.model import ModelError
+from repro.workloads.builder import BuildError
+
+ALL_ERRORS = [
+    AsmError,
+    BudgetExceeded,
+    BuildError,
+    CfgError,
+    DecodeError,
+    EditError,
+    EncodeError,
+    FastProfileError,
+    ImageError,
+    MemoryFault,
+    ModelError,
+    SadlError,
+    SemanticsError,
+    SnippetError,
+    VerificationError,
+]
+
+
+@pytest.mark.parametrize("exc_type", ALL_ERRORS, ids=lambda t: t.__name__)
+def test_everything_is_a_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+@pytest.mark.parametrize(
+    "exc_type", [AsmError, DecodeError, EncodeError, ImageError, SnippetError]
+)
+def test_historic_valueerror_sites_still_work(exc_type):
+    # These predate the taxonomy as ValueError subclasses; existing
+    # ``except ValueError`` callers must keep catching them.
+    assert issubclass(exc_type, ValueError)
+
+
+def test_verification_error_carries_context():
+    exc = VerificationError("bad", failures=("a", "b"), block=3)
+    assert exc.failures == ("a", "b")
+    assert exc.block == 3
+    with pytest.raises(ReproError):
+        raise exc
+
+
+def test_budget_exceeded_carries_context():
+    exc = BudgetExceeded("too slow", budget="block_deadline_s", block=7)
+    assert exc.budget == "block_deadline_s"
+    assert exc.block == 7
+    with pytest.raises(ReproError):
+        raise exc

@@ -1,0 +1,65 @@
+"""Fault injection: every fault class in the catalog must be caught."""
+
+import pytest
+
+from repro.robust import (
+    MODEL_FAULTS,
+    CorruptedModel,
+    GuardedBlockScheduler,
+    default_workload,
+    inject_encoding_faults,
+    inject_scheduler_faults,
+    run_fault_injection,
+)
+from repro.spawn import load_machine, load_superscalar, validate_machine
+from repro.spawn.model import ModelError
+
+MACHINE = load_machine("ultrasparc")
+
+
+def test_full_harness_is_clean_on_ultrasparc():
+    report = run_fault_injection(MACHINE)
+    assert report.injected > 0
+    assert report.escaped == 0, report.render()
+    assert report.clean
+    layers = {o.layer for o in report.outcomes}
+    assert layers == {"model", "encoding", "scheduler"}
+
+
+def test_full_harness_is_clean_on_synthetic_machine():
+    report = run_fault_injection(load_superscalar(2))
+    assert report.clean, report.render()
+
+
+@pytest.mark.parametrize("fault", MODEL_FAULTS, ids=lambda f: f.name)
+def test_model_fault_caught_by_validator_and_guard(fault):
+    corrupted = CorruptedModel(MACHINE, fault)
+    findings = validate_machine(corrupted, require_full_isa=False)
+    assert any(f.severity == "error" for f in findings), fault.name
+    # Safe mode: the guard quarantines everything instead of scheduling.
+    guard = GuardedBlockScheduler(corrupted)
+    assert any(q.kind == "model" for q in guard.quarantine)
+    # Strict mode: construction refuses outright.
+    with pytest.raises(ModelError):
+        GuardedBlockScheduler(corrupted, strict=True)
+
+
+def test_no_silent_misdecodes():
+    outcome = inject_encoding_faults(default_workload())
+    assert outcome.injected == 32 * (default_workload().text_size // 4)
+    assert outcome.escaped == 0, outcome.details
+
+
+def test_every_scheduler_mutation_quarantined():
+    outcomes = inject_scheduler_faults(MACHINE, default_workload())
+    assert len(outcomes) == 3
+    for outcome in outcomes:
+        assert outcome.injected > 0, outcome.fault
+        assert outcome.escaped == 0, outcome.fault
+
+
+def test_report_renders():
+    report = run_fault_injection(MACHINE)
+    text = report.render()
+    assert "all injected faults caught" in text
+    assert "bit-flip" in text

@@ -72,3 +72,44 @@ def test_findings_render():
     findings = validate_machine(model)
     assert all(str(f).startswith("[error]") or str(f).startswith("[warning]")
                for f in findings)
+
+
+def test_unknown_unit_reported():
+    # A trace that acquires a unit the machine does not declare.
+    from repro.robust import CorruptedModel, ModelFault
+    from repro.sadl.trace import UnitEvent
+
+    def rename(trace, model):
+        trace.acquires = [
+            UnitEvent("Phantom", e.count, e.cycle) for e in trace.acquires
+        ]
+        return trace
+
+    corrupted = CorruptedModel(
+        load_machine("ultrasparc"), ModelFault("phantom-unit", "", rename)
+    )
+    findings = validate_machine(corrupted, require_full_isa=False)
+    assert any(
+        f.severity == "error" and "Phantom" in f.message for f in findings
+    )
+
+
+def test_leaked_unit_reported():
+    # Acquire without release: the capacity leak that deadlocks the
+    # simulated pipeline is an error, not a style nit.
+    from repro.robust import MODEL_FAULTS, CorruptedModel
+
+    dropped = next(f for f in MODEL_FAULTS if f.name == "dropped-release")
+    corrupted = CorruptedModel(load_machine("supersparc"), dropped)
+    findings = validate_machine(corrupted, require_full_isa=False)
+    assert any(
+        f.severity == "error" and "leak" in f.message for f in findings
+    )
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_synthetic_machines_are_clean(width):
+    from repro.spawn import load_superscalar
+
+    findings = validate_machine(load_superscalar(width))
+    assert not any(f.severity == "error" for f in findings), findings

@@ -152,3 +152,73 @@ def test_chart_block_out_of_range(program, capsys):
     path, _ = program
     assert main(["chart", str(path), "--block", "99"]) == 1
     assert "out of range" in capsys.readouterr().out
+
+
+def test_garbage_input_prints_typed_error(tmp_path, capsys):
+    bad = tmp_path / "bad.rxe"
+    bad.write_bytes(b"this is not an executable image")
+    assert main(["disasm", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "RXE" in err
+    assert "Traceback" not in err
+
+
+def test_truncated_input_prints_typed_error(tmp_path, program, capsys):
+    path, _ = program
+    bad = tmp_path / "trunc.rxe"
+    bad.write_bytes(path.read_bytes()[:-7])
+    assert main(["time", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "truncated" in err
+
+
+def test_safe_requires_schedule(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "x.rxe"
+    assert main(["instrument", str(path), "-o", str(out), "--safe"]) == 2
+    assert "--safe/--strict require --schedule" in capsys.readouterr().err
+
+
+def test_instrument_safe_reports_clean_guard(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "safe.rxe"
+    assert (
+        main(["instrument", str(path), "-o", str(out), "--schedule", "--safe"])
+        == 0
+    )
+    captured = capsys.readouterr().out
+    assert "guarded scheduling: 0 quarantined" in captured
+    assert out.exists()
+
+    # --safe and --schedule produce byte-identical output when nothing
+    # is quarantined.
+    plain = tmp_path / "plain.rxe"
+    assert (
+        main(["instrument", str(path), "-o", str(plain), "--schedule"]) == 0
+    )
+    capsys.readouterr()
+    assert out.read_bytes() == plain.read_bytes()
+
+
+def test_instrument_safe_custom_seed(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "seeded.rxe"
+    assert (
+        main(
+            [
+                "instrument", str(path), "-o", str(out),
+                "--schedule", "--safe", "--verify-seed", "42",
+            ]
+        )
+        == 0
+    )
+    assert "verify seed 42" in capsys.readouterr().out
+
+
+def test_faults_command_synthetic(capsys):
+    assert main(["faults", "--synthetic-width", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "all injected faults caught" in out
+    assert "bit-flip" in out
