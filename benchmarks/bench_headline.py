@@ -16,6 +16,9 @@ from repro.obs import (
     GUARD_QUARANTINED,
     MetricsRecorder,
 )
+from repro.parallel import measure_modes, render_report
+from repro.spawn import load_machine
+from repro.workloads.generator import WorkloadSpec, generate
 
 
 def test_headline_summary(once):
@@ -49,3 +52,38 @@ def test_headline_summary(once):
     assert 0.05 < summary["int"] < 0.50
     assert 0.15 < summary["fp"] < 0.95
     assert summary["fp"] > summary["int"]
+
+    # Serial vs parallel vs warm-cache scheduling of one large edit:
+    # the wall-clock and hit-rate columns ride along in
+    # BENCH_headline.json, and every mode must emit identical bytes.
+    program = generate(
+        WorkloadSpec(
+            name="headline-scaling",
+            seed=7,
+            kind="int",
+            avg_block_size=10.0,
+            loops=48,
+            diamond_prob=0.9,
+        )
+    )
+    report = measure_modes(
+        load_machine("ultrasparc"),
+        program,
+        benchmark="headline-scaling",
+        jobs=4,
+    )
+    save_result("parallel_scaling.txt", render_report(report) + "\n")
+    assert report.identical, render_report(report)
+    warm = report.mode("cached-warm")
+    assert warm.hit_rate == 1.0
+    assert report.speedup("cached-warm") > 1.0
+    once.extra_info.update(
+        {
+            "serial_wall_s": round(report.mode("serial").wall_s, 4),
+            "parallel_wall_s": round(report.mode("parallel").wall_s, 4),
+            "warm_wall_s": round(warm.wall_s, 4),
+            "warm_speedup": round(report.speedup("cached-warm"), 2),
+            "parallel_speedup": round(report.speedup("parallel"), 2),
+            "warm_hit_rate": round(warm.hit_rate, 3),
+        }
+    )

@@ -23,10 +23,12 @@ from ..eel.cfg import BasicBlock
 from ..isa.instruction import Instruction
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import SCHED_BLOCKS, SCHED_DELAY_SLOTS
+from ..pipeline.stalls import issue
+from ..pipeline.state import PipelineState
 from ..spawn.model import MachineModel
 from .dependence import SchedulingPolicy
 from .list_scheduler import ListScheduler, ScheduleResult
-from .regions import join_regions, split_regions
+from .regions import Region, join_regions, split_regions
 
 
 @dataclass
@@ -51,19 +53,33 @@ class SchedulerStats:
 
 
 class BlockScheduler:
-    """Schedules each basic block as the editor lays it out (Figure 3)."""
+    """Schedules each basic block as the editor lays it out (Figure 3).
+
+    ``cache`` is an optional content-addressed schedule cache
+    (:class:`~repro.parallel.cache.ScheduleCache`, duck-typed): when a
+    region's fingerprint is already memoized under this (model, policy)
+    context, the cached permutation is replayed instead of re-running
+    the scheduler, and fresh results are inserted as *unverified*
+    entries (the same trust level as the scheduler itself).
+    """
 
     def __init__(
         self,
         model: MachineModel,
         policy: SchedulingPolicy | None = None,
         recorder: Recorder | None = None,
+        *,
+        cache=None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.scheduler = ListScheduler(model, self.policy, self.recorder)
         self.stats = SchedulerStats()
+        self.cache = cache
+        self._cache_context = (
+            cache.context_for(model, self.policy) if cache is not None else None
+        )
 
     # The editor transform protocol.
     def __call__(
@@ -78,16 +94,61 @@ class BlockScheduler:
         return scheduled, delay
 
     def schedule_body(self, body: list[Instruction]) -> list[Instruction]:
+        regions, results = self.schedule_regions(body)
+        # Stashed for the guard: after it verifies the joined body it can
+        # memoize each region as proven (see GuardedBlockScheduler).
+        self._last_schedule = (regions, results)
+        bodies = [
+            result.instructions if result is not None else []
+            for result in results
+        ]
+        return join_regions(regions, bodies)
+
+    def schedule_regions(
+        self, body: list[Instruction]
+    ) -> tuple[list[Region], list[ScheduleResult | None]]:
+        """Split ``body`` and schedule each region (None for empty ones),
+        consulting and populating the schedule cache when one is set."""
         regions = split_regions(body)
-        bodies = []
+        results: list[ScheduleResult | None] = []
         for region in regions:
             if not region.instructions:
-                bodies.append([])
+                results.append(None)
                 continue
-            result = self.scheduler.schedule_region(list(region.instructions))
-            self.stats.merge(result)
-            bodies.append(result.instructions)
-        return join_regions(regions, bodies)
+            results.append(self._schedule_region(list(region.instructions)))
+        for result in results:
+            if result is not None:
+                self.stats.merge(result)
+        return regions, results
+
+    def _schedule_region(self, region: list[Instruction]) -> ScheduleResult:
+        if self.cache is not None:
+            entry = self.cache.lookup(self._cache_context, region)
+            if entry is not None:
+                result = entry.replay(region)
+                if self.recorder.enabled:
+                    self._replay_attribution(result.instructions)
+                return result
+        result = self.scheduler.schedule_region(region)
+        if self.cache is not None:
+            self.cache.insert(self._cache_context, region, result)
+        return result
+
+    def _replay_attribution(self, instructions: list[Instruction]) -> None:
+        """Re-issue a cached schedule through the pipeline so hazard
+        attribution (``pipeline.*`` counters) matches a cold run.
+
+        The forward pass issues each chosen instruction linearly, so a
+        single issue-walk over the final order reproduces the exact
+        stall/hazard/issue counts a fresh schedule would have recorded.
+        Forward-pass decision telemetry (``scheduler.decisions`` and
+        friends) is inherently skipped by memoization and is not
+        replayed.
+        """
+        state = PipelineState(self.model)
+        cycle = 0
+        for inst in instructions:
+            cycle = issue(cycle, state, inst, self.recorder).issue_cycle
 
     # -- delay slots -------------------------------------------------------------
 
@@ -118,7 +179,9 @@ def reschedule_transform(
     model: MachineModel,
     policy: SchedulingPolicy | None = None,
     recorder: Recorder | None = None,
+    *,
+    cache=None,
 ) -> BlockScheduler:
     """A fresh transform for rescheduling a program's original code
     (the Table 2 protocol's first step)."""
-    return BlockScheduler(model, policy, recorder)
+    return BlockScheduler(model, policy, recorder, cache=cache)

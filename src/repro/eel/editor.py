@@ -157,6 +157,20 @@ class Editor:
             len(v) for v in self._appends.values()
         )
 
+    def block_body(self, block: BasicBlock | int) -> list[Instruction]:
+        """The exact body a transform will receive for ``block`` at
+        build time: its straight-line instructions with pending
+        insertions and appends merged in program order. Lets a parallel
+        scheduler see the editor's work list before the serial layout
+        pass runs."""
+        index = block if isinstance(block, int) else block.index
+        source = self.cfg.blocks[index]
+        return (
+            self._insertions.get(index, [])
+            + list(source.body)
+            + self._appends.get(index, [])
+        )
+
     # -- build -------------------------------------------------------------------
 
     def build(self, transform: BlockTransform | None = None) -> Executable:
@@ -165,7 +179,17 @@ class Editor:
         With no insertions and no transform this is an identity edit:
         the output is a re-laid-out, behaviour-identical program — the
         standard sanity check for an executable editor.
+
+        A transform may define a ``prepare(editor)`` hook; it runs once
+        before layout, with every insertion already collected — the
+        parallel scheduler uses it to pre-schedule all block bodies
+        across worker processes so the per-block calls below become
+        cache hits.
         """
+        prepare = getattr(transform, "prepare", None)
+        if prepare is not None:
+            with self.recorder.span("eel.prepare"):
+                prepare(self)
         with self.recorder.span("eel.layout"):
             return self._build(transform)
 

@@ -23,17 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cache.icache import DEFAULT_MISS_RATES, ICacheModel
-from ..core.block_scheduler import BlockScheduler
 from ..core.dependence import SchedulingPolicy
 from ..core.optimizer import ImprovedScheduler
 from ..eel.cfg import build_cfg
 from ..eel.editor import Editor
 from ..eel.executable import Executable
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..parallel.cache import ScheduleCache
+from ..parallel.executor import ParallelOptions, make_transform
 from ..pipeline.simulator import BlockSimulator
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
-from ..robust.guard import GuardBudget, GuardedBlockScheduler
+from ..robust.guard import GuardBudget
 from ..spawn.library import load_machine
 from ..spawn.model import MachineModel
 from ..workloads.generator import SyntheticProgram
@@ -138,6 +139,13 @@ class ExperimentConfig:
     #: and fallback counters then land in ``BenchmarkResult.metrics``.
     guarded: bool = False
     guard_budget: GuardBudget | None = None
+    #: worker processes for pre-scheduling regions (1 = serial).
+    jobs: int = 1
+    #: memoize schedules in a content-addressed cache, shared between
+    #: the reschedule-baseline pass and the instrument-and-schedule pass
+    #: (and across benchmarks when a cache is passed to
+    #: :func:`run_profiling_experiment`).
+    use_cache: bool = True
 
 
 def run_profiling_experiment(
@@ -146,8 +154,14 @@ def run_profiling_experiment(
     *,
     program: SyntheticProgram | None = None,
     recorder: Recorder | None = None,
+    schedule_cache: ScheduleCache | None = None,
 ) -> BenchmarkResult:
-    """Run the three-way profiling experiment for one benchmark."""
+    """Run the three-way profiling experiment for one benchmark.
+
+    ``schedule_cache`` shares one schedule cache across calls — a table
+    sweep over seeds re-edits mostly-identical code, and warm runs skip
+    the scheduler for every block already proven.
+    """
     config = config or ExperimentConfig()
     rec = recorder if recorder is not None else NULL_RECORDER
     if isinstance(config.machine, MachineModel):
@@ -184,12 +198,22 @@ def run_profiling_experiment(
                 text_expansion=expansion,
             )
 
+    parallel_options = ParallelOptions(jobs=config.jobs, use_cache=config.use_cache)
+    if schedule_cache is None and config.use_cache:
+        # One cache per experiment: the reschedule-baseline pass warms
+        # it for the instrument-and-schedule pass.
+        schedule_cache = ScheduleCache(recorder=rec)
+
     def block_scheduler(recorder: Recorder | None = None):
-        if config.guarded:
-            return GuardedBlockScheduler(
-                model, config.policy, recorder, budget=config.guard_budget
-            )
-        return BlockScheduler(model, config.policy, recorder)
+        return make_transform(
+            model,
+            config.policy,
+            recorder,
+            options=parallel_options,
+            cache=schedule_cache,
+            guarded=config.guarded,
+            guard_budget=config.guard_budget,
+        )
 
     # The "compiled -fast -xO4" input: a stronger-than-EEL scheduler has
     # already ordered every block.

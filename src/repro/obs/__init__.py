@@ -19,12 +19,20 @@ from .recorder import (
     TraceRecorder,
 )
 from .report import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_INSERTS,
+    CACHE_MISSES,
     GUARD_BLOCKS_VERIFIED,
+    GUARD_CACHE_SERVED,
     GUARD_FALLBACKS,
     GUARD_QUARANTINED,
     HAZARD_KINDS,
     HAZARDS,
     ISSUES,
+    PARALLEL_FALLBACKS,
+    PARALLEL_REGIONS,
+    PARALLEL_SHARDS,
     SCHED_BLOCKS,
     SCHED_CHOSEN_STALLS,
     SCHED_DECISIONS,
@@ -32,6 +40,7 @@ from .report import (
     SCHED_READY_SET,
     SCHED_TIE_BREAK,
     STALL_CYCLES,
+    cache_table,
     guard_table,
     phase_timing_table,
     render_stats,
@@ -40,8 +49,13 @@ from .report import (
 )
 
 __all__ = [
+    "CACHE_EVICTIONS",
+    "CACHE_HITS",
+    "CACHE_INSERTS",
+    "CACHE_MISSES",
     "Distribution",
     "GUARD_BLOCKS_VERIFIED",
+    "GUARD_CACHE_SERVED",
     "GUARD_FALLBACKS",
     "GUARD_QUARANTINED",
     "HAZARD_KINDS",
@@ -52,6 +66,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "PARALLEL_FALLBACKS",
+    "PARALLEL_REGIONS",
+    "PARALLEL_SHARDS",
     "Recorder",
     "SCHED_BLOCKS",
     "SCHED_CHOSEN_STALLS",
@@ -61,6 +78,7 @@ __all__ = [
     "SCHED_TIE_BREAK",
     "STALL_CYCLES",
     "TraceRecorder",
+    "cache_table",
     "guard_table",
     "label_key",
     "phase_timing_table",

@@ -43,6 +43,20 @@ GUARD_BLOCKS_VERIFIED = "guard.blocks_verified"
 GUARD_QUARANTINED = "guard.quarantined"
 #: Blocks emitted in their original order instead of the schedule.
 GUARD_FALLBACKS = "guard.fallbacks"
+#: Guarded blocks served wholesale from verified schedule-cache entries.
+GUARD_CACHE_SERVED = "guard.cache_served"
+
+#: Schedule-cache traffic (see ``repro.parallel.cache``).
+CACHE_HITS = "schedule_cache.hits"
+CACHE_MISSES = "schedule_cache.misses"
+CACHE_INSERTS = "schedule_cache.inserts"
+CACHE_EVICTIONS = "schedule_cache.evictions"
+
+#: Parallel executor: routine shards dispatched, regions scheduled in
+#: workers, and builds that fell back to the serial path.
+PARALLEL_SHARDS = "parallel.shards"
+PARALLEL_REGIONS = "parallel.regions_scheduled"
+PARALLEL_FALLBACKS = "parallel.serial_fallbacks"
 
 #: The four hazard buckets, in reporting order.
 HAZARD_KINDS = ("structural", "raw", "waw", "war")
@@ -154,6 +168,36 @@ def guard_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def cache_table(metrics: MetricsRegistry) -> str:
+    """Schedule-cache and parallel-executor telemetry, when either ran."""
+    hits = int(metrics.counter_total(CACHE_HITS))
+    misses = int(metrics.counter_total(CACHE_MISSES))
+    shards = int(metrics.counter_total(PARALLEL_SHARDS))
+    if hits == 0 and misses == 0 and shards == 0:
+        return ""
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    lines = [
+        f"schedule cache: {hits} hits / {misses} misses "
+        f"({rate:.1%} hit rate)"
+    ]
+    inserts = int(metrics.counter_total(CACHE_INSERTS))
+    evictions = int(metrics.counter_total(CACHE_EVICTIONS))
+    served = int(metrics.counter_total(GUARD_CACHE_SERVED))
+    lines.append(f"  inserts {inserts}, evictions {evictions}")
+    if served:
+        lines.append(f"  guarded blocks served from verified entries: {served}")
+    if shards:
+        regions = int(metrics.counter_total(PARALLEL_REGIONS))
+        fallbacks = int(metrics.counter_total(PARALLEL_FALLBACKS))
+        lines.append(
+            f"  parallel executor: {shards} routine shards, "
+            f"{regions} regions scheduled in workers"
+            + (f", {fallbacks} serial fallbacks" if fallbacks else "")
+        )
+    return "\n".join(lines)
+
+
 def render_stats(metrics: MetricsRegistry) -> str:
     """The full ``--stats`` panel: attribution, decisions, timings."""
     sections = [stall_attribution_table(metrics)]
@@ -163,6 +207,9 @@ def render_stats(metrics: MetricsRegistry) -> str:
     guard = guard_table(metrics)
     if guard:
         sections.append(guard)
+    cache = cache_table(metrics)
+    if cache:
+        sections.append(cache)
     sections.append(phase_timing_table(metrics))
     issues = int(metrics.counter_total(ISSUES))
     if issues:

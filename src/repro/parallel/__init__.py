@@ -1,0 +1,51 @@
+"""Parallel routine scheduling with a content-addressed schedule cache.
+
+Two cooperating pieces (see ``docs/performance.md``):
+
+* :class:`ScheduleCache` — a bounded LRU memo of schedule *outcomes*
+  (permutation + cycle accounting) keyed by a canonical fingerprint of
+  the region (:mod:`repro.parallel.fingerprint`: register-renamed
+  instruction words) under a (machine model, policy) context digest.
+* :class:`ParallelScheduler` — pre-schedules every region an editor
+  pass will touch across worker processes, warming the cache so the
+  inherently serial layout pass runs entirely on hits. Serial,
+  parallel, and warm-cache runs emit byte-identical executables; the
+  differential suite in ``tests/parallel/`` holds that equivalence.
+
+Both compose with guarded scheduling: the guard serves only *verified*
+entries and inserts only after a block's proof passes, so memoization
+never weakens the safety contract.
+"""
+
+from .benchmark import ModeTiming, ScalingReport, measure_modes, render_report
+from .cache import DEFAULT_CACHE_ENTRIES, CachedSchedule, ScheduleCache
+from .executor import (
+    ParallelOptions,
+    ParallelScheduler,
+    make_transform,
+)
+from .fingerprint import (
+    canonical_region,
+    context_digest,
+    model_identity,
+    policy_identity,
+    region_digest,
+)
+
+__all__ = [
+    "CachedSchedule",
+    "DEFAULT_CACHE_ENTRIES",
+    "ModeTiming",
+    "ParallelOptions",
+    "ParallelScheduler",
+    "ScalingReport",
+    "ScheduleCache",
+    "canonical_region",
+    "context_digest",
+    "make_transform",
+    "measure_modes",
+    "model_identity",
+    "policy_identity",
+    "region_digest",
+    "render_report",
+]

@@ -1,0 +1,161 @@
+"""Serial vs parallel vs warm-cache measurement for one workload.
+
+Shared by ``qpt benchmarks`` and ``benchmarks/bench_headline.py``: build
+the same instrumented-and-scheduled executable under several (jobs,
+cache) configurations, time each build, and cross-check that every
+configuration produced byte-identical output — the differential claim,
+measured on the way past.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.dependence import SchedulingPolicy
+from ..obs.recorder import Recorder
+from ..qpt.profiling import SlowProfiler
+from ..spawn.model import MachineModel
+from ..workloads.generator import SyntheticProgram
+from .cache import ScheduleCache
+from .executor import ParallelOptions, make_transform
+
+
+@dataclass
+class ModeTiming:
+    """One configuration's build, timed."""
+
+    mode: str
+    jobs: int
+    wall_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    text_bytes: bytes = field(repr=False, default=b"")
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class ScalingReport:
+    """Every mode's timing plus the byte-equality verdict."""
+
+    benchmark: str
+    machine: str
+    modes: list[ModeTiming]
+    identical: bool
+
+    def speedup(self, mode: str) -> float:
+        baseline = self.mode("serial").wall_s
+        other = self.mode(mode).wall_s
+        return baseline / other if other > 0 else float("inf")
+
+    def mode(self, name: str) -> ModeTiming:
+        for timing in self.modes:
+            if timing.mode == name:
+                return timing
+        raise KeyError(f"no mode {name!r} in report")
+
+
+def _build(
+    model: MachineModel,
+    policy: SchedulingPolicy,
+    program: SyntheticProgram,
+    *,
+    options: ParallelOptions,
+    cache: ScheduleCache | None,
+    guarded: bool,
+    recorder: Recorder | None,
+) -> bytes:
+    transform = make_transform(
+        model,
+        policy,
+        recorder,
+        options=options,
+        cache=cache,
+        guarded=guarded,
+    )
+    profiled = SlowProfiler(program.executable, recorder=recorder).instrument(
+        transform
+    )
+    return bytes(profiled.executable.text_section().data)
+
+
+def measure_modes(
+    model: MachineModel,
+    program: SyntheticProgram,
+    *,
+    benchmark: str = "workload",
+    policy: SchedulingPolicy | None = None,
+    jobs: int = 4,
+    guarded: bool = False,
+    recorder: Recorder | None = None,
+) -> ScalingReport:
+    """Time serial / parallel / warm-cache builds of the same edit.
+
+    Modes measured: ``serial`` (jobs=1, no cache), ``cached-cold``
+    (jobs=1, fresh cache), ``parallel`` (jobs=N, fresh cache), and
+    ``cached-warm`` (jobs=1 against the cache the parallel build
+    populated — the steady state of repeated edits).
+    """
+    policy = policy or SchedulingPolicy(fill_delay_slots=True)
+    modes: list[ModeTiming] = []
+
+    def timed(mode: str, *, options: ParallelOptions, cache: ScheduleCache | None):
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
+        start = time.perf_counter()
+        text = _build(
+            model,
+            policy,
+            program,
+            options=options,
+            cache=cache,
+            guarded=guarded,
+            recorder=recorder,
+        )
+        wall = time.perf_counter() - start
+        modes.append(
+            ModeTiming(
+                mode=mode,
+                jobs=options.jobs,
+                wall_s=wall,
+                cache_hits=(cache.hits - hits0) if cache is not None else 0,
+                cache_misses=(cache.misses - misses0) if cache is not None else 0,
+                text_bytes=text,
+            )
+        )
+
+    timed("serial", options=ParallelOptions(jobs=1, use_cache=False), cache=None)
+    cold = ScheduleCache()
+    timed("cached-cold", options=ParallelOptions(jobs=1), cache=cold)
+    warm = ScheduleCache()
+    timed("parallel", options=ParallelOptions(jobs=jobs), cache=warm)
+    timed("cached-warm", options=ParallelOptions(jobs=1), cache=warm)
+
+    reference = modes[0].text_bytes
+    identical = all(mode.text_bytes == reference for mode in modes)
+    return ScalingReport(
+        benchmark=benchmark,
+        machine=model.name,
+        modes=modes,
+        identical=identical,
+    )
+
+
+def render_report(report: ScalingReport) -> str:
+    lines = [
+        f"{report.benchmark} on {report.machine}: "
+        + ("all modes byte-identical" if report.identical else "OUTPUT DIVERGED"),
+        f"  {'mode':<12} {'jobs':>4} {'wall ms':>9} {'hits':>6} {'misses':>7} {'hit rate':>9} {'speedup':>8}",
+    ]
+    for timing in report.modes:
+        lines.append(
+            f"  {timing.mode:<12} {timing.jobs:>4} {timing.wall_s * 1e3:>9.1f}"
+            f" {timing.cache_hits:>6} {timing.cache_misses:>7}"
+            f" {timing.hit_rate:>9.1%}"
+            f" {report.speedup(timing.mode):>7.2f}x"
+        )
+    return "\n".join(lines)

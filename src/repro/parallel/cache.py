@@ -1,0 +1,183 @@
+"""A content-addressed, bounded LRU cache of schedule results.
+
+Rewriting a large executable is highly repetitive at block granularity:
+the same code shapes (a counter increment, a spill/reload pair, a
+compiler idiom) recur thousands of times, and the scheduler recomputes
+the same dependence graph, chain lengths, and forward pass for each.
+:class:`ScheduleCache` memoizes the *outcome* — the permutation and its
+cycle accounting, never the concrete instructions — keyed by
+:func:`~repro.parallel.fingerprint.region_digest` under a
+:func:`~repro.parallel.fingerprint.context_digest` for the (machine
+model, policy) pair. Serving a hit replays the permutation against the
+block's actual instructions, so register-renamed twins share one entry
+yet each block keeps its own operands.
+
+Trust is explicit: each entry carries a ``verified`` bit. The plain
+:class:`~repro.core.block_scheduler.BlockScheduler` inserts and serves
+unverified entries (the same trust level as running the scheduler
+itself), while :class:`~repro.robust.guard.GuardedBlockScheduler` only
+*serves* verified entries and only *inserts* after a block's schedule
+has passed :func:`~repro.core.verify.verify_schedule` — an unverified
+(or poisoned) entry is treated as a miss and re-proven, and a
+quarantined block is never inserted at all.
+
+Hit/miss/insert/eviction counts flow both through the
+:mod:`repro.obs` metrics registry (``schedule_cache.*``) and plain
+integer attributes, so callers without a recorder can still assert on
+them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.list_scheduler import ScheduleResult
+from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.report import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_INSERTS,
+    CACHE_MISSES,
+)
+from .fingerprint import apply_order, context_digest, region_digest
+
+#: Default entry bound; at ~100 bytes an entry this is a few hundred KiB.
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+@dataclass(frozen=True)
+class CachedSchedule:
+    """One memoized schedule: the permutation plus its accounting."""
+
+    order: tuple[int, ...]
+    original_cycles: int
+    scheduled_cycles: int
+    #: True only when the entry was inserted after the schedule passed
+    #: post-hoc verification (the guarded path).
+    verified: bool
+
+    def replay(self, region: Sequence[Instruction]) -> ScheduleResult:
+        """Reconstruct a :class:`ScheduleResult` for a concrete region."""
+        if len(self.order) != len(region):
+            raise ValueError(
+                f"cached order has {len(self.order)} entries for a "
+                f"{len(region)}-instruction region"
+            )
+        return ScheduleResult(
+            instructions=apply_order(region, self.order),
+            order=list(self.order),
+            original_cycles=self.original_cycles,
+            scheduled_cycles=self.scheduled_cycles,
+            graph=None,
+        )
+
+
+class ScheduleCache:
+    """Bounded LRU map of (context, region fingerprint) → schedule."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        recorder: Recorder | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._entries: OrderedDict[tuple[str, str], CachedSchedule] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def context_for(self, model, policy) -> str:
+        """The context digest for a (model, policy) pair. A method so
+        the schedulers can stay duck-typed against the cache instead of
+        importing :mod:`repro.parallel`."""
+        return context_digest(model, policy)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(
+        self,
+        context: str,
+        region: Sequence[Instruction],
+        *,
+        require_verified: bool = False,
+    ) -> CachedSchedule | None:
+        """The cached schedule for ``region`` under ``context``, or None.
+
+        ``require_verified`` makes unverified entries invisible — the
+        guarded scheduler's view of the cache.
+        """
+        key = (context, region_digest(region))
+        entry = self._entries.get(key)
+        if entry is not None and (entry.verified or not require_verified):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.recorder.count(CACHE_HITS)
+            return entry
+        self.misses += 1
+        self.recorder.count(CACHE_MISSES)
+        return None
+
+    def insert(
+        self,
+        context: str,
+        region: Sequence[Instruction],
+        result: ScheduleResult,
+        *,
+        verified: bool = False,
+    ) -> CachedSchedule:
+        """Memoize ``result`` for ``region``; returns the stored entry.
+
+        A verified insert upgrades an existing unverified entry; an
+        unverified insert never downgrades a verified one.
+        """
+        key = (context, region_digest(region))
+        existing = self._entries.get(key)
+        if existing is not None and existing.verified and not verified:
+            self._entries.move_to_end(key)
+            return existing
+        entry = CachedSchedule(
+            order=tuple(result.order),
+            original_cycles=result.original_cycles,
+            scheduled_cycles=result.scheduled_cycles,
+            verified=verified,
+        )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.inserts += 1
+        self.recorder.count(CACHE_INSERTS)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self.recorder.count(CACHE_EVICTIONS)
+        return entry
+
+    def contains(
+        self,
+        context: str,
+        region: Sequence[Instruction],
+        *,
+        require_verified: bool = False,
+    ) -> bool:
+        """Membership check without touching LRU order or counters."""
+        entry = self._entries.get((context, region_digest(region)))
+        return entry is not None and (entry.verified or not require_verified)
+
+    def verified_entries(self) -> int:
+        return sum(1 for entry in self._entries.values() if entry.verified)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,364 @@
+"""Parallel routine scheduling by cache warming.
+
+Scheduling dominates an edit's cost, and it is embarrassingly parallel:
+each straight-line region schedules independently of every other. But
+the *editor* pass is inherently serial — layout assigns addresses block
+by block, and branch retargeting depends on every address before it.
+
+The resolution is to split the work, not the pass.
+:class:`ParallelScheduler` hooks the editor's ``prepare`` step: before
+layout begins it walks every routine (:func:`~repro.eel.routine.split_routines`),
+collects each block's would-be body (instrumentation already merged, via
+:meth:`~repro.eel.editor.Editor.block_body`), dedupes regions by
+fingerprint, and ships the misses to worker processes in routine-order
+shards. Workers schedule (and, in guarded mode, *verify*) each region;
+the parent drains shard results **in submission order** and inserts them
+into the shared :class:`~repro.parallel.cache.ScheduleCache`. The
+ordinary serial layout pass then runs unchanged — every region is a
+cache hit replaying the same permutation a serial run would compute.
+
+Determinism is therefore structural, not coincidental: parallel and
+serial runs execute the *same* final code path over the same cache
+state, and the scheduler itself is a pure function of (region, model,
+policy), so worker count and completion order cannot leak into the
+output bytes or the schedule statistics.
+
+Workers cannot receive a :class:`~repro.spawn.model.MachineModel`
+directly (its compiled evaluators do not pickle); they rebuild it from
+the SADL source the model carries. Models without source (synthetic or
+fault-injected ones) degrade to the serial path, counted under
+``parallel.serial_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.block_scheduler import BlockScheduler, SchedulerStats
+from ..core.dependence import SchedulingPolicy
+from ..core.list_scheduler import ListScheduler, ScheduleResult
+from ..core.regions import split_regions
+from ..core.verify import DEFAULT_SEED, verify_schedule
+from ..eel.routine import split_routines
+from ..isa.instruction import Instruction
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.report import (
+    PARALLEL_FALLBACKS,
+    PARALLEL_REGIONS,
+    PARALLEL_SHARDS,
+)
+from ..robust.guard import GuardBudget, GuardedBlockScheduler
+from ..spawn.library import load_machine_from_source
+from ..spawn.model import MachineModel
+from .cache import DEFAULT_CACHE_ENTRIES, ScheduleCache
+from .fingerprint import region_digest
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """How an edit's scheduling work is executed.
+
+    ``jobs=1`` is the ordinary serial path. ``use_cache=False`` disables
+    cross-build memoization; with ``jobs > 1`` a private transport cache
+    still carries worker results into the layout pass, then is dropped.
+    """
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.cache_entries < 1:
+            raise ValueError("cache_entries must be at least 1")
+
+
+# -- worker side -----------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _worker_model(name: str, source: str) -> MachineModel:
+    """Rebuild (once per worker process) the model from its SADL source."""
+    return load_machine_from_source(source, name)
+
+
+def _schedule_shard(payload):
+    """Schedule one shard's regions; runs in a worker process.
+
+    ``payload`` is (model name, SADL source, policy, regions, verify?,
+    trials, seed). Returns one ``(order, original_cycles,
+    scheduled_cycles, verified)`` tuple per region, in input order.
+    """
+    name, source, policy, regions, verify, trials, seed = payload
+    model = _worker_model(name, source)
+    scheduler = ListScheduler(model, policy)
+    out = []
+    for region in regions:
+        region = list(region)
+        result = scheduler.schedule_region(region)
+        verified = False
+        if verify:
+            verified = bool(
+                verify_schedule(
+                    region,
+                    result.instructions,
+                    policy=policy,
+                    trials=trials,
+                    seed=seed,
+                )
+            )
+        out.append(
+            (
+                tuple(result.order),
+                result.original_cycles,
+                result.scheduled_cycles,
+                verified,
+            )
+        )
+    return out
+
+
+def _model_spec(model) -> tuple[str, str] | None:
+    """(name, SADL source) when the model can be rebuilt in a worker.
+
+    Only an exact :class:`MachineModel` is trusted: a wrapper (e.g. a
+    fault-injection ``CorruptedModel``) delegating attribute access
+    would hand over its *healthy* base's source and silently launder the
+    corruption away in the workers.
+    """
+    if type(model) is MachineModel and model.source is not None:
+        return model.name, model.source
+    return None
+
+
+def _fork_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# -- the transform wrapper -------------------------------------------------------
+
+
+class ParallelScheduler:
+    """A :data:`~repro.eel.editor.BlockTransform` that pre-schedules
+    across worker processes, then delegates the serial pass to ``inner``
+    (a :class:`BlockScheduler` or :class:`GuardedBlockScheduler` wired
+    to the same cache)."""
+
+    def __init__(
+        self,
+        inner,
+        cache: ScheduleCache,
+        *,
+        jobs: int,
+        recorder: Recorder | None = None,
+        verify_in_workers: bool | None = None,
+        verify_trials: int = 4,
+        verify_seed: int = DEFAULT_SEED,
+    ) -> None:
+        if getattr(inner, "cache", None) is not cache:
+            raise ValueError(
+                "the inner transform must be wired to the same cache the "
+                "parallel scheduler warms"
+            )
+        self.inner = inner
+        self.cache = cache
+        self.jobs = jobs
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.model = inner.model
+        self.policy = inner.policy
+        if verify_in_workers is None:
+            verify_in_workers = isinstance(inner, GuardedBlockScheduler)
+        self.verify_in_workers = verify_in_workers
+        self.verify_trials = getattr(inner, "verify_trials", verify_trials)
+        self.verify_seed = getattr(inner, "verify_seed", verify_seed)
+        self._context = cache.context_for(self.model, self.policy)
+        #: regions scheduled in workers during the last ``prepare``.
+        self.warmed_regions = 0
+
+    # Delegated observers, so callers see one transform interface.
+
+    @property
+    def stats(self) -> SchedulerStats:
+        return self.inner.stats
+
+    @property
+    def quarantine(self):
+        return getattr(self.inner, "quarantine", ())
+
+    @property
+    def fallbacks(self) -> int:
+        return getattr(self.inner, "fallbacks", 0)
+
+    def __call__(self, block, body):
+        return self.inner(block, body)
+
+    # -- the editor prepare hook --------------------------------------------------
+
+    def prepare(self, editor) -> None:
+        """Warm the cache for every region ``editor`` will lay out."""
+        if self.jobs <= 1:
+            return
+        spec = _model_spec(self.model)
+        if spec is None:
+            self.recorder.count(PARALLEL_FALLBACKS)
+            return
+        shards = self._collect_shards(editor)
+        if not shards:
+            return
+        name, source = spec
+        with self.recorder.span("parallel.warm", shards=len(shards)):
+            self._run_shards(name, source, shards)
+
+    def _collect_shards(self, editor) -> list[list[list[Instruction]]]:
+        """Unique unscheduled regions (deduped under this context's
+        fingerprint), walked in routine order and chunked into several
+        shards per worker so a program with few routines still spreads
+        across the pool. Chunking cannot affect the result: each region
+        schedules independently and the parent inserts shard results in
+        submission order."""
+        seen: set[str] = set()
+        work: list[list[Instruction]] = []
+        for routine in split_routines(editor.executable, editor.cfg):
+            for block in routine.blocks:
+                body = editor.block_body(block)
+                for region in split_regions(body):
+                    instructions = list(region.instructions)
+                    if not instructions:
+                        continue
+                    digest = region_digest(instructions)
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    if self.cache.contains(
+                        self._context,
+                        instructions,
+                        require_verified=self.verify_in_workers,
+                    ):
+                        continue
+                    work.append(instructions)
+        if not work:
+            return []
+        chunk = max(1, -(-len(work) // (self.jobs * 4)))
+        return [work[i : i + chunk] for i in range(0, len(work), chunk)]
+
+    def _run_shards(
+        self, name: str, source: str, shards: list[list[list[Instruction]]]
+    ) -> None:
+        payloads = [
+            (
+                name,
+                source,
+                self.policy,
+                shard,
+                self.verify_in_workers,
+                self.verify_trials,
+                self.verify_seed,
+            )
+            for shard in shards
+        ]
+        workers = max(1, min(self.jobs, len(shards)))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_fork_context()
+            ) as pool:
+                futures = [pool.submit(_schedule_shard, p) for p in payloads]
+                # Drain in submission order: cache state after warming is
+                # independent of worker completion order.
+                for shard, future in zip(shards, futures):
+                    try:
+                        results = future.result()
+                    except Exception:
+                        self.recorder.count(PARALLEL_FALLBACKS)
+                        continue
+                    self.recorder.count(PARALLEL_SHARDS)
+                    self._merge_shard(shard, results)
+        except OSError:
+            # No process pool available here; the serial pass schedules
+            # everything itself.
+            self.recorder.count(PARALLEL_FALLBACKS)
+
+    def _merge_shard(self, shard, results) -> None:
+        for region, (order, original_cycles, scheduled_cycles, verified) in zip(
+            shard, results
+        ):
+            if self.verify_in_workers and not verified:
+                # The guard will re-prove this region serially; a failed
+                # worker proof must not leave any entry behind.
+                continue
+            scheduled = [region[i] for i in order]
+            self.cache.insert(
+                self._context,
+                region,
+                ScheduleResult(
+                    instructions=scheduled,
+                    order=list(order),
+                    original_cycles=original_cycles,
+                    scheduled_cycles=scheduled_cycles,
+                ),
+                verified=verified,
+            )
+            self.warmed_regions += 1
+            self.recorder.count(PARALLEL_REGIONS)
+
+
+# -- the one-stop factory --------------------------------------------------------
+
+
+def make_transform(
+    model: MachineModel,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    *,
+    options: ParallelOptions | None = None,
+    cache: ScheduleCache | None = None,
+    guarded: bool = False,
+    guard_budget: GuardBudget | None = None,
+    strict: bool = False,
+    verify_trials: int = 4,
+    verify_seed: int = DEFAULT_SEED,
+):
+    """The editor transform for a (jobs, cache) configuration.
+
+    Returns a plain :class:`BlockScheduler` / :class:`GuardedBlockScheduler`
+    when ``jobs == 1``, or a :class:`ParallelScheduler` wrapping one
+    when ``jobs > 1``. Pass ``cache`` to share one
+    :class:`ScheduleCache` across calls (warm runs); otherwise a fresh
+    cache is created per transform — and discarded entirely when
+    ``use_cache`` is off (it then only transports worker results within
+    a single build).
+    """
+    options = options or ParallelOptions()
+    if cache is None and (options.use_cache or options.jobs > 1):
+        cache = ScheduleCache(
+            max_entries=options.cache_entries, recorder=recorder
+        )
+    if not options.use_cache and options.jobs <= 1:
+        cache = None
+    if guarded:
+        inner = GuardedBlockScheduler(
+            model,
+            policy,
+            recorder,
+            budget=guard_budget,
+            strict=strict,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+            cache=cache,
+        )
+    else:
+        inner = BlockScheduler(model, policy, recorder, cache=cache)
+    if options.jobs <= 1:
+        return inner
+    return ParallelScheduler(
+        inner,
+        cache,
+        jobs=options.jobs,
+        recorder=recorder,
+        verify_trials=verify_trials,
+        verify_seed=verify_seed,
+    )

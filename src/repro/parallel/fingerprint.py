@@ -1,0 +1,146 @@
+"""Content addressing for schedulable regions.
+
+A schedule is a pure function of three inputs: the region's instruction
+sequence, the machine model, and the scheduling policy. The cache key
+therefore has two parts:
+
+* a **context digest** (:func:`context_digest`) naming the (model,
+  policy) pair — model identity is the model's class, name, and a hash
+  of its SADL source when available, so a corrupted or merely renamed
+  model can never alias a healthy one;
+* a **region digest** (:func:`region_digest`) over the instruction
+  words after *register-renaming canonicalization*
+  (:func:`canonical_region`).
+
+Canonicalization maps work registers to dense indices in first-use
+order, separately for the integer and floating-point files, so two
+blocks that differ only by a bijective renaming of their registers
+share one cache entry. This is sound because every quantity the
+scheduler computes — the dependence DAG, pipeline stall counts, issue
+cycles — depends on registers only through their *equality structure*
+(which operands name the same register), which a bijection preserves.
+Three guards keep the bijection argument airtight:
+
+* ``%g0`` is pinned: it is hard-wired zero, never participates in a
+  dependence, and renaming it (or onto it) would change the DAG;
+* regions containing any double-word memory operation
+  (``fp_width == 2``: ``ldd``/``std``/``lddf``/``stdf``) are *not*
+  renamed at all — those instructions access ``reg`` and ``reg+1``, an
+  adjacency relation an arbitrary bijection does not preserve;
+* every other field that can influence scheduling — mnemonic,
+  immediate, annul bit, symbolic target, and the provenance ``tag``
+  that drives the memory-aliasing policy — is kept verbatim, so two
+  regions differing in a single immediate or in instrumentation
+  provenance can never collide.
+
+``seq`` is deliberately excluded: the forward pass tie-breaks on the
+instruction's *position within the region*, not the global ``seq``
+field, so ``seq`` cannot influence the schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from ..core.dependence import SchedulingPolicy
+from ..isa.instruction import Instruction
+from ..isa.registers import Reg, RegKind
+from ..spawn.model import MachineModel
+
+#: Register kinds eligible for renaming. Special resources (condition
+#: codes, %y, %pc) never appear as explicit operands.
+_RENAMABLE = (RegKind.INT, RegKind.FP)
+
+
+def _renaming_allowed(region: Sequence[Instruction]) -> bool:
+    """False when any instruction performs a double-word access —
+    renaming must then be skipped to preserve ``reg``/``reg+1``
+    adjacency."""
+    return all(inst.info.fp_width != 2 for inst in region)
+
+
+def canonical_region(region: Sequence[Instruction]) -> tuple:
+    """The canonical (renaming-invariant) form of a straight-line region."""
+    rename = _renaming_allowed(region)
+    # %g0 keeps index 0; other integer registers are numbered from 1.
+    next_index = {RegKind.INT: 1, RegKind.FP: 0}
+    mapping: dict[Reg, int] = {}
+
+    def canon(reg: Reg | None) -> tuple | None:
+        if reg is None:
+            return None
+        if not rename or reg.kind not in _RENAMABLE or reg.is_zero:
+            return (reg.kind.value, reg.index)
+        canonical = mapping.get(reg)
+        if canonical is None:
+            canonical = next_index[reg.kind]
+            next_index[reg.kind] = canonical + 1
+            mapping[reg] = canonical
+        return (reg.kind.value, canonical)
+
+    return tuple(
+        (
+            inst.mnemonic,
+            canon(inst.rd),
+            canon(inst.rs1),
+            canon(inst.rs2),
+            inst.imm,
+            inst.annul,
+            inst.target,
+            inst.tag,
+        )
+        for inst in region
+    )
+
+
+def region_digest(region: Sequence[Instruction]) -> str:
+    """Hex digest of the canonical region — the content address."""
+    return hashlib.sha256(repr(canonical_region(region)).encode()).hexdigest()
+
+
+def model_identity(model) -> str:
+    """A string naming a machine model for cache keying.
+
+    Includes the model's concrete class (a
+    :class:`~repro.robust.faults.CorruptedModel` must never alias its
+    base), its name, its unit inventory, and — when the model records
+    the SADL source it was compiled from — a digest of that source, so
+    two models built from different descriptions never share entries
+    even if they share a name.
+    """
+    parts = [type(model).__qualname__, getattr(model, "name", "?")]
+    units = getattr(model, "units", None)
+    if units:
+        parts.append(",".join(f"{u}={c}" for u, c in sorted(units.items())))
+    source = None
+    if type(model) is MachineModel:
+        # Only trust `source` on a plain MachineModel: proxy models
+        # (CorruptedModel) delegate attribute access to their base, and
+        # inheriting the base's source would let a corrupted model alias
+        # the healthy one.
+        source = getattr(model, "source", None)
+    if source is not None:
+        parts.append(hashlib.sha256(source.encode()).hexdigest()[:16])
+    else:
+        # No verifiable content: key on object identity so distinct
+        # instances never share entries.
+        parts.append(f"id{id(model):x}")
+    return ":".join(parts)
+
+
+def policy_identity(policy: SchedulingPolicy | None) -> str:
+    return repr(policy or SchedulingPolicy())
+
+
+def context_digest(model, policy: SchedulingPolicy | None) -> str:
+    """Digest of the (machine model, scheduler options) pair."""
+    text = model_identity(model) + "|" + policy_identity(policy)
+    return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+
+def apply_order(
+    region: Sequence[Instruction], order: Iterable[int]
+) -> list[Instruction]:
+    """Replay a cached permutation against concrete instructions."""
+    return [region[i] for i in order]

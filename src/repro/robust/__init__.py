@@ -31,6 +31,7 @@ from .faults import (
     ModelFault,
     SabotagedScheduler,
     default_workload,
+    inject_cache_faults,
     inject_encoding_faults,
     inject_model_faults,
     inject_scheduler_faults,
@@ -53,6 +54,7 @@ __all__ = [
     "SabotagedScheduler",
     "VerificationError",
     "default_workload",
+    "inject_cache_faults",
     "inject_encoding_faults",
     "inject_model_faults",
     "inject_scheduler_faults",

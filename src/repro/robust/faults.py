@@ -22,6 +22,12 @@ a silently wrong output:
   mutation (swapping a dependent pair, dropping or duplicating an
   instruction) to each block's schedule. Every sabotaged block must be
   quarantined by the guard's ``verify_schedule`` check.
+* **cache faults** (:func:`inject_cache_faults`) attack the
+  content-addressed schedule cache: entries warmed under a healthy
+  model must be invisible to a corrupted variant (no stale masking), a
+  deliberately wrong *unverified* entry planted under the live context
+  must never be served by the guard, and blocks a sabotaged scheduler
+  corrupts must leave no cache entry behind.
 
 ``python -m repro.tools.qpt_cli faults --machine ultrasparc`` runs the
 whole catalog and exits nonzero if anything escapes; CI runs it against
@@ -263,7 +269,7 @@ class FaultOutcome:
     """Result of injecting one fault class."""
 
     fault: str
-    #: 'model' | 'encoding' | 'scheduler'
+    #: 'model' | 'encoding' | 'scheduler' | 'cache'
     layer: str
     injected: int
     caught: int
@@ -415,6 +421,165 @@ def inject_scheduler_faults(
     return outcomes
 
 
+def inject_cache_faults(
+    model: MachineModel,
+    executable: Executable,
+    *,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    verify_trials: int = 2,
+    verify_seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+) -> list[FaultOutcome]:
+    """Attack the schedule cache; every attack must be neutralized.
+
+    ``jobs > 1`` routes the poisoned-cache build through the parallel
+    executor, proving worker pre-scheduling cannot resurrect a bad
+    entry either.
+    """
+    # Imported lazily: repro.parallel imports this package's guard.
+    from ..core.list_scheduler import ScheduleResult
+    from ..core.regions import split_regions
+    from ..eel.cfg import build_cfg
+    from ..parallel.cache import ScheduleCache
+    from ..parallel.executor import ParallelOptions, make_transform
+
+    rec = recorder if recorder is not None else NULL_RECORDER
+    policy = policy or SchedulingPolicy()
+    outcomes: list[FaultOutcome] = []
+
+    def guard(inner=None, cache=None):
+        return GuardedBlockScheduler(
+            model,
+            policy,
+            rec,
+            inner=inner,
+            cache=cache,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+            validate_model=False,
+        )
+
+    def text(edited: Executable) -> bytes:
+        return bytes(edited.text_section().data)
+
+    reference = text(Editor(executable, recorder=rec).build(guard()))
+
+    # 1. Stale-model-entry: warm the cache under the healthy model, then
+    # corrupt the model. Context digests must separate the two — a
+    # corrupted model served stale healthy-model schedules (or vice
+    # versa) would time and verify against the wrong machine.
+    cache = ScheduleCache()
+    Editor(executable, recorder=rec).build(guard(cache=cache))
+    healthy_context = cache.context_for(model, policy)
+    sample = next(
+        (
+            list(region.instructions)
+            for block in build_cfg(executable)
+            for region in split_regions(list(block.body))
+            if region.instructions
+        ),
+        None,
+    )
+    injected = caught = 0
+    details: list[str] = []
+    for fault in MODEL_FAULTS:
+        corrupted = CorruptedModel(model, fault)
+        injected += 1
+        context = cache.context_for(corrupted, policy)
+        visible = sample is not None and cache.lookup(context, sample) is not None
+        if context != healthy_context and not visible:
+            caught += 1
+        elif len(details) < 2:
+            details.append(
+                f"{fault.name}: healthy-model entries visible under the "
+                "corrupted model"
+            )
+    outcomes.append(
+        FaultOutcome(
+            fault="stale-model-entry",
+            layer="cache",
+            injected=injected,
+            caught=caught,
+            details=tuple(details),
+        )
+    )
+
+    # 2. Poisoned-unverified-entry: plant wrong, unverified schedules
+    # under the live context. The guard must treat them as misses and
+    # re-prove every region; output must match the clean reference.
+    poisoned = ScheduleCache()
+    context = poisoned.context_for(model, policy)
+    injected = 0
+    for block in build_cfg(executable):
+        for region in split_regions(list(block.body)):
+            instructions = list(region.instructions)
+            if len(instructions) < 2:
+                continue
+            reversed_order = list(range(len(instructions)))[::-1]
+            poisoned.insert(
+                context,
+                instructions,
+                ScheduleResult(
+                    instructions=[instructions[i] for i in reversed_order],
+                    order=reversed_order,
+                    original_cycles=1,
+                    scheduled_cycles=0,
+                ),
+                verified=False,
+            )
+            injected += 1
+    transform = make_transform(
+        model,
+        policy,
+        rec,
+        options=ParallelOptions(jobs=jobs),
+        cache=poisoned,
+        guarded=True,
+        verify_trials=verify_trials,
+        verify_seed=verify_seed,
+    )
+    served_poison = text(Editor(executable, recorder=rec).build(transform)) != reference
+    outcomes.append(
+        FaultOutcome(
+            fault="poisoned-unverified-entry",
+            layer="cache",
+            injected=injected,
+            caught=0 if served_poison else injected,
+            details=("guard emitted a poisoned schedule",) if served_poison else (),
+        )
+    )
+
+    # 3. Sabotage-never-cached: a sabotaged scheduler's quarantined
+    # blocks must leave nothing behind — only verified entries may
+    # exist afterwards, and a rebuild served from them must be clean.
+    injected = caught = 0
+    details = []
+    for name in SCHEDULER_MUTATIONS:
+        cache = ScheduleCache()
+        inner = SabotagedScheduler(model, policy, rec, mutation=name)
+        Editor(executable, recorder=rec).build(guard(inner=inner, cache=cache))
+        injected += inner.mutations_applied
+        rebuilt = text(Editor(executable, recorder=rec).build(guard(cache=cache)))
+        clean = (
+            cache.verified_entries() == len(cache) and rebuilt == reference
+        )
+        if clean:
+            caught += inner.mutations_applied
+        elif len(details) < 2:
+            details.append(f"{name}: a mutated schedule leaked into the cache")
+    outcomes.append(
+        FaultOutcome(
+            fault="sabotage-never-cached",
+            layer="cache",
+            injected=injected,
+            caught=caught,
+            details=tuple(details),
+        )
+    )
+    return outcomes
+
+
 def run_fault_injection(
     model: MachineModel,
     *,
@@ -423,8 +588,13 @@ def run_fault_injection(
     recorder: Recorder | None = None,
     verify_trials: int = 2,
     verify_seed: int = DEFAULT_SEED,
+    jobs: int = 1,
 ) -> FaultInjectionReport:
-    """Run the whole catalog against ``model``; see the module docstring."""
+    """Run the whole catalog against ``model``; see the module docstring.
+
+    ``jobs`` routes the cache fault class through the parallel executor
+    as well, covering the cached+parallel production path.
+    """
     if executable is None:
         executable = default_workload()
     report = FaultInjectionReport(machine=model.name)
@@ -438,6 +608,17 @@ def run_fault_injection(
             recorder=recorder,
             verify_trials=verify_trials,
             verify_seed=verify_seed,
+        )
+    )
+    report.outcomes.extend(
+        inject_cache_faults(
+            model,
+            executable,
+            policy=policy,
+            recorder=recorder,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+            jobs=jobs,
         )
     )
     return report

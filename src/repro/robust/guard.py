@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from ..core.block_scheduler import BlockScheduler, SchedulerStats
 from ..core.dependence import SchedulingPolicy, build_dependence_graph
+from ..core.regions import join_regions, split_regions
 from ..core.verify import DEFAULT_SEED, verify_schedule
 from ..eel.cfg import BasicBlock
 from ..errors import BudgetExceeded, VerificationError
@@ -43,6 +44,7 @@ from ..isa.instruction import Instruction
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
     GUARD_BLOCKS_VERIFIED,
+    GUARD_CACHE_SERVED,
     GUARD_FALLBACKS,
     GUARD_QUARANTINED,
     SCHED_BLOCKS,
@@ -123,14 +125,25 @@ class GuardedBlockScheduler:
         verify_trials: int = 4,
         verify_seed: int = DEFAULT_SEED,
         validate_model: bool = True,
+        cache=None,
         clock=time.perf_counter,
     ) -> None:
         self.model = model
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if cache is not None and inner is not None and getattr(inner, "cache", None) is not None:
+            raise ValueError(
+                "pass the schedule cache to the guard, not the inner "
+                "scheduler: an inner-owned cache would memoize schedules "
+                "the guard later quarantines"
+            )
         self.inner = inner if inner is not None else BlockScheduler(
             model, policy, self.recorder
         )
         self.policy = self.inner.policy
+        self.cache = cache
+        self._cache_context = (
+            cache.context_for(model, self.policy) if cache is not None else None
+        )
         self.budget = budget if budget is not None else GuardBudget()
         self.strict = strict
         self.verify_trials = verify_trials
@@ -199,6 +212,20 @@ class GuardedBlockScheduler:
             )
             return original, block.delay
 
+        if self.cache is not None:
+            served = self._serve_from_cache(original)
+            if served is not None:
+                # Every region of this block was proven on an earlier
+                # insert; replay the permutations and emit exactly as a
+                # freshly verified block would.
+                self.recorder.count(GUARD_CACHE_SERVED)
+                self.recorder.count(GUARD_BLOCKS_VERIFIED)
+                delay = block.delay
+                if self.policy.fill_delay_slots:
+                    served, delay = self.inner._refill_delay_slot(block, served)
+                self.recorder.count(SCHED_BLOCKS)
+                return served, delay
+
         start = self._clock()
         try:
             with self.recorder.span("robust.guard_block", block=block.index):
@@ -249,12 +276,69 @@ class GuardedBlockScheduler:
 
         # Proven safe: emit, refilling the delay slot exactly as the
         # unguarded scheduler would.
+        if self.cache is not None:
+            self._insert_verified(scheduled)
         self.recorder.count(GUARD_BLOCKS_VERIFIED)
         delay = block.delay
         if self.policy.fill_delay_slots:
             scheduled, delay = self.inner._refill_delay_slot(block, scheduled)
         self.recorder.count(SCHED_BLOCKS)
         return scheduled, delay
+
+    # -- schedule cache ----------------------------------------------------------
+
+    def _serve_from_cache(self, original: list[Instruction]) -> list[Instruction] | None:
+        """The whole block rebuilt from *verified* cache entries, or
+        ``None`` if any region misses (unverified and poisoned entries
+        are invisible here — they must be re-proven, not trusted)."""
+        regions = split_regions(original)
+        replayed = []
+        for region in regions:
+            if not region.instructions:
+                replayed.append(None)
+                continue
+            entry = self.cache.lookup(
+                self._cache_context,
+                list(region.instructions),
+                require_verified=True,
+            )
+            if entry is None:
+                return None
+            replayed.append(entry.replay(list(region.instructions)))
+        for result in replayed:
+            if result is not None:
+                self.inner.stats.merge(result)
+                if self.recorder.enabled:
+                    self.inner._replay_attribution(result.instructions)
+        return join_regions(
+            regions,
+            [r.instructions if r is not None else [] for r in replayed],
+        )
+
+    def _insert_verified(self, scheduled: list[Instruction]) -> None:
+        """Memoize the block's regions as proven — but only when the
+        emitted body is exactly the join of the per-region results the
+        inner scheduler recorded (a sabotaged scheduler mutates after
+        the fact; its mutation was verified and refused, and its clean
+        intermediate must not be trusted by proxy either)."""
+        last = getattr(self.inner, "_last_schedule", None)
+        if last is None:
+            return
+        regions, results = last
+        rejoined = join_regions(
+            regions,
+            [r.instructions if r is not None else [] for r in results],
+        )
+        if rejoined != scheduled:
+            return
+        for region, result in zip(regions, results):
+            if result is not None:
+                self.cache.insert(
+                    self._cache_context,
+                    list(region.instructions),
+                    result,
+                    verified=True,
+                )
 
     # -- internals ---------------------------------------------------------------
 

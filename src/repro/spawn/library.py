@@ -40,10 +40,10 @@ def description_text(machine: str) -> str:
 def load_machine(machine: str) -> MachineModel:
     """Parse and compile a shipped description into a machine model."""
     source = description_text(machine)
-    return MachineModel(parse(source, f"{machine}.sadl"), name=machine)
+    return MachineModel(parse(source, f"{machine}.sadl"), name=machine, source=source)
 
 
 def load_machine_from_source(source: str, name: str = "custom") -> MachineModel:
     """Compile a user-supplied SADL description (see
     ``examples/custom_machine.py``)."""
-    return MachineModel(parse(source, f"{name}.sadl"), name=name)
+    return MachineModel(parse(source, f"{name}.sadl"), name=name, source=source)

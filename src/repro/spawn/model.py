@@ -50,8 +50,18 @@ class InstructionTiming:
 class MachineModel:
     """A processor model: units plus per-instruction timing groups."""
 
-    def __init__(self, description: Description, name: str = "machine") -> None:
+    def __init__(
+        self,
+        description: Description,
+        name: str = "machine",
+        source: str | None = None,
+    ) -> None:
         self.name = name
+        #: the SADL source this model was compiled from, when known.
+        #: Content-addresses the model for the schedule cache and lets
+        #: parallel worker processes rebuild it (the compiled evaluator
+        #: holds closures and does not pickle).
+        self.source = source
         self.evaluator = DescriptionEvaluator(description)
         self.units: dict[str, int] = dict(self.evaluator.units)
         #: unit name -> dense index, for the pipeline state vectors.

@@ -32,7 +32,6 @@ import json
 import os
 import sys
 
-from ..core.block_scheduler import BlockScheduler
 from ..core.dependence import SchedulingPolicy
 from ..core.verify import DEFAULT_SEED
 from ..eel.executable import Executable
@@ -45,9 +44,10 @@ from ..obs import (
     TraceRecorder,
     render_stats,
 )
+from ..parallel import ParallelOptions, make_transform, measure_modes, render_report
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
-from ..robust import GuardedBlockScheduler, run_fault_injection
+from ..robust import run_fault_injection
 from ..spawn.codegen import generate_source
 from ..spawn.library import MACHINES, load_machine
 from ..spawn.validate import validate_machine
@@ -110,20 +110,21 @@ def cmd_instrument(args) -> int:
     if args.schedule:
         policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
         model = load_machine(args.machine)
-        if guarded:
-            # safe: verify every block, fall back + report on failure.
-            # strict: the first quarantine raises a typed error, which
-            # the top-level handler turns into exit 1.
-            transform = GuardedBlockScheduler(
-                model,
-                policy,
-                recorder,
-                strict=args.strict,
-                verify_seed=args.verify_seed,
-                verify_trials=args.verify_trials,
-            )
-        else:
-            transform = BlockScheduler(model, policy, recorder)
+        # safe: verify every block, fall back + report on failure.
+        # strict: the first quarantine raises a typed error, which the
+        # top-level handler turns into exit 1. --jobs pre-schedules (and
+        # under --safe, pre-verifies) regions in worker processes; the
+        # output is byte-identical to a serial run.
+        transform = make_transform(
+            model,
+            policy,
+            recorder,
+            options=ParallelOptions(jobs=args.jobs, use_cache=args.cache),
+            guarded=guarded,
+            strict=args.strict,
+            verify_seed=args.verify_seed,
+            verify_trials=args.verify_trials,
+        )
     profiler = SlowProfiler(
         executable, skip_redundant=not args.no_skip, recorder=recorder
     )
@@ -157,6 +158,12 @@ def cmd_instrument(args) -> int:
             f"scheduled {stats.blocks} blocks: {stats.original_cycles} -> "
             f"{stats.scheduled_cycles} isolated-block cycles"
         )
+        cache = getattr(transform, "cache", None)
+        if cache is not None and (cache.hits or cache.misses):
+            print(
+                f"schedule cache: {cache.hits} hits / {cache.misses} misses "
+                f"({cache.hit_rate:.1%}), {len(cache)} entries"
+            )
     if guarded:
         reports = transform.quarantine
         print(
@@ -259,10 +266,54 @@ def cmd_faults(args) -> int:
         model = load_machine(args.machine)
     executable = _load(args.input) if args.input else None
     report = run_fault_injection(
-        model, executable=executable, verify_seed=args.verify_seed
+        model,
+        executable=executable,
+        verify_seed=args.verify_seed,
+        jobs=args.jobs,
     )
     print(report.render())
     return 0 if report.clean else 1
+
+
+def cmd_benchmarks(args) -> int:
+    from ..workloads.generator import WorkloadSpec, generate
+
+    model = load_machine(args.machine)
+    failures = 0
+    for seed in args.seeds:
+        program = generate(
+            WorkloadSpec(
+                name=f"bench-{seed}",
+                seed=seed,
+                kind=args.kind,
+                avg_block_size=args.avg_block_size,
+            )
+        )
+        report = measure_modes(
+            model,
+            program,
+            benchmark=f"seed {seed}",
+            jobs=args.jobs,
+            guarded=args.safe,
+        )
+        print(render_report(report))
+        warm = report.mode("cached-warm")
+        print(
+            f"  warm-cache speedup over serial: "
+            f"{report.speedup('cached-warm'):.2f}x "
+            f"(hit rate {warm.hit_rate:.1%})"
+        )
+        print()
+        if not report.identical:
+            failures += 1
+    if failures:
+        print(
+            f"error: {failures} workload(s) produced divergent output "
+            "across modes",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_codegen(args) -> int:
@@ -301,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default %(default)s; fixed for reproducibility)")
     p.add_argument("--verify-trials", type=int, default=4,
                    help="differential trials per block (default %(default)s)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="pre-schedule regions across N worker processes "
+                   "(default %(default)s; output is byte-identical)")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="memoize schedules in the content-addressed "
+                   "schedule cache (default on)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_instrument)
 
@@ -340,7 +398,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="target an N-wide synthetic machine instead of "
                    "--machine")
     p.add_argument("--verify-seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="also exercise the cached+parallel path with N "
+                   "workers in the cache fault class")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "benchmarks",
+        help="time serial vs parallel vs warm-cache scheduling and "
+        "cross-check the outputs are byte-identical",
+    )
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("--jobs", type=int, default=4, metavar="N")
+    p.add_argument("--seeds", type=int, nargs="+", default=[11, 12, 13],
+                   help="workload generator seeds (default %(default)s)")
+    p.add_argument("--kind", choices=("int", "fp"), default="int")
+    p.add_argument("--avg-block-size", type=float, default=9.0)
+    p.add_argument("--safe", action="store_true",
+                   help="measure the guarded (verify-and-fallback) path")
+    p.set_defaults(func=cmd_benchmarks)
 
     p = sub.add_parser("codegen", help="emit generated pipeline_stalls")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")

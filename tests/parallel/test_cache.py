@@ -1,0 +1,278 @@
+"""Cache correctness: fingerprinting, LRU bounds, and the verified bit.
+
+The cache is only sound if its key distinguishes everything the
+scheduler distinguishes (no aliasing between regions that schedule
+differently) while still merging register-renamed twins. These tests
+pin both directions of that contract, plus the guarded-mode rules:
+unverified entries are invisible to the guard, and quarantined blocks
+leave nothing behind.
+"""
+
+import pytest
+
+from repro.core import (
+    BlockScheduler,
+    ListScheduler,
+    SchedulingPolicy,
+    verify_schedule,
+)
+from repro.eel import Editor
+from repro.isa import TAG_INSTRUMENTATION, assemble
+from repro.parallel import (
+    ScheduleCache,
+    canonical_region,
+    context_digest,
+    region_digest,
+)
+from repro.robust import CorruptedModel, MODEL_FAULTS, GuardedBlockScheduler
+from repro.robust.faults import SabotagedScheduler
+from repro.spawn import load_machine
+from repro.workloads import sum_loop
+
+MACHINE = load_machine("ultrasparc")
+POLICY = SchedulingPolicy()
+
+
+def region(source):
+    return assemble(source)
+
+
+def schedule(insts):
+    return ListScheduler(MACHINE, POLICY).schedule_region(list(insts))
+
+
+# --------------------------------------------------------------------
+# Fingerprinting: what must collide, and what must never.
+# --------------------------------------------------------------------
+
+
+def test_renamed_twins_share_a_digest_and_a_valid_schedule():
+    # Loads are based off %i0/%i1 so the differential runs inside
+    # verify_schedule hit seeded, aligned memory.
+    a = region("add %i0, 4, %o1\nld [%o1 + 8], %o2\nadd %o2, %i0, %o3")
+    b = region("add %i1, 4, %l1\nld [%l1 + 8], %l2\nadd %l2, %i1, %l3")
+    assert region_digest(a) == region_digest(b)
+
+    cache = ScheduleCache()
+    ctx = cache.context_for(MACHINE, POLICY)
+    cache.insert(ctx, a, schedule(a))
+    entry = cache.lookup(ctx, b)
+    assert entry is not None, "renamed twin missed the cache"
+    # The replayed permutation must be a *correct* schedule for the
+    # twin, not just for the region that populated the entry.
+    replayed = entry.replay(b)
+    assert verify_schedule(list(b), replayed.instructions, policy=POLICY)
+
+
+def test_immediate_differences_do_not_alias():
+    a = region("add %o0, 1, %o1")
+    b = region("add %o0, 2, %o1")
+    assert region_digest(a) != region_digest(b)
+
+
+def test_register_equality_structure_is_part_of_the_key():
+    # Same mnemonics, same shape — but the first reuses one register
+    # where the second uses two, which changes the dependence graph.
+    a = region("add %o0, %o0, %o1\nsub %o1, %o1, %o2")
+    b = region("add %o0, %o3, %o1\nsub %o1, %o4, %o2")
+    assert region_digest(a) != region_digest(b)
+
+
+def test_g0_is_never_renamed():
+    # %g0 is architecturally zero; folding it into the renaming would
+    # alias "discard result" with "produce a value".
+    a = region("subcc %o0, 1, %g0\nadd %o0, 1, %o1")
+    b = region("subcc %o0, 1, %o2\nadd %o0, 1, %o1")
+    assert region_digest(a) != region_digest(b)
+
+
+def test_double_word_regions_disable_renaming():
+    # ldd writes a register *pair*; renaming could tear the adjacency,
+    # so canonicalization keeps concrete registers for such regions.
+    a = region("ldd [%o0 + 8], %o2\nadd %o2, 1, %o4")
+    b = region("ldd [%l0 + 8], %l2\nadd %l2, 1, %l4")
+    assert region_digest(a) != region_digest(b)
+    assert canonical_region(a) != canonical_region(b)
+    # ...while the plain-width equivalents do merge.
+    c = region("ld [%o0 + 8], %o2\nadd %o2, 1, %o4")
+    d = region("ld [%l0 + 8], %l2\nadd %l2, 1, %l4")
+    assert region_digest(c) == region_digest(d)
+
+
+def test_instruction_tags_are_part_of_the_key():
+    a = region("add %o0, 1, %o1\nadd %o1, 1, %o2")
+    b = [a[0].retag(TAG_INSTRUMENTATION), a[1]]
+    assert region_digest(a) != region_digest(b)
+
+
+def test_model_and_policy_separate_contexts():
+    fill = SchedulingPolicy(fill_delay_slots=True)
+    assert context_digest(MACHINE, POLICY) != context_digest(MACHINE, fill)
+    other = load_machine("supersparc")
+    assert context_digest(MACHINE, POLICY) != context_digest(other, POLICY)
+    for fault in MODEL_FAULTS:
+        corrupted = CorruptedModel(MACHINE, fault)
+        assert context_digest(corrupted, POLICY) != context_digest(
+            MACHINE, POLICY
+        ), fault.name
+
+
+# --------------------------------------------------------------------
+# LRU bound and counters.
+# --------------------------------------------------------------------
+
+
+def make_regions(n):
+    return [region(f"add %o0, {k + 1}, %o1\nsub %o1, {k + 1}, %o2")
+            for k in range(n)]
+
+
+def test_lru_eviction_respects_the_bound():
+    cache = ScheduleCache(max_entries=4)
+    ctx = cache.context_for(MACHINE, POLICY)
+    regions = make_regions(6)
+    for insts in regions:
+        cache.insert(ctx, insts, schedule(insts))
+    assert len(cache) == 4
+    assert cache.evictions == 2
+    assert cache.lookup(ctx, regions[0]) is None
+    assert cache.lookup(ctx, regions[1]) is None
+    assert cache.lookup(ctx, regions[5]) is not None
+
+
+def test_lookup_refreshes_lru_order():
+    cache = ScheduleCache(max_entries=2)
+    ctx = cache.context_for(MACHINE, POLICY)
+    first, second, third = make_regions(3)
+    cache.insert(ctx, first, schedule(first))
+    cache.insert(ctx, second, schedule(second))
+    assert cache.lookup(ctx, first) is not None  # touch → most recent
+    cache.insert(ctx, third, schedule(third))  # evicts `second`
+    assert cache.lookup(ctx, first) is not None
+    assert cache.lookup(ctx, second) is None
+
+
+def test_hit_miss_counters():
+    cache = ScheduleCache()
+    ctx = cache.context_for(MACHINE, POLICY)
+    insts = make_regions(1)[0]
+    assert cache.lookup(ctx, insts) is None
+    cache.insert(ctx, insts, schedule(insts))
+    assert cache.lookup(ctx, insts) is not None
+    assert (cache.hits, cache.misses, cache.inserts) == (1, 1, 1)
+    assert cache.hit_rate == 0.5
+
+
+def test_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        ScheduleCache(max_entries=0)
+
+
+# --------------------------------------------------------------------
+# The verified bit: upgrade, no downgrade, guard visibility.
+# --------------------------------------------------------------------
+
+
+def test_verified_upgrade_but_never_downgrade():
+    cache = ScheduleCache()
+    ctx = cache.context_for(MACHINE, POLICY)
+    insts = make_regions(1)[0]
+    result = schedule(insts)
+
+    cache.insert(ctx, insts, result, verified=False)
+    assert cache.lookup(ctx, insts, require_verified=True) is None
+
+    cache.insert(ctx, insts, result, verified=True)
+    assert cache.lookup(ctx, insts, require_verified=True) is not None
+
+    # An unverified re-insert must not strip the proof.
+    cache.insert(ctx, insts, result, verified=False)
+    assert cache.lookup(ctx, insts, require_verified=True) is not None
+
+
+def test_guard_ignores_poisoned_unverified_entries():
+    executable = sum_loop(12).executable
+    clean = Editor(executable).build(GuardedBlockScheduler(MACHINE)).to_bytes()
+
+    # Poison: plausible-looking reversed permutations, unverified.
+    def poisoned_cache():
+        cache = ScheduleCache()
+        ctx = cache.context_for(MACHINE, POLICY)
+        plain = BlockScheduler(MACHINE)
+        editor = Editor(executable)
+        for block in editor.cfg.blocks:
+            body = editor.block_body(block)
+            plain.schedule_body(list(body))
+            regions, results = plain._last_schedule
+            for reg, result in zip(regions, results):
+                if result is None:
+                    continue
+                insts = list(reg.instructions)
+                if len(insts) < 2:
+                    continue
+                fake = type(result)(
+                    instructions=list(reversed(result.instructions)),
+                    order=list(reversed(result.order)),
+                    original_cycles=result.original_cycles,
+                    scheduled_cycles=result.scheduled_cycles,
+                    graph=None,
+                )
+                cache.insert(ctx, insts, fake, verified=False)
+        return cache
+
+    # The unguarded scheduler trusts the cache — the poison lands.
+    poisoned = Editor(executable).build(
+        BlockScheduler(MACHINE, cache=poisoned_cache())
+    )
+    assert poisoned.to_bytes() != clean, "poison was not potent"
+
+    # The guard treats every poisoned entry as a miss and re-proves.
+    cache = poisoned_cache()
+    guard = GuardedBlockScheduler(MACHINE, cache=cache)
+    guarded = Editor(executable).build(guard)
+    assert guarded.to_bytes() == clean
+    assert guard.quarantine == []
+
+
+def test_quarantined_blocks_are_never_cached():
+    executable = sum_loop(12).executable
+    cache = ScheduleCache()
+    inner = SabotagedScheduler(MACHINE, mutation="swap-dependent-pair")
+    guard = GuardedBlockScheduler(
+        MACHINE, inner=inner, cache=cache, verify_trials=2
+    )
+    Editor(executable).build(guard)
+    assert inner.mutations_applied > 0
+    assert guard.quarantine, "sabotage was not detected"
+    # Whatever did land in the cache is verified-only; the mutated
+    # blocks left no entry behind.
+    assert cache.verified_entries() == len(cache)
+
+    # Rebuilding from this cache with a clean guard matches the clean
+    # build — the cache holds no trace of the sabotage.
+    clean = Editor(executable).build(GuardedBlockScheduler(MACHINE)).to_bytes()
+    rebuilt = Editor(executable).build(
+        GuardedBlockScheduler(MACHINE, cache=cache)
+    ).to_bytes()
+    assert rebuilt == clean
+
+
+def test_clean_guarded_build_populates_verified_entries():
+    executable = sum_loop(12).executable
+    cache = ScheduleCache()
+    guard = GuardedBlockScheduler(MACHINE, cache=cache)
+    first = Editor(executable).build(guard).to_bytes()
+    assert len(cache) > 0
+    assert cache.verified_entries() == len(cache)
+
+    # A second guarded build runs entirely on verified hits.
+    guard2 = GuardedBlockScheduler(MACHINE, cache=cache)
+    second = Editor(executable).build(guard2).to_bytes()
+    assert second == first
+    assert cache.hits > 0
+
+
+def test_guard_refuses_an_inner_with_its_own_cache():
+    inner = BlockScheduler(MACHINE, cache=ScheduleCache())
+    with pytest.raises(ValueError):
+        GuardedBlockScheduler(MACHINE, inner=inner, cache=ScheduleCache())
