@@ -11,6 +11,8 @@ from conftest import save_result
 
 from repro.evaluation import ExperimentConfig, headline_summary, run_profiling_experiment
 from repro.obs import (
+    ANALYZE_STATIC_ESCALATED,
+    ANALYZE_STATIC_PASS,
     GUARD_BLOCKS_VERIFIED,
     GUARD_FALLBACKS,
     GUARD_QUARANTINED,
@@ -46,6 +48,22 @@ def test_headline_summary(once):
     assert guard_counts["guard_blocks_verified"] > 0
     assert guard_counts["guard_quarantined"] == 0
     assert guard_counts["guard_fallbacks"] == 0
+
+    # The static pre-verifier proves most blocks legal from the
+    # dependence DAG, skipping their differential executions; the
+    # static-pass rate rides along in BENCH_headline.json.
+    static_pass = int(metrics.counter_total(ANALYZE_STATIC_PASS))
+    static_escalated = int(metrics.counter_total(ANALYZE_STATIC_ESCALATED))
+    assert static_pass > 0
+    once.extra_info.update(
+        {
+            "analyze_static_pass": static_pass,
+            "analyze_static_escalated": static_escalated,
+            "static_pass_rate": round(
+                static_pass / (static_pass + static_escalated), 3
+            ),
+        }
+    )
 
     # Both suites hide a meaningful average fraction; FP hides more,
     # as in the paper's 13% vs 33%.

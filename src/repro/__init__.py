@@ -31,6 +31,12 @@ The library re-creates the paper's full stack in Python:
 * :mod:`repro.robust` — verify-and-fallback guarded scheduling,
   per-block/per-routine budgets, and a fault-injection harness; the
   unified error taxonomy is rooted at :class:`repro.errors.ReproError`.
+* :mod:`repro.parallel` — the content-addressed schedule cache and the
+  parallel routine scheduler, byte-identical to a serial run.
+* :mod:`repro.analyze` — static analysis: the lint framework (SADL
+  description and whole-image rules, JSON/SARIF emitters) and the
+  static pre-verifier that proves schedules legal without executing
+  them.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,69 @@
+"""repro.analyze — static analysis over descriptions, images, and schedules.
+
+Three things live here:
+
+* a **lint framework** — :class:`Finding`, a rule registry with
+  per-rule enable/disable (:func:`registered_rules`,
+  :func:`select_rules`), and text/JSON/SARIF emitters;
+* **rules** in two categories: ``description`` lints over SADL/Spawn
+  machine descriptions (:func:`lint_description` — the deep form of
+  :func:`repro.spawn.validate_machine`) and ``image`` lints over whole
+  executables (:func:`lint_image` / :func:`lint_profiled` — cross-block
+  hazards, delay-slot violations, instrumentation clobbering live
+  registers);
+* the **static pre-verifier** :func:`static_verify_schedule`, which
+  proves schedule legality from the dependence DAG without execution
+  and gates the guarded scheduler's differential battery.
+
+CLI surface: ``qpt_cli lint``. Analyzer failures raise
+:class:`repro.errors.AnalysisError`; findings about the analyzed input
+are returned, never raised.
+"""
+
+from ..errors import AnalysisError
+from .description_rules import (
+    DescriptionContext,
+    description_context,
+    encoding_pattern,
+    lint_description,
+)
+from .emit import render_text, summarize, to_json, to_sarif
+from .findings import SEVERITIES, Finding, Location, severity_rank
+from .image_rules import (
+    RESERVED_SCRATCH,
+    ImageContext,
+    image_context,
+    lint_image,
+    lint_profiled,
+)
+from .rules import Rule, get_rule, registered_rules, rule, run_rules, select_rules
+from .static_verify import StaticVerdict, static_verify_schedule
+
+__all__ = [
+    "AnalysisError",
+    "DescriptionContext",
+    "Finding",
+    "ImageContext",
+    "Location",
+    "RESERVED_SCRATCH",
+    "Rule",
+    "SEVERITIES",
+    "StaticVerdict",
+    "description_context",
+    "encoding_pattern",
+    "get_rule",
+    "image_context",
+    "lint_description",
+    "lint_image",
+    "lint_profiled",
+    "registered_rules",
+    "render_text",
+    "rule",
+    "run_rules",
+    "select_rules",
+    "severity_rank",
+    "static_verify_schedule",
+    "summarize",
+    "to_json",
+    "to_sarif",
+]

@@ -1,0 +1,525 @@
+"""Description-category lints: SADL/Spawn machine descriptions.
+
+These deepen the ad-hoc checks that ``spawn/validate.py`` grew over
+PR 0-2 into registered rules (``spawn.validate_machine`` is now a thin
+legacy wrapper over this module), and add three analyses only possible
+with the description AST and the opcode table in hand:
+
+* ``sadl/dead-unit`` — a declared ``unit`` no instruction ever acquires;
+* ``sadl/dead-alternative`` — a ``?:`` semantic alternative whose
+  condition is statically constant, so one arm can never match;
+* ``isa/encoding-overlap`` — two opcodes whose mask/match bit patterns
+  overlap in encoding space, i.e. some 32-bit word decodes ambiguously.
+
+The context is built once (:func:`description_context`) and every rule
+reads from it; resolving all instruction variants up front also means a
+crashing evaluator surfaces as ``sadl/invalid-trace`` findings instead
+of killing the lint run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Iterator, Mapping
+
+from ..isa.opcodes import Category, Format, OpcodeInfo, all_mnemonics, lookup
+from ..sadl import ast_nodes as ast
+from ..sadl.trace import Trace
+from .findings import Finding, Location
+from .rules import record_findings, rule, run_rules, select_rules
+
+#: Plausibility bound re-used from the legacy validator.
+MAX_PIPELINE_CYCLES = 256
+
+
+@dataclass
+class DescriptionContext:
+    """Everything the description rules read. Built once per lint run."""
+
+    model: object
+    filename: str | None
+    require_full_isa: bool
+    issue_unit: str | None
+    #: (mnemonic, uses_imm, trace) for every resolvable variant.
+    variants: list[tuple[str, bool, Trace]]
+    #: mnemonics the description has no semantics for.
+    missing: list[str]
+    #: (mnemonic-or-None, message) for variants the evaluator rejected.
+    trace_errors: list[tuple[str | None, str]]
+    description: ast.Description | None
+    opcode_table: Mapping[str, OpcodeInfo]
+
+    def at(self, mnemonic: str | None = None, line: int | None = None) -> Location:
+        return Location(file=self.filename, line=line, mnemonic=mnemonic)
+
+
+def description_context(
+    model,
+    *,
+    require_full_isa: bool = True,
+    opcode_table: Mapping[str, OpcodeInfo] | None = None,
+) -> DescriptionContext:
+    """Resolve every instruction variant of ``model`` into a context."""
+    from ..spawn.model import ModelError  # local: spawn imports us back
+
+    variants: list[tuple[str, bool, Trace]] = []
+    missing: list[str] = []
+    trace_errors: list[tuple[str | None, str]] = []
+    for mnemonic in all_mnemonics():
+        if not model.evaluator.has_sem(mnemonic):
+            missing.append(mnemonic)
+            continue
+        for uses_imm in (False, True):
+            try:
+                _, trace = model._variant(mnemonic, uses_imm)
+            except ModelError as exc:
+                # ModelError messages already name the mnemonic.
+                trace_errors.append((None, str(exc)))
+                continue
+            variants.append((mnemonic, uses_imm, trace))
+    description = getattr(model.evaluator, "description", None)
+    filename = getattr(description, "filename", None)
+    if opcode_table is None:
+        opcode_table = {name: lookup(name) for name in all_mnemonics()}
+    return DescriptionContext(
+        model=model,
+        filename=filename,
+        require_full_isa=require_full_isa,
+        issue_unit="Group" if "Group" in model.units else None,
+        variants=variants,
+        missing=missing,
+        trace_errors=trace_errors,
+        description=description,
+        opcode_table=opcode_table,
+    )
+
+
+def lint_description(
+    model,
+    *,
+    require_full_isa: bool = True,
+    enable=None,
+    disable=(),
+    opcode_table: Mapping[str, OpcodeInfo] | None = None,
+    recorder=None,
+) -> list[Finding]:
+    """Run the description-category rules over a compiled model."""
+    context = description_context(
+        model, require_full_isa=require_full_isa, opcode_table=opcode_table
+    )
+    rules = select_rules("description", enable=enable, disable=disable)
+    return record_findings(run_rules(rules, context), recorder)
+
+
+# -- the legacy validator's checks, as registered rules ---------------------------
+
+
+@rule(
+    "sadl/unbounded-width",
+    category="description",
+    severity="warning",
+    summary="No 'Group' unit is declared, so superscalar width is unbounded.",
+)
+def _unbounded_width(ctx: DescriptionContext) -> Iterator[Finding]:
+    if ctx.issue_unit is None:
+        yield Finding(
+            "sadl/unbounded-width",
+            "warning",
+            "no 'Group' unit declared: superscalar width is unbounded",
+            ctx.at(),
+            fix="declare e.g. `unit Group 4` and acquire it in cycle 0",
+        )
+
+
+@rule(
+    "sadl/missing-semantics",
+    category="description",
+    severity="error",
+    summary="A supported mnemonic has no semantics in the description.",
+)
+def _missing_semantics(ctx: DescriptionContext) -> Iterator[Finding]:
+    if not ctx.require_full_isa:
+        return
+    for mnemonic in ctx.missing:
+        yield Finding(
+            "sadl/missing-semantics",
+            "error",
+            "no semantics in the description",
+            ctx.at(mnemonic),
+        )
+
+
+@rule(
+    "sadl/invalid-trace",
+    category="description",
+    severity="error",
+    summary="The evaluator rejected an instruction variant's timing trace.",
+)
+def _invalid_trace(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, message in ctx.trace_errors:
+        yield Finding("sadl/invalid-trace", "error", message, ctx.at(mnemonic))
+
+
+@rule(
+    "sadl/free-instruction",
+    category="description",
+    severity="warning",
+    summary="An instruction acquires no units at all (free instruction).",
+)
+def _free_instruction(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        if not trace.acquires:
+            yield Finding(
+                "sadl/free-instruction",
+                "warning",
+                "acquires no units (free instruction)",
+                ctx.at(mnemonic),
+            )
+
+
+@rule(
+    "sadl/no-issue-slot",
+    category="description",
+    severity="error",
+    summary="An instruction never acquires the issue unit in cycle 0.",
+)
+def _no_issue_slot(ctx: DescriptionContext) -> Iterator[Finding]:
+    if ctx.issue_unit is None:
+        return
+    for mnemonic, _, trace in ctx.variants:
+        if not any(
+            e.unit == ctx.issue_unit and e.cycle == 0 for e in trace.acquires
+        ):
+            yield Finding(
+                "sadl/no-issue-slot",
+                "error",
+                f"does not acquire {ctx.issue_unit!r} in cycle 0: it would "
+                "bypass the issue-width limit",
+                ctx.at(mnemonic),
+            )
+
+
+@rule(
+    "sadl/unknown-unit",
+    category="description",
+    severity="error",
+    summary="A trace acquires a unit the machine never declared.",
+)
+def _unknown_unit(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        for event in trace.acquires:
+            if event.unit not in ctx.model.units:
+                yield Finding(
+                    "sadl/unknown-unit",
+                    "error",
+                    f"acquires unknown unit {event.unit!r}",
+                    ctx.at(mnemonic),
+                )
+
+
+@rule(
+    "sadl/capacity-overflow",
+    category="description",
+    severity="error",
+    summary="A single acquire exceeds the unit's declared capacity.",
+)
+def _capacity_overflow(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        for event in trace.acquires:
+            capacity = ctx.model.units.get(event.unit)
+            if capacity is not None and event.count > capacity:
+                yield Finding(
+                    "sadl/capacity-overflow",
+                    "error",
+                    f"acquires {event.count} of unit {event.unit!r} but the "
+                    f"machine only has {capacity}",
+                    ctx.at(mnemonic),
+                )
+
+
+def _acquired_released(trace: Trace) -> tuple[dict[str, int], dict[str, int]]:
+    acquired: dict[str, int] = {}
+    for event in trace.acquires:
+        acquired[event.unit] = acquired.get(event.unit, 0) + event.count
+    released: dict[str, int] = {}
+    for event in trace.releases:
+        released[event.unit] = released.get(event.unit, 0) + event.count
+    return acquired, released
+
+
+@rule(
+    "sadl/over-release",
+    category="description",
+    severity="error",
+    summary="A trace releases more of a unit than it acquired.",
+)
+def _over_release(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        acquired, released = _acquired_released(trace)
+        for unit, count in released.items():
+            if count > acquired.get(unit, 0):
+                yield Finding(
+                    "sadl/over-release",
+                    "error",
+                    f"releases {count} of {unit!r} but acquires only "
+                    f"{acquired.get(unit, 0)}",
+                    ctx.at(mnemonic),
+                )
+
+
+@rule(
+    "sadl/unit-leak",
+    category="description",
+    severity="error",
+    summary="A trace acquires a unit it never fully releases (leak).",
+)
+def _unit_leak(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        acquired, released = _acquired_released(trace)
+        for unit, count in acquired.items():
+            if released.get(unit, 0) < count:
+                yield Finding(
+                    "sadl/unit-leak",
+                    "error",
+                    f"acquires {count} of {unit!r} but releases only "
+                    f"{released.get(unit, 0)}: the unit leaks and will "
+                    "eventually deadlock the pipeline",
+                    ctx.at(mnemonic),
+                    fix=f"add a matching R/AR release of {unit!r}",
+                )
+
+
+@rule(
+    "sadl/read-after-retire",
+    category="description",
+    severity="error",
+    summary="A register read is scheduled after the trace's final cycle.",
+)
+def _read_after_retire(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        for access in trace.reads:
+            if access.cycle >= trace.cycles:
+                yield Finding(
+                    "sadl/read-after-retire",
+                    "error",
+                    f"reads {access.file}[{access.index}] in cycle "
+                    f"{access.cycle} but the pipeline ends after cycle "
+                    f"{trace.cycles - 1}",
+                    ctx.at(mnemonic),
+                )
+
+
+@rule(
+    "sadl/early-write",
+    category="description",
+    severity="error",
+    summary="A written value is claimed usable before cycle 1.",
+)
+def _early_write(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        for access in trace.writes:
+            if access.cycle < 1:
+                yield Finding(
+                    "sadl/early-write",
+                    "error",
+                    f"write of {access.file}[{access.index}] available in "
+                    f"cycle {access.cycle}; values cannot be usable before "
+                    "cycle 1 (computed at the end of cycle 0 at the "
+                    "earliest)",
+                    ctx.at(mnemonic),
+                )
+
+
+@rule(
+    "sadl/pipeline-length",
+    category="description",
+    severity="error",
+    summary="A trace's total cycle count is implausible (<1 or >256).",
+)
+def _pipeline_length(ctx: DescriptionContext) -> Iterator[Finding]:
+    for mnemonic, _, trace in ctx.variants:
+        if trace.cycles < 1 or trace.cycles > MAX_PIPELINE_CYCLES:
+            yield Finding(
+                "sadl/pipeline-length",
+                "error",
+                f"implausible pipeline length {trace.cycles}",
+                ctx.at(mnemonic),
+            )
+
+
+# -- the new, AST/table-level analyses --------------------------------------------
+
+
+@rule(
+    "sadl/dead-unit",
+    category="description",
+    severity="warning",
+    summary="A declared unit is never acquired by any instruction trace.",
+)
+def _dead_unit(ctx: DescriptionContext) -> Iterator[Finding]:
+    acquired = {
+        event.unit for _, _, trace in ctx.variants for event in trace.acquires
+    }
+    lines: dict[str, int | None] = {}
+    if ctx.description is not None:
+        for decl in ctx.description.declarations:
+            if isinstance(decl, ast.UnitDecl):
+                lines[decl.name] = decl.location.line
+    for unit in sorted(ctx.model.units):
+        if unit not in acquired:
+            yield Finding(
+                "sadl/dead-unit",
+                "warning",
+                f"unit {unit!r} is declared but no instruction ever "
+                "acquires it",
+                ctx.at(line=lines.get(unit)),
+                fix=f"delete the `unit {unit}` declaration or acquire it",
+            )
+
+
+def _const_value(expr: ast.Expr) -> int | None:
+    """The statically known value of ``expr``, or None."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Compare):
+        left = _const_value(expr.left)
+        right = _const_value(expr.right)
+        if left is not None and right is not None:
+            return int(left == right)
+    return None
+
+
+def _walk(node) -> Iterator[object]:
+    """Every AST node reachable from ``node`` (dataclass fields, lists)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (list, tuple)):
+            stack.extend(current)
+            continue
+        if not is_dataclass(current):
+            continue
+        yield current
+        for f in fields(current):
+            if f.name == "location":
+                continue
+            stack.append(getattr(current, f.name))
+
+
+@rule(
+    "sadl/dead-alternative",
+    category="description",
+    severity="warning",
+    summary="A ?: semantic alternative has a constant condition, so one "
+    "arm can never match.",
+)
+def _dead_alternative(ctx: DescriptionContext) -> Iterator[Finding]:
+    if ctx.description is None:
+        return
+    for node in _walk(ctx.description):
+        if not isinstance(node, ast.Ternary):
+            continue
+        value = _const_value(node.cond)
+        if value is None:
+            continue
+        dead = "first" if value == 0 else "second"
+        yield Finding(
+            "sadl/dead-alternative",
+            "warning",
+            f"condition is always {'true' if value else 'false'}: the "
+            f"{dead} alternative can never match",
+            ctx.at(line=node.location.line),
+            fix="replace the ?: with the live alternative",
+        )
+
+
+# Bit layouts of the SPARC V8 formats (isa/encode.py is the authority;
+# the analyzer only needs which bits each format *fixes*).
+_OP_MASK = 0xC000_0000
+_OP2_MASK = 0x01C0_0000
+_COND_MASK = 0x1E00_0000
+_OP3_MASK = 0x01F8_0000
+_OPF_MASK = 0x0000_3FE0
+
+
+def encoding_pattern(info: OpcodeInfo) -> tuple[int, int] | None:
+    """(mask, match) for the fixed bits of ``info``'s encoding, or None
+    when the format is unknown to the analyzer."""
+    fmt = info.fmt
+    if fmt is Format.CALL:
+        return _OP_MASK, 0x4000_0000
+    if fmt is Format.SETHI:
+        mask = _OP_MASK | _OP2_MASK
+        match = 0b100 << 22
+        if not info.operand_kinds:
+            # No operand fields at all (nop): every other bit is a fixed
+            # zero, so the pattern is fully determined.
+            mask = 0xFFFF_FFFF
+        return mask, match
+    if fmt is Format.BRANCH:
+        op2 = 0b110 if info.category is Category.FBRANCH else 0b010
+        mask = _OP_MASK | _OP2_MASK | _COND_MASK
+        return mask, (op2 << 22) | ((info.cond or 0) << 25)
+    if fmt is Format.ARITH:
+        return _OP_MASK | _OP3_MASK, (0b10 << 30) | ((info.op3 or 0) << 19)
+    if fmt is Format.FPOP:
+        mask = _OP_MASK | _OP3_MASK | _OPF_MASK
+        return mask, (0b10 << 30) | ((info.op3 or 0) << 19) | ((info.opf or 0) << 5)
+    if fmt is Format.MEM:
+        return _OP_MASK | _OP3_MASK, (0b11 << 30) | ((info.op3 or 0) << 19)
+    return None
+
+
+def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    common = a[0] & b[0]
+    return (a[1] & common) == (b[1] & common)
+
+
+def _strictly_refines(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """``a`` matches a strict subset of the words ``b`` matches."""
+    return (
+        a[0] != b[0]
+        and (a[0] & b[0]) == b[0]
+        and (a[1] & b[0]) == b[1]
+    )
+
+
+@rule(
+    "isa/encoding-overlap",
+    category="description",
+    severity="error",
+    summary="Two opcodes' mask/match patterns overlap: some instruction "
+    "word decodes ambiguously.",
+)
+def _encoding_overlap(ctx: DescriptionContext) -> Iterator[Finding]:
+    patterns = [
+        (name, pattern)
+        for name, info in sorted(ctx.opcode_table.items())
+        if (pattern := encoding_pattern(info)) is not None
+    ]
+    for i, (name_a, pat_a) in enumerate(patterns):
+        for name_b, pat_b in patterns[i + 1 :]:
+            if not _overlaps(pat_a, pat_b):
+                continue
+            # A strictly more specific pattern is legitimate decoder
+            # specialization (nop is sethi with every field zero), not
+            # an ambiguity.
+            if _strictly_refines(pat_a, pat_b) or _strictly_refines(pat_b, pat_a):
+                continue
+            example = pat_a[1] | pat_b[1]
+            yield Finding(
+                "isa/encoding-overlap",
+                "error",
+                f"encoding overlaps {name_b!r}: word 0x{example:08x} "
+                "matches both opcodes",
+                ctx.at(name_a),
+                fix="give one opcode a discriminating fixed field",
+            )
+
+
+__all__ = [
+    "DescriptionContext",
+    "description_context",
+    "encoding_pattern",
+    "lint_description",
+]

@@ -1,0 +1,135 @@
+"""Finding emitters: plain text, JSON, and SARIF 2.1.0.
+
+SARIF (the Static Analysis Results Interchange Format) is what code
+hosts ingest for inline annotations; the CI ``lint`` job publishes it as
+an artifact. The JSON form is a stable machine-readable shape for
+scripts that don't want SARIF's nesting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .findings import SEVERITIES, Finding
+from .rules import Rule, registered_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: finding severity -> SARIF result level
+_SARIF_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def summarize(findings: Iterable[Finding]) -> dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line plus a tally."""
+    if not findings:
+        return "clean: no findings"
+    lines = [str(finding) for finding in findings]
+    counts = summarize(findings)
+    tally = ", ".join(
+        f"{counts[sev]} {sev}" for sev in reversed(SEVERITIES) if counts[sev]
+    )
+    lines.append(f"{len(findings)} finding(s): {tally}")
+    return "\n".join(lines)
+
+
+def _location_dict(finding: Finding) -> dict:
+    location = finding.location
+    out = {}
+    for key in ("file", "line", "mnemonic", "block", "address"):
+        value = getattr(location, key)
+        if value is not None:
+            out[key] = value
+    return out
+
+
+def to_json(findings: list[Finding], *, rules: list[Rule] | None = None) -> dict:
+    """A stable machine-readable dict (``json.dump`` it yourself)."""
+    payload = {
+        "version": 1,
+        "summary": summarize(findings),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "message": finding.message,
+                "location": _location_dict(finding),
+                **({"fix": finding.fix} if finding.fix else {}),
+            }
+            for finding in findings
+        ],
+    }
+    if rules is not None:
+        payload["rules"] = [r.id for r in rules]
+    return payload
+
+
+def to_sarif(
+    findings: list[Finding],
+    *,
+    rules: list[Rule] | None = None,
+    tool_name: str = "repro-analyze",
+) -> dict:
+    """SARIF 2.1.0 log with rule metadata and one result per finding."""
+    if rules is None:
+        present = {finding.rule for finding in findings}
+        rules = [r for r in registered_rules() if r.id in present]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+        }
+        location = finding.location
+        if location.file is not None:
+            physical = {"artifactLocation": {"uri": location.file}}
+            if location.line is not None:
+                physical["region"] = {"startLine": location.line}
+            result["locations"] = [{"physicalLocation": physical}]
+        properties = _location_dict(finding)
+        properties.pop("file", None)
+        properties.pop("line", None)
+        if finding.fix:
+            properties["fix"] = finding.fix
+        if properties:
+            result["properties"] = properties
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": [
+                            {
+                                "id": r.id,
+                                "shortDescription": {"text": r.summary},
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVELS[r.severity]
+                                },
+                                "properties": {"category": r.category},
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_VERSION", "render_text", "summarize", "to_json", "to_sarif"]

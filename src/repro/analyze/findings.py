@@ -1,0 +1,70 @@
+"""The finding vocabulary shared by every analyzer.
+
+A :class:`Finding` is one diagnostic: which rule fired, how bad it is,
+where it points, and (when the rule knows one) a concrete fix hint. The
+location is deliberately a union of the two subject kinds — a SADL
+description names a mnemonic and maybe a source line, an executable
+image names a block and an address — so the emitters
+(:mod:`repro.analyze.emit`) can render either uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity names in ascending order of badness.
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank for threshold comparisons (info=0 .. error=2)."""
+    return _RANK[severity]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points. All fields optional; unset means unknown."""
+
+    file: str | None = None
+    line: int | None = None
+    mnemonic: str | None = None
+    block: int | None = None
+    address: int | None = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.file:
+            parts.append(self.file if self.line is None else f"{self.file}:{self.line}")
+        if self.mnemonic:
+            parts.append(self.mnemonic)
+        if self.block is not None:
+            parts.append(f"block {self.block}")
+        if self.address is not None:
+            parts.append(f"0x{self.address:x}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a registered rule."""
+
+    rule: str
+    severity: str  # one of SEVERITIES
+    message: str
+    location: Location = field(default_factory=Location)
+    fix: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        where = str(self.location)
+        prefix = f"{where}: " if where else ""
+        tail = f" (fix: {self.fix})" if self.fix else ""
+        return f"[{self.severity}] {self.rule}: {prefix}{self.message}{tail}"
+
+
+__all__ = ["Finding", "Location", "SEVERITIES", "severity_rank"]

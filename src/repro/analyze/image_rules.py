@@ -1,0 +1,325 @@
+"""Image-category lints: whole-image static schedule analysis.
+
+The scheduler (and its dynamic verifier) see one basic block at a time;
+these rules see the whole CFG, so they catch exactly the hazard classes
+a local scheduler can create but local verification cannot observe:
+
+* ``image/cross-block-raw`` / ``image/cross-block-waw`` — a long-latency
+  write whose latency *overhangs* the block boundary, with a successor
+  that touches the register inside the overhang window;
+* ``image/delay-slot-clobber`` — the delay-slot instruction writes a
+  register its control transfer reads (evidence the slot was refilled
+  past a dependence);
+* ``image/clobber-live-register`` — an instrumentation instruction
+  overwrites a register whose original value is still needed (read
+  later by original code, or live-out of the block);
+* ``image/unreachable-block`` — a block no edge or entry symbol reaches.
+
+Hazard-overhang findings are informational: real code legitimately
+starts a long-latency operation near a block's end and the hardware
+interlocks stall; the finding localizes *where* stalls will surface.
+The clobber rules are errors — they change architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..eel.cfg import CFG, BasicBlock, build_cfg
+from ..eel.executable import Executable
+from ..eel.liveness import LivenessAnalysis
+from ..isa.registers import Reg, r
+from .findings import Finding, Location
+from .rules import record_findings, rule, run_rules, select_rules
+
+#: The QPT ABI-reserved scratch registers (%g6/%g7): instrumentation may
+#: always write them, so the clobber rule never flags them.
+RESERVED_SCRATCH = frozenset((r(6), r(7)))
+
+
+@dataclass
+class ImageContext:
+    """Everything the image rules read. Built once per lint run."""
+
+    cfg: CFG
+    liveness: LivenessAnalysis
+    model: object | None
+    path: str | None
+    #: addresses reachable from outside the CFG (entry point, symbols).
+    entries: frozenset[int]
+
+    def at(self, block: BasicBlock) -> Location:
+        return Location(file=self.path, block=block.index, address=block.address)
+
+
+def image_context(
+    subject: Executable | CFG,
+    model=None,
+    *,
+    path: str | None = None,
+) -> ImageContext:
+    if isinstance(subject, CFG):
+        cfg = subject
+        entries = frozenset({cfg.entry.address})
+    else:
+        cfg = build_cfg(subject)
+        entries = frozenset(
+            {subject.entry} | {s.address for s in subject.function_symbols()}
+        )
+    return ImageContext(
+        cfg=cfg,
+        liveness=LivenessAnalysis(cfg),
+        model=model,
+        path=path,
+        entries=entries,
+    )
+
+
+def lint_image(
+    subject: Executable | CFG,
+    model=None,
+    *,
+    path: str | None = None,
+    enable=None,
+    disable=(),
+    recorder=None,
+) -> list[Finding]:
+    """Run the image-category rules over an executable or CFG."""
+    context = image_context(subject, model, path=path)
+    rules = select_rules("image", enable=enable, disable=disable)
+    return record_findings(run_rules(rules, context), recorder)
+
+
+def lint_profiled(
+    profiled,
+    model=None,
+    *,
+    path: str | None = None,
+    enable=None,
+    disable=(),
+    recorder=None,
+) -> list[Finding]:
+    """Lint a :class:`~repro.qpt.profiling.ProfiledProgram` *before*
+    encoding, over a shadow CFG whose blocks carry the editor's merged
+    bodies (instrumentation tags intact — a decoded image has lost
+    them, so the clobber rule only works here)."""
+    editor = getattr(profiled, "editor", None)
+    if editor is None:
+        return lint_image(
+            profiled.executable,
+            model,
+            path=path,
+            enable=enable,
+            disable=disable,
+            recorder=recorder,
+        )
+    shadow = [
+        BasicBlock(
+            index=block.index,
+            address=block.address,
+            body=list(editor.block_body(block)),
+            terminator=block.terminator,
+            delay=block.delay,
+            succs=list(block.succs),
+            preds=list(block.preds),
+            callee=block.callee,
+        )
+        for block in editor.cfg.blocks
+    ]
+    return lint_image(
+        CFG(shadow, editor.cfg.entry_index),
+        model,
+        path=path,
+        enable=enable,
+        disable=disable,
+        recorder=recorder,
+    )
+
+
+# -- cross-block hazard overhang --------------------------------------------------
+
+
+def _write_overhangs(ctx: ImageContext, block: BasicBlock) -> Iterator[tuple[Reg, str, int]]:
+    """(register, writing mnemonic, overhang) for every write whose
+    latency extends past the block's last instruction, under a
+    one-instruction-per-cycle issue approximation."""
+    from ..spawn.model import ModelError
+
+    sequence = block.instructions()
+    for position, inst in enumerate(sequence):
+        try:
+            timing = ctx.model.timing(inst)
+        except ModelError:
+            continue
+        for reg, cycle in timing.writes:
+            if reg.is_zero:
+                continue
+            overhang = cycle - (len(sequence) - position)
+            if overhang > 0:
+                yield reg, inst.mnemonic, overhang
+
+
+def _successor_hazard(
+    successor: BasicBlock, reg: Reg, overhang: int
+) -> str | None:
+    """'raw' / 'waw' when ``successor`` touches ``reg`` inside the
+    overhang window before the value settles, else None."""
+    for position, inst in enumerate(successor.instructions()):
+        if position >= overhang:
+            return None
+        if reg in inst.regs_read():
+            return "raw"
+        if reg in inst.regs_written():
+            return "waw"
+    return None
+
+
+def _cross_block(ctx: ImageContext, kind: str) -> Iterator[Finding]:
+    if ctx.model is None:
+        return
+    for block in ctx.cfg:
+        for reg, mnemonic, overhang in _write_overhangs(ctx, block):
+            for edge in block.succs:
+                successor = ctx.cfg.blocks[edge.dst]
+                if _successor_hazard(successor, reg, overhang) != kind:
+                    continue
+                verb = "reads" if kind == "raw" else "rewrites"
+                yield Finding(
+                    f"image/cross-block-{kind}",
+                    "info",
+                    f"{mnemonic} writes {reg.name} with {overhang} cycle(s) "
+                    f"of latency left at the block boundary; block "
+                    f"{successor.index} (0x{successor.address:x}, "
+                    f"{edge.kind}) {verb} it inside that window",
+                    ctx.at(block),
+                )
+
+
+@rule(
+    "image/cross-block-raw",
+    category="image",
+    severity="info",
+    summary="A write's latency overhangs the block boundary and a "
+    "successor reads the register inside the window (interlock stall).",
+)
+def _cross_block_raw(ctx: ImageContext) -> Iterator[Finding]:
+    yield from _cross_block(ctx, "raw")
+
+
+@rule(
+    "image/cross-block-waw",
+    category="image",
+    severity="info",
+    summary="A write's latency overhangs the block boundary and a "
+    "successor rewrites the register inside the window.",
+)
+def _cross_block_waw(ctx: ImageContext) -> Iterator[Finding]:
+    yield from _cross_block(ctx, "waw")
+
+
+# -- delay slots and instrumentation clobbers -------------------------------------
+
+
+@rule(
+    "image/delay-slot-clobber",
+    category="image",
+    severity="error",
+    summary="The delay-slot instruction writes a register its control "
+    "transfer reads: the slot was filled past a dependence.",
+)
+def _delay_slot_clobber(ctx: ImageContext) -> Iterator[Finding]:
+    for block in ctx.cfg:
+        terminator, delay = block.terminator, block.delay
+        if terminator is None or delay is None:
+            continue
+        clobbered = delay.regs_written() & terminator.regs_read()
+        for reg in sorted(clobbered):
+            yield Finding(
+                "image/delay-slot-clobber",
+                "error",
+                f"delay slot {delay.mnemonic} writes {reg.name}, which the "
+                f"control transfer {terminator.mnemonic} reads",
+                ctx.at(block),
+                fix="keep the dependence-carrying instruction out of the "
+                "delay slot",
+            )
+
+
+@rule(
+    "image/clobber-live-register",
+    category="image",
+    severity="error",
+    summary="An instrumentation instruction overwrites a register whose "
+    "original value is still needed (read later or live-out).",
+)
+def _clobber_live_register(ctx: ImageContext) -> Iterator[Finding]:
+    for block in ctx.cfg:
+        sequence = block.instructions()
+        live_out = ctx.liveness.live_out(block)
+        for position, inst in enumerate(sequence):
+            if not inst.is_instrumentation:
+                continue
+            for reg in sorted(inst.regs_written()):
+                if reg in RESERVED_SCRATCH:
+                    continue
+                if _original_value_needed(sequence, position, reg, live_out):
+                    yield Finding(
+                        "image/clobber-live-register",
+                        "error",
+                        f"instrumentation {inst.mnemonic} overwrites "
+                        f"{reg.name} while it is live",
+                        ctx.at(block),
+                        fix="pick a dead register "
+                        "(LivenessAnalysis.dead_integer_registers) or the "
+                        "reserved scratch registers",
+                    )
+
+
+def _original_value_needed(
+    sequence: list, position: int, reg: Reg, live_out: frozenset[Reg]
+) -> bool:
+    """Was ``reg``'s pre-clobber value still needed at ``position``?
+
+    True when original (non-instrumentation) code reads it later before
+    any redefinition, or nothing redefines it and it is live-out.
+    Instrumentation's own reads don't count — it reads the value it
+    wrote itself.
+    """
+    for later in sequence[position + 1 :]:
+        if reg in later.regs_read() and not later.is_instrumentation:
+            return True
+        if reg in later.regs_written():
+            return False
+    return reg in live_out
+
+
+@rule(
+    "image/unreachable-block",
+    category="image",
+    severity="info",
+    summary="A block has no predecessors and no entry symbol: nothing "
+    "can reach it.",
+)
+def _unreachable_block(ctx: ImageContext) -> Iterator[Finding]:
+    for block in ctx.cfg:
+        if block.preds or block.index == ctx.cfg.entry_index:
+            continue
+        if block.address in ctx.entries:
+            continue
+        yield Finding(
+            "image/unreachable-block",
+            "info",
+            "no predecessors and no entry symbol: the block can never "
+            "execute",
+            ctx.at(block),
+        )
+
+
+__all__ = [
+    "ImageContext",
+    "RESERVED_SCRATCH",
+    "image_context",
+    "lint_image",
+    "lint_profiled",
+]

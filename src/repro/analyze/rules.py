@@ -1,0 +1,135 @@
+"""The rule registry.
+
+Every lint is a :class:`Rule`: an id (``category/name``), a fixed
+severity, a one-line summary (also exported into SARIF rule metadata),
+and a check function taking the category's context object and yielding
+:class:`~repro.analyze.findings.Finding` values. Rules self-register at
+import time via the :func:`rule` decorator; callers select them with
+:func:`select_rules` (per-rule enable/disable) and run them with
+:func:`run_rules`.
+
+Failure discipline: a rule that *crashes* is an analyzer bug, not a
+finding — :func:`run_rules` wraps any non-:class:`ReproError` escape in
+:class:`~repro.errors.AnalysisError` so the CLI's top-level handler
+catches it like every other library failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..errors import AnalysisError, ReproError
+from .findings import SEVERITIES, Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint."""
+
+    id: str
+    category: str  # 'description' | 'image'
+    severity: str
+    summary: str
+    check: Callable[[object], Iterator[Finding]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(id: str, *, category: str, severity: str, summary: str):
+    """Register the decorated generator function as a lint rule."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r} for rule {id}")
+
+    def decorate(fn: Callable[[object], Iterator[Finding]]) -> Callable:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id!r}")
+        _REGISTRY[id] = Rule(
+            id=id, category=category, severity=severity, summary=summary, check=fn
+        )
+        return fn
+
+    return decorate
+
+
+def registered_rules(category: str | None = None) -> list[Rule]:
+    """Every registered rule (optionally one category), sorted by id."""
+    rules = _REGISTRY.values()
+    if category is not None:
+        rules = (r for r in rules if r.category == category)
+    return sorted(rules, key=lambda r: r.id)
+
+
+def get_rule(id: str) -> Rule:
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        raise AnalysisError(f"unknown rule id {id!r}") from None
+
+
+def select_rules(
+    category: str,
+    *,
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] = (),
+) -> list[Rule]:
+    """The rules to run: all of ``category`` (or only ``enable``),
+    minus ``disable``. Unknown ids raise :class:`AnalysisError`."""
+    disabled = set(disable)
+    for id in disabled:
+        get_rule(id)  # raise early on a typo'd disable
+    if enable is not None:
+        chosen = [get_rule(id) for id in enable]
+        for r in chosen:
+            if r.category != category:
+                raise AnalysisError(
+                    f"rule {r.id!r} is a {r.category} rule, not {category}"
+                )
+    else:
+        chosen = registered_rules(category)
+    return [r for r in chosen if r.id not in disabled]
+
+
+def run_rules(rules: Iterable[Rule], context: object) -> list[Finding]:
+    """Run each rule over ``context``; deduplicated findings, in rule
+    order. A crashing rule raises :class:`AnalysisError`."""
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for r in rules:
+        try:
+            produced = list(r.check(context))
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise AnalysisError(
+                f"rule {r.id} crashed: {type(exc).__name__}: {exc}"
+            ) from exc
+        for finding in produced:
+            key = (finding.rule, finding.severity, finding.message, finding.location)
+            if key not in seen:
+                seen.add(key)
+                findings.append(finding)
+    return findings
+
+
+def record_findings(findings: list[Finding], recorder=None) -> list[Finding]:
+    """Count ``analyze.findings`` per severity into ``recorder`` (the
+    :mod:`repro.obs` sink feeding ``--stats``), passing the list through."""
+    if recorder is not None:
+        from ..obs.report import ANALYZE_FINDINGS
+
+        for finding in findings:
+            recorder.count(ANALYZE_FINDINGS, severity=finding.severity)
+    return findings
+
+
+__all__ = [
+    "Rule",
+    "get_rule",
+    "record_findings",
+    "registered_rules",
+    "rule",
+    "run_rules",
+    "select_rules",
+]

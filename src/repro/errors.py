@@ -45,6 +45,15 @@ class VerificationError(ReproError):
         self.block = block
 
 
+class AnalysisError(ReproError):
+    """The static analyzer itself failed (not: the analyzed input is bad).
+
+    Raised for unknown rule ids, rule crashes, and malformed analysis
+    inputs. Findings about the *subject* of the analysis are returned as
+    :class:`repro.analyze.Finding` values, never raised.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A guard budget (instruction count or wall-clock deadline) ran out.
 
@@ -58,4 +67,4 @@ class BudgetExceeded(ReproError):
         self.block = block
 
 
-__all__ = ["BudgetExceeded", "ReproError", "VerificationError"]
+__all__ = ["AnalysisError", "BudgetExceeded", "ReproError", "VerificationError"]

@@ -28,6 +28,9 @@ from .report import (
     GUARD_FALLBACKS,
     GUARD_QUARANTINED,
     HAZARD_KINDS,
+    ANALYZE_FINDINGS,
+    ANALYZE_STATIC_ESCALATED,
+    ANALYZE_STATIC_PASS,
     HAZARDS,
     ISSUES,
     PARALLEL_FALLBACKS,
@@ -40,6 +43,7 @@ from .report import (
     SCHED_READY_SET,
     SCHED_TIE_BREAK,
     STALL_CYCLES,
+    analyze_table,
     cache_table,
     guard_table,
     phase_timing_table,
@@ -49,6 +53,9 @@ from .report import (
 )
 
 __all__ = [
+    "ANALYZE_FINDINGS",
+    "ANALYZE_STATIC_ESCALATED",
+    "ANALYZE_STATIC_PASS",
     "CACHE_EVICTIONS",
     "CACHE_HITS",
     "CACHE_INSERTS",
@@ -78,6 +85,7 @@ __all__ = [
     "SCHED_TIE_BREAK",
     "STALL_CYCLES",
     "TraceRecorder",
+    "analyze_table",
     "cache_table",
     "guard_table",
     "label_key",

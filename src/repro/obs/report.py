@@ -58,6 +58,13 @@ PARALLEL_SHARDS = "parallel.shards"
 PARALLEL_REGIONS = "parallel.regions_scheduled"
 PARALLEL_FALLBACKS = "parallel.serial_fallbacks"
 
+#: Static pre-verifier (``repro.analyze``): blocks proven legal from the
+#: dependence DAG alone (differential execution skipped) vs. escalated
+#: to the full dynamic battery; and lint findings, labeled by severity.
+ANALYZE_STATIC_PASS = "analyze.static_pass"
+ANALYZE_STATIC_ESCALATED = "analyze.static_escalated"
+ANALYZE_FINDINGS = "analyze.findings"
+
 #: The four hazard buckets, in reporting order.
 HAZARD_KINDS = ("structural", "raw", "waw", "war")
 
@@ -198,6 +205,28 @@ def cache_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def analyze_table(metrics: MetricsRegistry) -> str:
+    """Static-analyzer telemetry: the pre-verifier gate and lint tallies."""
+    lines = []
+    proven = int(metrics.counter_total(ANALYZE_STATIC_PASS))
+    escalated = int(metrics.counter_total(ANALYZE_STATIC_ESCALATED))
+    if proven or escalated:
+        total = proven + escalated
+        lines.append(
+            f"static pre-verifier: {proven}/{total} blocks proven statically "
+            f"({escalated} escalated to differential execution)"
+        )
+    findings = int(metrics.counter_total(ANALYZE_FINDINGS))
+    if findings:
+        series = metrics.counter_series(ANALYZE_FINDINGS)
+        by_severity = ", ".join(
+            f"{int(value)} {_label(key, 'severity') or '?'}"
+            for key, value in sorted(series.items())
+        )
+        lines.append(f"lint findings: {by_severity}")
+    return "\n".join(lines)
+
+
 def render_stats(metrics: MetricsRegistry) -> str:
     """The full ``--stats`` panel: attribution, decisions, timings."""
     sections = [stall_attribution_table(metrics)]
@@ -210,6 +239,9 @@ def render_stats(metrics: MetricsRegistry) -> str:
     cache = cache_table(metrics)
     if cache:
         sections.append(cache)
+    analyze = analyze_table(metrics)
+    if analyze:
+        sections.append(analyze)
     sections.append(phase_timing_table(metrics))
     issues = int(metrics.counter_total(ISSUES))
     if issues:

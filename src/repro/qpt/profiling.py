@@ -64,6 +64,10 @@ class ProfiledProgram:
     #: (:class:`~repro.robust.guard.GuardedBlockScheduler`); empty when
     #: the transform was unguarded or every block verified.
     quarantine: tuple = ()
+    #: the editor that produced ``executable``, kept so post-build
+    #: analyses (:func:`repro.analyze.lint_profiled`) can see the merged
+    #: block bodies with instrumentation tags intact.
+    editor: object | None = None
 
     @property
     def added_instructions(self) -> int:
@@ -137,6 +141,7 @@ class SlowProfiler:
             counters=counters,
             scratch=scratch,
             quarantine=tuple(getattr(transform, "quarantine", ())),
+            editor=editor,
         )
 
     def _pick_scratch(self, liveness: LivenessAnalysis | None, block) -> tuple[Reg, Reg]:

@@ -25,6 +25,7 @@ from ..errors import BudgetExceeded, ReproError, VerificationError
 from .faults import (
     MODEL_FAULTS,
     SCHEDULER_MUTATIONS,
+    ClobberingProfiler,
     CorruptedModel,
     FaultInjectionReport,
     FaultOutcome,
@@ -32,6 +33,7 @@ from .faults import (
     SabotagedScheduler,
     default_workload,
     inject_cache_faults,
+    inject_clobber_faults,
     inject_encoding_faults,
     inject_model_faults,
     inject_scheduler_faults,
@@ -41,6 +43,7 @@ from .guard import GuardBudget, GuardedBlockScheduler, QuarantineReport
 
 __all__ = [
     "BudgetExceeded",
+    "ClobberingProfiler",
     "CorruptedModel",
     "FaultInjectionReport",
     "FaultOutcome",
@@ -55,6 +58,7 @@ __all__ = [
     "VerificationError",
     "default_workload",
     "inject_cache_faults",
+    "inject_clobber_faults",
     "inject_encoding_faults",
     "inject_model_faults",
     "inject_scheduler_faults",

@@ -22,6 +22,12 @@ a silently wrong output:
   mutation (swapping a dependent pair, dropping or duplicating an
   instruction) to each block's schedule. Every sabotaged block must be
   quarantined by the guard's ``verify_schedule`` check.
+* **instrumentation faults** (:func:`inject_clobber_faults`) make the
+  profiler deliberately pick *live* registers as counter scratch — the
+  snippets corrupt program state, yet every block is a perfectly legal
+  schedule, so the dynamic guard structurally cannot object. Only the
+  whole-image static analysis (:func:`repro.analyze.lint_profiled`'s
+  ``image/clobber-live-register`` rule) sees the clobber.
 * **cache faults** (:func:`inject_cache_faults`) attack the
   content-addressed schedule cache: entries warmed under a healthy
   model must be invisible to a corrupted variant (no stale masking), a
@@ -404,10 +410,15 @@ def inject_scheduler_faults(
             validate_model=False,
         )
         Editor(executable, recorder=rec).build(guard)
+        # Only ReproError-rooted failures count as caught: an untyped
+        # crash was merely contained, not diagnosed (q.typed is False
+        # exactly when a scheduler-error quarantine wrapped a bare
+        # exception).
         caught = sum(
             1
             for q in guard.quarantine
-            if q.kind in ("verification", "scheduler-error")
+            if q.kind == "verification"
+            or (q.kind == "scheduler-error" and q.typed)
         )
         outcomes.append(
             FaultOutcome(
@@ -419,6 +430,112 @@ def inject_scheduler_faults(
             )
         )
     return outcomes
+
+
+class ClobberingProfiler:
+    """A QPT profiler that deliberately picks *live* registers as counter
+    scratch — the snippet corruption fault class.
+
+    Wraps :class:`~repro.qpt.profiling.SlowProfiler` (composition, so
+    the import stays lazy) and overrides its scratch choice: instead of
+    provably dead registers it picks registers the block's own original
+    code still reads. Every block stays a legal schedule, so the guard
+    verifies it happily; ``corrupted`` records the block indexes whose
+    snippets clobber live state.
+    """
+
+    def __init__(self, executable: Executable, *, recorder: Recorder | None = None):
+        from ..qpt.profiling import SlowProfiler
+
+        outer = self
+
+        class _Profiler(SlowProfiler):
+            def _pick_scratch(self, liveness, block):
+                regs = outer._live_scratch(block)
+                if regs is None:
+                    return super()._pick_scratch(liveness, block)
+                outer.corrupted.add(block.index)
+                return regs
+
+        self._profiler = _Profiler(executable, recorder=recorder)
+        #: block indexes whose counter snippets clobber live registers.
+        self.corrupted: set[int] = set()
+
+    def instrument(self, transform=None):
+        return self._profiler.instrument(transform)
+
+    @staticmethod
+    def _live_scratch(block):
+        """Two upward-exposed integer registers of ``block`` (read by the
+        original body before any redefinition), or None when the block
+        offers none. Upward-exposed regs are live at the insertion point
+        by construction."""
+        from ..analyze.image_rules import RESERVED_SCRATCH as ABI_SCRATCH
+        from ..isa.registers import RegKind
+
+        exposed = []
+        written = set()
+        for inst in block.body:
+            for reg in sorted(inst.regs_read()):
+                if (
+                    reg.kind is RegKind.INT
+                    and reg not in written
+                    and reg not in ABI_SCRATCH
+                    and reg not in exposed
+                ):
+                    exposed.append(reg)
+            written |= inst.regs_written()
+        if not exposed:
+            return None
+        return (exposed[0], exposed[1] if len(exposed) > 1 else exposed[0])
+
+
+def inject_clobber_faults(
+    model: MachineModel,
+    executable: Executable,
+    *,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    verify_trials: int = 2,
+    verify_seed: int = DEFAULT_SEED,
+) -> FaultOutcome:
+    """Instrument with live-register scratch; the static image analysis
+    must flag every corrupted block (the dynamic guard cannot)."""
+    from ..analyze import lint_profiled
+
+    rec = recorder if recorder is not None else NULL_RECORDER
+    profiler = ClobberingProfiler(executable, recorder=rec)
+    guard = GuardedBlockScheduler(
+        model,
+        policy,
+        rec,
+        verify_trials=verify_trials,
+        verify_seed=verify_seed,
+        validate_model=False,
+    )
+    profiled = profiler.instrument(guard)
+    flagged = {
+        finding.location.block
+        for finding in lint_profiled(profiled, model)
+        if finding.rule == "image/clobber-live-register"
+    }
+    caught = len(profiler.corrupted & flagged)
+    details = []
+    if guard.quarantine:
+        details.append(
+            "unexpected quarantine: the clobber class should be invisible "
+            "to the dynamic guard"
+        )
+    missed = sorted(profiler.corrupted - flagged)
+    if missed:
+        details.append(f"blocks {missed} clobber live registers unflagged")
+    return FaultOutcome(
+        fault="clobber-live-register",
+        layer="instrumentation",
+        injected=len(profiler.corrupted),
+        caught=caught,
+        details=tuple(details),
+    )
 
 
 def inject_cache_faults(
@@ -602,6 +719,16 @@ def run_fault_injection(
     report.outcomes.append(inject_encoding_faults(executable))
     report.outcomes.extend(
         inject_scheduler_faults(
+            model,
+            executable,
+            policy=policy,
+            recorder=recorder,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+        )
+    )
+    report.outcomes.append(
+        inject_clobber_faults(
             model,
             executable,
             policy=policy,

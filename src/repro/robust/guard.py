@@ -34,15 +34,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..analyze.static_verify import static_verify_schedule
 from ..core.block_scheduler import BlockScheduler, SchedulerStats
 from ..core.dependence import SchedulingPolicy, build_dependence_graph
 from ..core.regions import join_regions, split_regions
-from ..core.verify import DEFAULT_SEED, verify_schedule
+from ..core.verify import DEFAULT_SEED, VerificationResult, verify_schedule
 from ..eel.cfg import BasicBlock
-from ..errors import BudgetExceeded, VerificationError
+from ..errors import BudgetExceeded, ReproError, VerificationError
 from ..isa.instruction import Instruction
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
+    ANALYZE_STATIC_ESCALATED,
+    ANALYZE_STATIC_PASS,
     GUARD_BLOCKS_VERIFIED,
     GUARD_CACHE_SERVED,
     GUARD_FALLBACKS,
@@ -95,6 +98,10 @@ class QuarantineReport:
     reason: str
     #: rendered offending instructions, when identifiable.
     offending: tuple[str, ...] = ()
+    #: for 'scheduler-error': whether the exception was ReproError-rooted.
+    #: The fault-injection harness only counts *typed* failures as
+    #: caught — an untyped crash was contained, not diagnosed.
+    typed: bool = True
 
     def __str__(self) -> str:
         where = f"block {self.block} @ {self.address:#x}" if self.block >= 0 else "model"
@@ -124,6 +131,7 @@ class GuardedBlockScheduler:
         strict: bool = False,
         verify_trials: int = 4,
         verify_seed: int = DEFAULT_SEED,
+        static_verify: bool = True,
         validate_model: bool = True,
         cache=None,
         clock=time.perf_counter,
@@ -148,6 +156,7 @@ class GuardedBlockScheduler:
         self.strict = strict
         self.verify_trials = verify_trials
         self.verify_seed = verify_seed
+        self.static_verify = static_verify
         self._clock = clock
         self._elapsed = 0.0
         self.quarantine: list[QuarantineReport] = []
@@ -230,13 +239,7 @@ class GuardedBlockScheduler:
         try:
             with self.recorder.span("robust.guard_block", block=block.index):
                 scheduled = self.inner.schedule_body(original)
-                verdict = verify_schedule(
-                    original,
-                    scheduled,
-                    policy=self.policy,
-                    trials=self.verify_trials,
-                    seed=self.verify_seed,
-                )
+                verdict = self._verify(original, scheduled)
         except Exception as exc:  # a buggy scheduler must not crash the edit
             if self.strict:
                 raise VerificationError(
@@ -244,7 +247,10 @@ class GuardedBlockScheduler:
                     block=block.index,
                 ) from exc
             self._quarantine_block(
-                block, "scheduler-error", f"{type(exc).__name__}: {exc}"
+                block,
+                "scheduler-error",
+                f"{type(exc).__name__}: {exc}",
+                typed=isinstance(exc, ReproError),
             )
             return original, block.delay
         self._elapsed += self._clock() - start
@@ -284,6 +290,39 @@ class GuardedBlockScheduler:
             scheduled, delay = self.inner._refill_delay_slot(block, scheduled)
         self.recorder.count(SCHED_BLOCKS)
         return scheduled, delay
+
+    # -- verification ------------------------------------------------------------
+
+    def _verify(
+        self, original: list[Instruction], scheduled: list[Instruction]
+    ) -> VerificationResult:
+        """Static proof first; differential execution only when the
+        static verdict is inconclusive.
+
+        A static *refutation* is final — it is exactly the dynamic
+        verifier's permutation/DAG checks, so the dynamic verdict would
+        be the same failure. A static *proof* means every reordered
+        pair is fully ordered by the dependence DAG, so both orders
+        compute identical states and the differential battery cannot
+        fail; skipping it changes nothing but cost.
+        """
+        if self.static_verify:
+            static = static_verify_schedule(
+                original, scheduled, policy=self.policy
+            )
+            if static.proven:
+                self.recorder.count(ANALYZE_STATIC_PASS)
+                return VerificationResult(True)
+            if static.refuted:
+                return VerificationResult(False, list(static.reasons))
+            self.recorder.count(ANALYZE_STATIC_ESCALATED)
+        return verify_schedule(
+            original,
+            scheduled,
+            policy=self.policy,
+            trials=self.verify_trials,
+            seed=self.verify_seed,
+        )
 
     # -- schedule cache ----------------------------------------------------------
 
@@ -353,6 +392,7 @@ class GuardedBlockScheduler:
         kind: str,
         reason: str,
         offending: tuple[str, ...] = (),
+        typed: bool = True,
     ) -> None:
         self._record(
             QuarantineReport(
@@ -361,6 +401,7 @@ class GuardedBlockScheduler:
                 kind=kind,
                 reason=reason,
                 offending=offending,
+                typed=typed,
             )
         )
         self._count_fallback()

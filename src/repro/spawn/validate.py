@@ -2,32 +2,51 @@
 
 The paper's motivation for SADL was that hand-written instruction
 manipulation code hid subtle bugs for months; a declarative description
-can be *checked*. :func:`validate_machine` runs a battery of sanity
-checks over a compiled model and returns human-readable findings:
+can be *checked*. The checks themselves now live in the
+:mod:`repro.analyze` rule registry
+(:mod:`repro.analyze.description_rules`), where ``qpt_cli lint`` also
+reaches them and each is individually selectable; this module keeps the
+legacy entry point: :func:`validate_machine` runs the rules that the
+original ad-hoc validator implemented and returns its historical
+:class:`Finding` shape.
 
-* ISA coverage: every supported mnemonic has semantics (unless the
-  description is declared partial);
-* every instruction acquires an issue (``Group``) slot in cycle 0 —
-  otherwise the superscalar width constraint silently doesn't apply;
-* acquires never exceed a unit's capacity (hard error at model build,
-  re-checked here);
-* releases never exceed what was acquired, per unit;
-* register reads never happen after the instruction's final cycle, and
-  every write's value is available no earlier than cycle 1;
-* the instruction's timing trace is non-empty and bounded.
+The deeper description analyses (dead units, dead semantic
+alternatives, encoding-space ambiguity) are *not* part of the legacy
+battery — call :func:`repro.analyze.lint_description` for the full set.
+
+Any failure of the analyzer itself (unknown rule, crashing rule)
+surfaces as :class:`repro.errors.AnalysisError`, which is
+``ReproError``-rooted so the CLI's top-level handler catches it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..isa.opcodes import all_mnemonics
-from .model import MachineModel, ModelError
+from .model import MachineModel
+
+#: The rules the historical validator implemented, in registry order.
+LEGACY_RULES = (
+    "sadl/capacity-overflow",
+    "sadl/early-write",
+    "sadl/free-instruction",
+    "sadl/invalid-trace",
+    "sadl/missing-semantics",
+    "sadl/no-issue-slot",
+    "sadl/over-release",
+    "sadl/pipeline-length",
+    "sadl/read-after-retire",
+    "sadl/unbounded-width",
+    "sadl/unit-leak",
+    "sadl/unknown-unit",
+)
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One validation diagnostic."""
+    """One validation diagnostic (legacy shape; ``qpt_cli lint`` and
+    :mod:`repro.analyze` use the richer
+    :class:`repro.analyze.Finding`)."""
 
     severity: str  # 'error' | 'warning'
     mnemonic: str | None
@@ -41,149 +60,12 @@ class Finding:
 def validate_machine(
     model: MachineModel, *, require_full_isa: bool = True
 ) -> list[Finding]:
-    """Run every check; an empty list means the description is clean."""
-    findings: list[Finding] = []
+    """Run the legacy check battery; an empty list means clean."""
+    from ..analyze import lint_description
 
-    issue_unit = _issue_unit(model)
-    if issue_unit is None:
-        findings.append(
-            Finding(
-                "warning",
-                None,
-                "no 'Group' unit declared: superscalar width is unbounded",
-            )
-        )
-
-    for mnemonic in all_mnemonics():
-        if not model.evaluator.has_sem(mnemonic):
-            if require_full_isa:
-                findings.append(
-                    Finding("error", mnemonic, "no semantics in the description")
-                )
-            continue
-        for uses_imm in (False, True):
-            try:
-                _, trace = model._variant(mnemonic, uses_imm)
-            except ModelError as exc:
-                # ModelError messages already name the mnemonic.
-                findings.append(Finding("error", None, str(exc)))
-                continue
-            findings.extend(_check_trace(model, mnemonic, trace, issue_unit))
-    return _dedup(findings)
-
-
-def _issue_unit(model: MachineModel) -> str | None:
-    return "Group" if "Group" in model.units else None
-
-
-def _check_trace(model, mnemonic, trace, issue_unit) -> list[Finding]:
-    findings = []
-    if not trace.acquires:
-        findings.append(
-            Finding("warning", mnemonic, "acquires no units (free instruction)")
-        )
-    if issue_unit is not None:
-        issue_acquires = [
-            e for e in trace.acquires if e.unit == issue_unit and e.cycle == 0
-        ]
-        if not issue_acquires:
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"does not acquire {issue_unit!r} in cycle 0: it would "
-                    "bypass the issue-width limit",
-                )
-            )
-
-    # Acquires bounded by the unit's capacity (hard error at model
-    # build; re-checked here so corrupted/wrapped models are caught too).
-    for event in trace.acquires:
-        capacity = model.units.get(event.unit)
-        if capacity is None:
-            findings.append(
-                Finding("error", mnemonic, f"acquires unknown unit {event.unit!r}")
-            )
-        elif event.count > capacity:
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"acquires {event.count} of unit {event.unit!r} but the "
-                    f"machine only has {capacity}",
-                )
-            )
-
-    # Releases bounded by acquires, per unit.
-    acquired: dict[str, int] = {}
-    for event in trace.acquires:
-        acquired[event.unit] = acquired.get(event.unit, 0) + event.count
-    released: dict[str, int] = {}
-    for event in trace.releases:
-        released[event.unit] = released.get(event.unit, 0) + event.count
-    for unit, count in released.items():
-        if count > acquired.get(unit, 0):
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"releases {count} of {unit!r} but acquires only "
-                    f"{acquired.get(unit, 0)}",
-                )
-            )
-    # ...and every acquire must be released by the end of the trace:
-    # a dropped release leaks unit capacity, and after enough issues the
-    # unit is permanently exhausted — the pipeline deadlocks.
-    for unit, count in acquired.items():
-        if released.get(unit, 0) < count:
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"acquires {count} of {unit!r} but releases only "
-                    f"{released.get(unit, 0)}: the unit leaks and will "
-                    "eventually deadlock the pipeline",
-                )
-            )
-
-    # Register access timing.
-    for access in trace.reads:
-        if access.cycle >= trace.cycles:
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"reads {access.file}[{access.index}] in cycle "
-                    f"{access.cycle} but the pipeline ends after cycle "
-                    f"{trace.cycles - 1}",
-                )
-            )
-    for access in trace.writes:
-        if access.cycle < 1:
-            findings.append(
-                Finding(
-                    "error",
-                    mnemonic,
-                    f"write of {access.file}[{access.index}] available in "
-                    f"cycle {access.cycle}; values cannot be usable before "
-                    "cycle 1 (computed at the end of cycle 0 at the "
-                    "earliest)",
-                )
-            )
-
-    if trace.cycles < 1 or trace.cycles > 256:
-        findings.append(
-            Finding("error", mnemonic, f"implausible pipeline length {trace.cycles}")
-        )
-    return findings
-
-
-def _dedup(findings: list[Finding]) -> list[Finding]:
-    seen = set()
-    out = []
-    for finding in findings:
-        key = (finding.severity, finding.mnemonic, finding.message)
-        if key not in seen:
-            seen.add(key)
-            out.append(finding)
-    return out
+    findings = lint_description(
+        model, require_full_isa=require_full_isa, enable=LEGACY_RULES
+    )
+    return [
+        Finding(f.severity, f.location.mnemonic, f.message) for f in findings
+    ]

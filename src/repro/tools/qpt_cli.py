@@ -5,24 +5,36 @@ Operates on RXE executables:
 .. code-block:: console
 
    $ python -m repro.tools.qpt_cli instrument prog.rxe -o prog.qpt.rxe \\
-         --machine ultrasparc --schedule --safe
+         --machine ultrasparc --schedule --safe --jobs 4 --cache
    $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
    $ python -m repro.tools.qpt_cli faults --machine ultrasparc
    $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc \\
          --stats --trace prog.trace.json
    $ python -m repro.tools.qpt_cli disasm prog.rxe
+   $ python -m repro.tools.qpt_cli chart prog.rxe --block 1
+   $ python -m repro.tools.qpt_cli lint prog.rxe --format sarif -o prog.sarif
+   $ python -m repro.tools.qpt_cli lint --sadl my_machine.sadl --fail-on warning
    $ python -m repro.tools.qpt_cli validate --machine supersparc
+   $ python -m repro.tools.qpt_cli benchmarks --machine ultrasparc --jobs 4
    $ python -m repro.tools.qpt_cli codegen --machine ultrasparc -o ps.py
 
 ``instrument`` writes a JSON sidecar (``<out>.json``) recording counter
 addresses and the placement plan so ``run --profile`` can print exact
-per-block execution counts after the simulated run.
+per-block execution counts after the simulated run. ``--jobs N``
+pre-schedules regions across N worker processes and ``--cache``
+memoizes schedules in the content-addressed cache (both byte-identical
+to a serial, uncached run); ``benchmarks`` times the serial / parallel /
+warm-cache modes against each other and cross-checks their outputs.
 
 ``--safe``/``--strict`` turn on guarded scheduling (verify-and-fallback;
 see ``docs/robustness.md``); ``faults`` runs the fault-injection
-harness and exits nonzero if any injected fault escapes the guards. Any
-typed library error (:class:`~repro.errors.ReproError`) from a
-subcommand prints ``error: ...`` and exits 1 instead of a traceback.
+harness and exits nonzero if any injected fault escapes the guards.
+``lint`` runs the static analyzer (``docs/static_analysis.md``) over an
+executable image or a SADL machine description and emits text, JSON, or
+SARIF findings; ``--fail-on`` picks the severity that makes the exit
+code nonzero. Any typed library error
+(:class:`~repro.errors.ReproError`) from a subcommand prints
+``error: ...`` and exits 1 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -238,6 +250,86 @@ def cmd_validate(args) -> int:
     return 1 if any(f.severity == "error" for f in findings) else 0
 
 
+def cmd_lint(args) -> int:
+    from ..analyze import (
+        lint_description,
+        lint_image,
+        registered_rules,
+        render_text,
+        select_rules,
+        severity_rank,
+        to_json,
+        to_sarif,
+    )
+
+    if args.list_rules:
+        for r in registered_rules():
+            print(f"{r.id:<28} {r.severity:<8} [{r.category}] {r.summary}")
+        return 0
+
+    recorder = _make_recorder(args)
+    disable = tuple(args.disable or ())
+    if args.input:
+        model = _lint_model(args)
+        findings = lint_image(
+            _load(args.input),
+            model,
+            path=args.input,
+            disable=disable,
+            recorder=recorder,
+        )
+        category = "image"
+    elif args.sadl:
+        from ..spawn.library import load_machine_from_source
+
+        with open(args.sadl, encoding="utf-8") as handle:
+            source = handle.read()
+        name = args.sadl[:-5] if args.sadl.endswith(".sadl") else args.sadl
+        model = load_machine_from_source(source, name)
+        findings = lint_description(
+            model,
+            require_full_isa=not args.partial,
+            disable=disable,
+            recorder=recorder,
+        )
+        category = "description"
+    else:
+        findings = lint_description(
+            _lint_model(args),
+            require_full_isa=not args.partial,
+            disable=disable,
+            recorder=recorder,
+        )
+        category = "description"
+
+    rules = select_rules(category, disable=disable)
+    if args.format == "json":
+        rendered = json.dumps(to_json(findings, rules=rules), indent=2)
+    elif args.format == "sarif":
+        rendered = json.dumps(to_sarif(findings, rules=rules), indent=2)
+    else:
+        rendered = render_text(findings)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output} ({len(findings)} finding(s))")
+    else:
+        print(rendered)
+
+    _finish_obs(args, recorder)
+    threshold = severity_rank(args.fail_on)
+    failing = sum(1 for f in findings if severity_rank(f.severity) >= threshold)
+    return 1 if failing else 0
+
+
+def _lint_model(args):
+    if args.synthetic_width:
+        from ..spawn import load_superscalar
+
+        return load_superscalar(args.synthetic_width)
+    return load_machine(args.machine)
+
+
 def cmd_chart(args) -> int:
     from ..eel.cfg import build_cfg
     from ..pipeline.viz import schedule_chart, unit_occupancy
@@ -382,6 +474,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="lint a machine description")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the static analyzer over an image or a SADL description",
+    )
+    p.add_argument("input", nargs="?",
+                   help="RXE executable to lint (whole-image schedule "
+                   "analysis); omit to lint a machine description")
+    p.add_argument("--sadl", metavar="FILE",
+                   help="lint this SADL description file instead of a "
+                   "shipped machine")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc",
+                   help="machine model for hazard analysis / description "
+                   "lint (default %(default)s)")
+    p.add_argument("--synthetic-width", type=int, metavar="N",
+                   help="use an N-wide synthetic machine instead of "
+                   "--machine")
+    p.add_argument("--partial", action="store_true",
+                   help="allow descriptions that do not cover the full ISA")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default %(default)s)")
+    p.add_argument("--fail-on", choices=("warning", "error"),
+                   default="error",
+                   help="exit nonzero when a finding at or above this "
+                   "severity exists (default %(default)s)")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="disable a rule by id (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list every registered rule and exit")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("chart", help="render one block's pipeline schedule")
     p.add_argument("input")

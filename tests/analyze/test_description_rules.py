@@ -1,0 +1,250 @@
+"""Description-category rules: a triggering and a clean case for each."""
+
+import pytest
+
+from repro.analyze import lint_description
+from repro.analyze.description_rules import DescriptionContext
+from repro.analyze.rules import get_rule, run_rules
+from repro.isa.opcodes import Category, Format, OpcodeInfo
+from repro.robust import MODEL_FAULTS, CorruptedModel, ModelFault
+from repro.sadl.trace import RegAccess, Trace, UnitEvent
+from repro.spawn import MACHINES, load_machine, load_machine_from_source, load_superscalar
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+def fault(name):
+    return next(f for f in MODEL_FAULTS if f.name == name)
+
+
+# -- every shipped description is clean (the "clean" case for all rules) ----------
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_shipped_machines_clean_under_full_battery(machine):
+    findings = lint_description(load_machine(machine))
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_synthetic_machines_clean_under_full_battery(width):
+    findings = lint_description(load_superscalar(width))
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+# -- legacy battery, now as registered rules --------------------------------------
+
+
+def test_unbounded_width():
+    model = load_machine_from_source("unit ALU 1\nsem [ nop ] is AR ALU, D 1")
+    findings = lint_description(model, require_full_isa=False)
+    assert "sadl/unbounded-width" in rule_ids(findings)
+
+
+def test_missing_semantics_gated_on_full_isa():
+    model = load_machine_from_source("unit Group 1\nsem [ nop ] is AR Group, D 1")
+    full = lint_description(model)
+    assert any(
+        f.rule == "sadl/missing-semantics" and f.location.mnemonic == "add"
+        for f in full
+    )
+    partial = lint_description(model, require_full_isa=False)
+    assert "sadl/missing-semantics" not in rule_ids(partial)
+
+
+def test_invalid_trace_from_rejected_variant():
+    from repro.spawn.model import ModelError
+
+    class Evaluator:
+        description = None
+
+        def has_sem(self, mnemonic):
+            return True
+
+    class StubModel:
+        units = {"Group": 2}
+        evaluator = Evaluator()
+
+        def _variant(self, mnemonic, uses_imm):
+            raise ModelError(f"{mnemonic}: evaluator rejected the trace")
+
+    findings = lint_description(StubModel(), require_full_isa=False)
+    assert rule_ids(findings) == ["sadl/dead-unit", "sadl/invalid-trace"]
+    assert any("rejected" in f.message for f in findings)
+
+
+def test_free_instruction():
+    model = load_machine_from_source("unit Group 1\nsem [ nop ] is D 1")
+    findings = lint_description(model, require_full_isa=False)
+    assert any(
+        f.rule == "sadl/free-instruction" and "acquires no units" in f.message
+        for f in findings
+    )
+
+
+def test_no_issue_slot():
+    corrupted = CorruptedModel(load_machine("ultrasparc"), fault("swapped-units"))
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert rule_ids(findings) == ["sadl/no-issue-slot"]
+
+
+def test_unknown_unit():
+    # The model compiler rejects unknown units itself (surfacing as
+    # sadl/invalid-trace), so exercise the rule on a raw trace.
+    trace = Trace(
+        acquires=[UnitEvent("Group", 1, 0), UnitEvent("Phantom", 1, 0)],
+        releases=[UnitEvent("Group", 1, 0), UnitEvent("Phantom", 1, 1)],
+        cycles=2,
+    )
+    findings = run_rules(
+        [get_rule("sadl/unknown-unit")], _context([("add", False, trace)])
+    )
+    assert len(findings) == 1
+    assert "Phantom" in findings[0].message
+
+
+def test_unknown_unit_rejected_at_compile_time_still_errors():
+    def rename(trace, model):
+        trace.acquires = [
+            UnitEvent("Phantom", e.count, e.cycle) for e in trace.acquires
+        ]
+        return trace
+
+    corrupted = CorruptedModel(
+        load_machine("ultrasparc"), ModelFault("phantom-unit", "", rename)
+    )
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert any(
+        f.severity == "error" and "Phantom" in f.message for f in findings
+    )
+
+
+def _context(variants, units=None):
+    return DescriptionContext(
+        model=type("M", (), {"units": units or {"Group": 2, "ALU": 1}})(),
+        filename=None,
+        require_full_isa=False,
+        issue_unit="Group",
+        variants=variants,
+        missing=[],
+        trace_errors=[],
+        description=None,
+        opcode_table={},
+    )
+
+
+def test_capacity_overflow():
+    trace = Trace(
+        acquires=[UnitEvent("Group", 1, 0), UnitEvent("ALU", 3, 0)],
+        releases=[UnitEvent("Group", 1, 0), UnitEvent("ALU", 3, 1)],
+        cycles=2,
+    )
+    findings = run_rules(
+        [get_rule("sadl/capacity-overflow")], _context([("add", False, trace)])
+    )
+    assert len(findings) == 1
+    assert "acquires 3 of unit 'ALU'" in findings[0].message
+    assert findings[0].location.mnemonic == "add"
+
+
+def test_over_release():
+    model = load_machine_from_source(
+        """
+        unit Group 2, ALU 1
+        sem [ nop ] is AR Group, A ALU, D 1, R ALU 1, R ALU 1
+        """
+    )
+    findings = lint_description(model, require_full_isa=False)
+    assert any(
+        f.rule == "sadl/over-release" and "releases" in f.message for f in findings
+    )
+
+
+def test_unit_leak_carries_fix_hint():
+    corrupted = CorruptedModel(load_machine("supersparc"), fault("dropped-release"))
+    findings = lint_description(corrupted, require_full_isa=False)
+    leaks = [f for f in findings if f.rule == "sadl/unit-leak"]
+    assert leaks and all(f.severity == "error" and f.fix for f in leaks)
+    assert rule_ids(findings) == ["sadl/unit-leak"]
+
+
+def test_read_after_retire():
+    corrupted = CorruptedModel(load_machine("ultrasparc"), fault("read-after-retire"))
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert rule_ids(findings) == ["sadl/read-after-retire"]
+
+
+def test_early_write():
+    corrupted = CorruptedModel(load_machine("ultrasparc"), fault("write-latency-zero"))
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert rule_ids(findings) == ["sadl/early-write"]
+
+
+def test_pipeline_length():
+    absurd = Trace(
+        acquires=[UnitEvent("Group", 1, 0)],
+        releases=[UnitEvent("Group", 1, 0)],
+        cycles=100_000,
+    )
+    findings = run_rules(
+        [get_rule("sadl/pipeline-length")], _context([("add", False, absurd)])
+    )
+    assert len(findings) == 1 and "100000" in findings[0].message
+
+
+# -- the new AST/table-level analyses ---------------------------------------------
+
+
+def test_dead_unit():
+    model = load_machine_from_source(
+        "unit Group 1, Spare 3\nsem [ nop ] is AR Group, D 1"
+    )
+    findings = lint_description(model, require_full_isa=False)
+    dead = [f for f in findings if f.rule == "sadl/dead-unit"]
+    assert len(dead) == 1
+    assert "'Spare'" in dead[0].message
+    assert dead[0].location.line is not None  # points at the declaration
+
+
+def test_dead_alternative():
+    model = load_machine_from_source(
+        "unit Group 1\nval bogus is 1=0 ? 1 : 2\nsem [ nop ] is AR Group, D 1"
+    )
+    findings = lint_description(model, require_full_isa=False)
+    dead = [f for f in findings if f.rule == "sadl/dead-alternative"]
+    assert len(dead) == 1
+    assert "always false" in dead[0].message
+    assert "first alternative" in dead[0].message
+
+
+def test_dead_alternative_ignores_dynamic_conditions():
+    # The shipped descriptions use `iflag=1 ? imm : reg` everywhere;
+    # iflag is a field, not a constant, so nothing fires.
+    findings = lint_description(load_machine("hypersparc"))
+    assert "sadl/dead-alternative" not in rule_ids(findings)
+
+
+def test_encoding_overlap_detected():
+    table = {
+        "addx": OpcodeInfo("addx", Format.ARITH, Category.IALU, op3=0x3F),
+        "suby": OpcodeInfo("suby", Format.ARITH, Category.IALU, op3=0x3F),
+    }
+    model = load_machine("ultrasparc")
+    findings = lint_description(
+        model, enable=["isa/encoding-overlap"], opcode_table=table
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "isa/encoding-overlap"
+    assert "matches both opcodes" in findings[0].message
+    assert findings[0].location.mnemonic == "addx"
+
+
+def test_encoding_overlap_allows_strict_refinement():
+    # nop is sethi with every operand field fixed to zero: a strictly
+    # more specific pattern, not an ambiguity.
+    findings = lint_description(
+        load_machine("ultrasparc"), enable=["isa/encoding-overlap"]
+    )
+    assert findings == []

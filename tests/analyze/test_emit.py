@@ -1,0 +1,98 @@
+"""Emitter tests: text, JSON, and SARIF shapes."""
+
+import json
+
+from repro.analyze import (
+    Finding,
+    Location,
+    registered_rules,
+    render_text,
+    summarize,
+    to_json,
+    to_sarif,
+)
+
+FINDINGS = [
+    Finding(
+        "sadl/unit-leak",
+        "error",
+        "acquires 1 of 'FPU' but releases only 0",
+        Location(file="machine.sadl", line=7, mnemonic="faddd"),
+        fix="add a matching release",
+    ),
+    Finding(
+        "image/cross-block-raw",
+        "info",
+        "fdivd writes %f4 with 5 cycle(s) of latency left",
+        Location(file="prog.rxe", block=0, address=0x10000),
+    ),
+]
+
+
+def test_summarize_counts_by_severity():
+    assert summarize(FINDINGS) == {"info": 1, "warning": 0, "error": 1}
+
+
+def test_render_text_clean_and_tally():
+    assert render_text([]) == "clean: no findings"
+    text = render_text(FINDINGS)
+    assert "2 finding(s): 1 error, 1 info" in text
+    assert "sadl/unit-leak" in text
+
+
+def test_json_shape_roundtrips():
+    payload = to_json(FINDINGS)
+    json.dumps(payload)  # must be serializable
+    assert payload["version"] == 1
+    assert payload["summary"]["error"] == 1
+    first = payload["findings"][0]
+    assert first["rule"] == "sadl/unit-leak"
+    assert first["severity"] == "error"
+    assert first["location"] == {
+        "file": "machine.sadl",
+        "line": 7,
+        "mnemonic": "faddd",
+    }
+    assert first["fix"] == "add a matching release"
+    # None-valued location fields are omitted, not nulled.
+    second = payload["findings"][1]
+    assert "line" not in second["location"]
+    assert "fix" not in second
+
+
+def test_json_lists_rules_when_given():
+    rules = registered_rules("image")
+    payload = to_json([], rules=rules)
+    assert payload["rules"] == [r.id for r in rules]
+
+
+def test_sarif_shape():
+    log = to_sarif(FINDINGS)
+    json.dumps(log)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    rule_ids = [r["id"] for r in driver["rules"]]
+    # Rule metadata defaults to exactly the rules present in findings.
+    assert sorted(rule_ids) == ["image/cross-block-raw", "sadl/unit-leak"]
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("note", "warning", "error")
+
+    results = run["results"]
+    assert results[0]["ruleId"] == "sadl/unit-leak"
+    assert results[0]["level"] == "error"
+    physical = results[0]["locations"][0]["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "machine.sadl"
+    assert physical["region"]["startLine"] == 7
+    # info maps to SARIF's 'note' level.
+    assert results[1]["level"] == "note"
+    assert results[1]["properties"]["block"] == 0
+
+
+def test_sarif_explicit_rules_override_discovery():
+    rules = registered_rules("description")
+    log = to_sarif([], rules=rules)
+    driver = log["runs"][0]["tool"]["driver"]
+    assert len(driver["rules"]) == len(rules)
+    assert log["runs"][0]["results"] == []

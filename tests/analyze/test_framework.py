@@ -1,0 +1,104 @@
+"""Lint-framework tests: findings, registry, selection, failure discipline."""
+
+import pytest
+
+from repro.analyze import (
+    AnalysisError,
+    Finding,
+    Location,
+    get_rule,
+    registered_rules,
+    run_rules,
+    select_rules,
+    severity_rank,
+)
+from repro.analyze.rules import Rule, record_findings
+from repro.errors import ReproError
+from repro.obs import ANALYZE_FINDINGS, MetricsRecorder
+
+
+def test_registry_spans_both_categories_with_enough_rules():
+    rules = registered_rules()
+    assert len(rules) >= 8
+    categories = {r.category for r in rules}
+    assert {"description", "image"} <= categories
+    # ids are unique and sorted.
+    ids = [r.id for r in rules]
+    assert ids == sorted(ids) and len(ids) == len(set(ids))
+
+
+def test_severity_rank_orders_severities():
+    assert severity_rank("info") < severity_rank("warning") < severity_rank("error")
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        Finding("x/y", "fatal", "boom")
+
+
+def test_finding_renders_location_and_fix():
+    finding = Finding(
+        "sadl/unit-leak",
+        "error",
+        "leaks",
+        Location(mnemonic="add"),
+        fix="release it",
+    )
+    text = str(finding)
+    assert "[error]" in text and "add" in text and "release it" in text
+
+
+def test_get_rule_unknown_id_raises_analysis_error():
+    with pytest.raises(AnalysisError, match="unknown rule id"):
+        get_rule("sadl/does-not-exist")
+    assert issubclass(AnalysisError, ReproError)
+
+
+def test_select_rules_disable_and_enable():
+    everything = select_rules("image")
+    dropped = select_rules("image", disable=("image/unreachable-block",))
+    assert len(dropped) == len(everything) - 1
+    only = select_rules("image", enable=("image/unreachable-block",))
+    assert [r.id for r in only] == ["image/unreachable-block"]
+
+
+def test_select_rules_rejects_unknown_disable():
+    with pytest.raises(AnalysisError):
+        select_rules("image", disable=("image/typo",))
+
+
+def test_select_rules_rejects_cross_category_enable():
+    with pytest.raises(AnalysisError, match="image rule"):
+        select_rules("description", enable=("image/unreachable-block",))
+
+
+def test_crashing_rule_raises_analysis_error():
+    def boom(_ctx):
+        raise RuntimeError("kaboom")
+        yield  # pragma: no cover
+
+    bad = Rule("x/crash", "image", "error", "crashes", boom)
+    with pytest.raises(AnalysisError, match="x/crash crashed: RuntimeError"):
+        run_rules([bad], object())
+
+
+def test_run_rules_deduplicates_identical_findings():
+    def noisy(_ctx):
+        yield Finding("x/dup", "warning", "same thing")
+        yield Finding("x/dup", "warning", "same thing")
+
+    produced = run_rules([Rule("x/dup", "image", "warning", "dup", noisy)], None)
+    assert len(produced) == 1
+
+
+def test_record_findings_counts_per_severity():
+    recorder = MetricsRecorder()
+    findings = [
+        Finding("x/a", "error", "one"),
+        Finding("x/b", "warning", "two"),
+        Finding("x/c", "error", "three"),
+    ]
+    assert record_findings(findings, recorder) is findings
+    metrics = recorder.metrics
+    assert metrics.counter_total(ANALYZE_FINDINGS) == 3
+    assert metrics.counter_total(ANALYZE_FINDINGS, severity="error") == 2

@@ -1,0 +1,181 @@
+"""Image-category rules: whole-image schedule analysis over the eel CFG."""
+
+import pytest
+
+from repro.analyze import lint_image, lint_profiled
+from repro.eel import Executable, TEXT_BASE
+from repro.isa import assemble
+from repro.qpt import SlowProfiler
+from repro.robust import ClobberingProfiler
+from repro.spawn import load_machine
+from repro.workloads import sum_loop
+
+MACHINE = load_machine("ultrasparc")
+
+
+def image(source):
+    return Executable.from_instructions(assemble(source, base_address=TEXT_BASE))
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- cross-block hazard overhang --------------------------------------------------
+
+
+def test_cross_block_raw_detected():
+    exe = image(
+        """
+            fdivd %f0, %f2, %f4
+            ba next
+            nop
+        next:
+            faddd %f4, %f6, %f8
+            retl
+            nop
+        """
+    )
+    findings = lint_image(exe, MACHINE, path="prog.rxe")
+    raws = [f for f in findings if f.rule == "image/cross-block-raw"]
+    assert raws and all(f.severity == "info" for f in raws)
+    assert "fdivd writes %f4" in raws[0].message
+    assert "reads it inside that window" in raws[0].message
+    assert raws[0].location.file == "prog.rxe"
+    assert raws[0].location.block is not None
+
+
+def test_cross_block_waw_detected():
+    exe = image(
+        """
+            fdivd %f0, %f2, %f4
+            ba next
+            nop
+        next:
+            faddd %f6, %f8, %f4
+            retl
+            nop
+        """
+    )
+    findings = lint_image(exe, MACHINE)
+    assert "image/cross-block-waw" in rule_ids(findings)
+    assert "image/cross-block-raw" not in rule_ids(findings)
+
+
+def test_cross_block_clean_when_latency_settles():
+    # Plenty of single-cycle instructions between the divide and the
+    # consumer: the latency no longer overhangs the boundary.
+    exe = image(
+        """
+            fdivd %f0, %f2, %f4
+        """
+        + "    add %o0, 1, %o0\n" * 40
+        + """
+            ba next
+            nop
+        next:
+            faddd %f4, %f6, %f8
+            retl
+            nop
+        """
+    )
+    findings = lint_image(exe, MACHINE)
+    assert "image/cross-block-raw" not in rule_ids(findings)
+
+
+def test_cross_block_rules_need_a_model():
+    exe = image(
+        """
+            fdivd %f0, %f2, %f4
+            ba next
+            nop
+        next:
+            faddd %f4, %f6, %f8
+            retl
+            nop
+        """
+    )
+    findings = lint_image(exe)  # no model: hazard rules silently skip
+    assert "image/cross-block-raw" not in rule_ids(findings)
+
+
+# -- delay slots ------------------------------------------------------------------
+
+
+def test_delay_slot_clobber_detected():
+    # retl reads %o7; a delay slot writing it was filled past a dependence.
+    exe = image("retl\nclr %o7")
+    findings = lint_image(exe)
+    assert rule_ids(findings) == ["image/delay-slot-clobber"]
+    finding = findings[0]
+    assert finding.severity == "error"
+    assert "%o7" in finding.message and "jmpl" in finding.message
+
+
+def test_delay_slot_clean():
+    findings = lint_image(image("retl\nnop"))
+    assert "image/delay-slot-clobber" not in rule_ids(findings)
+
+
+# -- instrumentation clobbering live registers ------------------------------------
+
+
+def test_clobbering_profiler_flagged():
+    profiler = ClobberingProfiler(sum_loop(12).executable)
+    profiled = profiler.instrument()
+    assert profiler.corrupted, "the fault class must actually fire"
+    findings = lint_profiled(profiled, MACHINE)
+    errors = [f for f in findings if f.severity == "error"]
+    assert rule_ids(errors) == ["image/clobber-live-register"]
+    flagged = {f.location.block for f in errors}
+    assert profiler.corrupted <= flagged
+
+
+def test_healthy_profiler_clean():
+    profiled = SlowProfiler(sum_loop(12).executable).instrument()
+    findings = lint_profiled(profiled, MACHINE)
+    assert not [f for f in findings if f.severity == "error"], findings
+
+
+def test_lint_profiled_falls_back_without_editor():
+    profiled = SlowProfiler(sum_loop(8).executable).instrument()
+    stripped = type(profiled)(
+        original=profiled.original,
+        executable=profiled.executable,
+        cfg=profiled.cfg,
+        plan=profiled.plan,
+        counters=profiled.counters,
+        editor=None,
+    )
+    # Decoded images have lost instrumentation tags; the fallback must
+    # still run the other image rules without crashing.
+    findings = lint_profiled(stripped, MACHINE)
+    assert "image/clobber-live-register" not in rule_ids(findings)
+
+
+# -- unreachable blocks -----------------------------------------------------------
+
+
+def test_unreachable_block_detected():
+    exe = image(
+        """
+            retl
+            nop
+            clr %o0
+            retl
+            nop
+        """
+    )
+    findings = lint_image(exe)
+    assert rule_ids(findings) == ["image/unreachable-block"]
+    assert findings[0].severity == "info"
+
+
+def test_entry_block_not_unreachable():
+    findings = lint_image(image("retl\nnop"))
+    assert findings == []
+
+
+def test_headline_workload_has_no_errors():
+    findings = lint_image(sum_loop(12).executable, MACHINE)
+    assert not [f for f in findings if f.severity != "info"], findings

@@ -1,0 +1,86 @@
+"""Seeded corruptions: each caught by exactly the expected rule, and the
+verdict survives both emitters (JSON and SARIF) unchanged."""
+
+import pytest
+
+from repro.analyze import lint_description, lint_image, lint_profiled, to_json, to_sarif
+from repro.eel import Executable, TEXT_BASE
+from repro.isa import assemble
+from repro.isa.opcodes import Category, Format, OpcodeInfo
+from repro.robust import MODEL_FAULTS, ClobberingProfiler, CorruptedModel
+from repro.spawn import load_machine
+from repro.workloads import sum_loop
+
+MACHINE = load_machine("ultrasparc")
+
+
+def both_emitters(findings):
+    """(json rule set, sarif rule set) for cross-format agreement."""
+    payload = to_json(findings)
+    sarif = to_sarif(findings)
+    return (
+        {f["rule"] for f in payload["findings"]},
+        {r["ruleId"] for r in sarif["runs"][0]["results"]},
+    )
+
+
+def assert_caught_by_exactly(findings, expected_rule):
+    json_rules, sarif_rules = both_emitters(findings)
+    assert json_rules == {expected_rule}
+    assert sarif_rules == {expected_rule}
+
+
+def test_resource_leak_caught_by_unit_leak():
+    dropped = next(f for f in MODEL_FAULTS if f.name == "dropped-release")
+    corrupted = CorruptedModel(MACHINE, dropped)
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert_caught_by_exactly(findings, "sadl/unit-leak")
+
+
+def test_ambiguous_encoding_caught_by_encoding_overlap():
+    table = {
+        "ldx": OpcodeInfo("ldx", Format.MEM, Category.LOAD, op3=0x2A, memory="load"),
+        "sty": OpcodeInfo("sty", Format.MEM, Category.STORE, op3=0x2A, memory="store"),
+    }
+    findings = lint_description(
+        MACHINE, enable=["isa/encoding-overlap"], opcode_table=table
+    )
+    assert_caught_by_exactly(findings, "isa/encoding-overlap")
+
+
+def test_live_register_clobber_caught_by_image_rule():
+    profiler = ClobberingProfiler(sum_loop(12).executable)
+    profiled = profiler.instrument()
+    assert profiler.corrupted
+    errors = [
+        f
+        for f in lint_profiled(profiled, MACHINE)
+        if f.severity == "error"
+    ]
+    assert_caught_by_exactly(errors, "image/clobber-live-register")
+
+
+def test_cross_block_raw_caught_by_image_rule():
+    exe = Executable.from_instructions(
+        assemble(
+            """
+                fdivd %f0, %f2, %f4
+                ba next
+                nop
+            next:
+                faddd %f4, %f6, %f8
+                retl
+                nop
+            """,
+            base_address=TEXT_BASE,
+        )
+    )
+    findings = lint_image(exe, MACHINE)
+    assert_caught_by_exactly(findings, "image/cross-block-raw")
+
+
+@pytest.mark.parametrize("fault", MODEL_FAULTS, ids=lambda f: f.name)
+def test_every_model_fault_yields_error_findings(fault):
+    corrupted = CorruptedModel(MACHINE, fault)
+    findings = lint_description(corrupted, require_full_isa=False)
+    assert any(f.severity == "error" for f in findings), fault.name

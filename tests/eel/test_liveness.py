@@ -137,3 +137,74 @@ def test_avoid_set_respected():
     without = live.dead_integer_registers(first, count=1)
     avoided = live.dead_integer_registers(first, count=1, avoid=frozenset(without))
     assert avoided and avoided != without
+
+
+def test_block_boundary_fallthrough_vs_taken():
+    # %o4 is read only on the fallthrough path (which redefines %o5),
+    # %o5 only on the taken path (which redefines %o4): both are
+    # live-out of the branching block — the union over both edges — but
+    # each successor's live-in keeps only its own use.
+    cfg, live = analyze(
+        """
+            cmp %o0, 1
+            be taken
+            nop
+            add %o4, 1, %o3
+            clr %o5
+            retl
+            nop
+        taken:
+            add %o5, 1, %o3
+            clr %o4
+            retl
+            nop
+        """
+    )
+    branch = next(b for b in cfg if b.has_conditional_exit)
+    assert r(12) in live.live_out(branch)  # %o4 via fallthrough
+    assert r(13) in live.live_out(branch)  # %o5 via taken edge
+    fallthrough = next(
+        b for b in cfg if any(r(12) in i.regs_read() for i in b.body)
+    )
+    taken = next(b for b in cfg if any(r(13) in i.regs_read() for i in b.body))
+    assert r(12) in live.live_in(fallthrough)
+    assert r(13) not in live.live_in(fallthrough)
+    assert r(13) in live.live_in(taken)
+    assert r(12) not in live.live_in(taken)
+
+
+def test_delay_slot_use_is_live_in():
+    # The delay slot executes with its branch: its read of %o3 makes
+    # %o3 live-in of the branching block, but nothing downstream reads
+    # it, so it is dead across the boundary.
+    cfg, live = analyze(
+        """
+            ba target
+            mov %o3, %o1
+        target:
+            clr %o3
+            retl
+            nop
+        """
+    )
+    first = cfg.blocks[0]
+    assert r(11) in live.live_in(first)
+    assert r(11) not in live.live_out(first)
+
+
+def test_delay_slot_def_satisfies_successor_use():
+    # The delay slot writes %o2 before control reaches the target, so
+    # the target's read is covered: live-out yes, live-in no.
+    cfg, live = analyze(
+        """
+            ba target
+            clr %o2
+        target:
+            add %o2, 1, %o3
+            retl
+            nop
+        """
+    )
+    first = cfg.blocks[0]
+    assert r(10) in live.live_out(first)
+    assert r(10) not in live.live_in(first)

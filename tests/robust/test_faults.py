@@ -23,7 +23,7 @@ def test_full_harness_is_clean_on_ultrasparc():
     assert report.escaped == 0, report.render()
     assert report.clean
     layers = {o.layer for o in report.outcomes}
-    assert layers == {"model", "encoding", "scheduler", "cache"}
+    assert layers == {"model", "encoding", "scheduler", "instrumentation", "cache"}
 
 
 def test_full_harness_is_clean_on_synthetic_machine():

@@ -222,3 +222,135 @@ def test_faults_command_synthetic(capsys):
     out = capsys.readouterr().out
     assert "all injected faults caught" in out
     assert "bit-flip" in out
+
+
+def test_lint_description_clean(capsys):
+    assert main(["lint", "--machine", "hypersparc", "--fail-on", "warning"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) >= 8
+    assert any(line.startswith("sadl/") for line in lines)
+    assert any(line.startswith("image/") for line in lines)
+    assert any(line.startswith("isa/") for line in lines)
+
+
+def test_lint_image_json(program, capsys):
+    path, _ = program
+    assert main(["lint", str(path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert set(payload["summary"]) == {"info", "warning", "error"}
+    assert any(rule.startswith("image/") for rule in payload["rules"])
+
+
+def test_lint_sarif_output_file(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "lint.sarif"
+    assert main(["lint", str(path), "--format", "sarif", "-o", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    sarif = json.loads(out.read_text())
+    assert sarif["version"] == "2.1.0"
+    rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+    assert any(r["id"].startswith("image/") for r in rules)
+
+
+def test_lint_sadl_file_fails_on_leak(tmp_path, capsys):
+    bad = tmp_path / "leaky.sadl"
+    bad.write_text("unit Group 1\nsem [ nop ] is A Group, D 1\n")
+    assert main(["lint", "--sadl", str(bad), "--partial"]) == 1
+    out = capsys.readouterr().out
+    assert "sadl/unit-leak" in out
+
+
+def test_lint_fail_on_threshold(tmp_path, capsys):
+    # Only warnings: default --fail-on error passes, warning fails.
+    warn = tmp_path / "warn.sadl"
+    warn.write_text("unit ALU 1\nsem [ nop ] is AR ALU, D 1\n")
+    assert main(["lint", "--sadl", str(warn), "--partial"]) == 0
+    capsys.readouterr()
+    assert (
+        main(["lint", "--sadl", str(warn), "--partial", "--fail-on", "warning"])
+        == 1
+    )
+
+
+def test_lint_disable_rule(tmp_path, capsys):
+    warn = tmp_path / "warn.sadl"
+    warn.write_text("unit ALU 1\nsem [ nop ] is AR ALU, D 1\n")
+    assert (
+        main(
+            [
+                "lint", "--sadl", str(warn), "--partial",
+                "--fail-on", "warning",
+                "--disable", "sadl/unbounded-width",
+            ]
+        )
+        == 0
+    )
+
+
+def test_lint_unknown_rule_is_typed_error(capsys):
+    assert main(["lint", "--disable", "sadl/typo"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "unknown rule" in err
+
+
+def test_lint_stats_reports_findings(tmp_path, capsys):
+    warn = tmp_path / "warn.sadl"
+    warn.write_text("unit ALU 1\nsem [ nop ] is AR ALU, D 1\n")
+    assert main(["lint", "--sadl", str(warn), "--partial", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "lint findings" in out
+
+
+def test_instrument_safe_counts_static_passes(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "safe.rxe"
+    assert (
+        main(
+            [
+                "instrument", str(path), "-o", str(out),
+                "--schedule", "--safe", "--stats",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr().out
+    assert "static pre-verifier" in captured
+    assert "blocks proven statically" in captured
+
+
+def test_docstring_covers_every_subcommand_and_new_flags():
+    import argparse
+
+    import repro.tools.qpt_cli as cli
+
+    parser = cli.build_parser()
+    subparsers = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    for name in subparsers.choices:
+        assert name in cli.__doc__, f"docstring does not mention {name!r}"
+    for flag in ("--jobs", "--cache", "--safe", "--fail-on"):
+        assert flag in cli.__doc__, f"docstring does not mention {flag!r}"
+
+
+def test_every_registered_flag_in_subcommand_help():
+    import argparse
+
+    import repro.tools.qpt_cli as cli
+
+    parser = cli.build_parser()
+    subparsers = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    for name, sub in subparsers.choices.items():
+        text = sub.format_help()
+        for action in sub._actions:
+            for option in action.option_strings:
+                assert option in text, f"{name} --help misses {option}"
