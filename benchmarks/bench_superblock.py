@@ -1,0 +1,101 @@
+"""Superblock scheduling on small-block workloads.
+
+The paper's local scheduler is starved exactly where profiling overhead
+is worst: SPECINT-style code whose blocks average 2–3 instructions has
+no stalls to hide a 4-instruction counter sequence in. Superblocks
+(profile-guided chains of fall-through blocks, scheduled as one region
+with carried pipeline state and compensated cross-block motion) enlarge
+the region instead. This bench measures how much more instrumentation
+overhead that hides on the small-block SPECINT stand-ins, machine by
+machine, and records the formation telemetry alongside.
+"""
+
+from conftest import TABLE_TRIPS, save_result
+
+from repro.evaluation import ExperimentConfig, run_profiling_experiment
+from repro.obs import (
+    SB_COMPENSATION,
+    SB_CROSS_MOVES,
+    SB_FORMED,
+    MetricsRecorder,
+)
+
+#: (benchmark, machine) cells: the smallest-block SPECINT stand-ins on
+#: the two superscalars the paper reports, where local scheduling
+#: leaves the most overhead exposed.
+CELLS = (
+    ("099.go", "ultrasparc"),
+    ("130.li", "ultrasparc"),
+    ("099.go", "supersparc"),
+)
+
+
+def _run():
+    rows = {}
+    for bench, machine in CELLS:
+        local = run_profiling_experiment(
+            bench, ExperimentConfig(machine=machine, trip_count=TABLE_TRIPS)
+        )
+        recorder = MetricsRecorder()
+        superblock = run_profiling_experiment(
+            bench,
+            ExperimentConfig(
+                machine=machine, trip_count=TABLE_TRIPS, superblock=True
+            ),
+            recorder=recorder,
+        )
+        telemetry = {
+            "formed": int(recorder.metrics.counter_total(SB_FORMED)),
+            "moves": int(recorder.metrics.counter_total(SB_CROSS_MOVES)),
+            "compensation": int(
+                recorder.metrics.counter_total(SB_COMPENSATION)
+            ),
+        }
+        rows[f"{bench}@{machine}"] = (local, superblock, telemetry)
+    return rows
+
+
+def test_superblock_hides_more_overhead(once):
+    rows = once(_run)
+    lines = [
+        "cell                   local-hidden  superblock-hidden  "
+        "sched-cycles  sb-cycles  formed  moves"
+    ]
+    for cell, (local, superblock, telemetry) in rows.items():
+        lines.append(
+            f"{cell:22s} {local.pct_hidden:12.1%} "
+            f"{superblock.pct_hidden:17.1%} "
+            f"{local.scheduled_cycles:13,} {superblock.scheduled_cycles:10,} "
+            f"{telemetry['formed']:7d} {telemetry['moves']:6d}"
+        )
+    save_result("superblock.txt", "\n".join(lines) + "\n")
+
+    once.extra_info["hidden_superblock"] = {
+        cell: round(r[1].pct_hidden, 3) for cell, r in rows.items()
+    }
+    once.extra_info["hidden_local"] = {
+        cell: round(r[0].pct_hidden, 3) for cell, r in rows.items()
+    }
+    once.extra_info["superblocks_formed"] = {
+        cell: r[2]["formed"] for cell, r in rows.items()
+    }
+    best = max(
+        r[1].pct_hidden - r[0].pct_hidden for r in rows.values()
+    )
+    once.extra_info["best_hidden_gain"] = round(best, 3)
+
+    # Superblocks must actually form and move code somewhere...
+    assert any(r[2]["formed"] > 0 for r in rows.values())
+    # ...and improve hidden overhead on at least one small-block cell.
+    assert best > 0.0
+    for cell, (local, superblock, _) in rows.items():
+        # Never meaningfully worse than local scheduling anywhere: the
+        # commit gate only accepts modeled wins (trace-timing noise of
+        # a committed plan stays within a fraction of a percent).
+        assert superblock.scheduled_cycles <= local.scheduled_cycles * 1.01, cell
+        # The three-way protocol invariants hold in superblock mode.
+        assert (
+            superblock.uninstrumented_cycles
+            <= superblock.scheduled_cycles
+            <= superblock.instrumented_cycles
+        ), cell

@@ -17,6 +17,16 @@ from .dependence import (
 from .list_scheduler import ListScheduler, ScheduleResult
 from .priorities import chain_lengths, edge_delay
 from .regions import Region, join_regions, split_regions
+from .superblock import (
+    Profile,
+    SpeculationRecord,
+    Superblock,
+    SuperblockConfig,
+    SuperblockPlan,
+    SuperblockScheduler,
+    form_superblocks,
+    masked_differential,
+)
 from .verify import VerificationResult, verify_schedule
 
 __all__ = [
@@ -26,15 +36,23 @@ __all__ = [
     "ListScheduler",
     "OptimizerStats",
     "PRIORITY_FUNCTIONS",
+    "Profile",
     "Region",
     "ScheduleResult",
     "SchedulerStats",
     "SchedulingPolicy",
+    "SpeculationRecord",
+    "Superblock",
+    "SuperblockConfig",
+    "SuperblockPlan",
+    "SuperblockScheduler",
     "VerificationResult",
     "build_dependence_graph",
     "chain_lengths",
     "edge_delay",
+    "form_superblocks",
     "join_regions",
+    "masked_differential",
     "random_topological_order",
     "reschedule_transform",
     "split_regions",

@@ -12,6 +12,12 @@ paper's policy:
   program's* — "this permits instrumentation loads and stores, which
   typically do not conflict with the original loads and stores, more
   freedom of movement";
+* two instrumentation references whose absolute addresses are both
+  statically resolvable (a ``sethi``-defined base plus an immediate —
+  exactly the shape of a QPT2 counter update) and provably disjoint do
+  not conflict at all. Within one block this never fires (a counter's
+  load and store hit the same word), but it lets the *superblock*
+  scheduler overlap the independent counter chains of merged blocks;
 * because "some instrumentation's memory references are more
   constrained, there are options to limit the movement of
   instrumentation code": ``restrict_instrumentation_memory=True``
@@ -86,7 +92,11 @@ class DependenceGraph:
 
 
 def _memory_conflict(
-    earlier: Instruction, later: Instruction, policy: SchedulingPolicy
+    earlier: Instruction,
+    later: Instruction,
+    policy: SchedulingPolicy,
+    addr_earlier: int | None = None,
+    addr_later: int | None = None,
 ) -> bool:
     a, b = earlier.memory, later.memory
     if a is None or b is None:
@@ -95,8 +105,49 @@ def _memory_conflict(
         return False  # loads never conflict
     same_side = earlier.is_instrumentation == later.is_instrumentation
     if same_side:
+        if (
+            earlier.is_instrumentation
+            and addr_earlier is not None
+            and addr_later is not None
+            and _disjoint_access(earlier, addr_earlier, later, addr_later)
+        ):
+            return False  # two different counters: provably disjoint
         return True  # same alias class: conservatively ordered
     return policy.restrict_instrumentation_memory
+
+
+def _access_bytes(inst: Instruction) -> int:
+    # ``fp_width`` counts 4-byte words for every memory format (ldd/std
+    # carry width 2); sub-word accesses stay within their word.
+    return 4 * max(inst.info.fp_width, 1)
+
+
+def _disjoint_access(
+    a: Instruction, addr_a: int, b: Instruction, addr_b: int
+) -> bool:
+    return addr_a + _access_bytes(a) <= addr_b or addr_b + _access_bytes(b) <= addr_a
+
+
+def _static_addresses(region: list[Instruction]) -> list[int | None]:
+    """Per-instruction absolute memory address, where one is provable.
+
+    Tracks registers holding ``sethi`` constants through the region; a
+    register-plus-immediate access off such a base resolves to a concrete
+    address. Any other write to the base invalidates it."""
+    known: dict[object, int] = {}
+    addresses: list[int | None] = []
+    for inst in region:
+        address = None
+        if inst.memory is not None and inst.rs2 is None and inst.rs1 is not None:
+            base = known.get(inst.rs1)
+            if base is not None:
+                address = base + (inst.imm or 0)
+        addresses.append(address)
+        for reg in inst.regs_written():
+            known.pop(reg, None)
+        if inst.mnemonic == "sethi" and inst.rd is not None:
+            known[inst.rd] = (inst.imm or 0) << 10
+    return addresses
 
 
 def build_dependence_graph(
@@ -111,6 +162,7 @@ def build_dependence_graph(
     )
     reads = [inst.regs_read() for inst in region]
     writes = [inst.regs_written() for inst in region]
+    addresses = _static_addresses(region)
 
     for j in range(len(region)):
         for i in range(j):
@@ -118,7 +170,9 @@ def build_dependence_graph(
                 writes[i] & reads[j]  # RAW
                 or reads[i] & writes[j]  # WAR
                 or writes[i] & writes[j]  # WAW
-                or _memory_conflict(region[i], region[j], policy)
+                or _memory_conflict(
+                    region[i], region[j], policy, addresses[i], addresses[j]
+                )
             ):
                 graph.add_edge(i, j)
     return graph

@@ -49,6 +49,9 @@ class ScheduleResult:
     original_cycles: int
     scheduled_cycles: int
     graph: DependenceGraph = field(repr=False, default=None)
+    #: the running pipeline cycle after the forward pass when an entry
+    #: state was threaded in (superblock scheduling); None otherwise.
+    exit_cycle: int | None = field(default=None, compare=False)
 
     @property
     def cycles_saved(self) -> int:
@@ -70,8 +73,24 @@ class ListScheduler:
 
     # -- public API -------------------------------------------------------------
 
-    def schedule_region(self, region: list[Instruction]) -> ScheduleResult:
-        """Schedule one straight-line region (no control transfers)."""
+    def schedule_region(
+        self,
+        region: list[Instruction],
+        *,
+        entry_state: PipelineState | None = None,
+        entry_cycle: int = 0,
+    ) -> ScheduleResult:
+        """Schedule one straight-line region (no control transfers).
+
+        ``entry_state``/``entry_cycle`` thread a live pipeline state into
+        the forward pass, so the priority function sees latencies still
+        draining from code issued *before* this region — how the
+        superblock scheduler carries state across fall-through block
+        boundaries (:mod:`repro.core.superblock`). The state is mutated
+        in place (each chosen instruction is committed to it); the
+        result's ``exit_cycle`` is the running cycle afterwards. With
+        the defaults the behavior is exactly the paper's local pass.
+        """
         for inst in region:
             if inst.is_control:
                 raise ValueError(
@@ -84,7 +103,9 @@ class ListScheduler:
         with rec.span("core.backward_pass"):
             heights = chain_lengths(self.model, graph)
         with rec.span("core.forward_pass"):
-            order = self._forward_pass(graph, heights)
+            order, exit_cycle = self._forward_pass(
+                graph, heights, state=entry_state, cycle=entry_cycle
+            )
         scheduled = [region[i] for i in order]
         return ScheduleResult(
             instructions=scheduled,
@@ -92,17 +113,26 @@ class ListScheduler:
             original_cycles=self._issue_cycles(region),
             scheduled_cycles=self._issue_cycles(scheduled),
             graph=graph,
+            exit_cycle=exit_cycle if entry_state is not None else None,
         )
 
     # -- passes -----------------------------------------------------------------
 
-    def _forward_pass(self, graph: DependenceGraph, heights: list[int]) -> list[int]:
+    def _forward_pass(
+        self,
+        graph: DependenceGraph,
+        heights: list[int],
+        *,
+        state: PipelineState | None = None,
+        cycle: int = 0,
+    ) -> tuple[list[int], int]:
         n = graph.size
         remaining_preds = [len(graph.preds[i]) for i in range(n)]
         ready = [i for i in range(n) if remaining_preds[i] == 0]
         order: list[int] = []
-        state = PipelineState(self.model)
-        cycle = 0
+        if state is None:
+            state = PipelineState(self.model)
+            cycle = 0
         rec = self.recorder
         telemetry = rec.enabled
         keys: list[tuple] | None = [] if telemetry else None
@@ -142,7 +172,7 @@ class ListScheduler:
 
         if len(order) != n:  # pragma: no cover - DAGs are acyclic by construction
             raise RuntimeError("dependence graph had a cycle")
-        return order
+        return order, cycle
 
     # -- telemetry ---------------------------------------------------------------
 

@@ -5,7 +5,16 @@ regions of straight-line code." (§4) Blocks produced by the EEL editor
 never contain embedded control transfers, but tools composing raw
 instruction sequences might; the scheduler pipeline therefore splits a
 sequence into maximal CTI-free runs, schedules each, and keeps the CTIs
-(with whatever follows their position) fixed.
+fixed.
+
+SPARC's delayed branches add one wrinkle: the instruction *after* a CTI
+is its delay slot and executes with the branch — on both paths for a
+non-annulled branch. It therefore belongs to the barrier, not to the
+next region: a scheduler that treated it as ordinary next-region code
+could reorder it away from its branch and change which instruction
+executes in the slot. ``split_regions`` keeps the delay-slot
+instruction glued to its CTI (the ``delay`` field) and
+``join_regions`` re-emits it immediately after the barrier.
 """
 
 from __future__ import annotations
@@ -17,29 +26,47 @@ from ..isa.instruction import Instruction
 
 @dataclass(frozen=True)
 class Region:
-    """A maximal straight-line run, plus the CTI (if any) that ends it."""
+    """A maximal straight-line run, plus the CTI (if any) that ends it
+    and the CTI's delay-slot instruction (if any)."""
 
     instructions: tuple[Instruction, ...]
     barrier: Instruction | None
+    #: the instruction occupying the barrier's delay slot; pinned — it
+    #: is never scheduled into the surrounding regions.
+    delay: Instruction | None = None
 
 
 def split_regions(sequence: list[Instruction]) -> list[Region]:
-    """Split ``sequence`` into schedulable regions at control transfers."""
+    """Split ``sequence`` into schedulable regions at control transfers.
+
+    The instruction following a CTI is consumed as that CTI's delay
+    slot (unless it is itself a CTI, which a well-formed SPARC text
+    never has — see :class:`~repro.eel.cfg.CfgError`).
+    """
     regions: list[Region] = []
     current: list[Instruction] = []
-    for inst in sequence:
+    index = 0
+    while index < len(sequence):
+        inst = sequence[index]
         if inst.is_control:
-            regions.append(Region(tuple(current), inst))
+            delay = None
+            nxt = sequence[index + 1] if index + 1 < len(sequence) else None
+            if nxt is not None and not nxt.is_control:
+                delay = nxt
+                index += 1
+            regions.append(Region(tuple(current), inst, delay))
             current = []
         else:
             current.append(inst)
+        index += 1
     if current or not regions:
         regions.append(Region(tuple(current), None))
     return regions
 
 
 def join_regions(regions: list[Region], bodies: list[list[Instruction]]) -> list[Instruction]:
-    """Reassemble scheduled region bodies with their barriers."""
+    """Reassemble scheduled region bodies with their barriers and the
+    barriers' delay-slot instructions."""
     if len(regions) != len(bodies):
         raise ValueError("region/body count mismatch")
     out: list[Instruction] = []
@@ -47,4 +74,6 @@ def join_regions(regions: list[Region], bodies: list[list[Instruction]]) -> list
         out.extend(body)
         if region.barrier is not None:
             out.append(region.barrier)
+        if region.delay is not None:
+            out.append(region.delay)
     return out

@@ -141,6 +141,14 @@ class ExperimentConfig:
     guard_budget: GuardBudget | None = None
     #: worker processes for pre-scheduling regions (1 = serial).
     jobs: int = 1
+    #: schedule across profile-guided superblocks
+    #: (:class:`~repro.core.superblock.SuperblockScheduler`), driven by
+    #: the workload's known block frequencies. True for the default
+    #: formation knobs, or a
+    #: :class:`~repro.core.superblock.SuperblockConfig`. Requires
+    #: ``trace_timing``: compensation trampolines add blocks, which the
+    #: analytic per-block timing cannot attribute.
+    superblock: "bool | object" = False
     #: memoize schedules in a content-addressed cache, shared between
     #: the reschedule-baseline pass and the instrument-and-schedule pass
     #: (and across benchmarks when a cache is passed to
@@ -163,6 +171,12 @@ def run_profiling_experiment(
     the scheduler for every block already proven.
     """
     config = config or ExperimentConfig()
+    if config.superblock and not config.trace_timing:
+        raise ValueError(
+            "superblock scheduling requires trace_timing=True: side-exit "
+            "compensation adds trampoline blocks, which per-block "
+            "frequency-weighted timing cannot attribute"
+        )
     rec = recorder if recorder is not None else NULL_RECORDER
     if isinstance(config.machine, MachineModel):
         model = config.machine
@@ -204,7 +218,12 @@ def run_profiling_experiment(
         # it for the instrument-and-schedule pass.
         schedule_cache = ScheduleCache(recorder=rec)
 
-    def block_scheduler(recorder: Recorder | None = None):
+    def block_scheduler(recorder: Recorder | None = None, *, superblock: bool = False):
+        profile = None
+        if superblock and config.superblock:
+            from ..core.superblock import Profile
+
+            profile = Profile(frequencies)
         return make_transform(
             model,
             config.policy,
@@ -213,6 +232,8 @@ def run_profiling_experiment(
             cache=schedule_cache,
             guarded=config.guarded,
             guard_budget=config.guard_budget,
+            superblock=config.superblock if superblock else False,
+            profile=profile,
         )
 
     # The "compiled -fast -xO4" input: a stronger-than-EEL scheduler has
@@ -239,7 +260,7 @@ def run_profiling_experiment(
 
     with rec.span("eval.instrument_scheduled", benchmark=benchmark):
         scheduled_program = SlowProfiler(baseline, recorder=rec).instrument(
-            block_scheduler(rec)
+            block_scheduler(rec, superblock=True)
         )
     scheduled = cycles(scheduled_program.executable, scheduled_program.text_expansion)
 

@@ -37,6 +37,14 @@ SCHED_TIE_BREAK = "scheduler.tie_break"
 SCHED_BLOCKS = "scheduler.blocks"
 SCHED_DELAY_SLOTS = "scheduler.delay_slots_filled"
 
+#: Superblock pass (``repro.core.superblock``): committed superblocks,
+#: a histogram of their lengths in blocks, compensation copies emitted
+#: on side exits, and instructions moved across block boundaries.
+SB_FORMED = "superblock.formed"
+SB_LEN = "superblock.len_histogram"
+SB_COMPENSATION = "superblock.compensation_copies"
+SB_CROSS_MOVES = "superblock.cross_block_moves"
+
 #: Blocks that passed post-schedule verification in the guarded path.
 GUARD_BLOCKS_VERIFIED = "guard.blocks_verified"
 #: Quarantined blocks, labeled ``kind=verification|scheduler-error|budget|model``.
@@ -157,6 +165,25 @@ def scheduler_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def superblock_table(metrics: MetricsRegistry) -> str:
+    """Superblock-pass telemetry, when the pass committed anything."""
+    formed = int(metrics.counter_total(SB_FORMED))
+    if formed == 0:
+        return ""
+    moves = int(metrics.counter_total(SB_CROSS_MOVES))
+    copies = int(metrics.counter_total(SB_COMPENSATION))
+    lines = [
+        f"superblocks: {formed} formed "
+        f"({moves} cross-block moves, {copies} compensation copies)"
+    ]
+    lengths = metrics.histograms.get(SB_LEN, {})
+    for _key, cell in sorted(lengths.items()):
+        lines.append(
+            f"  length (blocks): mean {cell.mean:.2f}, max {int(cell.max)}"
+        )
+    return "\n".join(lines)
+
+
 def guard_table(metrics: MetricsRegistry) -> str:
     """Verify-and-fallback telemetry, when guarded scheduling ran."""
     verified = int(metrics.counter_total(GUARD_BLOCKS_VERIFIED))
@@ -233,6 +260,9 @@ def render_stats(metrics: MetricsRegistry) -> str:
     scheduler = scheduler_table(metrics)
     if scheduler:
         sections.append(scheduler)
+    superblock = superblock_table(metrics)
+    if superblock:
+        sections.append(superblock)
     guard = guard_table(metrics)
     if guard:
         sections.append(guard)

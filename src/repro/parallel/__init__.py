@@ -18,7 +18,12 @@ never weakens the safety contract.
 """
 
 from .benchmark import ModeTiming, ScalingReport, measure_modes, render_report
-from .cache import DEFAULT_CACHE_ENTRIES, CachedSchedule, ScheduleCache
+from .cache import (
+    DEFAULT_CACHE_ENTRIES,
+    CachedSchedule,
+    CachedSuperblockPlan,
+    ScheduleCache,
+)
 from .executor import (
     ParallelOptions,
     ParallelScheduler,
@@ -30,10 +35,12 @@ from .fingerprint import (
     model_identity,
     policy_identity,
     region_digest,
+    superblock_digest,
 )
 
 __all__ = [
     "CachedSchedule",
+    "CachedSuperblockPlan",
     "DEFAULT_CACHE_ENTRIES",
     "ModeTiming",
     "ParallelOptions",
@@ -48,4 +55,5 @@ __all__ = [
     "policy_identity",
     "region_digest",
     "render_report",
+    "superblock_digest",
 ]

@@ -75,8 +75,55 @@ class CachedSchedule:
         )
 
 
+@dataclass(frozen=True)
+class CachedSuperblockPlan:
+    """One memoized superblock plan (see ``repro.core.superblock``).
+
+    Unlike :class:`CachedSchedule` this stores the scheduled bodies
+    *concretely*: the superblock digest is computed without register
+    renaming (cross-boundary legality is not renaming-invariant), so a
+    hit guarantees instruction-identical member blocks and the bodies
+    can be replayed verbatim. ``compensation`` pairs each taken edge
+    with the copies to re-emit on it."""
+
+    bodies: tuple[tuple[Instruction, ...], ...]
+    #: (boundary index, copies): edges are re-derived from the CFG at
+    #: replay time, since a content-identical superblock elsewhere in
+    #: the text has different block indexes.
+    compensation: tuple[tuple[int, tuple[Instruction, ...]], ...]
+    moves: int
+    copies: int
+    local_cost: int
+    superblock_cost: int
+    verified: bool
+
+    def _to_plan(self, superblock, cfg):
+        from ..core.superblock import SuperblockPlan  # lazy: core is upstream
+
+        compensation = {}
+        for boundary, copies in self.compensation:
+            src = cfg.blocks[superblock.blocks[boundary]]
+            taken = next(e for e in src.succs if e.kind == "taken")
+            compensation[taken] = list(copies)
+        return SuperblockPlan(
+            superblock=superblock,
+            bodies=[list(body) for body in self.bodies],
+            compensation=compensation,
+            results=[None] * len(self.bodies),
+            moves=self.moves,
+            copies=self.copies,
+            local_cost=self.local_cost,
+            superblock_cost=self.superblock_cost,
+        )
+
+
 class ScheduleCache:
-    """Bounded LRU map of (context, region fingerprint) → schedule."""
+    """Bounded LRU map of (context, region fingerprint) → schedule.
+
+    Superblock plans live in a second, independently bounded LRU store
+    (:meth:`lookup_superblock` / :meth:`insert_superblock`) with the
+    same verified-bit semantics; their traffic shares the
+    ``schedule_cache.*`` counters under ``kind=superblock``."""
 
     def __init__(
         self,
@@ -89,6 +136,9 @@ class ScheduleCache:
         self.max_entries = max_entries
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._entries: OrderedDict[tuple[str, str], CachedSchedule] = OrderedDict()
+        self._superblocks: OrderedDict[tuple[str, str], CachedSuperblockPlan] = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         self.inserts = 0
@@ -181,3 +231,71 @@ class ScheduleCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._superblocks.clear()
+
+    # -- superblock plans --------------------------------------------------------
+
+    def superblock_entries(self) -> int:
+        return len(self._superblocks)
+
+    def lookup_superblock(
+        self,
+        context: str,
+        digest: str,
+        *,
+        require_verified: bool = False,
+    ) -> CachedSuperblockPlan | None:
+        """The cached plan for a superblock digest under ``context``.
+
+        Same trust contract as :meth:`lookup`: ``require_verified``
+        hides unverified entries from the guarded path."""
+        key = (context, digest)
+        entry = self._superblocks.get(key)
+        if entry is not None and (entry.verified or not require_verified):
+            self._superblocks.move_to_end(key)
+            self.hits += 1
+            self.recorder.count(CACHE_HITS, kind="superblock")
+            return entry
+        self.misses += 1
+        self.recorder.count(CACHE_MISSES, kind="superblock")
+        return None
+
+    def insert_superblock(
+        self,
+        context: str,
+        digest: str,
+        plan,
+        *,
+        verified: bool = False,
+    ) -> CachedSuperblockPlan:
+        """Memoize a committed :class:`~repro.core.superblock.SuperblockPlan`.
+
+        Verified inserts upgrade, unverified ones never downgrade —
+        mirroring :meth:`insert`."""
+        key = (context, digest)
+        existing = self._superblocks.get(key)
+        if existing is not None and existing.verified and not verified:
+            self._superblocks.move_to_end(key)
+            return existing
+        chain = list(plan.superblock.blocks)
+        entry = CachedSuperblockPlan(
+            bodies=tuple(tuple(body) for body in plan.bodies),
+            compensation=tuple(
+                (chain.index(edge.src), tuple(copies))
+                for edge, copies in plan.compensation.items()
+            ),
+            moves=plan.moves,
+            copies=plan.copies,
+            local_cost=plan.local_cost,
+            superblock_cost=plan.superblock_cost,
+            verified=verified,
+        )
+        self._superblocks[key] = entry
+        self._superblocks.move_to_end(key)
+        self.inserts += 1
+        self.recorder.count(CACHE_INSERTS, kind="superblock")
+        while len(self._superblocks) > self.max_entries:
+            self._superblocks.popitem(last=False)
+            self.evictions += 1
+            self.recorder.count(CACHE_EVICTIONS, kind="superblock")
+        return entry

@@ -41,6 +41,7 @@ from ..core.block_scheduler import BlockScheduler, SchedulerStats
 from ..core.dependence import SchedulingPolicy
 from ..core.list_scheduler import ListScheduler, ScheduleResult
 from ..core.regions import split_regions
+from ..core.superblock import SuperblockConfig, SuperblockScheduler
 from ..core.verify import DEFAULT_SEED, verify_schedule
 from ..eel.routine import split_routines
 from ..isa.instruction import Instruction
@@ -199,22 +200,29 @@ class ParallelScheduler:
 
     # -- the editor prepare hook --------------------------------------------------
 
-    def prepare(self, editor) -> None:
-        """Warm the cache for every region ``editor`` will lay out."""
+    def prepare(self, editor, *, skip_blocks: frozenset[int] = frozenset()) -> None:
+        """Warm the cache for every region ``editor`` will lay out.
+
+        ``skip_blocks`` excludes blocks another transform already owns —
+        the superblock pass passes its planned blocks here, since their
+        bodies are served from the plan, never from per-region entries.
+        """
         if self.jobs <= 1:
             return
         spec = _model_spec(self.model)
         if spec is None:
             self.recorder.count(PARALLEL_FALLBACKS)
             return
-        shards = self._collect_shards(editor)
+        shards = self._collect_shards(editor, skip_blocks)
         if not shards:
             return
         name, source = spec
         with self.recorder.span("parallel.warm", shards=len(shards)):
             self._run_shards(name, source, shards)
 
-    def _collect_shards(self, editor) -> list[list[list[Instruction]]]:
+    def _collect_shards(
+        self, editor, skip_blocks: frozenset[int] = frozenset()
+    ) -> list[list[list[Instruction]]]:
         """Unique unscheduled regions (deduped under this context's
         fingerprint), walked in routine order and chunked into several
         shards per worker so a program with few routines still spreads
@@ -225,6 +233,8 @@ class ParallelScheduler:
         work: list[list[Instruction]] = []
         for routine in split_routines(editor.executable, editor.cfg):
             for block in routine.blocks:
+                if block.index in skip_blocks:
+                    continue
                 body = editor.block_body(block)
                 for region in split_regions(body):
                     instructions = list(region.instructions)
@@ -321,6 +331,8 @@ def make_transform(
     strict: bool = False,
     verify_trials: int = 4,
     verify_seed: int = DEFAULT_SEED,
+    superblock: bool | SuperblockConfig = False,
+    profile=None,
 ):
     """The editor transform for a (jobs, cache) configuration.
 
@@ -331,6 +343,14 @@ def make_transform(
     cache is created per transform — and discarded entirely when
     ``use_cache`` is off (it then only transports worker results within
     a single build).
+
+    ``superblock`` (True, or a
+    :class:`~repro.core.superblock.SuperblockConfig`) wraps the result
+    in a :class:`~repro.core.superblock.SuperblockScheduler` as the
+    outermost layer: it plans profile-guided cross-block regions first
+    and forwards everything else — including the parallel prepare hook,
+    minus the blocks it claimed — to the transform described above.
+    ``profile`` supplies its block execution frequencies.
     """
     options = options or ParallelOptions()
     if cache is None and (options.use_cache or options.jobs > 1):
@@ -352,13 +372,28 @@ def make_transform(
         )
     else:
         inner = BlockScheduler(model, policy, recorder, cache=cache)
-    if options.jobs <= 1:
-        return inner
-    return ParallelScheduler(
-        inner,
-        cache,
-        jobs=options.jobs,
-        recorder=recorder,
-        verify_trials=verify_trials,
-        verify_seed=verify_seed,
-    )
+    transform = inner
+    if options.jobs > 1:
+        transform = ParallelScheduler(
+            inner,
+            cache,
+            jobs=options.jobs,
+            recorder=recorder,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+        )
+    if superblock:
+        config = superblock if isinstance(superblock, SuperblockConfig) else None
+        transform = SuperblockScheduler(
+            model,
+            policy,
+            recorder,
+            inner=transform,
+            config=config,
+            profile=profile,
+            guarded=guarded,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
+            cache=cache,
+        )
+    return transform

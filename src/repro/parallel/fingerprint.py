@@ -144,3 +144,45 @@ def apply_order(
 ) -> list[Instruction]:
     """Replay a cached permutation against concrete instructions."""
     return [region[i] for i in order]
+
+
+def _concrete(inst: Instruction | None) -> tuple | None:
+    if inst is None:
+        return None
+    return (
+        inst.mnemonic,
+        None if inst.rd is None else (inst.rd.kind.value, inst.rd.index),
+        None if inst.rs1 is None else (inst.rs1.kind.value, inst.rs1.index),
+        None if inst.rs2 is None else (inst.rs2.kind.value, inst.rs2.index),
+        inst.imm,
+        inst.annul,
+        inst.target,
+        inst.tag,
+    )
+
+
+def superblock_digest(
+    bodies: Sequence[Sequence[Instruction]],
+    terminators: Sequence[Instruction | None],
+    delays: Sequence[Instruction | None],
+    *,
+    extra: tuple = (),
+) -> str:
+    """Content address of a whole superblock region family.
+
+    Unlike :func:`region_digest` this uses the **concrete** instruction
+    operands, with no register renaming: a superblock plan's legality
+    depends on register identity *across* block boundaries (terminator
+    and delay-slot reads, side-exit liveness), which a per-body renaming
+    does not preserve. ``extra`` folds in anything else the plan
+    depended on — the profile counts of the member blocks and the
+    formation config — so a different profile never replays a plan
+    whose commit decision it would have changed.
+    """
+    payload = (
+        tuple(tuple(_concrete(i) for i in body) for body in bodies),
+        tuple(_concrete(t) for t in terminators),
+        tuple(_concrete(d) for d in delays),
+        tuple(extra),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()

@@ -145,9 +145,16 @@ class SlowProfiler:
         )
 
     def _pick_scratch(self, liveness: LivenessAnalysis | None, block) -> tuple[Reg, Reg]:
-        if liveness is not None:
-            avoid = frozenset(RESERVED_SCRATCH)
-            dead = liveness.dead_integer_registers(block, count=2, avoid=avoid)
-            if len(dead) == 2:
-                return (dead[0], dead[1])
+        # Neighbouring blocks alternate between the reserved pair and a
+        # liveness-chosen pair disjoint from it: when the superblock
+        # scheduler merges adjacent blocks, their counter chains then
+        # share no registers, so (with the static counter-address
+        # disambiguation in repro.core.dependence) the two chains can
+        # overlap instead of serializing on a false WAR/WAW dependence.
+        if block.index % 2 or liveness is None:
+            return RESERVED_SCRATCH
+        avoid = frozenset(RESERVED_SCRATCH)
+        dead = liveness.dead_integer_registers(block, count=2, avoid=avoid)
+        if len(dead) == 2:
+            return (dead[0], dead[1])
         return RESERVED_SCRATCH

@@ -37,6 +37,7 @@ from .faults import (
     inject_encoding_faults,
     inject_model_faults,
     inject_scheduler_faults,
+    inject_superblock_faults,
     run_fault_injection,
 )
 from .guard import GuardBudget, GuardedBlockScheduler, QuarantineReport
@@ -62,5 +63,6 @@ __all__ = [
     "inject_encoding_faults",
     "inject_model_faults",
     "inject_scheduler_faults",
+    "inject_superblock_faults",
     "run_fault_injection",
 ]

@@ -28,6 +28,12 @@ a silently wrong output:
   schedule, so the dynamic guard structurally cannot object. Only the
   whole-image static analysis (:func:`repro.analyze.lint_profiled`'s
   ``image/clobber-live-register`` rule) sees the clobber.
+* **superblock faults** (:func:`inject_superblock_faults`) hand the
+  superblock scheduler a corrupted liveness oracle that claims every
+  register is dead at every side exit, provoking speculative hoists
+  that clobber registers the side-exit target reads. Guarded
+  verification recomputes liveness itself, so every unsafe hoist must
+  fail the masked differential and quarantine the superblock.
 * **cache faults** (:func:`inject_cache_faults`) attack the
   content-addressed schedule cache: entries warmed under a healthy
   model must be invisible to a corrupted variant (no stale masking), a
@@ -275,7 +281,7 @@ class FaultOutcome:
     """Result of injecting one fault class."""
 
     fault: str
-    #: 'model' | 'encoding' | 'scheduler' | 'cache'
+    #: 'model' | 'encoding' | 'scheduler' | 'cache' | 'superblock'
     layer: str
     injected: int
     caught: int
@@ -697,6 +703,132 @@ def inject_cache_faults(
     return outcomes
 
 
+# -- superblock faults ------------------------------------------------------------
+
+
+class _DeadLivenessOracle:
+    """A corrupted liveness analysis that swears every register is dead.
+
+    Fed to :class:`~repro.core.superblock.SuperblockScheduler` as its
+    ``liveness_factory``, it approves every speculative hoist — including
+    ones that clobber registers the side-exit target actually reads."""
+
+    def __init__(self, cfg) -> None:
+        self.cfg = cfg
+
+    def live_in(self, index: int) -> frozenset:
+        return frozenset()
+
+
+def _speculation_workload() -> Executable:
+    """A three-block fall-through chain with two live side exits.
+
+    Each boundary's successor leads with an ALU instruction that writes
+    a register the side-exit target reads (``%o2`` at ``side1``, ``%o4``
+    at ``side2``) — exactly the hoist an honest liveness oracle forbids
+    and a corrupted one approves. Every instruction above each branch
+    feeds its condition, so nothing can *sink* across the boundary and
+    the planner is forced onto the speculative-hoist path."""
+    from ..eel.executable import TEXT_BASE
+    from ..isa.asm import Assembler
+
+    source = """
+            set 1, %o2
+            set 2, %o4
+            add %o2, %o4, %o5
+            subcc %o5, 7, %g0
+            be side1
+            nop
+            add %o2, 3, %o2
+            subcc %o4, 9, %g0
+            be side2
+            nop
+            add %o4, 5, %o4
+            add %o1, 1, %o1
+            retl
+            nop
+        side1:
+            add %o2, 0, %o3
+            retl
+            nop
+        side2:
+            add %o4, 0, %o5
+            retl
+            nop
+    """
+    program = Assembler(base_address=TEXT_BASE).assemble(source)
+    return Executable.from_instructions(program, text_base=TEXT_BASE)
+
+
+def inject_superblock_faults(
+    model: MachineModel,
+    *,
+    policy: SchedulingPolicy | None = None,
+    recorder: Recorder | None = None,
+    verify_trials: int = 2,
+    verify_seed: int = DEFAULT_SEED,
+) -> FaultOutcome:
+    """``corrupt-side-exit-liveness``: hand the superblock scheduler a
+    lying liveness oracle and let it speculatively hoist instructions
+    that clobber registers live at a side exit. The oracle feeds only
+    the speculation *gate*; guarded verification recomputes liveness
+    itself, so every unsafe hoist must die in the masked differential
+    and quarantine the superblock."""
+    from ..core.superblock import SuperblockConfig, SuperblockScheduler
+    from ..eel.cfg import build_cfg
+    from ..eel.liveness import LivenessAnalysis
+
+    policy = policy or SchedulingPolicy()
+    rec = recorder if recorder is not None else NULL_RECORDER
+    executable = _speculation_workload()
+
+    scheduler = SuperblockScheduler(
+        model,
+        policy,
+        rec,
+        config=SuperblockConfig(speculate=True),
+        guarded=True,
+        verify_trials=verify_trials,
+        verify_seed=verify_seed,
+        liveness_factory=_DeadLivenessOracle,
+    )
+    Editor(executable, recorder=rec).build(scheduler)
+
+    honest = LivenessAnalysis(build_cfg(executable))
+    unsafe = [
+        record
+        for record in scheduler.speculated
+        if any(
+            inst.regs_written() & honest.live_in(record.exit_block)
+            for inst in record.instructions
+        )
+    ]
+    injected = len(unsafe)
+    quarantined = [
+        q for q in scheduler.quarantine if q.kind == "superblock-verification"
+    ]
+    details = []
+    if injected == 0:
+        details.append(
+            "the corrupted oracle provoked no unsafe hoists — workload drift?"
+        )
+    # Caught means the whole poisoned plan was quarantined and nothing
+    # committed: no unsafe hoist can reach the output executable.
+    caught = injected if quarantined and scheduler.formed == 0 else 0
+    if injected and not caught and len(details) < 2:
+        details.append(
+            f"{scheduler.formed} superblock(s) committed despite "
+            f"{injected} unsafe hoist(s); quarantines: {len(quarantined)}"
+        )
+    return FaultOutcome(
+        fault="corrupt-side-exit-liveness",
+        layer="superblock",
+        injected=injected,
+        caught=caught,
+        details=tuple(details),
+    )
+
+
 def run_fault_injection(
     model: MachineModel,
     *,
@@ -746,6 +878,15 @@ def run_fault_injection(
             verify_trials=verify_trials,
             verify_seed=verify_seed,
             jobs=jobs,
+        )
+    )
+    report.outcomes.append(
+        inject_superblock_faults(
+            model,
+            policy=policy,
+            recorder=recorder,
+            verify_trials=verify_trials,
+            verify_seed=verify_seed,
         )
     )
     return report

@@ -5,7 +5,7 @@ Operates on RXE executables:
 .. code-block:: console
 
    $ python -m repro.tools.qpt_cli instrument prog.rxe -o prog.qpt.rxe \\
-         --machine ultrasparc --schedule --safe --jobs 4 --cache
+         --machine ultrasparc --schedule --superblock --safe --jobs 4 --cache
    $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
    $ python -m repro.tools.qpt_cli faults --machine ultrasparc
    $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc \\
@@ -26,9 +26,14 @@ memoizes schedules in the content-addressed cache (both byte-identical
 to a serial, uncached run); ``benchmarks`` times the serial / parallel /
 warm-cache modes against each other and cross-checks their outputs.
 
-``--safe``/``--strict`` turn on guarded scheduling (verify-and-fallback;
-see ``docs/robustness.md``); ``faults`` runs the fault-injection
-harness and exits nonzero if any injected fault escapes the guards.
+``--superblock`` (with ``--schedule``) additionally schedules across
+profile-guided superblocks — single-entry fall-through chains formed
+from a static ``10^loop_depth`` frequency estimate — sinking
+instrumentation past side exits with compensation copies on the taken
+edges (see ``docs/scheduling.md``). ``--safe``/``--strict`` turn on
+guarded scheduling (verify-and-fallback; see ``docs/robustness.md``);
+``faults`` runs the fault-injection harness and exits nonzero if any
+injected fault escapes the guards.
 ``lint`` runs the static analyzer (``docs/static_analysis.md``) over an
 executable image or a SADL machine description and emits text, JSON, or
 SARIF findings; ``--fail-on`` picks the severity that makes the exit
@@ -119,6 +124,9 @@ def cmd_instrument(args) -> int:
     if guarded and not args.schedule:
         print("error: --safe/--strict require --schedule", file=sys.stderr)
         return 2
+    if args.superblock and not args.schedule:
+        print("error: --superblock requires --schedule", file=sys.stderr)
+        return 2
     if args.schedule:
         policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
         model = load_machine(args.machine)
@@ -136,6 +144,7 @@ def cmd_instrument(args) -> int:
             strict=args.strict,
             verify_seed=args.verify_seed,
             verify_trials=args.verify_trials,
+            superblock=args.superblock,
         )
     profiler = SlowProfiler(
         executable, skip_redundant=not args.no_skip, recorder=recorder
@@ -170,6 +179,12 @@ def cmd_instrument(args) -> int:
             f"scheduled {stats.blocks} blocks: {stats.original_cycles} -> "
             f"{stats.scheduled_cycles} isolated-block cycles"
         )
+        if args.superblock:
+            print(
+                f"superblocks: {transform.formed} committed, "
+                f"{transform.cross_block_moves} cross-block moves, "
+                f"{transform.compensation_copies} compensation copies"
+            )
         cache = getattr(transform, "cache", None)
         if cache is not None and (cache.hits or cache.misses):
             print(
@@ -429,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.add_argument("--schedule", action="store_true",
                    help="schedule instrumentation into unused cycles")
+    p.add_argument("--superblock", action="store_true",
+                   help="also schedule across profile-guided superblock "
+                   "regions (requires --schedule)")
     p.add_argument("--fill-delay-slots", action="store_true")
     p.add_argument("--no-skip", action="store_true",
                    help="instrument every block (disable the skip rule)")

@@ -90,3 +90,58 @@ def test_transitive_chain():
     graph = build_dependence_graph([add(2, 1, 1), add(3, 2, 2), add(4, 3, 3)])
     assert (0, 1) in edges(graph)
     assert (1, 2) in edges(graph)
+
+
+# -- static counter-address disambiguation ----------------------------------------
+
+
+def counter_chain(address, addr_reg, value_reg):
+    from repro.qpt.profiling import counter_snippet
+
+    return counter_snippet(address, r(addr_reg), r(value_reg))
+
+
+def test_disjoint_counter_chains_do_not_conflict():
+    # Two complete QPT counter updates at different counter words, on
+    # disjoint scratch registers: the superblock case. Their loads and
+    # stores resolve statically and must not be ordered against each
+    # other.
+    region = counter_chain(0x8000000, 6, 7) + counter_chain(0x8000040, 10, 11)
+    graph = build_dependence_graph(region)
+    cross = {(i, j) for (i, j) in edges(graph) if i < 4 <= j}
+    assert cross == set()
+
+
+def test_same_counter_word_still_ordered():
+    # Two updates of the *same* counter stay ordered: the first store
+    # conflicts with the second load and store.
+    region = counter_chain(0x8000000, 6, 7) + counter_chain(0x8000000, 10, 11)
+    graph = build_dependence_graph(region)
+    assert (3, 5) in edges(graph)
+    assert (3, 7) in edges(graph)
+
+
+def test_clobbered_base_register_invalidates_the_address():
+    # Overwriting the sethi base makes the access unresolvable, so the
+    # conservative same-alias-class rule applies again.
+    chain = counter_chain(0x8000000, 6, 7)
+    clobbered = [chain[0], add(6, 6, 6).retag(TAG_INSTRUMENTATION)] + chain[1:]
+    graph = build_dependence_graph(
+        clobbered + counter_chain(0x8000040, 10, 11)
+    )
+    # first chain's store (index 4) vs second chain's load (index 6)
+    assert (4, 6) in edges(graph)
+
+
+def test_original_code_never_gets_address_disambiguation():
+    # The refinement is instrumentation-only: original stores at
+    # provably different sethi-based addresses remain ordered (the
+    # paper's conservative policy for original code is unchanged).
+    region = [
+        Instruction("sethi", rd=r(6), imm=0x20000),
+        st(7, 6, 0),
+        Instruction("sethi", rd=r(10), imm=0x20001),
+        st(11, 10, 0),
+    ]
+    graph = build_dependence_graph(region)
+    assert (1, 3) in edges(graph)

@@ -147,14 +147,17 @@ def test_control_transfer_rejected(ultra):
 
 def test_split_regions_handles_ctis():
     seq = assemble("add %o0, 1, %o0\nba 2\nnop\nadd %o1, 1, %o1")
-    # Note: 'nop' after ba is a delay slot but split_regions is purely
-    # syntactic — the nop starts the next region.
+    # The 'nop' after ba is the branch's delay slot: it stays glued to
+    # the barrier instead of leaking into the next schedulable region.
     regions = split_regions(seq)
     assert len(regions) == 2
     assert regions[0].barrier.mnemonic == "ba"
+    assert regions[0].delay.mnemonic == "nop"
     assert len(regions[0].instructions) == 1
     assert regions[1].barrier is None
-    assert len(regions[1].instructions) == 2
+    assert regions[1].delay is None
+    assert len(regions[1].instructions) == 1
+    assert regions[1].instructions[0].mnemonic == "add"
 
 
 def test_descheduling_possible_on_optimized_code(hyper):

@@ -23,7 +23,14 @@ def test_full_harness_is_clean_on_ultrasparc():
     assert report.escaped == 0, report.render()
     assert report.clean
     layers = {o.layer for o in report.outcomes}
-    assert layers == {"model", "encoding", "scheduler", "instrumentation", "cache"}
+    assert layers == {
+        "model",
+        "encoding",
+        "scheduler",
+        "instrumentation",
+        "cache",
+        "superblock",
+    }
 
 
 def test_full_harness_is_clean_on_synthetic_machine():
@@ -63,3 +70,15 @@ def test_report_renders():
     text = report.render()
     assert "all injected faults caught" in text
     assert "bit-flip" in text
+
+
+def test_superblock_liveness_fault_injected_and_caught():
+    from repro.robust import inject_superblock_faults
+
+    outcome = inject_superblock_faults(MACHINE)
+    assert outcome.layer == "superblock"
+    assert outcome.fault == "corrupt-side-exit-liveness"
+    # The corrupted oracle provokes unsafe hoists at both boundaries...
+    assert outcome.injected >= 2
+    # ...and guarded verification quarantines every one of them.
+    assert outcome.escaped == 0, outcome.details

@@ -354,3 +354,35 @@ def test_every_registered_flag_in_subcommand_help():
         for action in sub._actions:
             for option in action.option_strings:
                 assert option in text, f"{name} --help misses {option}"
+
+
+def test_instrument_superblock(tmp_path, program, capsys):
+    path, kernel = program
+    out = tmp_path / "sb.rxe"
+    assert (
+        main(
+            [
+                "instrument",
+                str(path),
+                "-o",
+                str(out),
+                "--schedule",
+                "--superblock",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr().out
+    assert "superblocks:" in captured
+    assert out.exists()
+    assert main(["run", str(out)]) == 0
+    captured = capsys.readouterr().out
+    # Still computes sum(1..12) = 78 = 0x4e.
+    assert "%o1 = 0x0000004e" in captured
+
+
+def test_superblock_requires_schedule(tmp_path, program, capsys):
+    path, _ = program
+    out = tmp_path / "sb.rxe"
+    assert main(["instrument", str(path), "-o", str(out), "--superblock"]) == 2
+    assert "--superblock requires --schedule" in capsys.readouterr().err
