@@ -71,6 +71,28 @@ def _aggregate_record(bench) -> dict:
     return record
 
 
+def _headline_header(now: float) -> dict:
+    """Provenance header for ``BENCH_headline.json``: when, what commit,
+    and content digests of the machine models and policy the benches
+    measured — so two snapshots are comparable (or provably not)."""
+    from repro.core.dependence import SchedulingPolicy
+    from repro.obs.ledger import git_sha, iso_now
+    from repro.parallel.fingerprint import context_digest, policy_digest
+    from repro.spawn.library import load_machine
+
+    policy = SchedulingPolicy(fill_delay_slots=True)
+    return {
+        "generated_unix": now,
+        "generated_iso": iso_now(now),
+        "git_sha": git_sha(str(REPO_ROOT)),
+        "policy_digest": policy_digest(policy),
+        "machine_digests": {
+            name: context_digest(load_machine(name), policy)
+            for name in ("ultrasparc", "supersparc", "hypersparc")
+        },
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--bench-json", default=None)
     if not path:
@@ -78,7 +100,7 @@ def pytest_sessionfinish(session, exitstatus):
     bench_session = getattr(session.config, "_benchmarksession", None)
     benchmarks = getattr(bench_session, "benchmarks", None) or []
     payload = {
-        "generated_unix": time.time(),
+        **_headline_header(time.time()),
         "results": [_aggregate_record(bench) for bench in benchmarks],
     }
     out = pathlib.Path(path)

@@ -70,11 +70,20 @@ class BlockScheduler:
         recorder: Recorder | None = None,
         *,
         cache=None,
+        provenance=None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
-        self.scheduler = ListScheduler(model, self.policy, self.recorder)
+        #: optional :class:`repro.obs.provenance.ProvenanceLog`. Note a
+        #: cache hit replays a memoized permutation without re-running
+        #: the forward pass, so it records no provenance — pass
+        #: ``cache=None`` when a complete decision log is the point
+        #: (``qpt explain`` does).
+        self.provenance = provenance
+        self.scheduler = ListScheduler(
+            model, self.policy, self.recorder, provenance=provenance
+        )
         self.stats = SchedulerStats()
         self.cache = cache
         self._cache_context = (
@@ -85,6 +94,8 @@ class BlockScheduler:
     def __call__(
         self, block: BasicBlock, body: list[Instruction]
     ) -> tuple[list[Instruction], Instruction | None]:
+        if self.provenance is not None:
+            self.provenance.current_block = block.index
         with self.recorder.span("core.schedule_block", block=block.index):
             scheduled = self.schedule_body(body)
             delay = block.delay

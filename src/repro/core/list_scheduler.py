@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..isa.instruction import Instruction
+from ..obs.provenance import Candidate, Placement, ProvenanceLog
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
     SCHED_CHOSEN_STALLS,
@@ -24,6 +25,7 @@ from ..obs.report import (
     SCHED_READY_SET,
     SCHED_TIE_BREAK,
 )
+from ..pipeline.diagnose import explain_stall
 from ..pipeline.stalls import issue, walk
 from ..pipeline.state import PipelineState
 from ..spawn.model import MachineModel
@@ -66,10 +68,19 @@ class ListScheduler:
         model: MachineModel,
         policy: SchedulingPolicy | None = None,
         recorder: Recorder | None = None,
+        *,
+        provenance: ProvenanceLog | None = None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: optional decision-provenance sink
+        #: (:class:`repro.obs.provenance.ProvenanceLog`): when set, every
+        #: forward-pass pick records the cycle chosen, the candidates
+        #: rejected, and the hazard pricing each rejection. Costs one
+        #: hazard diagnosis per rejected candidate; schedules are
+        #: byte-identical either way.
+        self.provenance = provenance
 
     # -- public API -------------------------------------------------------------
 
@@ -98,6 +109,8 @@ class ListScheduler:
                     "split regions first (see repro.core.regions)"
                 )
         rec = self.recorder
+        if self.provenance is not None:
+            self.provenance.begin_region()
         with rec.span("core.dependence_graph"):
             graph = build_dependence_graph(region, self.policy)
         with rec.span("core.backward_pass"):
@@ -134,14 +147,18 @@ class ListScheduler:
             state = PipelineState(self.model)
             cycle = 0
         rec = self.recorder
+        log = self.provenance
         telemetry = rec.enabled
-        keys: list[tuple] | None = [] if telemetry else None
+        keys: list[tuple] | None = [] if (telemetry or log is not None) else None
+        cands: list[tuple[int, int]] | None = [] if log is not None else None
 
         while ready:
             best = None
             best_key = None
-            if telemetry:
+            if keys is not None:
                 keys.clear()
+            if cands is not None:
+                cands.clear()
             for node in ready:
                 timing = self.model.timing(graph.nodes[node])
                 stalls = walk(cycle, state, timing).stalls
@@ -154,14 +171,34 @@ class ListScheduler:
                     key = (node, stalls)
                 else:
                     key = (stalls, -heights[node], node)
-                if telemetry:
+                if keys is not None:
                     keys.append(key)
+                if cands is not None:
+                    cands.append((node, stalls))
                 if best_key is None or key < best_key:
                     best_key = key
                     best = node
             if telemetry:
                 self._record_decision(rec, keys, best_key)
+            rejected = (
+                self._collect_rejections(graph, cands, best, cycle, state)
+                if log is not None
+                else None
+            )
             result = issue(cycle, state, graph.nodes[best], rec)
+            if log is not None:
+                chosen_stalls = next(s for n, s in cands if n == best)
+                log.record(
+                    Placement(
+                        slot=len(order),
+                        index=best,
+                        mnemonic=str(graph.nodes[best]),
+                        cycle=result.issue_cycle,
+                        stalls=chosen_stalls,
+                        reason=self._decision_reason(keys, best_key),
+                        rejected=rejected,
+                    )
+                )
             cycle = result.issue_cycle
             order.append(best)
             ready.remove(best)
@@ -187,13 +224,46 @@ class ListScheduler:
         rec.observe(SCHED_READY_SET, len(keys))
         stalls_index = components.index("stalls")
         rec.observe(SCHED_CHOSEN_STALLS, best_key[stalls_index])
+        rec.count(SCHED_TIE_BREAK, reason=self._decision_reason(keys, best_key))
+
+    def _decision_reason(self, keys: list[tuple], best_key: tuple) -> str:
+        """Which priority-key component made the pick unique."""
+        components = _KEY_COMPONENTS[self.policy.priority]
         depth = 1
         for depth in range(1, len(best_key) + 1):
             matching = sum(1 for key in keys if key[:depth] == best_key[:depth])
             if matching == 1:
                 break
-        reason = components[min(depth, len(components)) - 1]
-        rec.count(SCHED_TIE_BREAK, reason=reason)
+        return components[min(depth, len(components)) - 1]
+
+    def _collect_rejections(
+        self,
+        graph: DependenceGraph,
+        cands: list[tuple[int, int]],
+        best: int,
+        cycle: int,
+        state: PipelineState,
+    ) -> tuple[Candidate, ...]:
+        """Provenance for everything the pick beat: each rejected ready
+        candidate, priced by the first hazard blocking it at ``cycle``
+        (None when it could issue now and lost purely on priority).
+        Runs against the pre-issue state, so the hazards reported are
+        exactly the ones the priority function saw."""
+        rejected = []
+        for node, stalls in cands:
+            if node == best:
+                continue
+            inst = graph.nodes[node]
+            hazard = explain_stall(cycle, state, inst) if stalls > 0 else None
+            rejected.append(
+                Candidate(
+                    index=node,
+                    mnemonic=str(inst),
+                    stalls=stalls,
+                    hazard=None if hazard is None else str(hazard),
+                )
+            )
+        return tuple(rejected)
 
     # -- measurement -------------------------------------------------------------
 

@@ -395,14 +395,23 @@ class SuperblockScheduler:
         static_verify: bool = True,
         cache=None,
         liveness_factory=None,
+        provenance=None,
     ) -> None:
         self.model = model
         self.policy = policy or SchedulingPolicy()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: optional :class:`repro.obs.provenance.ProvenanceLog`. Blocks
+        #: the pass delegates record through the inner scheduler;
+        #: committed superblock plans record via a replay of the winning
+        #: variant (rejected variants never pollute the log). Plans
+        #: served from the cache record nothing, like any cache hit.
+        self.provenance = provenance
         self.inner = (
             inner
             if inner is not None
-            else BlockScheduler(model, self.policy, self.recorder)
+            else BlockScheduler(
+                model, self.policy, self.recorder, provenance=provenance
+            )
         )
         self.config = config or SuperblockConfig()
         self.profile = profile
@@ -624,6 +633,7 @@ class SuperblockScheduler:
         #    loses, and a bad sink must not poison the whole plan.
         results, superblock_costs = self._evaluate(working, terms, delays)
         scheds = [r.instructions if r is not None else [] for r in results]
+        winning = working
         moved = any(sink_sets) or any(hoist_sets)
 
         # -- verify before costing, so a planted fault is always
@@ -696,6 +706,7 @@ class SuperblockScheduler:
                         self._quarantine(superblock, blocks[0], failure)
                         return None
                 results, scheds = plain_results, plain_scheds
+                winning = bodies
                 total_superblock = total_plain
                 sink_sets = [[] for _ in range(n - 1)]
                 hoist_sets = [[] for _ in range(n - 1)]
@@ -723,7 +734,38 @@ class SuperblockScheduler:
             superblock_cost=total_superblock,
         )
         self._cache_insert(cfg, blocks, bodies, terms, delays, freqs, plan)
+        self._record_plan_provenance(blocks, winning, terms, delays)
         return plan
+
+    def _record_plan_provenance(
+        self,
+        blocks: list[BasicBlock],
+        winning: list[list[Instruction]],
+        terms: list[Instruction | None],
+        delays: list[Instruction | None],
+    ) -> None:
+        """Replay the committed variant through a provenance-enabled
+        scheduler. Mirrors :meth:`_evaluate` exactly (same carried-in
+        pipeline state), so the recorded decisions are the ones that
+        produced the committed bodies; the planner itself stays
+        telemetry-free so rejected variants never reach the log."""
+        if self.provenance is None:
+            return
+        planner = ListScheduler(
+            self.model, self.policy, provenance=self.provenance
+        )
+        state = PipelineState(self.model)
+        cycle = 0
+        for i, body in enumerate(winning):
+            self.provenance.current_block = blocks[i].index
+            if body:
+                result = planner.schedule_region(
+                    list(body), entry_state=state, entry_cycle=cycle
+                )
+                cycle = result.exit_cycle
+            for extra in (terms[i], delays[i]):
+                if extra is not None:
+                    cycle = issue(cycle, state, extra).issue_cycle
 
     def _evaluate(
         self,

@@ -20,6 +20,8 @@ analytically from the workload generator).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from ..cache.icache import DEFAULT_MISS_RATES, ICacheModel
@@ -163,13 +165,20 @@ def run_profiling_experiment(
     program: SyntheticProgram | None = None,
     recorder: Recorder | None = None,
     schedule_cache: ScheduleCache | None = None,
+    ledger: str | os.PathLike | None = None,
 ) -> BenchmarkResult:
     """Run the three-way profiling experiment for one benchmark.
 
     ``schedule_cache`` shares one schedule cache across calls — a table
     sweep over seeds re-edits mostly-identical code, and warm runs skip
     the scheduler for every block already proven.
+
+    ``ledger`` appends one ``kind="experiment"`` record to the run
+    ledger (:mod:`repro.obs.ledger`): git SHA, timestamp, model/policy
+    digests, the headline cycle counts, and — when a recorder is live —
+    the hazard-bucket and counter summary.
     """
+    started = time.perf_counter()
     config = config or ExperimentConfig()
     if config.superblock and not config.trace_timing:
         raise ValueError(
@@ -264,7 +273,7 @@ def run_profiling_experiment(
         )
     scheduled = cycles(scheduled_program.executable, scheduled_program.text_expansion)
 
-    return BenchmarkResult(
+    result = BenchmarkResult(
         benchmark=benchmark,
         machine=model.name,
         avg_block_size=program.avg_dynamic_block_size,
@@ -275,3 +284,55 @@ def run_profiling_experiment(
         text_expansion=plain.text_expansion,
         metrics=rec.metrics.snapshot() if rec.enabled and rec.metrics else None,
     )
+    if ledger is not None:
+        _append_ledger_record(
+            ledger, config, model, result, rec, time.perf_counter() - started
+        )
+    return result
+
+
+def _append_ledger_record(
+    ledger: str | os.PathLike,
+    config: ExperimentConfig,
+    model: MachineModel,
+    result: BenchmarkResult,
+    rec: Recorder,
+    wall_s: float,
+) -> None:
+    """One ``kind="experiment"`` line in the run ledger. The digests
+    reuse the schedule cache's content addressing, so a record is
+    traceable to the exact (model, policy) that produced it."""
+    from ..obs.ledger import append_record, make_record
+    from ..parallel.fingerprint import (
+        context_digest,
+        model_digest,
+        policy_digest,
+    )
+
+    record = make_record(
+        "experiment",
+        run={
+            "benchmark": result.benchmark,
+            "machine": result.machine,
+            "jobs": config.jobs,
+            "guarded": config.guarded,
+            "superblock": bool(config.superblock),
+            "reschedule_baseline": config.reschedule_baseline,
+        },
+        digests={
+            "model": model_digest(model),
+            "policy": policy_digest(config.policy),
+            "context": context_digest(model, config.policy),
+        },
+        wall_s=wall_s,
+        metrics=rec.metrics if rec.enabled else None,
+        results={
+            "uninstrumented_cycles": result.uninstrumented_cycles,
+            "instrumented_cycles": result.instrumented_cycles,
+            "scheduled_cycles": result.scheduled_cycles,
+            "pct_hidden": round(result.pct_hidden, 6),
+            "text_expansion": round(result.text_expansion, 6),
+            "baseline_ratio": round(result.baseline_ratio, 6),
+        },
+    )
+    append_record(ledger, record)

@@ -1,0 +1,248 @@
+"""The regression observatory: render ledger history as a dashboard.
+
+``qpt report`` turns the run ledger (:mod:`repro.obs.ledger`) into a
+zero-dependency dashboard — plain text for terminals and CI logs, or a
+single self-contained HTML page (inline CSS, inline SVG sparklines, no
+external assets) for build artifacts. Sections mirror the ``--stats``
+panel, but *over time*: hidden-overhead trend per program@machine,
+hazard-bucket composition, cache hit rates, guard outcomes, and
+superblock activity, each drawn from the latest record and its history.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable
+
+from .gate import flatten_metrics, metric_direction
+from .ledger import group_series
+
+#: Metric families the trend section tracks, in display order.
+_TREND_FRAGMENTS = ("hidden", "wall_s", "hit_rate", "speedup", "cycles")
+
+
+def _trend_metrics(series: list[dict]) -> dict[str, list[float | None]]:
+    """Per-metric value history (None where a record lacks the metric)
+    for every metric the trend section tracks in this series."""
+    flats = [flatten_metrics(record) for record in series]
+    names = sorted(
+        {
+            name
+            for flat in flats
+            for name in flat
+            if any(fragment in name.lower() for fragment in _TREND_FRAGMENTS)
+        }
+    )
+    return {name: [flat.get(name) for flat in flats] for name in names}
+
+
+def _arrow(values: list[float | None], direction: str) -> str:
+    known = [v for v in values if v is not None]
+    if len(known) < 2 or known[0] == known[-1]:
+        return "="
+    improving = known[-1] > known[0]
+    if direction == "lower":
+        improving = not improving
+    return "improving" if improving else "declining"
+
+
+def _spark(values: list[float | None], width: int = 12) -> str:
+    """A text sparkline over the last ``width`` known values."""
+    marks = "▁▂▃▄▅▆▇█"
+    known = [v for v in values if v is not None][-width:]
+    if not known:
+        return ""
+    lo, hi = min(known), max(known)
+    if hi == lo:
+        return marks[0] * len(known)
+    return "".join(
+        marks[min(len(marks) - 1, int((v - lo) / (hi - lo) * (len(marks) - 1)))]
+        for v in known
+    )
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _latest_counters(series: list[dict]) -> dict:
+    for record in reversed(series):
+        metrics = record.get("metrics") or {}
+        if metrics.get("counters") or metrics.get("hazards"):
+            return metrics
+    return {}
+
+
+# -- text -------------------------------------------------------------------------
+
+
+def render_text_dashboard(records: Iterable[dict]) -> str:
+    records = list(records)
+    if not records:
+        return "(ledger is empty)"
+    series = group_series(records)
+    lines = [
+        f"run ledger: {len(records)} record(s), {len(series)} series "
+        f"({records[0].get('ts', '?')} .. {records[-1].get('ts', '?')})"
+    ]
+    shas = {r.get("git_sha") for r in records if r.get("git_sha")}
+    if shas:
+        lines.append(f"  commits represented: {len(shas)}")
+    for name, runs in sorted(series.items()):
+        lines.append("")
+        lines.append(f"{name}  ({len(runs)} run(s))")
+        trends = _trend_metrics(runs)
+        for metric, values in trends.items():
+            known = [v for v in values if v is not None]
+            if not known:
+                continue
+            direction = metric_direction(metric)
+            lines.append(
+                f"  {metric:<28} {_fmt(known[0]):>10} -> {_fmt(known[-1]):>10}"
+                f"  {_spark(values):<12} {_arrow(values, direction)}"
+            )
+        metrics = _latest_counters(runs)
+        hazards = metrics.get("hazards") or {}
+        if any(hazards.values()):
+            buckets = "  ".join(f"{k}={_fmt(v)}" for k, v in hazards.items())
+            lines.append(f"  hazard buckets (latest): {buckets}")
+        counters = metrics.get("counters") or {}
+        guard = {
+            k: v for k, v in counters.items() if k.startswith("guard_")
+        }
+        if guard:
+            lines.append(
+                "  guard outcomes (latest): "
+                + "  ".join(f"{k[6:]}={_fmt(v)}" for k, v in guard.items())
+            )
+        if "superblocks_formed" in counters:
+            lines.append(
+                f"  superblocks (latest): "
+                f"{_fmt(counters['superblocks_formed'])} formed, "
+                f"{_fmt(counters.get('superblock_cross_moves', 0))} cross moves, "
+                f"{_fmt(counters.get('superblock_compensation', 0))} "
+                f"compensation copies"
+            )
+    return "\n".join(lines)
+
+
+# -- html -------------------------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #d0d0e0; padding: 0.3em 0.8em;
+         font-size: 0.9em; text-align: right; }
+th { background: #ededf5; } td.name { text-align: left;
+     font-family: ui-monospace, monospace; }
+.improving { color: #0a7d33; } .declining { color: #b00020; }
+.flat { color: #666; } .meta { color: #666; font-size: 0.85em; }
+svg { vertical-align: middle; }
+"""
+
+
+def _svg_spark(values: list[float | None], direction: str) -> str:
+    known = [v for v in values if v is not None][-24:]
+    if len(known) < 2:
+        return ""
+    width, height = 120, 24
+    lo, hi = min(known), max(known)
+    span = (hi - lo) or 1.0
+    step = width / (len(known) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(known)
+    )
+    cls = _arrow(values, direction)
+    color = {"improving": "#0a7d33", "declining": "#b00020"}.get(cls, "#666")
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def render_html_dashboard(records: Iterable[dict]) -> str:
+    records = list(records)
+    text_rows: list[str] = []
+    if not records:
+        body = "<p>(ledger is empty)</p>"
+    else:
+        series = group_series(records)
+        parts = [
+            f"<p class='meta'>{len(records)} record(s), {len(series)} "
+            f"series, {html.escape(str(records[0].get('ts', '?')))} .. "
+            f"{html.escape(str(records[-1].get('ts', '?')))}</p>"
+        ]
+        for name, runs in sorted(series.items()):
+            parts.append(f"<h2>{html.escape(name)}</h2>")
+            trends = _trend_metrics(runs)
+            if trends:
+                rows = []
+                for metric, values in trends.items():
+                    known = [v for v in values if v is not None]
+                    if not known:
+                        continue
+                    direction = metric_direction(metric)
+                    verdict = _arrow(values, direction)
+                    cls = verdict if verdict != "=" else "flat"
+                    rows.append(
+                        f"<tr><td class='name'>{html.escape(metric)}</td>"
+                        f"<td>{_fmt(known[0])}</td><td>{_fmt(known[-1])}</td>"
+                        f"<td>{_svg_spark(values, direction)}</td>"
+                        f"<td class='{cls}'>{verdict}</td></tr>"
+                    )
+                parts.append(
+                    "<table><tr><th>metric</th><th>first</th><th>latest</th>"
+                    "<th>trend</th><th>verdict</th></tr>" + "".join(rows)
+                    + "</table>"
+                )
+            metrics = _latest_counters(runs)
+            hazards = metrics.get("hazards") or {}
+            if any(hazards.values()):
+                cells = "".join(
+                    f"<tr><td class='name'>{html.escape(k)}</td>"
+                    f"<td>{_fmt(v)}</td></tr>"
+                    for k, v in hazards.items()
+                )
+                parts.append(
+                    "<table><tr><th>hazard bucket (latest)</th>"
+                    "<th>stall cycles</th></tr>" + cells + "</table>"
+                )
+            counters = metrics.get("counters") or {}
+            interesting = {
+                k: v
+                for k, v in counters.items()
+                if k.startswith(("guard_", "cache_", "superblock", "analyze_"))
+            }
+            if interesting:
+                cells = "".join(
+                    f"<tr><td class='name'>{html.escape(k)}</td>"
+                    f"<td>{_fmt(v)}</td></tr>"
+                    for k, v in sorted(interesting.items())
+                )
+                parts.append(
+                    "<table><tr><th>counter (latest)</th><th>total</th></tr>"
+                    + cells + "</table>"
+                )
+        body = "\n".join(parts + text_rows)
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro regression observatory</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>repro regression observatory</h1>"
+        f"{body}</body></html>"
+    )
+
+
+def render_dashboard(records: Iterable[dict], fmt: str = "text") -> str:
+    """Dispatch on ``fmt`` (``text`` or ``html``)."""
+    if fmt == "html":
+        return render_html_dashboard(records)
+    return render_text_dashboard(records)

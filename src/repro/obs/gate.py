@@ -1,0 +1,247 @@
+"""The regression gate: noise bands over ledger history.
+
+``qpt benchmarks gate`` answers one question per measured series —
+"is the newest record consistent with its own history?" — without any
+hand-maintained thresholds. For every numeric metric of a series
+(:func:`repro.obs.ledger.series_key`), the gate computes a **noise
+band** from the preceding records: ``mean ± max(sigmas·std,
+rel_floor·|mean|, abs_floor)``. The band's *violated* side depends on
+the metric's direction:
+
+* ``higher`` is better (``pct_hidden``, hit rates, speedups): only a
+  drop below the band fails;
+* ``lower`` is better (wall times, quarantines, fault escapes): only a
+  rise above the band fails;
+* ``stable`` (everything else, e.g. hazard-bucket cycle counts of a
+  deterministic workload): either side fails — a deterministic number
+  that moved at all is a behavior change.
+
+Wall-clock metrics get a wide relative floor (machines differ); counter
+metrics get a tight one (they are deterministic). A series shorter than
+``min_history`` is skipped, not failed — the gate never blocks a young
+ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .ledger import group_series
+
+#: Metric-name fragments → direction. First match wins; checked in
+#: order against the *last* path component, lowercased.
+_HIGHER_BETTER = ("hidden", "hit_rate", "speedup", "ipc", "caught")
+_LOWER_BETTER = (
+    "wall",
+    "quarantined",
+    "fallback",
+    "escaped",
+    "evict",
+    "stall",
+    "cycles",
+)
+
+#: Metrics priced as wall-clock noise (wide band) vs deterministic
+#: counters (tight band).
+_WALL_REL_FLOOR = 0.50
+_DEFAULT_REL_FLOOR = 0.05
+_ABS_FLOOR = 1e-9
+
+
+def metric_direction(metric: str) -> str:
+    """``higher`` / ``lower`` / ``stable`` for a flattened metric path.
+
+    Matched against the whole dotted path so nested results (e.g.
+    ``results.pct_hidden.int``) inherit the family's direction.
+    """
+    path = metric.lower()
+    for fragment in _HIGHER_BETTER:
+        if fragment in path:
+            return "higher"
+    for fragment in _LOWER_BETTER:
+        if fragment in path:
+            return "lower"
+    return "stable"
+
+
+def _rel_floor(metric: str) -> float:
+    return _WALL_REL_FLOOR if "wall" in metric.lower() else _DEFAULT_REL_FLOOR
+
+
+def flatten_metrics(record: dict) -> dict[str, float]:
+    """Every gateable number in a ledger record, as dotted paths.
+
+    Covers ``wall_s``, everything numeric under ``results`` (nested
+    maps flatten with dots), the hazard buckets, and the canonical
+    counter totals under ``metrics``. Booleans are excluded.
+    """
+    flat: dict[str, float] = {}
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            flat[prefix] = float(value)
+        elif isinstance(value, dict):
+            for key, sub in value.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), sub)
+
+    if isinstance(record.get("wall_s"), (int, float)):
+        flat["wall_s"] = float(record["wall_s"])
+    walk("results", record.get("results") or {})
+    metrics = record.get("metrics") or {}
+    walk("hazards", metrics.get("hazards") or {})
+    walk("counters", metrics.get("counters") or {})
+    if isinstance(metrics.get("cache_hit_rate"), (int, float)):
+        flat["cache_hit_rate"] = float(metrics["cache_hit_rate"])
+    return flat
+
+
+@dataclass(frozen=True)
+class Band:
+    """The acceptance interval one metric's history implies."""
+
+    metric: str
+    direction: str
+    mean: float
+    std: float
+    tolerance: float
+    samples: int
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.tolerance
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.tolerance
+
+    def verdict(self, value: float) -> str | None:
+        """None when in band; otherwise why the value fails."""
+        if self.direction != "lower" and value < self.lo:
+            return (
+                f"{value:g} fell below the noise band "
+                f"[{self.lo:g}, {self.hi:g}] "
+                f"(history mean {self.mean:g} over {self.samples} run(s))"
+            )
+        if self.direction != "higher" and value > self.hi:
+            return (
+                f"{value:g} rose above the noise band "
+                f"[{self.lo:g}, {self.hi:g}] "
+                f"(history mean {self.mean:g} over {self.samples} run(s))"
+            )
+        return None
+
+
+def noise_band(
+    metric: str,
+    history: list[float],
+    *,
+    sigmas: float = 3.0,
+) -> Band:
+    """The band ``history`` implies for ``metric``."""
+    mean = sum(history) / len(history)
+    variance = sum((v - mean) ** 2 for v in history) / len(history)
+    std = math.sqrt(variance)
+    tolerance = max(sigmas * std, _rel_floor(metric) * abs(mean), _ABS_FLOOR)
+    return Band(
+        metric=metric,
+        direction=metric_direction(metric),
+        mean=mean,
+        std=std,
+        tolerance=tolerance,
+        samples=len(history),
+    )
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    series: str
+    metric: str
+    value: float
+    band: Band
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.series} :: {self.metric}: {self.message}"
+
+
+@dataclass
+class GateResult:
+    """What the gate saw and what it concluded."""
+
+    checked_series: int = 0
+    checked_metrics: int = 0
+    skipped_series: list[str] = field(default_factory=list)
+    violations: list[GateViolation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"regression gate: {self.checked_metrics} metric(s) across "
+            f"{self.checked_series} series checked"
+        ]
+        for name in self.skipped_series:
+            lines.append(f"  skipped {name} (not enough history)")
+        if self.passed:
+            lines.append("  => all metrics within their noise bands")
+        else:
+            for violation in self.violations:
+                lines.append(f"  REGRESSION {violation}")
+            lines.append(
+                f"  => {len(self.violations)} metric(s) out of band"
+            )
+        return "\n".join(lines)
+
+
+def check_gate(
+    records: Iterable[dict],
+    *,
+    window: int = 20,
+    min_history: int = 3,
+    sigmas: float = 3.0,
+) -> GateResult:
+    """Gate the newest record of every series against its history.
+
+    For each series, the last appended record is the candidate and the
+    up-to-``window`` records before it are the history. Only metrics
+    present in the candidate *and* in at least ``min_history`` history
+    records are banded — a metric that just started being measured
+    cannot regress yet.
+    """
+    result = GateResult()
+    for name, series in group_series(records).items():
+        if len(series) < min_history + 1:
+            result.skipped_series.append(name)
+            continue
+        candidate = series[-1]
+        history = series[-(window + 1) : -1]
+        candidate_metrics = flatten_metrics(candidate)
+        if not candidate_metrics:
+            result.skipped_series.append(name)
+            continue
+        result.checked_series += 1
+        history_metrics = [flatten_metrics(record) for record in history]
+        for metric, value in sorted(candidate_metrics.items()):
+            values = [m[metric] for m in history_metrics if metric in m]
+            if len(values) < min_history:
+                continue
+            result.checked_metrics += 1
+            band = noise_band(metric, values, sigmas=sigmas)
+            message = band.verdict(value)
+            if message is not None:
+                result.violations.append(
+                    GateViolation(
+                        series=name,
+                        metric=metric,
+                        value=value,
+                        band=band,
+                        message=message,
+                    )
+                )
+    return result

@@ -1,0 +1,172 @@
+"""The run ledger: an append-only JSONL time series of measured runs.
+
+``BENCH_headline.json`` is a *snapshot* — each regeneration overwrites
+the last, so history, provenance, and trend are lost. The ledger is the
+complement: every measured run (``run_profiling_experiment``, ``qpt
+benchmarks``, fault injection, the bench harness) appends exactly one
+self-describing JSON record to ``benchmarks/results/ledger.jsonl``,
+turning the repository's performance claims into a queryable time
+series. The regression observatory consumes it: ``qpt report`` renders
+trends (:mod:`repro.obs.dashboard`) and ``qpt benchmarks gate`` computes
+per-metric noise bands over the history (:mod:`repro.obs.gate`).
+
+Record schema (version :data:`LEDGER_SCHEMA`)::
+
+    {
+      "schema": 1,
+      "kind": "experiment" | "benchmarks" | "faults" | "bench",
+      "ts": "2026-08-08T12:34:56+00:00",     # ISO-8601, UTC
+      "unix": 1786543496.0,
+      "git_sha": "abc123..." | null,          # 40-hex commit, if known
+      "run": {...},                           # workload, machine, config
+      "digests": {...},                       # model/policy/context digests
+      "wall_s": 1.23 | null,
+      "metrics": {"hazards": {...}, "counters": {...}},  # stats_payload
+      "results": {...}                        # headline numbers
+    }
+
+``run``, ``digests``, and ``results`` are open maps — each producer
+stores what identifies and summarizes *its* run — but the envelope keys
+above are fixed, which is what lets the gate and the dashboard treat
+heterogeneous runs uniformly. The digests reuse the schedule cache's
+content addressing (``repro.parallel.fingerprint``): callers pass them
+in as strings, keeping this package zero-dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from datetime import datetime, timezone
+from typing import Iterable
+
+from .metrics import MetricsRegistry
+from .report import stats_payload
+
+#: Version stamped into every record; bump on envelope changes.
+LEDGER_SCHEMA = 1
+
+#: Where runs append by default, relative to the repository root —
+#: alongside the committed bench artifacts so ledger history rides in
+#: version control and CI can gate against it.
+DEFAULT_LEDGER_NAME = os.path.join("benchmarks", "results", "ledger.jsonl")
+
+
+def iso_now(unix: float | None = None) -> str:
+    """An ISO-8601 UTC timestamp (second resolution) for ``unix`` / now."""
+    stamp = datetime.fromtimestamp(
+        time.time() if unix is None else unix, tz=timezone.utc
+    )
+    return stamp.replace(microsecond=0).isoformat()
+
+
+def git_sha(cwd: str | None = None) -> str | None:
+    """The current commit SHA, or None when git/repo are unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def make_record(
+    kind: str,
+    *,
+    run: dict | None = None,
+    digests: dict | None = None,
+    wall_s: float | None = None,
+    metrics: MetricsRegistry | None = None,
+    results: dict | None = None,
+    sha: str | None = None,
+    unix: float | None = None,
+) -> dict:
+    """One ledger record, fully stamped.
+
+    ``metrics`` is summarized through
+    :func:`~repro.obs.report.stats_payload` (hazard buckets + canonical
+    counter totals, not the full labeled snapshot — ledger records stay
+    one line). ``sha`` defaults to :func:`git_sha` of the working
+    directory.
+    """
+    now = time.time() if unix is None else unix
+    record = {
+        "schema": LEDGER_SCHEMA,
+        "kind": kind,
+        "ts": iso_now(now),
+        "unix": now,
+        "git_sha": git_sha() if sha is None else sha,
+        "run": dict(run or {}),
+        "digests": dict(digests or {}),
+        "wall_s": None if wall_s is None else round(wall_s, 6),
+        "metrics": stats_payload(metrics) if metrics is not None else None,
+        "results": dict(results or {}),
+    }
+    return record
+
+
+def append_record(path: str | os.PathLike, record: dict) -> None:
+    """Append one record as a single JSONL line, creating parents."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_ledger(path: str | os.PathLike) -> list[dict]:
+    """Every record in the ledger, in append order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming its line number — an append-only file that stops parsing is
+    corruption worth hearing about, not silently dropping.
+    """
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{os.fspath(path)}:{number}: malformed ledger line: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{os.fspath(path)}:{number}: ledger line is not an object"
+                )
+            records.append(record)
+    return records
+
+
+def series_key(record: dict) -> str:
+    """The time-series identity of a record: which runs are comparable.
+
+    Two records belong to one series when they measured the same thing
+    — same kind, same workload/benchmark, same machine. Digests are
+    deliberately excluded: a model or policy change *should* land in the
+    same series so the gate can flag the shift.
+    """
+    run = record.get("run") or {}
+    name = run.get("benchmark") or run.get("workload") or run.get("name") or "?"
+    machine = run.get("machine", "?")
+    return f"{record.get('kind', '?')}:{name}@{machine}"
+
+
+def group_series(records: Iterable[dict]) -> dict[str, list[dict]]:
+    """Records bucketed by :func:`series_key`, append order preserved."""
+    series: dict[str, list[dict]] = {}
+    for record in records:
+        series.setdefault(series_key(record), []).append(record)
+    return series

@@ -96,6 +96,46 @@ class MetricsRegistry:
             if want <= set(key)
         )
 
+    def merge_snapshot(
+        self, snapshot: dict, *, skip_prefixes: tuple[str, ...] = ()
+    ) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The inverse direction of ``snapshot``: counters add, histogram
+        and timer cells combine their streaming summaries. This is how
+        fork-worker telemetry survives the process boundary — each
+        worker snapshots its private registry, the parent merges
+        (:mod:`repro.parallel.executor`). ``skip_prefixes`` drops series
+        whose name starts with any given prefix: the parallel executor
+        excludes ``pipeline.*`` because the parent's cache-hit replay
+        already reproduces hazard attribution exactly.
+        """
+
+        def skipped(name: str) -> bool:
+            return any(name.startswith(prefix) for prefix in skip_prefixes)
+
+        for name, cells in snapshot.get("counters", {}).items():
+            if skipped(name):
+                continue
+            for cell in cells:
+                self.inc(name, cell["value"], **cell["labels"])
+        for kind, store in (("histograms", self.histograms), ("timers", self.timers)):
+            for name, cells in snapshot.get(kind, {}).items():
+                if skipped(name):
+                    continue
+                series = store.setdefault(name, {})
+                for cell in cells:
+                    key = label_key(cell["labels"])
+                    target = series.get(key)
+                    if target is None:
+                        target = series[key] = Distribution()
+                    target.count += cell["count"]
+                    target.total += cell["total"]
+                    if cell["min"] is not None and cell["min"] < target.min:
+                        target.min = cell["min"]
+                    if cell["max"] is not None and cell["max"] > target.max:
+                        target.max = cell["max"]
+
     def snapshot(self) -> dict:
         """A JSON-able dump of every series — what experiments attach to
         their results and benchmarks assert on."""

@@ -1,0 +1,177 @@
+"""Decision provenance: why a schedule is shaped the way it is.
+
+The ``--stats`` counters say *how many* decisions the forward pass made;
+they cannot answer the question a person debugging a schedule actually
+asks — "why is this load in cycle 7 instead of cycle 2, and what lost
+to it?". Provenance is that answer as data: when a
+:class:`ProvenanceLog` is threaded into the list scheduler
+(:class:`repro.core.list_scheduler.ListScheduler` and everything built
+on it), every placement records the cycle chosen, every candidate that
+was rejected at that decision point, and the hazard that priced each
+rejection — surfaced as ``qpt explain <image> --block N``.
+
+This module is pure data + rendering (zero-dependency, like the rest of
+``repro.obs``): the schedulers populate it with plain ints and strings,
+so nothing here imports pipeline or ISA types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ready-but-rejected instruction at a decision point."""
+
+    #: position within the region's original program order.
+    index: int
+    mnemonic: str
+    #: stall cycles this candidate would have paid to issue now.
+    stalls: int
+    #: the first failing hazard pricing those stalls (rendered, e.g.
+    #: ``"RAW hazard on %l1 at cycle 5"``), or None when the candidate
+    #: could issue immediately and lost purely on priority.
+    hazard: str | None = None
+
+    def describe(self) -> str:
+        if self.hazard is None:
+            return f"{self.mnemonic} (ready; lost on priority)"
+        return f"{self.mnemonic} (+{self.stalls} stall(s): {self.hazard})"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One forward-pass decision: the pick and everything it beat."""
+
+    #: position in the emitted schedule (0-based issue order).
+    slot: int
+    #: position within the region's original program order.
+    index: int
+    mnemonic: str
+    #: absolute pipeline cycle the instruction issued at.
+    cycle: int
+    #: stall cycles the chosen instruction itself paid.
+    stalls: int
+    #: which priority component decided (``stalls`` / ``chain`` /
+    #: ``program_order``) — mirrors the tie-break telemetry.
+    reason: str
+    rejected: tuple[Candidate, ...] = ()
+
+
+@dataclass
+class RegionProvenance:
+    """Every placement of one scheduled straight-line region."""
+
+    #: basic-block index when known (the block scheduler stamps it).
+    block: int | None = None
+    #: region ordinal within the block (blocks can hold several regions).
+    region: int = 0
+    placements: list[Placement] = field(default_factory=list)
+
+
+class ProvenanceLog:
+    """Collects per-decision provenance across one scheduling pass.
+
+    A log is handed to the scheduler (``provenance=`` keyword); the
+    block scheduler stamps :attr:`current_block` before delegating so
+    regions attribute to their blocks. Recording costs one hazard
+    diagnosis per rejected candidate per decision — strictly opt-in,
+    never on by default.
+    """
+
+    def __init__(self) -> None:
+        self.regions: list[RegionProvenance] = []
+        self.current_block: int | None = None
+        self._region_in_block = 0
+        self._last_block: int | None = None
+
+    def begin_region(self) -> RegionProvenance:
+        if self.current_block != self._last_block:
+            self._region_in_block = 0
+            self._last_block = self.current_block
+        region = RegionProvenance(
+            block=self.current_block, region=self._region_in_block
+        )
+        self._region_in_block += 1
+        self.regions.append(region)
+        return region
+
+    def record(self, placement: Placement) -> None:
+        if not self.regions:
+            self.begin_region()
+        self.regions[-1].placements.append(placement)
+
+    @property
+    def placements(self) -> int:
+        return sum(len(region.placements) for region in self.regions)
+
+    @property
+    def rejections(self) -> int:
+        return sum(
+            len(p.rejected) for r in self.regions for p in r.placements
+        )
+
+
+def provenance_json(log: ProvenanceLog) -> dict:
+    """The log as a JSON-able document (``qpt explain --json``)."""
+    return {
+        "version": 1,
+        "regions": [
+            {
+                "block": region.block,
+                "region": region.region,
+                "placements": [
+                    {
+                        "slot": p.slot,
+                        "index": p.index,
+                        "mnemonic": p.mnemonic,
+                        "cycle": p.cycle,
+                        "stalls": p.stalls,
+                        "reason": p.reason,
+                        "rejected": [
+                            {
+                                "index": c.index,
+                                "mnemonic": c.mnemonic,
+                                "stalls": c.stalls,
+                                "hazard": c.hazard,
+                            }
+                            for c in p.rejected
+                        ],
+                    }
+                    for p in region.placements
+                ],
+            }
+            for region in log.regions
+        ],
+    }
+
+
+def render_provenance(log: ProvenanceLog) -> str:
+    """The human-readable ``qpt explain`` report."""
+    if not log.regions or log.placements == 0:
+        return "(no scheduling decisions recorded)"
+    lines: list[str] = []
+    for region in log.regions:
+        if not region.placements:
+            continue
+        where = (
+            f"block {region.block}" if region.block is not None else "region"
+        )
+        if region.region:
+            where += f", region {region.region}"
+        lines.append(f"{where} ({len(region.placements)} placement(s)):")
+        for p in region.placements:
+            moved = ""
+            if p.index != p.slot:
+                moved = f"  [moved {p.index - p.slot:+d} from program order]"
+            lines.append(
+                f"  slot {p.slot}: {p.mnemonic:<12} issued cycle {p.cycle}"
+                f" (+{p.stalls} stall(s), decided by {p.reason}){moved}"
+            )
+            for candidate in p.rejected:
+                lines.append(f"      rejected {candidate.describe()}")
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

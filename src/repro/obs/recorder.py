@@ -175,3 +175,88 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+#: Keys every trace event must carry, per the Chrome trace-event spec.
+_TRACE_REQUIRED_KEYS = frozenset({"name", "ph", "pid", "tid"})
+
+
+def validate_trace(payload: dict) -> list[str]:
+    """Schema-check a Chrome trace-event payload; returns problems.
+
+    An empty list means the payload is well-formed: every event carries
+    the required keys, duration events have non-negative ``ts``/``dur``,
+    ``"B"``/``"E"`` span events balance per (pid, tid) track, and
+    complete (``"X"``) events nest properly — a child slice never
+    escapes its enclosing parent. Used by the trace tests and available
+    to external consumers of ``--trace`` output.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    open_spans: dict[tuple, list[str]] = {}
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {position} is not an object")
+            continue
+        missing = _TRACE_REQUIRED_KEYS - event.keys()
+        if missing:
+            problems.append(
+                f"event {position} ({event.get('name', '?')!r}) missing "
+                f"keys {sorted(missing)}"
+            )
+            continue
+        phase = event["ph"]
+        track = (event["pid"], event["tid"])
+        if phase in ("X", "B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(
+                    f"event {position} ({event['name']!r}) has bad ts {ts!r}"
+                )
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {position} ({event['name']!r}) has bad dur {dur!r}"
+                )
+        elif phase == "B":
+            open_spans.setdefault(track, []).append(event["name"])
+        elif phase == "E":
+            stack = open_spans.get(track)
+            if not stack:
+                problems.append(
+                    f"event {position}: 'E' for {event['name']!r} with no "
+                    f"open 'B' span on track {track}"
+                )
+            else:
+                stack.pop()
+    for track, stack in open_spans.items():
+        for name in stack:
+            problems.append(f"unclosed 'B' span {name!r} on track {track}")
+    # Complete events on one track must nest: sorted by start, each
+    # event either follows the previous or is contained within it.
+    by_track: dict[tuple, list[tuple[float, float, str]]] = {}
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") == "X":
+            if isinstance(event.get("ts"), (int, float)) and isinstance(
+                event.get("dur"), (int, float)
+            ):
+                by_track.setdefault((event["pid"], event["tid"]), []).append(
+                    (event["ts"], event["ts"] + event["dur"], event["name"])
+                )
+    for track, slices in by_track.items():
+        stack: list[tuple[float, float, str]] = []
+        # Longest-first at equal starts, so a parent precedes the child
+        # slices that begin on its first instant.
+        for start, end, name in sorted(slices, key=lambda s: (s[0], -s[1], s[2])):
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                problems.append(
+                    f"slice {name!r} on track {track} overlaps "
+                    f"{stack[-1][2]!r} without nesting"
+                )
+            stack.append((start, end, name))
+    return problems

@@ -254,6 +254,70 @@ def analyze_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+#: Counter series summarized (as plain totals) by :func:`stats_payload`
+#: — one canonical key per counter the ``--stats`` panel renders, so
+#: the run ledger and external tooling consume the same numbers.
+SUMMARY_COUNTERS = {
+    "stall_cycles": STALL_CYCLES,
+    "hazard_conditions": HAZARDS,
+    "issues": ISSUES,
+    "sched_decisions": SCHED_DECISIONS,
+    "sched_blocks": SCHED_BLOCKS,
+    "sched_delay_slots": SCHED_DELAY_SLOTS,
+    "superblocks_formed": SB_FORMED,
+    "superblock_cross_moves": SB_CROSS_MOVES,
+    "superblock_compensation": SB_COMPENSATION,
+    "guard_blocks_verified": GUARD_BLOCKS_VERIFIED,
+    "guard_quarantined": GUARD_QUARANTINED,
+    "guard_fallbacks": GUARD_FALLBACKS,
+    "guard_cache_served": GUARD_CACHE_SERVED,
+    "cache_hits": CACHE_HITS,
+    "cache_misses": CACHE_MISSES,
+    "cache_inserts": CACHE_INSERTS,
+    "cache_evictions": CACHE_EVICTIONS,
+    "parallel_shards": PARALLEL_SHARDS,
+    "parallel_regions": PARALLEL_REGIONS,
+    "parallel_fallbacks": PARALLEL_FALLBACKS,
+    "analyze_static_pass": ANALYZE_STATIC_PASS,
+    "analyze_static_escalated": ANALYZE_STATIC_ESCALATED,
+    "analyze_findings": ANALYZE_FINDINGS,
+}
+
+
+def stats_payload(metrics: MetricsRegistry, *, snapshot: bool = False) -> dict:
+    """The ``--stats`` panel as a machine-readable dict.
+
+    The same numbers :func:`render_stats` prints, in a stable shape:
+    ``hazards`` holds the four attribution buckets, ``counters`` the
+    totals of every canonical counter (see :data:`SUMMARY_COUNTERS`;
+    zero-valued counters are omitted), and ``cache_hit_rate`` is
+    derived. ``snapshot=True`` additionally attaches the full labeled
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`. This is what
+    ``qpt --stats-format json`` prints and what the run ledger stores,
+    so external tooling and ledger history always agree.
+    """
+    payload: dict = {
+        "hazards": {
+            kind: int(metrics.counter_total(STALL_CYCLES, kind=kind))
+            for kind in HAZARD_KINDS
+        },
+        "counters": {},
+    }
+    for key, name in SUMMARY_COUNTERS.items():
+        total = metrics.counter_total(name)
+        if total:
+            payload["counters"][key] = (
+                int(total) if float(total).is_integer() else total
+            )
+    hits = metrics.counter_total(CACHE_HITS)
+    lookups = hits + metrics.counter_total(CACHE_MISSES)
+    if lookups:
+        payload["cache_hit_rate"] = round(hits / lookups, 4)
+    if snapshot:
+        payload["snapshot"] = metrics.snapshot()
+    return payload
+
+
 def render_stats(metrics: MetricsRegistry) -> str:
     """The full ``--stats`` panel: attribution, decisions, timings."""
     sections = [stall_attribution_table(metrics)]

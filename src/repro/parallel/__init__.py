@@ -32,7 +32,9 @@ from .executor import (
 from .fingerprint import (
     canonical_region,
     context_digest,
+    model_digest,
     model_identity,
+    policy_digest,
     policy_identity,
     region_digest,
     superblock_digest,
@@ -51,7 +53,9 @@ __all__ = [
     "context_digest",
     "make_transform",
     "measure_modes",
+    "model_digest",
     "model_identity",
+    "policy_digest",
     "policy_identity",
     "region_digest",
     "render_report",

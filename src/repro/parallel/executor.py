@@ -45,7 +45,7 @@ from ..core.superblock import SuperblockConfig, SuperblockScheduler
 from ..core.verify import DEFAULT_SEED, verify_schedule
 from ..eel.routine import split_routines
 from ..isa.instruction import Instruction
-from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.recorder import NULL_RECORDER, MetricsRecorder, Recorder
 from ..obs.report import (
     PARALLEL_FALLBACKS,
     PARALLEL_REGIONS,
@@ -91,12 +91,18 @@ def _schedule_shard(payload):
     """Schedule one shard's regions; runs in a worker process.
 
     ``payload`` is (model name, SADL source, policy, regions, verify?,
-    trials, seed). Returns one ``(order, original_cycles,
-    scheduled_cycles, verified)`` tuple per region, in input order.
+    trials, seed, telemetry?). Returns ``(results, snapshot)``:
+    one ``(order, original_cycles, scheduled_cycles, verified)`` tuple
+    per region in input order, plus — when ``telemetry`` is set — a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the private
+    registry the shard's scheduler recorded into (None otherwise). The
+    parent merges the snapshot, so forward-pass decision telemetry is
+    not silently dropped on the floor of the worker process.
     """
-    name, source, policy, regions, verify, trials, seed = payload
+    name, source, policy, regions, verify, trials, seed, telemetry = payload
     model = _worker_model(name, source)
-    scheduler = ListScheduler(model, policy)
+    recorder = MetricsRecorder() if telemetry else None
+    scheduler = ListScheduler(model, policy, recorder)
     out = []
     for region in regions:
         region = list(region)
@@ -120,7 +126,8 @@ def _schedule_shard(payload):
                 verified,
             )
         )
-    return out
+    snapshot = recorder.metrics.snapshot() if recorder is not None else None
+    return out, snapshot
 
 
 def _model_spec(model) -> tuple[str, str] | None:
@@ -268,6 +275,7 @@ class ParallelScheduler:
                 self.verify_in_workers,
                 self.verify_trials,
                 self.verify_seed,
+                self.recorder.enabled,
             )
             for shard in shards
         ]
@@ -281,12 +289,13 @@ class ParallelScheduler:
                 # independent of worker completion order.
                 for shard, future in zip(shards, futures):
                     try:
-                        results = future.result()
+                        results, snapshot = future.result()
                     except Exception:
                         self.recorder.count(PARALLEL_FALLBACKS)
                         continue
                     self.recorder.count(PARALLEL_SHARDS)
                     self._merge_shard(shard, results)
+                    self._merge_telemetry(snapshot)
         except OSError:
             # No process pool available here; the serial pass schedules
             # everything itself.
@@ -314,6 +323,24 @@ class ParallelScheduler:
             )
             self.warmed_regions += 1
             self.recorder.count(PARALLEL_REGIONS)
+
+    def _merge_telemetry(self, snapshot) -> None:
+        """Fold a worker's metrics snapshot into the parent recorder.
+
+        ``pipeline.*`` is excluded: the layout pass replays hazard
+        attribution on every cache hit (once per *occurrence*, exactly
+        as a serial run attributes), while the worker issued each unique
+        region once — merging both would double-count. Everything else
+        (``scheduler.*`` decisions, ``core.*`` phase timers) happens
+        once per unique region in a cached serial run too, so the merge
+        makes ``--jobs N --stats`` match ``--jobs 1 --stats``.
+        """
+        if snapshot is None:
+            return
+        registry = getattr(self.recorder, "metrics", None)
+        if registry is None or not hasattr(registry, "merge_snapshot"):
+            return
+        registry.merge_snapshot(snapshot, skip_prefixes=("pipeline.",))
 
 
 # -- the one-stop factory --------------------------------------------------------

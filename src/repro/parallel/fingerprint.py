@@ -133,6 +133,18 @@ def policy_identity(policy: SchedulingPolicy | None) -> str:
     return repr(policy or SchedulingPolicy())
 
 
+def model_digest(model) -> str:
+    """Short hex digest of :func:`model_identity` — what ledger records
+    store (the identity string itself can be long and, for sourceless
+    models, embeds a process-local object id)."""
+    return hashlib.sha256(model_identity(model).encode()).hexdigest()[:16]
+
+
+def policy_digest(policy: SchedulingPolicy | None) -> str:
+    """Short hex digest of :func:`policy_identity`, for ledger records."""
+    return hashlib.sha256(policy_identity(policy).encode()).hexdigest()[:16]
+
+
 def context_digest(model, policy: SchedulingPolicy | None) -> str:
     """Digest of the (machine model, scheduler options) pair."""
     text = model_identity(model) + "|" + policy_identity(policy)

@@ -12,10 +12,14 @@ Operates on RXE executables:
          --stats --trace prog.trace.json
    $ python -m repro.tools.qpt_cli disasm prog.rxe
    $ python -m repro.tools.qpt_cli chart prog.rxe --block 1
+   $ python -m repro.tools.qpt_cli explain prog.rxe --block 1
    $ python -m repro.tools.qpt_cli lint prog.rxe --format sarif -o prog.sarif
    $ python -m repro.tools.qpt_cli lint --sadl my_machine.sadl --fail-on warning
    $ python -m repro.tools.qpt_cli validate --machine supersparc
-   $ python -m repro.tools.qpt_cli benchmarks --machine ultrasparc --jobs 4
+   $ python -m repro.tools.qpt_cli benchmarks --machine ultrasparc --jobs 4 \\
+         --ledger
+   $ python -m repro.tools.qpt_cli benchmarks gate --warn-only
+   $ python -m repro.tools.qpt_cli report --format html -o observatory.html
    $ python -m repro.tools.qpt_cli codegen --machine ultrasparc -o ps.py
 
 ``instrument`` writes a JSON sidecar (``<out>.json``) recording counter
@@ -37,8 +41,19 @@ injected fault escapes the guards.
 ``lint`` runs the static analyzer (``docs/static_analysis.md``) over an
 executable image or a SADL machine description and emits text, JSON, or
 SARIF findings; ``--fail-on`` picks the severity that makes the exit
-code nonzero. Any typed library error
-(:class:`~repro.errors.ReproError`) from a subcommand prints
+code nonzero.
+
+``explain`` prints one block's decision provenance — for every placed
+instruction, the cycle chosen, every rejected ready candidate, and the
+hazard pricing each rejection (``docs/observability.md``). ``--stats``
+output can be switched to machine-readable form with ``--stats-format
+json``. Measured runs append to the run ledger: ``benchmarks --ledger``
+and ``faults --ledger`` record one JSONL line per run (git SHA,
+timestamp, digests, headline numbers); ``report`` renders the ledger
+as a text or HTML dashboard; ``benchmarks gate`` computes per-metric
+noise bands over ledger history and exits nonzero on an out-of-band
+regression (``--warn-only`` reports without failing). Any typed library
+error (:class:`~repro.errors.ReproError`) from a subcommand prints
 ``error: ...`` and exits 1 instead of a traceback.
 """
 
@@ -55,11 +70,21 @@ from ..eel.executable import Executable
 from ..errors import ReproError
 from ..isa.disasm import disassemble_executable
 from ..obs import (
+    DEFAULT_LEDGER_NAME,
     NULL_RECORDER,
     MetricsRecorder,
+    ProvenanceLog,
     Recorder,
     TraceRecorder,
+    append_record,
+    check_gate,
+    make_record,
+    provenance_json,
+    read_ledger,
+    render_dashboard,
+    render_provenance,
     render_stats,
+    stats_payload,
 )
 from ..parallel import ParallelOptions, make_transform, measure_modes, render_report
 from ..pipeline.timing import timed_run
@@ -82,6 +107,13 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="print stall-attribution buckets and phase timings",
     )
     parser.add_argument(
+        "--stats-format",
+        choices=("text", "json"),
+        default="text",
+        help="render --stats as tables or as a JSON summary "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="OUT.json",
         help="write a Chrome trace-event file (chrome://tracing)",
@@ -98,8 +130,11 @@ def _make_recorder(args) -> Recorder:
 
 def _finish_obs(args, recorder: Recorder) -> int:
     if getattr(args, "stats", False):
-        print()
-        print(render_stats(recorder.metrics))
+        if getattr(args, "stats_format", "text") == "json":
+            print(json.dumps(stats_payload(recorder.metrics), indent=2))
+        else:
+            print()
+            print(render_stats(recorder.metrics))
     trace = getattr(args, "trace", None)
     if trace:
         try:
@@ -364,7 +399,67 @@ def cmd_chart(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    from ..core.block_scheduler import BlockScheduler
+    from ..eel.cfg import build_cfg
+
+    executable = _load(args.input)
+    model = load_machine(args.machine)
+    policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
+    cfg = build_cfg(executable)
+    if not 0 <= args.block < len(cfg):
+        print(f"block {args.block} out of range (program has {len(cfg)} blocks)")
+        return 1
+    block = cfg.blocks[args.block]
+    log = ProvenanceLog()
+    # No cache: a replayed hit skips the forward pass and would leave
+    # holes in the decision log, which is the entire output here.
+    scheduler = BlockScheduler(model, policy, provenance=log)
+    scheduler(block, list(block.body))
+    if args.json:
+        print(json.dumps(provenance_json(log), indent=2))
+        return 0
+    print(f"block {block.index} @ {block.address:#x} on {args.machine}:")
+    print(render_provenance(log))
+    return 0
+
+
+def _ledger_digests(model, policy=None) -> dict:
+    from ..parallel.fingerprint import (
+        context_digest,
+        model_digest,
+        policy_digest,
+    )
+
+    return {
+        "model": model_digest(model),
+        "policy": policy_digest(policy),
+        "context": context_digest(model, policy),
+    }
+
+
+def cmd_report(args) -> int:
+    if not os.path.exists(args.ledger):
+        print(
+            f"error: ledger {args.ledger!r} does not exist; measured runs "
+            "append to it ('benchmarks --ledger', 'faults --ledger')",
+            file=sys.stderr,
+        )
+        return 2
+    records = read_ledger(args.ledger)
+    rendered = render_dashboard(records, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output} ({len(records)} ledger record(s))")
+    else:
+        print(rendered)
+    return 0
+
+
 def cmd_faults(args) -> int:
+    import time as _time
+
     if args.synthetic_width:
         from ..spawn import load_superscalar
 
@@ -372,17 +467,70 @@ def cmd_faults(args) -> int:
     else:
         model = load_machine(args.machine)
     executable = _load(args.input) if args.input else None
+    start = _time.perf_counter()
     report = run_fault_injection(
         model,
         executable=executable,
         verify_seed=args.verify_seed,
         jobs=args.jobs,
     )
+    wall = _time.perf_counter() - start
     print(report.render())
+    if args.ledger is not None:
+        record = make_record(
+            "faults",
+            run={
+                "workload": "fault-injection",
+                "machine": model.name,
+                "jobs": args.jobs,
+            },
+            digests=_ledger_digests(model),
+            wall_s=wall,
+            results={
+                "injected": report.injected,
+                "caught": report.injected - report.escaped,
+                "escaped": report.escaped,
+                "clean": report.clean,
+            },
+        )
+        append_record(args.ledger, record)
+        print(f"appended faults record to {args.ledger}")
     return 0 if report.clean else 1
 
 
 def cmd_benchmarks(args) -> int:
+    if args.action == "gate":
+        return _benchmarks_gate(args)
+    return _benchmarks_run(args)
+
+
+def _benchmarks_gate(args) -> int:
+    if not os.path.exists(args.ledger or DEFAULT_LEDGER_NAME):
+        print(
+            f"error: ledger {args.ledger or DEFAULT_LEDGER_NAME!r} does "
+            "not exist; nothing to gate against",
+            file=sys.stderr,
+        )
+        return 2
+    records = read_ledger(args.ledger or DEFAULT_LEDGER_NAME)
+    result = check_gate(
+        records,
+        window=args.window,
+        min_history=args.min_history,
+        sigmas=args.sigmas,
+    )
+    print(result.render())
+    if result.passed:
+        return 0
+    if args.warn_only:
+        print("(--warn-only: regressions reported, exit 0)")
+        return 0
+    return 1
+
+
+def _benchmarks_run(args) -> int:
+    import time as _time
+
     from ..workloads.generator import WorkloadSpec, generate
 
     model = load_machine(args.machine)
@@ -396,6 +544,7 @@ def cmd_benchmarks(args) -> int:
                 avg_block_size=args.avg_block_size,
             )
         )
+        start = _time.perf_counter()
         report = measure_modes(
             model,
             program,
@@ -403,6 +552,7 @@ def cmd_benchmarks(args) -> int:
             jobs=args.jobs,
             guarded=args.safe,
         )
+        wall = _time.perf_counter() - start
         print(render_report(report))
         warm = report.mode("cached-warm")
         print(
@@ -413,6 +563,31 @@ def cmd_benchmarks(args) -> int:
         print()
         if not report.identical:
             failures += 1
+        if args.ledger is not None:
+            record = make_record(
+                "benchmarks",
+                run={
+                    "benchmark": f"seed {seed}",
+                    "machine": args.machine,
+                    "jobs": args.jobs,
+                    "kind": args.kind,
+                    "guarded": args.safe,
+                },
+                digests=_ledger_digests(model),
+                wall_s=wall,
+                results={
+                    "identical": report.identical,
+                    "warm_speedup": round(report.speedup("cached-warm"), 4),
+                    "warm_hit_rate": round(warm.hit_rate, 4),
+                    **{
+                        f"wall_{m.mode.replace('-', '_')}_s": round(m.wall_s, 6)
+                        for m in report.modes
+                    },
+                },
+            )
+            append_record(args.ledger, record)
+    if args.ledger is not None:
+        print(f"appended {len(args.seeds)} benchmark record(s) to {args.ledger}")
     if failures:
         print(
             f"error: {failures} workload(s) produced divergent output "
@@ -532,6 +707,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.set_defaults(func=cmd_chart)
 
+    p = sub.add_parser(
+        "explain",
+        help="print one block's scheduling decision provenance: chosen "
+        "cycles, rejected candidates, and the hazards that priced them",
+    )
+    p.add_argument("input")
+    p.add_argument("--block", type=int, default=0,
+                   help="block index to explain (default %(default)s)")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("--fill-delay-slots", action="store_true",
+                   help="schedule under the delay-slot-refill policy")
+    p.add_argument("--json", action="store_true",
+                   help="emit the provenance log as JSON")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "report",
+        help="render the run ledger as a regression-observatory dashboard",
+    )
+    p.add_argument("--ledger", metavar="PATH", default=DEFAULT_LEDGER_NAME,
+                   help="ledger JSONL to read (default %(default)s)")
+    p.add_argument("--format", choices=("text", "html"), default="text",
+                   help="dashboard format (default %(default)s)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the dashboard to FILE instead of stdout")
+    p.set_defaults(func=cmd_report)
+
     p = sub.add_parser("faults", help="run the fault-injection harness")
     p.add_argument("input", nargs="?",
                    help="RXE executable for the encoding/scheduler fault "
@@ -544,13 +746,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="also exercise the cached+parallel path with N "
                    "workers in the cache fault class")
+    p.add_argument("--ledger", metavar="PATH", nargs="?",
+                   const=DEFAULT_LEDGER_NAME, default=None,
+                   help="append one faults record to the run ledger "
+                   "(default path: %(const)s)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
         "benchmarks",
         help="time serial vs parallel vs warm-cache scheduling and "
-        "cross-check the outputs are byte-identical",
+        "cross-check the outputs are byte-identical; 'benchmarks gate' "
+        "checks the newest ledger records against their noise bands",
     )
+    p.add_argument("action", nargs="?", choices=("run", "gate"),
+                   default="run",
+                   help="'run' measures (the default); 'gate' regression-"
+                   "checks the ledger instead")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.add_argument("--jobs", type=int, default=4, metavar="N")
     p.add_argument("--seeds", type=int, nargs="+", default=[11, 12, 13],
@@ -559,6 +770,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--avg-block-size", type=float, default=9.0)
     p.add_argument("--safe", action="store_true",
                    help="measure the guarded (verify-and-fallback) path")
+    p.add_argument("--ledger", metavar="PATH", nargs="?",
+                   const=DEFAULT_LEDGER_NAME, default=None,
+                   help="run: append one record per seed to the ledger; "
+                   "gate: the ledger to check (default path: %(const)s)")
+    p.add_argument("--window", type=int, default=20, metavar="N",
+                   help="gate: history records per noise band "
+                   "(default %(default)s)")
+    p.add_argument("--min-history", type=int, default=3, metavar="N",
+                   help="gate: minimum history before a series is gated "
+                   "(default %(default)s)")
+    p.add_argument("--sigmas", type=float, default=3.0,
+                   help="gate: band half-width in standard deviations "
+                   "(default %(default)s)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="gate: report regressions but exit 0")
     p.set_defaults(func=cmd_benchmarks)
 
     p = sub.add_parser("codegen", help="emit generated pipeline_stalls")

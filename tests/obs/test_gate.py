@@ -1,0 +1,166 @@
+"""Regression-gate tests: noise bands, directions, and gating logic."""
+
+from repro.obs import (
+    check_gate,
+    flatten_metrics,
+    make_record,
+    metric_direction,
+    noise_band,
+)
+
+
+def record(unix, *, results=None, wall=1.0, name="seed 11"):
+    return make_record(
+        "benchmarks",
+        run={"benchmark": name, "machine": "ultrasparc"},
+        wall_s=wall,
+        results=results or {},
+        sha="0" * 40,
+        unix=unix,
+    )
+
+
+def history(values, metric="scheduled_cycles", **kwargs):
+    return [
+        record(float(i), results={metric: v}, **kwargs)
+        for i, v in enumerate(values)
+    ]
+
+
+# -- direction --------------------------------------------------------------------
+
+
+def test_directions():
+    assert metric_direction("results.pct_hidden") == "higher"
+    assert metric_direction("cache_hit_rate") == "higher"
+    assert metric_direction("wall_s") == "lower"
+    assert metric_direction("hazards.raw") == "stable"
+    assert metric_direction("counters.guard_quarantined") == "lower"
+    assert metric_direction("results.scheduled_cycles") == "lower"
+
+
+def test_direction_matches_full_path_not_just_leaf():
+    # Nested suite averages: the leaf is 'int' but the family is hidden.
+    assert metric_direction("results.pct_hidden.int") == "higher"
+
+
+# -- flattening -------------------------------------------------------------------
+
+
+def test_flatten_covers_all_sections():
+    rec = record(
+        1.0, results={"pct_hidden": 0.4, "suite": {"int": 0.3, "fp": 0.5}}
+    )
+    rec["metrics"] = {
+        "hazards": {"raw": 10},
+        "counters": {"issues": 100},
+        "cache_hit_rate": 0.9,
+    }
+    flat = flatten_metrics(rec)
+    assert flat["wall_s"] == 1.0
+    assert flat["results.pct_hidden"] == 0.4
+    assert flat["results.suite.int"] == 0.3
+    assert flat["hazards.raw"] == 10
+    assert flat["counters.issues"] == 100
+    assert flat["cache_hit_rate"] == 0.9
+
+
+def test_flatten_excludes_booleans():
+    rec = record(1.0, results={"identical": True, "cycles": 5})
+    flat = flatten_metrics(rec)
+    assert "results.identical" not in flat
+    assert flat["results.cycles"] == 5
+
+
+# -- bands ------------------------------------------------------------------------
+
+
+def test_noise_band_floors_deterministic_counters():
+    band = noise_band("results.scheduled_cycles", [1000.0] * 5)
+    assert band.std == 0.0
+    # 5% relative floor, not zero width.
+    assert band.lo == 950.0 and band.hi == 1050.0
+
+
+def test_noise_band_wall_metrics_get_wide_floor():
+    band = noise_band("wall_s", [1.0] * 5)
+    assert band.lo == 0.5 and band.hi == 1.5
+
+
+def test_band_verdict_is_direction_aware():
+    lower = noise_band("results.scheduled_cycles", [1000.0] * 5)
+    assert lower.verdict(1100.0) is not None  # rose: regression
+    assert lower.verdict(800.0) is None  # dropped: improvement
+    higher = noise_band("results.pct_hidden", [0.5] * 5)
+    assert higher.verdict(0.2) is not None
+    assert higher.verdict(0.9) is None
+    stable = noise_band("hazards.raw", [100.0] * 5)
+    assert stable.verdict(110.0) is not None
+    assert stable.verdict(90.0) is not None
+    assert stable.verdict(101.0) is None
+
+
+# -- the gate ---------------------------------------------------------------------
+
+
+def test_gate_passes_in_band_noise():
+    records = history([1000, 1002, 998, 1001, 999])
+    result = check_gate(records)
+    assert result.passed
+    assert result.checked_series == 1
+    assert "within their noise bands" in result.render()
+
+
+def test_gate_detects_injected_regression():
+    records = history([1000, 1002, 998, 1001, 1400])
+    result = check_gate(records)
+    assert not result.passed
+    violation = result.violations[0]
+    assert violation.metric == "results.scheduled_cycles"
+    assert violation.value == 1400
+    assert "REGRESSION" in result.render()
+
+
+def test_gate_detects_hit_rate_collapse():
+    records = history([0.95, 0.94, 0.96, 0.95, 0.50], metric="warm_hit_rate")
+    result = check_gate(records)
+    assert not result.passed
+    assert "fell below" in result.violations[0].message
+
+
+def test_gate_ignores_improvements_on_directional_metrics():
+    records = history([1000, 1002, 998, 1001, 700])
+    assert check_gate(records).passed
+
+
+def test_gate_skips_young_series():
+    records = history([1000, 1001])
+    result = check_gate(records)
+    assert result.passed
+    assert result.checked_series == 0
+    assert result.skipped_series
+    assert "not enough history" in result.render()
+
+
+def test_gate_skips_metrics_without_history():
+    # The metric only appears in the candidate record.
+    records = history([1000, 1001, 999, 1002])
+    records[-1]["results"]["brand_new"] = 7.0
+    result = check_gate(records)
+    assert result.passed
+
+
+def test_gate_windows_old_history():
+    # Ancient outliers beyond the window must not widen the band.
+    values = [5000, 5000] + [1000, 1001, 999, 1002, 998, 1400]
+    records = history(values)
+    result = check_gate(records, window=5)
+    assert not result.passed
+
+
+def test_gate_series_are_independent():
+    good = history([1000, 1001, 999, 1000])
+    bad = history([1000, 1001, 999, 1400], name="seed 12")
+    result = check_gate(good + bad)
+    assert len(result.violations) == 1
+    assert "seed 12" in result.violations[0].series

@@ -1,0 +1,110 @@
+"""Run-ledger tests: record shape, append/read round-trip, series keys."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LEDGER_SCHEMA,
+    MetricsRecorder,
+    append_record,
+    git_sha,
+    group_series,
+    iso_now,
+    make_record,
+    read_ledger,
+    series_key,
+)
+from repro.obs.report import HAZARDS, ISSUES, STALL_CYCLES
+
+
+def test_iso_now_is_utc_second_resolution():
+    stamp = iso_now(0.0)
+    assert stamp == "1970-01-01T00:00:00+00:00"
+
+
+def test_git_sha_in_this_repo_is_forty_hex():
+    sha = git_sha()
+    # The test suite runs inside the repository; outside one, None is
+    # the contract — accept both so the test is environment-honest.
+    if sha is not None:
+        assert len(sha) == 40
+        int(sha, 16)
+
+
+def test_make_record_envelope():
+    record = make_record(
+        "experiment",
+        run={"benchmark": "129.compress", "machine": "ultrasparc"},
+        digests={"context": "abc"},
+        wall_s=1.23456789,
+        results={"pct_hidden": 0.42},
+        sha="f" * 40,
+        unix=100.0,
+    )
+    assert record["schema"] == LEDGER_SCHEMA
+    assert record["kind"] == "experiment"
+    assert record["ts"] == iso_now(100.0)
+    assert record["unix"] == 100.0
+    assert record["git_sha"] == "f" * 40
+    assert record["wall_s"] == 1.234568
+    assert record["results"]["pct_hidden"] == 0.42
+    json.dumps(record)  # must be one serializable JSONL line
+
+
+def test_make_record_summarizes_metrics():
+    recorder = MetricsRecorder()
+    recorder.count(ISSUES, 4)
+    recorder.count(STALL_CYCLES, 3, kind="raw")
+    recorder.count(HAZARDS, 1, kind="raw")
+    record = make_record("bench", metrics=recorder.metrics, sha=None, unix=1.0)
+    assert record["metrics"]["hazards"]["raw"] == 3
+    assert record["metrics"]["counters"]["issues"] == 4
+
+
+def test_append_and_read_round_trip(tmp_path):
+    path = tmp_path / "nested" / "ledger.jsonl"
+    first = make_record("bench", run={"name": "a"}, sha="0" * 40, unix=1.0)
+    second = make_record("bench", run={"name": "a"}, sha="0" * 40, unix=2.0)
+    append_record(path, first)
+    append_record(path, second)
+    records = read_ledger(path)
+    assert records == [first, second]
+
+
+def test_read_ledger_skips_blank_lines(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    path.write_text('{"kind": "bench"}\n\n{"kind": "faults"}\n')
+    assert [r["kind"] for r in read_ledger(path)] == ["bench", "faults"]
+
+
+def test_read_ledger_names_the_malformed_line(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    path.write_text('{"kind": "bench"}\nnot json\n')
+    with pytest.raises(ValueError, match=":2:"):
+        read_ledger(path)
+
+
+def test_series_key_groups_same_workload_same_machine():
+    a = make_record(
+        "benchmarks",
+        run={"benchmark": "seed 11", "machine": "ultrasparc"},
+        sha=None,
+        unix=1.0,
+    )
+    b = make_record(
+        "benchmarks",
+        run={"benchmark": "seed 11", "machine": "ultrasparc"},
+        sha=None,
+        unix=2.0,
+    )
+    c = make_record(
+        "benchmarks",
+        run={"benchmark": "seed 11", "machine": "supersparc"},
+        sha=None,
+        unix=3.0,
+    )
+    assert series_key(a) == series_key(b) != series_key(c)
+    series = group_series([a, b, c])
+    assert len(series) == 2
+    assert series[series_key(a)] == [a, b]

@@ -1,0 +1,157 @@
+"""Decision-provenance tests: the log, and the schedulers feeding it.
+
+The acceptance bar: a provenance-enabled schedule is byte-identical to
+an unlogged one, and the log names at least one rejected candidate with
+the hazard that priced it.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ListScheduler, SchedulingPolicy
+from repro.core.block_scheduler import BlockScheduler
+from repro.isa import assemble
+from repro.obs import (
+    Candidate,
+    Placement,
+    ProvenanceLog,
+    provenance_json,
+    render_provenance,
+)
+from repro.spawn import load_machine
+
+MODEL = load_machine("ultrasparc")
+
+#: Two independent load-use chains plus filler: guarantees both a
+#: stall-priced rejection (the dependent add while the load drains)
+#: and a priority-only rejection (two ready adds, one loses).
+REGION = """
+    ld [%o0], %o1
+    add %o1, 1, %o2
+    add %l0, 1, %l0
+    ld [%o2], %o3
+    add %o3, 1, %o4
+    add %l1, 1, %l1
+"""
+
+
+def schedule_with_log(policy=None):
+    log = ProvenanceLog()
+    scheduler = ListScheduler(MODEL, policy, provenance=log)
+    result = scheduler.schedule_region(assemble(REGION))
+    return result, log
+
+
+def test_provenance_does_not_change_the_schedule():
+    plain = ListScheduler(MODEL).schedule_region(assemble(REGION))
+    logged, _ = schedule_with_log()
+    assert plain.order == logged.order
+    assert [str(i) for i in plain.instructions] == [
+        str(i) for i in logged.instructions
+    ]
+
+
+@pytest.mark.parametrize(
+    "priority", ["stalls_chain", "chain_stalls", "program_order"]
+)
+def test_provenance_identical_under_every_priority(priority):
+    policy = SchedulingPolicy(priority=priority)
+    plain = ListScheduler(MODEL, policy).schedule_region(assemble(REGION))
+    logged, log = schedule_with_log(policy)
+    assert plain.order == logged.order
+    assert log.placements == len(plain.order)
+
+
+def test_every_placement_is_recorded_in_issue_order():
+    result, log = schedule_with_log()
+    placements = log.regions[0].placements
+    assert [p.slot for p in placements] == list(range(len(result.order)))
+    assert [p.index for p in placements] == result.order
+    cycles = [p.cycle for p in placements]
+    assert cycles == sorted(cycles)
+
+
+def test_a_rejected_candidate_carries_its_hazard():
+    _, log = schedule_with_log()
+    rejected = [
+        c for r in log.regions for p in r.placements for c in p.rejected
+    ]
+    assert rejected, "dependent chains must produce rejections"
+    priced = [c for c in rejected if c.hazard is not None]
+    assert priced, "a stalled candidate must name its hazard"
+    assert any("RAW" in c.hazard for c in priced)
+    assert all(c.stalls > 0 for c in priced)
+    # Ready candidates that lost purely on priority carry no hazard.
+    assert any(c.hazard is None and c.stalls == 0 for c in rejected)
+
+
+def test_decision_reason_matches_key_components():
+    _, log = schedule_with_log()
+    reasons = {p.reason for r in log.regions for p in r.placements}
+    assert reasons <= {"stalls", "chain", "program_order"}
+
+
+def test_block_scheduler_stamps_block_indexes():
+    class FakeBlock:
+        index = 7
+        terminator = None
+        delay = None
+
+    log = ProvenanceLog()
+    scheduler = BlockScheduler(MODEL, provenance=log)
+    scheduler(FakeBlock(), assemble(REGION))
+    assert log.regions and all(r.block == 7 for r in log.regions)
+
+
+def test_render_names_rejections_and_movement():
+    _, log = schedule_with_log()
+    text = render_provenance(log)
+    assert "rejected" in text
+    assert "issued cycle" in text
+    assert "moved" in text
+    assert "RAW" in text
+
+
+def test_render_empty_log():
+    assert "no scheduling decisions" in render_provenance(ProvenanceLog())
+
+
+def test_provenance_json_round_trips():
+    _, log = schedule_with_log()
+    payload = json.loads(json.dumps(provenance_json(log)))
+    assert payload["version"] == 1
+    placements = payload["regions"][0]["placements"]
+    assert len(placements) == log.placements
+    total_rejected = sum(len(p["rejected"]) for p in placements)
+    assert total_rejected == log.rejections
+
+
+def test_candidate_describe_both_forms():
+    ready = Candidate(index=0, mnemonic="add %l0, 1, %l0", stalls=0)
+    priced = Candidate(
+        index=1,
+        mnemonic="add %o1, 1, %o2",
+        stalls=2,
+        hazard="RAW hazard on %o1 at cycle 1",
+    )
+    assert "lost on priority" in ready.describe()
+    assert "+2 stall(s)" in priced.describe()
+    assert "RAW" in priced.describe()
+
+
+def test_log_counts():
+    log = ProvenanceLog()
+    log.record(
+        Placement(
+            slot=0,
+            index=0,
+            mnemonic="nop",
+            cycle=0,
+            stalls=0,
+            reason="stalls",
+            rejected=(Candidate(index=1, mnemonic="nop", stalls=0),),
+        )
+    )
+    assert log.placements == 1
+    assert log.rejections == 1

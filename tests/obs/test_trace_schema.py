@@ -1,0 +1,127 @@
+"""Chrome trace-event output: schema validation and the CLI round-trip.
+
+``validate_trace`` is the contract; the ``instrument --trace`` test is
+the proof that real runs honor it end to end (the file loads with
+``json.load`` and passes every schema check).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import TraceRecorder, validate_trace
+from repro.tools.qpt_cli import main
+from repro.workloads import sum_loop
+
+
+def test_trace_recorder_output_is_schema_valid():
+    recorder = TraceRecorder()
+    with recorder.span("outer", detail="x"):
+        with recorder.span("inner"):
+            pass
+    with recorder.span("sibling"):
+        pass
+    payload = recorder.trace_json()
+    assert validate_trace(payload) == []
+    names = [e["name"] for e in payload["traceEvents"]]
+    assert {"outer", "inner", "sibling"} <= set(names)
+
+
+def test_trace_events_have_monotonic_nonnegative_timestamps():
+    recorder = TraceRecorder()
+    for name in ("a", "b", "c"):
+        with recorder.span(name):
+            pass
+    slices = [
+        e for e in recorder.trace_json()["traceEvents"] if e["ph"] == "X"
+    ]
+    assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in slices)
+    # Sibling spans close in start order.
+    starts = [e["ts"] for e in slices]
+    assert starts == sorted(starts)
+
+
+def test_validate_trace_flags_missing_keys():
+    payload = {"traceEvents": [{"name": "x", "ph": "X"}]}
+    problems = validate_trace(payload)
+    assert problems and "missing keys" in problems[0]
+
+
+def test_validate_trace_flags_negative_duration():
+    payload = {
+        "traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -5}
+        ]
+    }
+    assert any("bad dur" in p for p in validate_trace(payload))
+
+
+def test_validate_trace_flags_unbalanced_spans():
+    begin = {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}
+    end = {"name": "x", "ph": "E", "pid": 1, "tid": 1, "ts": 1}
+    assert any(
+        "unclosed" in p for p in validate_trace({"traceEvents": [begin]})
+    )
+    assert any(
+        "no open" in p for p in validate_trace({"traceEvents": [end]})
+    )
+    assert validate_trace({"traceEvents": [begin, end]}) == []
+
+
+def test_validate_trace_flags_overlapping_slices():
+    payload = {
+        "traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 5, "dur": 10},
+        ]
+    }
+    assert validate_trace(payload)
+
+
+def test_validate_trace_accepts_nested_and_sequential_slices():
+    payload = {
+        "traceEvents": [
+            {"name": "p", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+            {"name": "c", "ph": "X", "pid": 1, "tid": 1, "ts": 2, "dur": 3},
+            {"name": "n", "ph": "X", "pid": 1, "tid": 1, "ts": 20, "dur": 5},
+        ]
+    }
+    assert validate_trace(payload) == []
+
+
+def test_validate_trace_rejects_payload_without_events():
+    assert validate_trace({}) == ["payload has no traceEvents list"]
+
+
+@pytest.fixture
+def program(tmp_path):
+    kernel = sum_loop(8)
+    path = tmp_path / "sum.rxe"
+    path.write_bytes(kernel.executable.to_bytes())
+    return path
+
+
+def test_instrument_trace_round_trips_and_validates(tmp_path, program):
+    out = tmp_path / "sum.qpt.rxe"
+    trace = tmp_path / "sum.trace.json"
+    assert (
+        main(
+            [
+                "instrument",
+                str(program),
+                "-o",
+                str(out),
+                "--schedule",
+                "--trace",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    with open(trace, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert validate_trace(payload) == []
+    names = {e["name"] for e in payload["traceEvents"]}
+    # Real pipeline phases made it into the trace.
+    assert any(name.startswith("core.") for name in names)
+    assert any(name.startswith("edit.") or name.startswith("qpt.") for name in names)

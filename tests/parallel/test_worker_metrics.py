@@ -1,0 +1,115 @@
+"""Worker telemetry survives the process boundary.
+
+Before the snapshot merge, a parallel run silently dropped every
+forward-pass decision counter recorded inside the fork workers: the
+parent replayed hazard attribution from the cache, but
+``scheduler.decisions`` / tie-break / ready-set telemetry existed only
+in worker memory. These tests pin the contract: ``--jobs N --stats``
+equals ``--jobs 1 --stats`` for every deterministic series.
+"""
+
+import pytest
+
+from repro.core import SchedulingPolicy
+from repro.obs import (
+    HAZARD_KINDS,
+    ISSUES,
+    MetricsRecorder,
+    SCHED_CHOSEN_STALLS,
+    SCHED_DECISIONS,
+    SCHED_READY_SET,
+    SCHED_TIE_BREAK,
+    STALL_CYCLES,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import ParallelOptions, make_transform
+from repro.qpt import SlowProfiler
+from repro.spawn import load_machine
+from repro.workloads.generator import WorkloadSpec, generate
+
+MACHINE = load_machine("ultrasparc")
+POLICY = SchedulingPolicy(fill_delay_slots=True)
+
+
+def build(program, jobs):
+    recorder = MetricsRecorder()
+    transform = make_transform(
+        MACHINE,
+        POLICY,
+        recorder,
+        options=ParallelOptions(jobs=jobs),
+    )
+    SlowProfiler(program.executable, recorder=recorder).instrument(transform)
+    return recorder.metrics
+
+
+def deterministic_series(metrics):
+    """Every counter/histogram series that must match across modes.
+    Timers are wall-clock; ``parallel.*`` and ``schedule_cache.*``
+    describe the execution mode itself (a warmed cache hits where a
+    serial run misses), so only those are mode-variant by design."""
+    snap = metrics.snapshot()
+    return {
+        kind: {
+            name: cells
+            for name, cells in snap[kind].items()
+            if not name.startswith(("parallel.", "schedule_cache."))
+        }
+        for kind in ("counters", "histograms")
+    }
+
+
+@pytest.mark.parametrize("seed", (21, 22))
+def test_parallel_stats_match_serial(seed):
+    program = generate(
+        WorkloadSpec(name=f"wm-{seed}", seed=seed, kind="int", avg_block_size=8.0)
+    )
+    serial = build(program, jobs=1)
+    parallel = build(program, jobs=2)
+    assert deterministic_series(parallel) == deterministic_series(serial)
+
+
+def test_decision_telemetry_is_not_dropped():
+    program = generate(
+        WorkloadSpec(name="wm-drop", seed=23, kind="int", avg_block_size=8.0)
+    )
+    serial = build(program, jobs=1)
+    parallel = build(program, jobs=2)
+    assert serial.counter_total(SCHED_DECISIONS) > 0
+    for name in (SCHED_DECISIONS, SCHED_TIE_BREAK):
+        assert parallel.counter_total(name) == serial.counter_total(name)
+    # Histograms merge their streaming summaries, not just counts.
+    p_snap = parallel.snapshot()["histograms"]
+    s_snap = serial.snapshot()["histograms"]
+    for name in (SCHED_READY_SET, SCHED_CHOSEN_STALLS):
+        assert p_snap[name] == s_snap[name]
+
+
+def test_hazard_buckets_match_and_workers_do_not_double_count():
+    program = generate(
+        WorkloadSpec(name="wm-buckets", seed=24, kind="int", avg_block_size=8.0)
+    )
+    serial = build(program, jobs=1)
+    parallel = build(program, jobs=2)
+    for kind in HAZARD_KINDS:
+        assert parallel.counter_total(STALL_CYCLES, kind=kind) == (
+            serial.counter_total(STALL_CYCLES, kind=kind)
+        )
+    assert parallel.counter_total(ISSUES) == serial.counter_total(ISSUES)
+
+
+def test_merge_snapshot_adds_counters_and_combines_cells():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("scheduler.decisions", 3)
+    b.inc("scheduler.decisions", 2)
+    b.inc("pipeline.stall_cycles", 9, kind="raw")
+    a.observe("scheduler.ready_set", 2)
+    b.observe("scheduler.ready_set", 6)
+    a.merge_snapshot(b.snapshot(), skip_prefixes=("pipeline.",))
+    assert a.counter_total("scheduler.decisions") == 5
+    # The skipped prefix never lands.
+    assert a.counter_total("pipeline.stall_cycles", kind="raw") == 0
+    cell = a.snapshot()["histograms"]["scheduler.ready_set"][0]
+    assert cell["count"] == 2
+    assert cell["min"] == 2 and cell["max"] == 6

@@ -386,3 +386,152 @@ def test_superblock_requires_schedule(tmp_path, program, capsys):
     out = tmp_path / "sb.rxe"
     assert main(["instrument", str(path), "-o", str(out), "--superblock"]) == 2
     assert "--superblock requires --schedule" in capsys.readouterr().err
+
+
+# -- observability: explain / report / gate / ledger ------------------------------
+
+
+def test_explain_names_rejected_candidate_with_hazard(program, capsys):
+    path, _ = program
+    assert main(["explain", str(path), "--block", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "block 0" in out
+    assert "issued cycle" in out
+    assert "rejected" in out
+    # At least one rejection priced by a named hazard or an explicit
+    # priority loss — the decision log explains every loser.
+    assert "hazard" in out or "lost on priority" in out
+
+
+def test_explain_json_is_machine_readable(program, capsys):
+    path, _ = program
+    assert main(["explain", str(path), "--block", "0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    placements = [
+        p for r in payload["regions"] for p in r["placements"]
+    ]
+    assert placements
+    assert any(p["rejected"] for p in placements)
+
+
+def test_explain_block_out_of_range(program, capsys):
+    path, _ = program
+    assert main(["explain", str(path), "--block", "99"]) == 1
+    assert "out of range" in capsys.readouterr().out
+
+
+def test_stats_format_json(program, capsys):
+    path, _ = program
+    assert main(["time", str(path), "--stats", "--stats-format", "json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert "hazards" in payload and "counters" in payload
+    assert set(payload["hazards"]) == {"structural", "raw", "waw", "war"}
+
+
+def _seed_ledger(path, values, metric="scheduled_cycles"):
+    from repro.obs import append_record, make_record
+
+    for i, value in enumerate(values):
+        append_record(
+            path,
+            make_record(
+                "benchmarks",
+                run={"benchmark": "seed 11", "machine": "ultrasparc"},
+                wall_s=1.0,
+                results={metric: value},
+                sha="0" * 40,
+                unix=float(i),
+            ),
+        )
+
+
+def test_benchmarks_gate_passes_in_band(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999, 1002, 1000])
+    assert main(["benchmarks", "gate", "--ledger", str(ledger)]) == 0
+    assert "within their noise bands" in capsys.readouterr().out
+
+
+def test_benchmarks_gate_fails_on_injected_regression(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999, 1002, 1400])
+    assert main(["benchmarks", "gate", "--ledger", str(ledger)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "scheduled_cycles" in out
+
+
+def test_benchmarks_gate_warn_only_exits_zero(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999, 1002, 1400])
+    assert (
+        main(["benchmarks", "gate", "--ledger", str(ledger), "--warn-only"])
+        == 0
+    )
+    assert "warn-only" in capsys.readouterr().out
+
+
+def test_benchmarks_gate_missing_ledger(tmp_path, capsys):
+    missing = tmp_path / "none.jsonl"
+    assert main(["benchmarks", "gate", "--ledger", str(missing)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_report_text_and_html(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999])
+    assert main(["report", "--ledger", str(ledger)]) == 0
+    out = capsys.readouterr().out
+    assert "run ledger: 3 record(s)" in out
+    assert "seed 11@ultrasparc" in out
+
+    html = tmp_path / "obs.html"
+    assert (
+        main(
+            [
+                "report",
+                "--ledger",
+                str(ledger),
+                "--format",
+                "html",
+                "-o",
+                str(html),
+            ]
+        )
+        == 0
+    )
+    text = html.read_text()
+    assert text.startswith("<!doctype html>")
+    assert "regression observatory" in text
+
+
+def test_report_missing_ledger(tmp_path, capsys):
+    assert main(["report", "--ledger", str(tmp_path / "no.jsonl")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_faults_ledger_appends_record(tmp_path, capsys):
+    from repro.obs import read_ledger
+
+    ledger = tmp_path / "ledger.jsonl"
+    rc = main(
+        [
+            "faults",
+            "--synthetic-width",
+            "2",
+            "--ledger",
+            str(ledger),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "appended faults record" in out
+    records = read_ledger(ledger)
+    assert len(records) == 1
+    record = records[0]
+    assert record["kind"] == "faults"
+    assert record["results"]["injected"] > 0
+    assert record["results"]["clean"] == (rc == 0)
+    assert set(record["digests"]) == {"model", "policy", "context"}
+    assert record["wall_s"] > 0
