@@ -15,7 +15,10 @@ with a bare ``Exception`` (or, worse, a silently wrong result).
   — executable editing;
 * ``BuildError``, ``FastProfileError`` — workloads and fast profiling;
 * :class:`VerificationError` and :class:`BudgetExceeded` — the guarded
-  scheduling layer (:mod:`repro.robust`).
+  scheduling layer (:mod:`repro.robust`);
+* :class:`ParallelError` — the parallel executor's configuration
+  failures (e.g. an unpicklable payload); runtime worker faults are
+  contained by supervision instead (:mod:`repro.robust.supervise`).
 
 Callers that want "anything this library can legitimately raise" catch
 ``ReproError``; the CLI does exactly that at top level and turns it into
@@ -67,4 +70,24 @@ class BudgetExceeded(ReproError):
         self.block = block
 
 
-__all__ = ["AnalysisError", "BudgetExceeded", "ReproError", "VerificationError"]
+class ParallelError(ReproError):
+    """The parallel executor cannot run at all — a configuration error,
+    not a runtime fault.
+
+    Runtime faults (a crashed or hung worker, a corrupt IPC result) are
+    *contained*: the supervisor retries, bisects, and ultimately
+    degrades to the serial path with the output bytes unchanged. This
+    error is reserved for conditions retrying cannot fix — most
+    importantly a payload that cannot be pickled for shipment to worker
+    processes — so the caller gets a diagnostic instead of a pickle
+    traceback or a silent serial fallback hiding a bug.
+    """
+
+
+__all__ = [
+    "AnalysisError",
+    "BudgetExceeded",
+    "ParallelError",
+    "ReproError",
+    "VerificationError",
+]

@@ -143,6 +143,9 @@ class ExperimentConfig:
     guard_budget: GuardBudget | None = None
     #: worker processes for pre-scheduling regions (1 = serial).
     jobs: int = 1
+    #: multiprocessing start method for the worker pool (``fork`` /
+    #: ``spawn`` / ``forkserver``); None picks the platform preference.
+    start_method: str | None = None
     #: schedule across profile-guided superblocks
     #: (:class:`~repro.core.superblock.SuperblockScheduler`), driven by
     #: the workload's known block frequencies. True for the default
@@ -221,7 +224,11 @@ def run_profiling_experiment(
                 text_expansion=expansion,
             )
 
-    parallel_options = ParallelOptions(jobs=config.jobs, use_cache=config.use_cache)
+    parallel_options = ParallelOptions(
+        jobs=config.jobs,
+        use_cache=config.use_cache,
+        start_method=config.start_method,
+    )
     if schedule_cache is None and config.use_cache:
         # One cache per experiment: the reschedule-baseline pass warms
         # it for the instrument-and-schedule pass.

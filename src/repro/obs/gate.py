@@ -41,6 +41,14 @@ _LOWER_BETTER = (
     "evict",
     "stall",
     "cycles",
+    # Fault-tolerance counters (chaos runs deliberately provoke these;
+    # in ordinary runs any rise is a reliability regression).
+    "crash",
+    "hang",
+    "retr",
+    "degraded",
+    "rejected",
+    "corrupt",
 )
 
 #: Metrics priced as wall-clock noise (wide band) vs deterministic

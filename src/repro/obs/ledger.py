@@ -31,6 +31,13 @@ above are fixed, which is what lets the gate and the dashboard treat
 heterogeneous runs uniformly. The digests reuse the schedule cache's
 content addressing (``repro.parallel.fingerprint``): callers pass them
 in as strings, keeping this package zero-dependency.
+
+Persistence is crash-safe: :func:`append_record` writes each line with
+a single ``O_APPEND`` ``write(2)`` (optionally fsynced), so a crash can
+only tear the *final* line, and :func:`read_ledger_tolerant` recovers
+exactly that case — complete records are returned, malformed lines are
+quarantined to ``<ledger>.quarantine.jsonl`` with line numbers and
+reasons instead of raising. See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ import json
 import os
 import subprocess
 import time
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from typing import Iterable
 
@@ -62,8 +70,17 @@ def iso_now(unix: float | None = None) -> str:
     return stamp.replace(microsecond=0).isoformat()
 
 
-def git_sha(cwd: str | None = None) -> str | None:
-    """The current commit SHA, or None when git/repo are unavailable."""
+#: Environment override for :func:`git_sha` — a 40-hex SHA to stamp, or
+#: an empty value meaning "no SHA" (tests and hermetic CI use both).
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+#: Per-process memo of ``git rev-parse`` results, keyed by the resolved
+#: working directory. A ledger-heavy run (one append per benchmark
+#: seed) must not fork a git subprocess per record.
+_GIT_SHA_CACHE: dict[str, str | None] = {}
+
+
+def _git_sha_uncached(cwd: str | None) -> str | None:
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -76,6 +93,25 @@ def git_sha(cwd: str | None = None) -> str | None:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def git_sha(cwd: str | None = None) -> str | None:
+    """The current commit SHA, or None when git/repo are unavailable.
+
+    Memoized per process, keyed by the resolved ``cwd`` — the commit a
+    process runs against does not change mid-run, and spawning a
+    subprocess per ledger append was measurable overhead. The
+    :data:`GIT_SHA_ENV` environment variable overrides (and bypasses)
+    the cache: set it to a SHA to force one, or to an empty string to
+    force None.
+    """
+    override = os.environ.get(GIT_SHA_ENV)
+    if override is not None:
+        return override or None
+    key = os.path.abspath(cwd) if cwd is not None else os.getcwd()
+    if key not in _GIT_SHA_CACHE:
+        _GIT_SHA_CACHE[key] = _git_sha_uncached(cwd)
+    return _GIT_SHA_CACHE[key]
 
 
 def make_record(
@@ -113,23 +149,136 @@ def make_record(
     return record
 
 
-def append_record(path: str | os.PathLike, record: dict) -> None:
-    """Append one record as a single JSONL line, creating parents."""
+def append_record(
+    path: str | os.PathLike, record: dict, *, fsync: bool = False
+) -> None:
+    """Append one record as a single JSONL line, creating parents.
+
+    Crash-safe by construction: the whole line (payload plus trailing
+    newline) goes down in **one** ``write(2)`` on a file descriptor
+    opened with ``O_APPEND``, so concurrent appenders never interleave
+    within a line and a crash can only leave a *torn tail* — a final
+    line with no newline — which the tolerant reader recovers from.
+    ``fsync=True`` additionally flushes the record to stable storage
+    before returning (durability over throughput; off by default).
+    """
     path = os.fspath(path)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    payload = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, payload)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
-def read_ledger(path: str | os.PathLike) -> list[dict]:
+def quarantine_path_for(path: str | os.PathLike) -> str:
+    """Where :func:`read_ledger_tolerant` quarantines malformed lines:
+    ``<ledger stem>.quarantine.jsonl`` next to the ledger itself."""
+    path = os.fspath(path)
+    stem, ext = os.path.splitext(path)
+    if ext.lower() != ".jsonl":
+        stem = path
+    return stem + ".quarantine.jsonl"
+
+
+@dataclass
+class LedgerRecovery:
+    """What a tolerant ledger read saw and salvaged."""
+
+    #: every well-formed record, in append order.
+    records: list[dict] = field(default_factory=list)
+    #: (line number, reason) for each malformed line that was dropped.
+    dropped: list[tuple[int, str]] = field(default_factory=list)
+    #: True when the final line was torn (no trailing newline and not
+    #: parseable) — the signature of a crash mid-append.
+    truncated_tail: bool = False
+    #: where the malformed lines were preserved (None when none were).
+    quarantine_path: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.dropped
+
+    def describe(self) -> str:
+        """One actionable sentence about what recovery did."""
+        if self.clean:
+            return ""
+        what = f"recovered ledger: dropped {len(self.dropped)} malformed line(s)"
+        if self.truncated_tail:
+            what += " (torn trailing record — crashed append?)"
+        if self.quarantine_path:
+            what += f"; quarantined to {self.quarantine_path}"
+        return what
+
+
+def read_ledger_tolerant(path: str | os.PathLike) -> LedgerRecovery:
+    """Read a ledger, recovering from torn or corrupt lines.
+
+    Every well-formed record is returned in append order; every
+    malformed line is *quarantined* — preserved verbatim, one per line,
+    in ``<ledger>.quarantine.jsonl`` (see :func:`quarantine_path_for`)
+    — and reported with its line number and reason, never raised. A
+    missing trailing newline on an unparseable last line is flagged as
+    a :attr:`~LedgerRecovery.truncated_tail`: the torn-write signature
+    a crash mid-:func:`append_record` leaves behind. This is what the
+    gate, the report dashboard, and the CLI consume, so one crashed
+    benchmark run can never brick the observatory.
+    """
+    path = os.fspath(path)
+    recovery = LedgerRecovery()
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    text = raw.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    ends_with_newline = text.endswith("\n")
+    if ends_with_newline:
+        lines = lines[:-1]
+    bad: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        is_tail = number == len(lines) and not ends_with_newline
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("ledger line is not an object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            reason = str(exc)
+            if is_tail:
+                recovery.truncated_tail = True
+                reason = f"torn trailing record: {reason}"
+            recovery.dropped.append((number, reason))
+            bad.append(line)
+            continue
+        recovery.records.append(record)
+    if bad:
+        quarantine = quarantine_path_for(path)
+        with open(quarantine, "a", encoding="utf-8") as handle:
+            for line in bad:
+                handle.write(line + "\n")
+        recovery.quarantine_path = quarantine
+    return recovery
+
+
+def read_ledger(path: str | os.PathLike, *, tolerant: bool = False) -> list[dict]:
     """Every record in the ledger, in append order.
 
-    Blank lines are skipped; a malformed line raises ``ValueError``
-    naming its line number — an append-only file that stops parsing is
-    corruption worth hearing about, not silently dropping.
+    Blank lines are skipped. By default a malformed line raises
+    ``ValueError`` naming its line number — an append-only file that
+    stops parsing is corruption worth hearing about. ``tolerant=True``
+    switches to :func:`read_ledger_tolerant` semantics and returns just
+    the recovered records (malformed lines are quarantined, not
+    raised); callers that want the recovery details should use
+    :func:`read_ledger_tolerant` directly.
     """
+    if tolerant:
+        return read_ledger_tolerant(path).records
     records: list[dict] = []
     with open(path, encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):

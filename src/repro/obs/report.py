@@ -59,12 +59,24 @@ CACHE_HITS = "schedule_cache.hits"
 CACHE_MISSES = "schedule_cache.misses"
 CACHE_INSERTS = "schedule_cache.inserts"
 CACHE_EVICTIONS = "schedule_cache.evictions"
+#: Entries whose integrity checksum failed at lookup: dropped and
+#: treated as a miss (the region is simply re-scheduled).
+CACHE_CORRUPT = "schedule_cache.corrupt_dropped"
 
 #: Parallel executor: routine shards dispatched, regions scheduled in
 #: workers, and builds that fell back to the serial path.
 PARALLEL_SHARDS = "parallel.shards"
 PARALLEL_REGIONS = "parallel.regions_scheduled"
 PARALLEL_FALLBACKS = "parallel.serial_fallbacks"
+#: Worker supervision (see ``repro.robust.supervise``): dead worker
+#: pools, shard deadlines that fired, retried/bisected shard units,
+#: worker results rejected by parent-side integrity checks, and builds
+#: where some work degraded to the serial path after retries ran out.
+PARALLEL_WORKER_CRASHES = "parallel.worker_crashes"
+PARALLEL_WORKER_HANGS = "parallel.worker_hangs"
+PARALLEL_SHARD_RETRIES = "parallel.shard_retries"
+PARALLEL_IPC_REJECTED = "parallel.ipc_rejected"
+PARALLEL_DEGRADED = "parallel.degraded_serial"
 
 #: Static pre-verifier (``repro.analyze``): blocks proven legal from the
 #: dependence DAG alone (differential execution skipped) vs. escalated
@@ -207,7 +219,13 @@ def cache_table(metrics: MetricsRegistry) -> str:
     hits = int(metrics.counter_total(CACHE_HITS))
     misses = int(metrics.counter_total(CACHE_MISSES))
     shards = int(metrics.counter_total(PARALLEL_SHARDS))
-    if hits == 0 and misses == 0 and shards == 0:
+    crashes = int(metrics.counter_total(PARALLEL_WORKER_CRASHES))
+    hangs = int(metrics.counter_total(PARALLEL_WORKER_HANGS))
+    retries = int(metrics.counter_total(PARALLEL_SHARD_RETRIES))
+    rejected = int(metrics.counter_total(PARALLEL_IPC_REJECTED))
+    degraded = int(metrics.counter_total(PARALLEL_DEGRADED))
+    supervision = crashes or hangs or retries or rejected or degraded
+    if hits == 0 and misses == 0 and shards == 0 and not supervision:
         return ""
     total = hits + misses
     rate = hits / total if total else 0.0
@@ -218,16 +236,25 @@ def cache_table(metrics: MetricsRegistry) -> str:
     inserts = int(metrics.counter_total(CACHE_INSERTS))
     evictions = int(metrics.counter_total(CACHE_EVICTIONS))
     served = int(metrics.counter_total(GUARD_CACHE_SERVED))
+    corrupt = int(metrics.counter_total(CACHE_CORRUPT))
     lines.append(f"  inserts {inserts}, evictions {evictions}")
+    if corrupt:
+        lines.append(f"  corrupt entries dropped at lookup: {corrupt}")
     if served:
         lines.append(f"  guarded blocks served from verified entries: {served}")
-    if shards:
+    if shards or supervision:
         regions = int(metrics.counter_total(PARALLEL_REGIONS))
         fallbacks = int(metrics.counter_total(PARALLEL_FALLBACKS))
         lines.append(
             f"  parallel executor: {shards} routine shards, "
             f"{regions} regions scheduled in workers"
             + (f", {fallbacks} serial fallbacks" if fallbacks else "")
+        )
+    if supervision:
+        lines.append(
+            f"  supervision: {crashes} worker crashes, {hangs} hangs, "
+            f"{retries} shard retries, {rejected} IPC results rejected"
+            + (", degraded to serial" if degraded else "")
         )
     return "\n".join(lines)
 
@@ -275,9 +302,15 @@ SUMMARY_COUNTERS = {
     "cache_misses": CACHE_MISSES,
     "cache_inserts": CACHE_INSERTS,
     "cache_evictions": CACHE_EVICTIONS,
+    "cache_corrupt_dropped": CACHE_CORRUPT,
     "parallel_shards": PARALLEL_SHARDS,
     "parallel_regions": PARALLEL_REGIONS,
     "parallel_fallbacks": PARALLEL_FALLBACKS,
+    "parallel_worker_crashes": PARALLEL_WORKER_CRASHES,
+    "parallel_worker_hangs": PARALLEL_WORKER_HANGS,
+    "parallel_shard_retries": PARALLEL_SHARD_RETRIES,
+    "parallel_ipc_rejected": PARALLEL_IPC_REJECTED,
+    "parallel_degraded_serial": PARALLEL_DEGRADED,
     "analyze_static_pass": ANALYZE_STATIC_PASS,
     "analyze_static_escalated": ANALYZE_STATIC_ESCALATED,
     "analyze_findings": ANALYZE_FINDINGS,

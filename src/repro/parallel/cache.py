@@ -21,6 +21,14 @@ has passed :func:`~repro.core.verify.verify_schedule` — an unverified
 (or poisoned) entry is treated as a miss and re-proven, and a
 quarantined block is never inserted at all.
 
+Integrity is checked, not assumed: every entry carries a checksum
+(:func:`~repro.parallel.fingerprint.schedule_checksum`) bound to its
+cache key and payload, recomputed at every lookup. A bit-flipped entry
+(memory corruption, a future persisted-cache tier, a hostile test) is
+dropped and counted under ``schedule_cache.corrupt_dropped``; the
+region is simply re-scheduled — corruption costs cycles, never
+correctness.
+
 Hit/miss/insert/eviction counts flow both through the
 :mod:`repro.obs` metrics registry (``schedule_cache.*``) and plain
 integer attributes, so callers without a recorder can still assert on
@@ -30,22 +38,40 @@ them.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..core.list_scheduler import ScheduleResult
 from ..isa.instruction import Instruction
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
+    CACHE_CORRUPT,
     CACHE_EVICTIONS,
     CACHE_HITS,
     CACHE_INSERTS,
     CACHE_MISSES,
 )
-from .fingerprint import apply_order, context_digest, region_digest
+from .fingerprint import (
+    apply_order,
+    context_digest,
+    region_digest,
+    schedule_checksum,
+)
 
 #: Default entry bound; at ~100 bytes an entry this is a few hundred KiB.
 DEFAULT_CACHE_ENTRIES = 4096
+
+
+def _entry_checksum(key: tuple[str, str], entry: "CachedSchedule") -> str:
+    """The integrity checksum a healthy entry stored under ``key`` has."""
+    context, digest = key
+    return schedule_checksum(
+        f"{context}:{digest}",
+        entry.order,
+        entry.original_cycles,
+        entry.scheduled_cycles,
+        entry.verified,
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +84,11 @@ class CachedSchedule:
     #: True only when the entry was inserted after the schedule passed
     #: post-hoc verification (the guarded path).
     verified: bool
+    #: Integrity checksum over (cache key, order, cycles, verified),
+    #: recomputed and checked at every :meth:`ScheduleCache.lookup`. A
+    #: bit-flipped entry fails the check and is dropped as a miss — it
+    #: can never replay a corrupted permutation into an edit.
+    checksum: str = ""
 
     def replay(self, region: Sequence[Instruction]) -> ScheduleResult:
         """Reconstruct a :class:`ScheduleResult` for a concrete region."""
@@ -143,6 +174,8 @@ class ScheduleCache:
         self.misses = 0
         self.inserts = 0
         self.evictions = 0
+        #: Entries dropped because their integrity checksum failed.
+        self.corruption_dropped = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -168,10 +201,18 @@ class ScheduleCache:
         """The cached schedule for ``region`` under ``context``, or None.
 
         ``require_verified`` makes unverified entries invisible — the
-        guarded scheduler's view of the cache.
+        guarded scheduler's view of the cache. An entry whose integrity
+        checksum no longer matches its payload is dropped and counted
+        (``schedule_cache.corrupt_dropped``), then treated as a miss —
+        corruption costs a re-schedule, never correctness.
         """
         key = (context, region_digest(region))
         entry = self._entries.get(key)
+        if entry is not None and entry.checksum != _entry_checksum(key, entry):
+            del self._entries[key]
+            self.corruption_dropped += 1
+            self.recorder.count(CACHE_CORRUPT)
+            entry = None
         if entry is not None and (entry.verified or not require_verified):
             self._entries.move_to_end(key)
             self.hits += 1
@@ -205,6 +246,7 @@ class ScheduleCache:
             scheduled_cycles=result.scheduled_cycles,
             verified=verified,
         )
+        entry = replace(entry, checksum=_entry_checksum(key, entry))
         self._entries[key] = entry
         self._entries.move_to_end(key)
         self.inserts += 1
@@ -222,9 +264,16 @@ class ScheduleCache:
         *,
         require_verified: bool = False,
     ) -> bool:
-        """Membership check without touching LRU order or counters."""
-        entry = self._entries.get((context, region_digest(region)))
-        return entry is not None and (entry.verified or not require_verified)
+        """Membership check without touching LRU order or counters.
+
+        A checksum-corrupt entry reports absent (it would be dropped at
+        lookup), but is left in place — ``contains`` stays read-only.
+        """
+        key = (context, region_digest(region))
+        entry = self._entries.get(key)
+        if entry is None or entry.checksum != _entry_checksum(key, entry):
+            return False
+        return entry.verified or not require_verified
 
     def verified_entries(self) -> int:
         return sum(1 for entry in self._entries.values() if entry.verified)

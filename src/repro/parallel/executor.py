@@ -28,6 +28,20 @@ directly (its compiled evaluators do not pickle); they rebuild it from
 the SADL source the model carries. Models without source (synthetic or
 fault-injected ones) degrade to the serial path, counted under
 ``parallel.serial_fallbacks``.
+
+Workers are supervised (:mod:`repro.robust.supervise`): each shard gets
+a wall-clock deadline, a dead or hung worker costs a bounded, bisecting
+retry rather than the build, and whatever the supervisor quarantines is
+simply left for the serial pass to schedule — output bytes are
+unchanged by any worker failure, and the damage is visible under the
+``parallel.worker_crashes`` / ``parallel.worker_hangs`` /
+``parallel.shard_retries`` / ``parallel.degraded_serial`` counters.
+Worker results are untrusted IPC: each carries the region digest it was
+computed for and an integrity checksum
+(:func:`~repro.parallel.fingerprint.schedule_checksum`); the parent
+revalidates digest, permutation, and checksum before inserting, and a
+corrupt result is dropped (``parallel.ipc_rejected``) so the serial
+pass re-schedules that region from scratch.
 """
 
 from __future__ import annotations
@@ -47,15 +61,24 @@ from ..eel.routine import split_routines
 from ..isa.instruction import Instruction
 from ..obs.recorder import NULL_RECORDER, MetricsRecorder, Recorder
 from ..obs.report import (
+    PARALLEL_DEGRADED,
     PARALLEL_FALLBACKS,
+    PARALLEL_IPC_REJECTED,
     PARALLEL_REGIONS,
     PARALLEL_SHARDS,
 )
 from ..robust.guard import GuardBudget, GuardedBlockScheduler
+from ..robust.supervise import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    DEFAULT_SHARD_DEADLINE_S,
+    ShardSupervisor,
+    SupervisionOutcome,
+    SupervisionPolicy,
+)
 from ..spawn.library import load_machine_from_source
 from ..spawn.model import MachineModel
 from .cache import DEFAULT_CACHE_ENTRIES, ScheduleCache
-from .fingerprint import region_digest
+from .fingerprint import region_digest, schedule_checksum
 
 
 @dataclass(frozen=True)
@@ -65,17 +88,38 @@ class ParallelOptions:
     ``jobs=1`` is the ordinary serial path. ``use_cache=False`` disables
     cross-build memoization; with ``jobs > 1`` a private transport cache
     still carries worker results into the layout pass, then is dropped.
+
+    ``start_method`` picks the multiprocessing start method explicitly
+    (``fork``/``spawn``/``forkserver``); None keeps the historical
+    preference for ``fork`` where the platform offers it, falling back
+    to the platform default elsewhere. ``shard_deadline_s`` and
+    ``max_shard_retries`` parameterize worker supervision
+    (:class:`~repro.robust.supervise.SupervisionPolicy`).
     """
 
     jobs: int = 1
     use_cache: bool = True
     cache_entries: int = DEFAULT_CACHE_ENTRIES
+    start_method: str | None = None
+    shard_deadline_s: float = DEFAULT_SHARD_DEADLINE_S
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be at least 1")
         if self.cache_entries < 1:
             raise ValueError("cache_entries must be at least 1")
+        if self.start_method is not None:
+            methods = multiprocessing.get_all_start_methods()
+            if self.start_method not in methods:
+                raise ValueError(
+                    f"start_method {self.start_method!r} not available here "
+                    f"(choose from {', '.join(methods)})"
+                )
+        if self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries cannot be negative")
 
 
 # -- worker side -----------------------------------------------------------------
@@ -91,13 +135,19 @@ def _schedule_shard(payload):
     """Schedule one shard's regions; runs in a worker process.
 
     ``payload`` is (model name, SADL source, policy, regions, verify?,
-    trials, seed, telemetry?). Returns ``(results, snapshot)``:
-    one ``(order, original_cycles, scheduled_cycles, verified)`` tuple
-    per region in input order, plus — when ``telemetry`` is set — a
+    trials, seed, telemetry?). Returns ``(results, snapshot)``: one
+    ``(digest, order, original_cycles, scheduled_cycles, verified,
+    checksum)`` tuple per region in input order, plus — when
+    ``telemetry`` is set — a
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the private
     registry the shard's scheduler recorded into (None otherwise). The
     parent merges the snapshot, so forward-pass decision telemetry is
     not silently dropped on the floor of the worker process.
+
+    ``digest`` and ``checksum`` make the result self-authenticating:
+    the parent recomputes both from the region it shipped and rejects
+    the result (``parallel.ipc_rejected``) on any mismatch, so a
+    corrupted IPC message can cost a re-schedule but never an edit.
     """
     name, source, policy, regions, verify, trials, seed, telemetry = payload
     model = _worker_model(name, source)
@@ -118,12 +168,21 @@ def _schedule_shard(payload):
                     seed=seed,
                 )
             )
+        digest = region_digest(region)
         out.append(
             (
+                digest,
                 tuple(result.order),
                 result.original_cycles,
                 result.scheduled_cycles,
                 verified,
+                schedule_checksum(
+                    digest,
+                    result.order,
+                    result.original_cycles,
+                    result.scheduled_cycles,
+                    verified,
+                ),
             )
         )
     snapshot = recorder.metrics.snapshot() if recorder is not None else None
@@ -143,7 +202,15 @@ def _model_spec(model) -> tuple[str, str] | None:
     return None
 
 
-def _fork_context():
+def _mp_context(start_method: str | None = None):
+    """The multiprocessing context for worker pools.
+
+    An explicit ``start_method`` wins; otherwise prefer ``fork`` where
+    the platform offers it (cheapest, and the historical behavior) and
+    fall back to the platform default — ``spawn`` on macOS/Windows.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
@@ -167,6 +234,10 @@ class ParallelScheduler:
         verify_in_workers: bool | None = None,
         verify_trials: int = 4,
         verify_seed: int = DEFAULT_SEED,
+        start_method: str | None = None,
+        shard_deadline_s: float = DEFAULT_SHARD_DEADLINE_S,
+        max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        worker_fn=None,
     ) -> None:
         if getattr(inner, "cache", None) is not cache:
             raise ValueError(
@@ -184,9 +255,22 @@ class ParallelScheduler:
         self.verify_in_workers = verify_in_workers
         self.verify_trials = getattr(inner, "verify_trials", verify_trials)
         self.verify_seed = getattr(inner, "verify_seed", verify_seed)
+        self.start_method = start_method
+        self.supervision_policy = SupervisionPolicy(
+            shard_deadline_s=shard_deadline_s, max_retries=max_shard_retries
+        )
+        #: The worker entry point; injectable so the chaos harness can
+        #: wrap :func:`_schedule_shard` with fault injectors.
+        self.worker_fn = worker_fn if worker_fn is not None else _schedule_shard
         self._context = cache.context_for(self.model, self.policy)
         #: regions scheduled in workers during the last ``prepare``.
         self.warmed_regions = 0
+        #: the last ``prepare``'s :class:`SupervisionOutcome` (None
+        #: before the first parallel warm).
+        self.supervision: SupervisionOutcome | None = None
+        #: worker results rejected by parent-side integrity validation
+        #: during the last ``prepare``.
+        self.ipc_rejected = 0
 
     # Delegated observers, so callers see one transform interface.
 
@@ -266,45 +350,63 @@ class ParallelScheduler:
     def _run_shards(
         self, name: str, source: str, shards: list[list[list[Instruction]]]
     ) -> None:
-        payloads = [
-            (
+        def make_payload(regions):
+            return (
                 name,
                 source,
                 self.policy,
-                shard,
+                regions,
                 self.verify_in_workers,
                 self.verify_trials,
                 self.verify_seed,
                 self.recorder.enabled,
             )
-            for shard in shards
-        ]
-        workers = max(1, min(self.jobs, len(shards)))
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_fork_context()
-            ) as pool:
-                futures = [pool.submit(_schedule_shard, p) for p in payloads]
-                # Drain in submission order: cache state after warming is
-                # independent of worker completion order.
-                for shard, future in zip(shards, futures):
-                    try:
-                        results, snapshot = future.result()
-                    except Exception:
-                        self.recorder.count(PARALLEL_FALLBACKS)
-                        continue
-                    self.recorder.count(PARALLEL_SHARDS)
-                    self._merge_shard(shard, results)
-                    self._merge_telemetry(snapshot)
-        except OSError:
-            # No process pool available here; the serial pass schedules
-            # everything itself.
+
+        context = _mp_context(self.start_method)
+
+        def pool_factory(queued: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=max(1, min(self.jobs, queued)), mp_context=context
+            )
+
+        supervisor = ShardSupervisor(
+            self.worker_fn,
+            make_payload,
+            pool_factory,
+            policy=self.supervision_policy,
+            recorder=self.recorder,
+        )
+        outcome = supervisor.run(shards)
+        self.supervision = outcome
+        # Merge in hierarchical key order: cache state after warming is
+        # independent of worker completion and retry interleaving.
+        for _key, shard, (results, snapshot) in outcome.completed_in_order():
+            self.recorder.count(PARALLEL_SHARDS)
+            self._merge_shard(shard, results)
+            self._merge_telemetry(snapshot)
+        if outcome.degraded:
+            # Whatever was quarantined is scheduled by the serial layout
+            # pass — output bytes are unchanged, only wall clock paid.
+            self.recorder.count(PARALLEL_DEGRADED)
+        if outcome.quarantined and not outcome.completed:
+            # Nothing parallel survived at all: the historical
+            # whole-build fallback signal.
             self.recorder.count(PARALLEL_FALLBACKS)
 
     def _merge_shard(self, shard, results) -> None:
-        for region, (order, original_cycles, scheduled_cycles, verified) in zip(
-            shard, results
-        ):
+        if not isinstance(results, (list, tuple)) or len(results) != len(shard):
+            # A worker that lost or invented regions is not trusted for
+            # any of them.
+            self.ipc_rejected += 1
+            self.recorder.count(PARALLEL_IPC_REJECTED)
+            return
+        for region, result in zip(shard, results):
+            unpacked = self._validate_result(region, result)
+            if unpacked is None:
+                self.ipc_rejected += 1
+                self.recorder.count(PARALLEL_IPC_REJECTED)
+                continue
+            order, original_cycles, scheduled_cycles, verified = unpacked
             if self.verify_in_workers and not verified:
                 # The guard will re-prove this region serially; a failed
                 # worker proof must not leave any entry behind.
@@ -323,6 +425,34 @@ class ParallelScheduler:
             )
             self.warmed_regions += 1
             self.recorder.count(PARALLEL_REGIONS)
+
+    def _validate_result(self, region, result):
+        """Integrity-check one worker result against the region the
+        parent shipped; None when it must be rejected.
+
+        Three independent checks: the digest binds the result to *this*
+        region's content; the order must be a permutation of the
+        region's indices (a corrupted permutation could otherwise drop
+        or duplicate instructions); the checksum binds the cycle counts
+        and verified bit to the digest, catching tampering between the
+        worker computing and the parent consuming.
+        """
+        try:
+            digest, order, original_cycles, scheduled_cycles, verified, checksum = (
+                result
+            )
+            order = tuple(int(i) for i in order)
+        except (TypeError, ValueError):
+            return None
+        if digest != region_digest(region):
+            return None
+        if sorted(order) != list(range(len(region))):
+            return None
+        if checksum != schedule_checksum(
+            digest, order, original_cycles, scheduled_cycles, verified
+        ):
+            return None
+        return order, int(original_cycles), int(scheduled_cycles), bool(verified)
 
     def _merge_telemetry(self, snapshot) -> None:
         """Fold a worker's metrics snapshot into the parent recorder.
@@ -408,6 +538,9 @@ def make_transform(
             recorder=recorder,
             verify_trials=verify_trials,
             verify_seed=verify_seed,
+            start_method=options.start_method,
+            shard_deadline_s=options.shard_deadline_s,
+            max_shard_retries=options.max_shard_retries,
         )
     if superblock:
         config = superblock if isinstance(superblock, SuperblockConfig) else None

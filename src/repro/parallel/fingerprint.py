@@ -158,6 +158,33 @@ def apply_order(
     return [region[i] for i in order]
 
 
+def schedule_checksum(
+    subject: str,
+    order: Sequence[int],
+    original_cycles: int,
+    scheduled_cycles: int,
+    verified: bool,
+) -> str:
+    """Integrity checksum binding a schedule result to its subject.
+
+    ``subject`` names what the result is *for* (a region digest, or
+    ``context:region`` for a cache entry). Anything that mutates the
+    payload after the checksum was computed — a bit flip in a persisted
+    cache entry, a corrupted IPC message from a worker process — makes
+    the stored checksum stale, so recomputation at the consumer side
+    detects the tamper. This is an integrity check against accidental
+    corruption, not an authentication scheme.
+    """
+    payload = (
+        subject,
+        tuple(int(i) for i in order),
+        int(original_cycles),
+        int(scheduled_cycles),
+        bool(verified),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
 def _concrete(inst: Instruction | None) -> tuple | None:
     if inst is None:
         return None

@@ -14,6 +14,13 @@ production path, not a test-suite-only one:
 * :mod:`repro.robust.faults` — a fault-injection harness that corrupts
   machine models, instruction encodings, and scheduler decisions, and
   asserts every injected fault is caught.
+* :mod:`repro.robust.supervise` — worker supervision for the parallel
+  scheduler: per-shard deadlines, crash/hang detection, bounded
+  bisecting retry, and guaranteed degradation to the serial path.
+* :mod:`repro.robust.chaos` — process-level chaos testing: worker
+  crashes, hangs, corrupted IPC, torn ledger writes, and bit-flipped
+  cache entries injected into live parallel runs, asserting containment
+  and byte-identical output.
 * the unified error taxonomy rooted at
   :class:`~repro.errors.ReproError` (re-exported here), so every layer
   fails with a typed, catchable error.
@@ -21,7 +28,7 @@ production path, not a test-suite-only one:
 See ``docs/robustness.md``.
 """
 
-from ..errors import BudgetExceeded, ReproError, VerificationError
+from ..errors import BudgetExceeded, ParallelError, ReproError, VerificationError
 from .faults import (
     MODEL_FAULTS,
     SCHEDULER_MUTATIONS,
@@ -41,9 +48,22 @@ from .faults import (
     run_fault_injection,
 )
 from .guard import GuardBudget, GuardedBlockScheduler, QuarantineReport
+from .supervise import (
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionOutcome,
+    SupervisionPolicy,
+)
+
+# Imported last: chaos drives repro.parallel, which imports this
+# package's guard — by now both are resolvable from sys.modules.
+from .chaos import CHAOS_FAULTS, ChaosOutcome, ChaosReport, run_chaos_suite
 
 __all__ = [
     "BudgetExceeded",
+    "CHAOS_FAULTS",
+    "ChaosOutcome",
+    "ChaosReport",
     "ClobberingProfiler",
     "CorruptedModel",
     "FaultInjectionReport",
@@ -52,10 +72,15 @@ __all__ = [
     "GuardedBlockScheduler",
     "MODEL_FAULTS",
     "ModelFault",
+    "ParallelError",
     "QuarantineReport",
     "ReproError",
     "SCHEDULER_MUTATIONS",
     "SabotagedScheduler",
+    "ShardFailure",
+    "ShardSupervisor",
+    "SupervisionOutcome",
+    "SupervisionPolicy",
     "VerificationError",
     "default_workload",
     "inject_cache_faults",
@@ -64,5 +89,6 @@ __all__ = [
     "inject_model_faults",
     "inject_scheduler_faults",
     "inject_superblock_faults",
+    "run_chaos_suite",
     "run_fault_injection",
 ]

@@ -838,11 +838,20 @@ def run_fault_injection(
     verify_trials: int = 2,
     verify_seed: int = DEFAULT_SEED,
     jobs: int = 1,
+    chaos: bool = False,
+    chaos_only: tuple[str, ...] | None = None,
+    chaos_workdir: "str | None" = None,
 ) -> FaultInjectionReport:
     """Run the whole catalog against ``model``; see the module docstring.
 
     ``jobs`` routes the cache fault class through the parallel executor
-    as well, covering the cached+parallel production path.
+    as well, covering the cached+parallel production path. ``chaos``
+    appends the process-level chaos classes
+    (:func:`~repro.robust.chaos.run_chaos_suite`: worker crashes,
+    hangs, corrupted IPC, torn ledger writes, bit-flipped cache
+    entries) to the same report; ``chaos_only`` restricts the chaos
+    pass to the named fault classes and ``chaos_workdir`` pins its
+    scratch directory (both forwarded verbatim).
     """
     if executable is None:
         executable = default_workload()
@@ -889,4 +898,32 @@ def run_fault_injection(
             verify_seed=verify_seed,
         )
     )
+    if chaos:
+        # Imported lazily: chaos drives repro.parallel, which imports
+        # this package.
+        from .chaos import run_chaos_suite
+
+        chaos_report = run_chaos_suite(
+            model,
+            policy=policy,
+            jobs=max(jobs, 2),
+            verify_seed=verify_seed,
+            only=chaos_only,
+            workdir=chaos_workdir,
+        )
+        for outcome in chaos_report.outcomes:
+            details = list(outcome.details)
+            if not outcome.byte_identical:
+                details.append(
+                    "faulted build bytes diverged from the clean serial run"
+                )
+            report.outcomes.append(
+                FaultOutcome(
+                    fault=outcome.fault,
+                    layer=f"chaos-{outcome.layer}",
+                    injected=outcome.injected,
+                    caught=outcome.contained if outcome.byte_identical else 0,
+                    details=tuple(details),
+                )
+            )
     return report

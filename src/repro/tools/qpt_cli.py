@@ -8,6 +8,7 @@ Operates on RXE executables:
          --machine ultrasparc --schedule --superblock --safe --jobs 4 --cache
    $ python -m repro.tools.qpt_cli run prog.qpt.rxe --profile prog.qpt.json
    $ python -m repro.tools.qpt_cli faults --machine ultrasparc
+   $ python -m repro.tools.qpt_cli chaos --jobs 2 --ledger
    $ python -m repro.tools.qpt_cli time prog.rxe --machine ultrasparc \\
          --stats --trace prog.trace.json
    $ python -m repro.tools.qpt_cli disasm prog.rxe
@@ -37,7 +38,12 @@ instrumentation past side exits with compensation copies on the taken
 edges (see ``docs/scheduling.md``). ``--safe``/``--strict`` turn on
 guarded scheduling (verify-and-fallback; see ``docs/robustness.md``);
 ``faults`` runs the fault-injection harness and exits nonzero if any
-injected fault escapes the guards.
+injected fault escapes the guards; ``faults --chaos`` folds in the
+process-level chaos classes, and ``chaos`` runs just those: worker
+crashes, hangs, corrupted IPC results, torn ledger writes, and
+bit-flipped cache entries injected into a live ``--jobs N`` build,
+asserting every fault is contained and the output bytes still match a
+clean serial run (``docs/robustness.md``).
 ``lint`` runs the static analyzer (``docs/static_analysis.md``) over an
 executable image or a SADL machine description and emits text, JSON, or
 SARIF findings; ``--fail-on`` picks the severity that makes the exit
@@ -80,7 +86,7 @@ from ..obs import (
     check_gate,
     make_record,
     provenance_json,
-    read_ledger,
+    read_ledger_tolerant,
     render_dashboard,
     render_provenance,
     render_stats,
@@ -89,7 +95,8 @@ from ..obs import (
 from ..parallel import ParallelOptions, make_transform, measure_modes, render_report
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
-from ..robust import run_fault_injection
+from ..robust import run_chaos_suite, run_fault_injection
+from ..robust.chaos import CHAOS_FAULTS
 from ..spawn.codegen import generate_source
 from ..spawn.library import MACHINES, load_machine
 from ..spawn.validate import validate_machine
@@ -446,7 +453,10 @@ def cmd_report(args) -> int:
             file=sys.stderr,
         )
         return 2
-    records = read_ledger(args.ledger)
+    recovery = read_ledger_tolerant(args.ledger)
+    if not recovery.clean:
+        print(f"warning: {recovery.describe()}", file=sys.stderr)
+    records = recovery.records
     rendered = render_dashboard(records, args.format)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -473,6 +483,7 @@ def cmd_faults(args) -> int:
         executable=executable,
         verify_seed=args.verify_seed,
         jobs=args.jobs,
+        chaos=args.chaos,
     )
     wall = _time.perf_counter() - start
     print(report.render())
@@ -483,6 +494,7 @@ def cmd_faults(args) -> int:
                 "workload": "fault-injection",
                 "machine": model.name,
                 "jobs": args.jobs,
+                "chaos": args.chaos,
             },
             digests=_ledger_digests(model),
             wall_s=wall,
@@ -495,6 +507,42 @@ def cmd_faults(args) -> int:
         )
         append_record(args.ledger, record)
         print(f"appended faults record to {args.ledger}")
+    return 0 if report.clean else 1
+
+
+def cmd_chaos(args) -> int:
+    import time as _time
+
+    model = load_machine(args.machine)
+    start = _time.perf_counter()
+    report = run_chaos_suite(
+        model,
+        jobs=args.jobs,
+        shard_deadline_s=args.deadline,
+        verify_seed=args.verify_seed,
+        only=tuple(args.only) if args.only else None,
+    )
+    wall = _time.perf_counter() - start
+    print(report.render())
+    if args.ledger is not None:
+        record = make_record(
+            "chaos",
+            run={
+                "workload": "chaos-suite",
+                "machine": model.name,
+                "jobs": args.jobs,
+            },
+            digests=_ledger_digests(model),
+            wall_s=wall,
+            results={
+                "injected": report.injected,
+                "caught": report.contained,
+                "escaped": report.escaped,
+                "clean": report.clean,
+            },
+        )
+        append_record(args.ledger, record)
+        print(f"appended chaos record to {args.ledger}")
     return 0 if report.clean else 1
 
 
@@ -512,9 +560,11 @@ def _benchmarks_gate(args) -> int:
             file=sys.stderr,
         )
         return 2
-    records = read_ledger(args.ledger or DEFAULT_LEDGER_NAME)
+    recovery = read_ledger_tolerant(args.ledger or DEFAULT_LEDGER_NAME)
+    if not recovery.clean:
+        print(f"warning: {recovery.describe()}", file=sys.stderr)
     result = check_gate(
-        records,
+        recovery.records,
         window=args.window,
         min_history=args.min_history,
         sigmas=args.sigmas,
@@ -746,11 +796,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="also exercise the cached+parallel path with N "
                    "workers in the cache fault class")
+    p.add_argument("--chaos", action="store_true",
+                   help="append the process-level chaos classes (worker "
+                   "crash/hang, corrupt IPC, torn ledger, bit-flipped "
+                   "cache) to the run")
     p.add_argument("--ledger", metavar="PATH", nargs="?",
                    const=DEFAULT_LEDGER_NAME, default=None,
                    help="append one faults record to the run ledger "
                    "(default path: %(const)s)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the process-level chaos suite: crash/hang/corrupt "
+        "workers and torn/bit-flipped storage against a live parallel "
+        "build, asserting containment and byte-identical output",
+    )
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker processes for the faulted builds "
+                   "(default %(default)s; must be > 1 to shard)")
+    p.add_argument("--deadline", type=float, default=5.0, metavar="S",
+                   help="per-shard wall-clock deadline in seconds — the "
+                   "hang class waits it out once (default %(default)s)")
+    p.add_argument("--verify-seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--only", nargs="+", choices=CHAOS_FAULTS,
+                   metavar="FAULT",
+                   help="run only these fault classes "
+                   f"(choices: {', '.join(CHAOS_FAULTS)})")
+    p.add_argument("--ledger", metavar="PATH", nargs="?",
+                   const=DEFAULT_LEDGER_NAME, default=None,
+                   help="append one chaos record to the run ledger "
+                   "(default path: %(const)s)")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "benchmarks",

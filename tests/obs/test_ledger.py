@@ -12,9 +12,12 @@ from repro.obs import (
     group_series,
     iso_now,
     make_record,
+    quarantine_path_for,
     read_ledger,
+    read_ledger_tolerant,
     series_key,
 )
+from repro.obs.ledger import _GIT_SHA_CACHE, GIT_SHA_ENV
 from repro.obs.report import HAZARDS, ISSUES, STALL_CYCLES
 
 
@@ -83,6 +86,111 @@ def test_read_ledger_names_the_malformed_line(tmp_path):
     path.write_text('{"kind": "bench"}\nnot json\n')
     with pytest.raises(ValueError, match=":2:"):
         read_ledger(path)
+
+
+def _write_records(path, count, *, fsync=False):
+    records = [
+        make_record("bench", run={"name": f"r{i}"}, sha="0" * 40, unix=float(i))
+        for i in range(count)
+    ]
+    for record in records:
+        append_record(path, record, fsync=fsync)
+    return records
+
+
+def test_torn_tail_recovers_complete_records(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    records = _write_records(path, 3, fsync=True)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 25)  # tear the final record mid-line
+
+    # Strict read refuses, naming the line.
+    with pytest.raises(ValueError, match=":3:"):
+        read_ledger(path)
+
+    recovery = read_ledger_tolerant(path)
+    assert recovery.records == records[:2]
+    assert recovery.truncated_tail
+    assert not recovery.clean
+    assert len(recovery.dropped) == 1
+    number, reason = recovery.dropped[0]
+    assert number == 3
+    assert "torn trailing record" in reason
+    # The torn line is preserved, not destroyed.
+    assert recovery.quarantine_path == quarantine_path_for(path)
+    quarantined = (tmp_path / "ledger.quarantine.jsonl").read_text()
+    assert quarantined.count("\n") == 1
+    # describe() is one actionable sentence, not a traceback.
+    described = recovery.describe()
+    assert "dropped 1 malformed line" in described
+    assert "torn trailing record" in described
+    assert "quarantined to" in described
+
+
+def test_torn_tail_via_tolerant_kwarg(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    records = _write_records(path, 2)
+    with open(path, "r+b") as handle:
+        handle.truncate(path.stat().st_size - 10)
+    assert read_ledger(path, tolerant=True) == records[:1]
+
+
+def test_malformed_mid_file_line_quarantined_not_truncated(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    good = make_record("bench", run={"name": "a"}, sha=None, unix=1.0)
+    append_record(path, good)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{garbage\n")
+    tail = make_record("bench", run={"name": "b"}, sha=None, unix=2.0)
+    append_record(path, tail)
+
+    recovery = read_ledger_tolerant(path)
+    assert recovery.records == [good, tail]
+    assert not recovery.truncated_tail  # mid-file corruption, not a crash
+    assert [number for number, _ in recovery.dropped] == [2]
+    assert (tmp_path / "ledger.quarantine.jsonl").read_text() == "{garbage\n"
+
+
+def test_non_object_line_dropped_by_tolerant_read(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    path.write_text('[1, 2, 3]\n{"kind": "bench"}\n')
+    recovery = read_ledger_tolerant(path)
+    assert [r["kind"] for r in recovery.records] == ["bench"]
+    assert "not an object" in recovery.dropped[0][1]
+
+
+def test_empty_ledger_is_clean(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    path.write_text("")
+    recovery = read_ledger_tolerant(path)
+    assert recovery.records == []
+    assert recovery.clean
+    assert recovery.describe() == ""
+    assert recovery.quarantine_path is None
+    assert not (tmp_path / "ledger.quarantine.jsonl").exists()
+
+
+def test_quarantine_path_for_variants():
+    assert quarantine_path_for("a/ledger.jsonl") == "a/ledger.quarantine.jsonl"
+    assert quarantine_path_for("a/ledger.log") == "a/ledger.log.quarantine.jsonl"
+
+
+def test_git_sha_env_override_and_memoization(monkeypatch):
+    monkeypatch.setenv(GIT_SHA_ENV, "e" * 40)
+    assert git_sha() == "e" * 40
+    monkeypatch.setenv(GIT_SHA_ENV, "")
+    assert git_sha() is None
+    monkeypatch.delenv(GIT_SHA_ENV)
+
+    first = git_sha()  # primes the per-cwd memo
+    # A second call must not fork git again: poison the uncached path.
+    monkeypatch.setattr(
+        "repro.obs.ledger._git_sha_uncached",
+        lambda cwd: pytest.fail("memoized git_sha re-ran rev-parse"),
+    )
+    assert git_sha() == first
+    assert _GIT_SHA_CACHE  # the memo actually holds an entry
 
 
 def test_series_key_groups_same_workload_same_machine():

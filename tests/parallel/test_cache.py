@@ -169,6 +169,73 @@ def test_rejects_nonpositive_bound():
 
 
 # --------------------------------------------------------------------
+# Integrity checksums: corruption is a counted miss, never a hit.
+# --------------------------------------------------------------------
+
+
+def corrupt_one_entry(cache):
+    """Bit-flip the cycle count of one stored entry, keeping the stale
+    checksum — the signature of in-memory / deserialization corruption."""
+    from dataclasses import replace
+
+    key, entry = next(iter(cache._entries.items()))
+    cache._entries[key] = replace(
+        entry, scheduled_cycles=entry.scheduled_cycles ^ 1
+    )
+    return key
+
+
+def test_corrupt_entry_is_dropped_and_counted():
+    from repro.obs import CACHE_CORRUPT, MetricsRecorder
+
+    recorder = MetricsRecorder()
+    cache = ScheduleCache(recorder=recorder)
+    ctx = cache.context_for(MACHINE, POLICY)
+    insts = make_regions(1)[0]
+    cache.insert(ctx, insts, schedule(insts))
+    corrupt_one_entry(cache)
+
+    assert cache.lookup(ctx, insts) is None, "corrupt entry served as a hit"
+    assert cache.corruption_dropped == 1
+    assert recorder.metrics.counter_total(CACHE_CORRUPT) == 1
+    assert len(cache) == 0  # dropped, not retained
+    # A re-insert heals the slot.
+    cache.insert(ctx, insts, schedule(insts))
+    assert cache.lookup(ctx, insts) is not None
+
+
+def test_contains_reports_corrupt_entries_absent_without_mutating():
+    cache = ScheduleCache()
+    ctx = cache.context_for(MACHINE, POLICY)
+    insts = make_regions(1)[0]
+    cache.insert(ctx, insts, schedule(insts))
+    assert cache.contains(ctx, insts)
+
+    key = corrupt_one_entry(cache)
+    # contains() is a read-only probe: it reports absent but leaves the
+    # drop-and-count to lookup().
+    assert not cache.contains(ctx, insts)
+    assert key in cache._entries
+    assert cache.corruption_dropped == 0
+
+
+def test_verified_bit_is_checksummed():
+    # Flipping only the verified bit (leaving order and cycles alone)
+    # must still invalidate the entry — "proven" is part of the payload.
+    from dataclasses import replace
+
+    cache = ScheduleCache()
+    ctx = cache.context_for(MACHINE, POLICY)
+    insts = make_regions(1)[0]
+    cache.insert(ctx, insts, schedule(insts), verified=False)
+    key = next(iter(cache._entries))
+    entry = cache._entries[key]
+    cache._entries[key] = replace(entry, verified=True)
+    assert cache.lookup(ctx, insts, require_verified=True) is None
+    assert cache.corruption_dropped == 1
+
+
+# --------------------------------------------------------------------
 # The verified bit: upgrade, no downgrade, guard visibility.
 # --------------------------------------------------------------------
 

@@ -1,0 +1,68 @@
+"""Portability off ``fork``: explicit start methods and shippability.
+
+The executor defaults to ``fork`` where available, but must work — and
+produce identical bytes — under ``spawn``, where workers re-import the
+world and every payload crosses a pickle boundary. Payloads that cannot
+cross that boundary must surface as a typed :class:`ReproError`, not a
+raw pickle traceback.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import SchedulingPolicy
+from repro.eel.editor import Editor
+from repro.errors import ParallelError, ReproError
+from repro.parallel import ParallelOptions, make_transform
+from repro.spawn import load_machine
+from repro.workloads.generator import WorkloadSpec, generate
+
+MACHINE = load_machine("ultrasparc")
+POLICY = SchedulingPolicy(fill_delay_slots=True)
+
+
+def workload(seed=321):
+    return generate(
+        WorkloadSpec(name=f"spawn-{seed}", seed=seed, kind="int", avg_block_size=8.0)
+    )
+
+
+def build(program, *, jobs=1, start_method=None, worker_fn=None):
+    transform = make_transform(
+        MACHINE,
+        POLICY,
+        options=ParallelOptions(jobs=jobs, start_method=start_method),
+    )
+    if worker_fn is not None:
+        transform.worker_fn = worker_fn
+    edited = Editor(program.executable).build(transform)
+    return bytes(edited.text_section().data), transform
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
+def test_spawn_mode_matches_serial_bytes():
+    program = workload()
+    reference, _ = build(program, jobs=1)
+    spawned, transform = build(program, jobs=2, start_method="spawn")
+    assert spawned == reference
+    assert transform.warmed_regions > 0, "spawn workers scheduled nothing"
+
+
+def test_invalid_start_method_rejected():
+    with pytest.raises(ValueError, match="start_method"):
+        ParallelOptions(jobs=2, start_method="teleport")
+
+
+def test_unshippable_payload_raises_typed_error():
+    program = workload(322)
+    with pytest.raises(ParallelError) as err:
+        # A lambda worker function cannot be pickled across the process
+        # boundary under any start method.
+        build(program, jobs=2, worker_fn=lambda payload: payload)
+    assert isinstance(err.value, ReproError)
+    message = str(err.value).lower()
+    assert "pickl" in message or "shipped" in message

@@ -1,0 +1,70 @@
+"""Chaos harness: every injected fault is caught, contained, and
+leaves the output byte-identical to a clean serial run."""
+
+import pytest
+
+from repro.robust import CHAOS_FAULTS, run_chaos_suite, run_fault_injection
+from repro.robust.chaos import default_chaos_workload
+from repro.spawn import load_machine
+
+MACHINE = load_machine("ultrasparc")
+
+
+def test_storage_fault_classes_contained(tmp_path):
+    report = run_chaos_suite(
+        MACHINE,
+        only=("torn-ledger", "bitflip-cache"),
+        workdir=str(tmp_path),
+    )
+    assert report.clean
+    assert report.escaped == 0
+    assert report.injected >= 2
+    faults = {outcome.fault for outcome in report.outcomes}
+    assert faults == {"torn-ledger", "bitflip-cache"}
+    assert all(outcome.byte_identical for outcome in report.outcomes)
+    rendered = report.render()
+    assert "contained" in rendered
+    assert "clean" in rendered
+
+
+def test_full_chaos_suite_contained_with_parallel_jobs(tmp_path):
+    report = run_chaos_suite(
+        MACHINE,
+        jobs=2,
+        shard_deadline_s=5.0,
+        workdir=str(tmp_path),
+    )
+    assert report.clean, report.render()
+    assert {outcome.fault for outcome in report.outcomes} == set(CHAOS_FAULTS)
+    by_fault = {outcome.fault: outcome for outcome in report.outcomes}
+    # Worker faults must actually have fired, not been skipped.
+    assert by_fault["crash-worker"].injected >= 1
+    assert by_fault["hang-worker"].injected >= 1
+    assert by_fault["corrupt-ipc"].injected >= 1
+    assert all(outcome.byte_identical for outcome in report.outcomes)
+    assert all(not outcome.escaped for outcome in report.outcomes)
+
+
+def test_unknown_fault_class_rejected():
+    with pytest.raises(ValueError, match="unknown chaos fault"):
+        run_chaos_suite(MACHINE, only=("not-a-fault",))
+
+
+def test_default_chaos_workload_is_deterministic():
+    first = default_chaos_workload()
+    second = default_chaos_workload()
+    assert bytes(first.text_section().data) == bytes(second.text_section().data)
+
+
+def test_fault_injection_chaos_layers_feed_the_catalog(tmp_path):
+    report = run_fault_injection(
+        MACHINE,
+        chaos=True,
+        chaos_only=("torn-ledger", "bitflip-cache"),
+        chaos_workdir=str(tmp_path),
+    )
+    chaos_outcomes = [
+        outcome for outcome in report.outcomes if outcome.layer.startswith("chaos-")
+    ]
+    assert chaos_outcomes, "chaos=True added no chaos outcomes"
+    assert all(outcome.escaped == 0 for outcome in chaos_outcomes)

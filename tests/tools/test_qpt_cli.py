@@ -512,6 +512,75 @@ def test_report_missing_ledger(tmp_path, capsys):
     assert "does not exist" in capsys.readouterr().err
 
 
+def _tear_tail(path, nbytes=25):
+    with open(path, "r+b") as handle:
+        handle.truncate(path.stat().st_size - nbytes)
+
+
+def test_report_recovers_torn_ledger_with_warning(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999])
+    _tear_tail(ledger)
+    assert main(["report", "--ledger", str(ledger)]) == 0
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "warning: recovered ledger" in captured.err
+    assert "torn trailing record" in captured.err
+    assert "run ledger: 2 record(s)" in captured.out
+    assert (tmp_path / "ledger.quarantine.jsonl").exists()
+
+
+def test_benchmarks_gate_recovers_torn_ledger_with_warning(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _seed_ledger(ledger, [1000, 1001, 999, 1002, 1000])
+    _tear_tail(ledger)
+    assert main(["benchmarks", "gate", "--ledger", str(ledger)]) == 0
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "warning: recovered ledger" in captured.err
+    assert "within their noise bands" in captured.out
+
+
+def test_chaos_command_storage_classes(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    rc = main(
+        [
+            "chaos",
+            "--only", "torn-ledger", "bitflip-cache",
+            "--ledger", str(ledger),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "contained" in out
+    assert "appended chaos record" in out
+
+    from repro.obs import read_ledger
+
+    records = read_ledger(ledger)
+    assert len(records) == 1
+    record = records[0]
+    assert record["kind"] == "chaos"
+    assert record["results"]["clean"] is True
+    assert record["results"]["escaped"] == 0
+    assert record["results"]["injected"] >= 2
+
+
+def test_chaos_rejects_unknown_fault_class(capsys):
+    with pytest.raises(SystemExit):
+        main(["chaos", "--only", "not-a-fault"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_faults_chaos_flag_parses():
+    import repro.tools.qpt_cli as cli
+
+    args = cli.build_parser().parse_args(["faults", "--chaos"])
+    assert args.chaos is True
+    args = cli.build_parser().parse_args(["faults"])
+    assert args.chaos is False
+
+
 def test_faults_ledger_appends_record(tmp_path, capsys):
     from repro.obs import read_ledger
 
