@@ -128,22 +128,32 @@ def _disjoint_access(
     return addr_a + _access_bytes(a) <= addr_b or addr_b + _access_bytes(b) <= addr_a
 
 
-def _static_addresses(region: list[Instruction]) -> list[int | None]:
+def _static_addresses(
+    region: list[Instruction],
+    memory: list[str | None] | None = None,
+    writes: list[frozenset] | None = None,
+) -> list[int | None]:
     """Per-instruction absolute memory address, where one is provable.
 
     Tracks registers holding ``sethi`` constants through the region; a
     register-plus-immediate access off such a base resolves to a concrete
-    address. Any other write to the base invalidates it."""
+    address. Any other write to the base invalidates it. ``memory`` and
+    ``writes`` accept the per-instruction effect lists when the caller
+    already computed them."""
+    if memory is None:
+        memory = [inst.memory for inst in region]
+    if writes is None:
+        writes = [inst.regs_written() for inst in region]
     known: dict[object, int] = {}
     addresses: list[int | None] = []
-    for inst in region:
+    for index, inst in enumerate(region):
         address = None
-        if inst.memory is not None and inst.rs2 is None and inst.rs1 is not None:
+        if memory[index] is not None and inst.rs2 is None and inst.rs1 is not None:
             base = known.get(inst.rs1)
             if base is not None:
                 address = base + (inst.imm or 0)
         addresses.append(address)
-        for reg in inst.regs_written():
+        for reg in writes[index]:
             known.pop(reg, None)
         if inst.mnemonic == "sethi" and inst.rd is not None:
             known[inst.rd] = (inst.imm or 0) << 10
@@ -155,24 +165,39 @@ def build_dependence_graph(
 ) -> DependenceGraph:
     """Build the dependence DAG for one straight-line region."""
     policy = policy or SchedulingPolicy()
-    graph = DependenceGraph(
-        nodes=list(region),
-        succs=[set() for _ in region],
-        preds=[set() for _ in region],
-    )
-    reads = [inst.regs_read() for inst in region]
-    writes = [inst.regs_written() for inst in region]
-    addresses = _static_addresses(region)
+    n = len(region)
+    succs: list[set[int]] = [set() for _ in region]
+    preds: list[set[int]] = [set() for _ in region]
+    graph = DependenceGraph(nodes=list(region), succs=succs, preds=preds)
+    reads = [inst.read_mask() for inst in region]
+    writes = [inst.write_mask() for inst in region]
+    memory = [inst.memory for inst in region]
+    addresses = _static_addresses(region, memory, [inst.regs_written() for inst in region])
 
-    for j in range(len(region)):
+    # The full pairwise edge set (including transitively implied edges)
+    # is load-bearing: the backward pass prices every edge, so a direct
+    # producer->consumer edge can carry more delay than the path through
+    # an intervening ordering edge. Register sets are bitmasks, so the
+    # RAW/WAR/WAW test is two integer ANDs (RAW and WAW share
+    # ``writes[i]``), and the memory test only runs for pairs where
+    # both sides touch memory.
+    for j in range(n):
+        touched_j = reads[j] | writes[j]
+        writes_j = writes[j]
+        memory_j = memory[j]
+        preds_j = preds[j]
         for i in range(j):
             if (
-                writes[i] & reads[j]  # RAW
-                or reads[i] & writes[j]  # WAR
-                or writes[i] & writes[j]  # WAW
-                or _memory_conflict(
-                    region[i], region[j], policy, addresses[i], addresses[j]
+                writes[i] & touched_j  # RAW / WAW
+                or reads[i] & writes_j  # WAR
+                or (
+                    memory_j is not None
+                    and memory[i] is not None
+                    and _memory_conflict(
+                        region[i], region[j], policy, addresses[i], addresses[j]
+                    )
                 )
             ):
-                graph.add_edge(i, j)
+                succs[i].add(j)
+                preds_j.add(i)
     return graph

@@ -14,6 +14,7 @@ that the instructions were previously scheduled."
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 
 from ..isa.instruction import Instruction
@@ -26,8 +27,9 @@ from ..obs.report import (
     SCHED_TIE_BREAK,
 )
 from ..pipeline.diagnose import explain_stall
-from ..pipeline.stalls import issue, walk
+from ..pipeline.stalls import issue, stall_query
 from ..pipeline.state import PipelineState
+from ..pipeline.tables import LeanPipeline, TableMiss
 from ..spawn.model import MachineModel
 from .dependence import DependenceGraph, SchedulingPolicy, build_dependence_graph
 from .priorities import chain_lengths
@@ -116,20 +118,130 @@ class ListScheduler:
         with rec.span("core.backward_pass"):
             heights = chain_lengths(self.model, graph)
         with rec.span("core.forward_pass"):
-            order, exit_cycle = self._forward_pass(
-                graph, heights, state=entry_state, cycle=entry_cycle
-            )
+            order = exit_cycle = None
+            if (
+                entry_state is None
+                and not rec.enabled
+                and self.provenance is None
+                and self.model.tables is not None
+            ):
+                # Table-only fast path: no telemetry or provenance to
+                # feed and no threaded state, so the pass needs neither
+                # the occupancy timeline nor interval commits. Any
+                # query the tables cannot serve restarts the region on
+                # the full machinery below.
+                try:
+                    order, exit_cycle = self._forward_pass_lean(graph, heights)
+                except TableMiss:
+                    order = None
+            if order is None:
+                order, exit_cycle = self._forward_pass(
+                    graph, heights, state=entry_state, cycle=entry_cycle
+                )
         scheduled = [region[i] for i in order]
+        if entry_state is None:
+            # From an empty pipeline the forward pass *is* the
+            # sequential issue walk over `scheduled`, so its final
+            # cycle already prices the schedule.
+            scheduled_cycles = exit_cycle + 1 if region else 0
+        else:
+            scheduled_cycles = self._issue_cycles(scheduled)
         return ScheduleResult(
             instructions=scheduled,
             order=order,
             original_cycles=self._issue_cycles(region),
-            scheduled_cycles=self._issue_cycles(scheduled),
+            scheduled_cycles=scheduled_cycles,
             graph=graph,
             exit_cycle=exit_cycle if entry_state is not None else None,
         )
 
     # -- passes -----------------------------------------------------------------
+
+    def _forward_pass_lean(
+        self, graph: DependenceGraph, heights: list[int]
+    ) -> tuple[list[int], int]:
+        """The forward pass on a :class:`LeanPipeline` — identical
+        picks and cycles to :meth:`_forward_pass` from an empty entry
+        state, computed entirely from the compiled tables. Raises
+        :class:`TableMiss` when the tables cannot carry the region.
+
+        The pick is a minimum over the candidate keys, so unlike the
+        generic pass (which must price every candidate for its
+        telemetry and provenance sinks) this pass scans the ready set
+        in sorted secondary order and stops at the first candidate no
+        later candidate can beat — under ``stalls_chain`` and
+        ``chain_stalls`` a zero-stall candidate met in ``(-height,
+        node)`` order, under ``program_order`` simply the lowest-index
+        candidate."""
+        n = graph.size
+        remaining_preds = [len(graph.preds[i]) for i in range(n)]
+        order: list[int] = []
+        model = self.model
+        timings = [model.timing(node) for node in graph.nodes]
+        lean = LeanPipeline(model.tables)
+        priority = self.policy.priority
+        program_order = priority == "program_order"
+        chain_first = priority == "chain_stalls"
+        if program_order:
+            scan_key = [(i,) for i in range(n)]
+        else:
+            scan_key = [(-heights[i], i) for i in range(n)]
+        ready = sorted(scan_key[i] for i in range(n) if remaining_preds[i] == 0)
+        # Issuing an instruction only ever adds constraints (occupancy
+        # grows, register history tightens — WAW enforcement keeps
+        # write availability monotone), so a candidate's answered issue
+        # cycle is a lower bound on every later answer. A candidate
+        # whose bound cannot beat the scan's current best is skipped
+        # without a query: it loses on stalls, or ties and then loses
+        # the (-height, node) tie-break to the earlier-scanned best.
+        floor = [0] * n
+        cycle = 0
+
+        while ready:
+            best = None
+            best_key = None
+            best_hit = None
+            for entry in ready:
+                node = entry[-1]
+                if (
+                    chain_first
+                    and best_key is not None
+                    and entry[0] > best_key[0]
+                ):
+                    break  # a worse chain height can no longer win
+                if best_hit is not None and floor[node] >= best_hit[0]:
+                    continue
+                hit = lean.query(cycle, timings[node])
+                floor[node] = hit[0]
+                stalls = hit[0] - cycle
+                if chain_first:
+                    key = (-heights[node], stalls, node)
+                elif program_order:
+                    key = (node, stalls)
+                else:
+                    key = (stalls, -heights[node], node)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = node
+                    best_hit = hit
+                if program_order or stalls == 0:
+                    # program_order: the lowest index always wins.
+                    # Otherwise: zero stalls is unbeatable, and every
+                    # later candidate loses the (-height, node)
+                    # tie-break by scan order.
+                    break
+            cycle = best_hit[0]
+            lean.commit(timings[best], cycle, best_hit[1])
+            order.append(best)
+            ready.remove(scan_key[best])
+            for succ in graph.succs[best]:
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    insort(ready, scan_key[succ])
+
+        if len(order) != n:  # pragma: no cover - DAGs are acyclic by construction
+            raise RuntimeError("dependence graph had a cycle")
+        return order, cycle
 
     def _forward_pass(
         self,
@@ -146,6 +258,8 @@ class ListScheduler:
         if state is None:
             state = PipelineState(self.model)
             cycle = 0
+        model = self.model
+        timings = [model.timing(node) for node in graph.nodes]
         rec = self.recorder
         log = self.provenance
         telemetry = rec.enabled
@@ -160,8 +274,7 @@ class ListScheduler:
             if cands is not None:
                 cands.clear()
             for node in ready:
-                timing = self.model.timing(graph.nodes[node])
-                stalls = walk(cycle, state, timing).stalls
+                stalls = stall_query(cycle, state, timings[node])
                 # The paper's priority: fewest stalls, then longest
                 # chain to block end, then original program position.
                 # Variants exist for the ablation study.
@@ -268,7 +381,19 @@ class ListScheduler:
     # -- measurement -------------------------------------------------------------
 
     def _issue_cycles(self, instructions: list[Instruction]) -> int:
-        state = PipelineState(self.model)
+        model = self.model
+        if model.tables is not None:
+            try:
+                lean = LeanPipeline(model.tables)
+                cycle = 0
+                for inst in instructions:
+                    timing = model.timing(inst)
+                    cycle, next_sid = lean.query(cycle, timing)
+                    lean.commit(timing, cycle, next_sid)
+                return cycle + 1 if instructions else 0
+            except TableMiss:
+                pass
+        state = PipelineState(model)
         cycle = 0
         for inst in instructions:
             cycle = issue(cycle, state, inst).issue_cycle

@@ -17,16 +17,37 @@ from ..spawn.model import MachineModel
 from .dependence import DependenceGraph
 
 
+def _access_delay(producer, consumer) -> int:
+    """Delay between two resolved timings, memoized on the producer.
+
+    The memo is keyed by the consumer's object identity: timings are
+    interned on their model for the model's lifetime
+    (:meth:`~repro.spawn.model.MachineModel.timing`), and a producer
+    and its consumers always come from the same model, so a consumer
+    id can never be recycled while the producer's memo is reachable."""
+    try:
+        memo = producer._delay_memo
+    except AttributeError:
+        memo = {}
+        object.__setattr__(producer, "_delay_memo", memo)
+    delay = memo.get(id(consumer))
+    if delay is None:
+        avail = {reg: cycle for reg, cycle in producer.writes}
+        delay = 0
+        for reg, read_cycle in consumer.reads:
+            if reg in avail:
+                gap = avail[reg] - read_cycle
+                if gap > delay:
+                    delay = gap
+        memo[id(consumer)] = delay
+    return delay
+
+
 def edge_delay(model: MachineModel, graph: DependenceGraph, src: int, dst: int) -> int:
     """Minimum issue-cycle separation imposed by data flow src -> dst."""
     producer = model.timing(graph.nodes[src])
     consumer = model.timing(graph.nodes[dst])
-    avail = {reg: cycle for reg, cycle in producer.writes}
-    delay = 0
-    for reg, read_cycle in consumer.reads:
-        if reg in avail:
-            delay = max(delay, avail[reg] - read_cycle)
-    return delay
+    return _access_delay(producer, consumer)
 
 
 def chain_lengths(model: MachineModel, graph: DependenceGraph) -> list[int]:
@@ -34,9 +55,14 @@ def chain_lengths(model: MachineModel, graph: DependenceGraph) -> list[int]:
     ``i`` and the end of the block."""
     n = graph.size
     heights = [0] * n
+    timings = [model.timing(node) for node in graph.nodes]
+    succs = graph.succs
     for i in range(n - 1, -1, -1):
         best = 0
-        for j in graph.succs[i]:
-            best = max(best, edge_delay(model, graph, i, j) + heights[j])
+        timing_i = timings[i]
+        for j in succs[i]:
+            gap = _access_delay(timing_i, timings[j]) + heights[j]
+            if gap > best:
+                best = gap
         heights[i] = best
     return heights

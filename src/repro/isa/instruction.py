@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator
 
 from .opcodes import Category, Format, OpcodeInfo, Slot, lookup
-from .registers import FCC, ICC, O7, PC, Reg, RegKind, Y
+from .registers import FCC, ICC, O7, PC, Reg, RegKind, Y, reg_code
 
 #: Provenance tags.
 TAG_ORIGINAL = "orig"
@@ -50,6 +50,7 @@ class Instruction:
 
     def __post_init__(self) -> None:
         info = lookup(self.mnemonic)  # raises KeyError for unknown ops
+        object.__setattr__(self, "_info", info)
         if self.rs2 is not None and self.imm is not None:
             raise ValueError(f"{self.mnemonic}: both rs2 and imm given")
         if self.rs2 is None and self.imm is None and self.target is None:
@@ -78,7 +79,12 @@ class Instruction:
 
     @property
     def info(self) -> OpcodeInfo:
-        return lookup(self.mnemonic)
+        try:
+            return self._info
+        except AttributeError:  # unpickled from pre-memo state
+            info = lookup(self.mnemonic)
+            object.__setattr__(self, "_info", info)
+            return info
 
     @property
     def category(self) -> Category:
@@ -131,12 +137,55 @@ class Instruction:
                     yield reg
 
     def regs_read(self) -> frozenset[Reg]:
-        """Registers this instruction reads, %g0 excluded."""
-        return frozenset(x for x in self._slot_regs(self.info.reads) if not x.is_zero)
+        """Registers this instruction reads, %g0 excluded.
+
+        Memoized on the instance (instructions are immutable): the
+        dependence analyzer asks for the effect sets of the same
+        instructions on every scheduling and verification pass."""
+        try:
+            return self._regs_read
+        except AttributeError:
+            regs = frozenset(
+                x for x in self._slot_regs(self.info.reads) if not x.is_zero
+            )
+            object.__setattr__(self, "_regs_read", regs)
+            return regs
 
     def regs_written(self) -> frozenset[Reg]:
-        """Registers this instruction writes, %g0 excluded."""
-        return frozenset(x for x in self._slot_regs(self.info.writes) if not x.is_zero)
+        """Registers this instruction writes, %g0 excluded. Memoized
+        like :meth:`regs_read`."""
+        try:
+            return self._regs_written
+        except AttributeError:
+            regs = frozenset(
+                x for x in self._slot_regs(self.info.writes) if not x.is_zero
+            )
+            object.__setattr__(self, "_regs_written", regs)
+            return regs
+
+    def read_mask(self) -> int:
+        """:meth:`regs_read` as a bitmask over ``Reg.code`` positions —
+        the dependence analyzer's pairwise hazard test is three integer
+        ANDs instead of set intersections."""
+        try:
+            return self._read_mask
+        except AttributeError:
+            mask = 0
+            for reg in self.regs_read():
+                mask |= 1 << reg_code(reg)
+            object.__setattr__(self, "_read_mask", mask)
+            return mask
+
+    def write_mask(self) -> int:
+        """:meth:`regs_written` as a bitmask over ``Reg.code``."""
+        try:
+            return self._write_mask
+        except AttributeError:
+            mask = 0
+            for reg in self.regs_written():
+                mask |= 1 << reg_code(reg)
+            object.__setattr__(self, "_write_mask", mask)
+            return mask
 
     # -- convenience -------------------------------------------------------
 

@@ -55,6 +55,21 @@ class Reg:
                 f"register index {self.index} out of range for "
                 f"{self.kind.value} file (size {limit})"
             )
+        # Registers key the pipeline's register-history dictionaries,
+        # so their hash is on every scheduler hot path: precompute it,
+        # along with the dense code used for bitmask dependence tests.
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+        object.__setattr__(
+            self, "code", (_KIND_ORDER[self.kind] << 5) | self.index
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:  # unpickled from pre-memo state
+            value = hash((self.kind, self.index))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     @property
     def is_zero(self) -> bool:
@@ -86,6 +101,22 @@ _FILE_SIZES = {
     RegKind.Y: 1,
     RegKind.PC: 1,
 }
+
+#: Register kind -> dense ordinal, for :attr:`Reg.code`. Every file has
+#: at most 32 registers, so ``(ordinal << 5) | index`` is a unique
+#: small integer per architectural register — a bit position for the
+#: dependence analyzer's register-set masks.
+_KIND_ORDER = {kind: i for i, kind in enumerate(RegKind)}
+
+
+def reg_code(reg: Reg) -> int:
+    """The register's dense integer code (see ``_KIND_ORDER``)."""
+    try:
+        return reg.code
+    except AttributeError:  # unpickled from pre-memo state
+        code = (_KIND_ORDER[reg.kind] << 5) | reg.index
+        object.__setattr__(reg, "code", code)
+        return code
 
 
 def r(index: int) -> Reg:

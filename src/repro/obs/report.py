@@ -25,6 +25,14 @@ HAZARDS = "pipeline.hazards"
 #: Committed instruction issues (one per ``pipeline.stalls.issue``).
 ISSUES = "pipeline.issues"
 
+#: Issues on a table-compiled model (``repro.pipeline.tables``) whose
+#: stall walk was served from the precomputed transition table, vs.
+#: issues that fell back to the interpreted walker (state tracking lost
+#: past the enumeration budget). Only counted when tables are attached;
+#: plain interpreted models record neither.
+TABLE_HITS = "pipeline.table_hits"
+TABLE_FALLBACKS = "pipeline.table_fallbacks"
+
 #: One per forward-pass scheduling decision.
 SCHED_DECISIONS = "scheduler.decisions"
 #: Histogram of the candidate (ready) set size at each decision.
@@ -288,6 +296,8 @@ SUMMARY_COUNTERS = {
     "stall_cycles": STALL_CYCLES,
     "hazard_conditions": HAZARDS,
     "issues": ISSUES,
+    "table_hits": TABLE_HITS,
+    "table_fallbacks": TABLE_FALLBACKS,
     "sched_decisions": SCHED_DECISIONS,
     "sched_blocks": SCHED_BLOCKS,
     "sched_delay_slots": SCHED_DELAY_SLOTS,
@@ -372,5 +382,13 @@ def render_stats(metrics: MetricsRegistry) -> str:
     sections.append(phase_timing_table(metrics))
     issues = int(metrics.counter_total(ISSUES))
     if issues:
-        sections.append(f"instructions issued: {issues}")
+        line = f"instructions issued: {issues}"
+        hits = int(metrics.counter_total(TABLE_HITS))
+        fallbacks = int(metrics.counter_total(TABLE_FALLBACKS))
+        if hits or fallbacks:
+            line += (
+                f"\n  pipeline tables: {hits} issues via transition table, "
+                f"{fallbacks} interpreted fallbacks"
+            )
+        sections.append(line)
     return "\n\n".join(sections)

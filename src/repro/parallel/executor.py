@@ -135,7 +135,7 @@ def _schedule_shard(payload):
     """Schedule one shard's regions; runs in a worker process.
 
     ``payload`` is (model name, SADL source, policy, regions, verify?,
-    trials, seed, telemetry?). Returns ``(results, snapshot)``: one
+    trials, seed, telemetry?, tables?). Returns ``(results, snapshot)``: one
     ``(digest, order, original_cycles, scheduled_cycles, verified,
     checksum)`` tuple per region in input order, plus — when
     ``telemetry`` is set — a
@@ -149,8 +149,18 @@ def _schedule_shard(payload):
     the result (``parallel.ipc_rejected``) on any mismatch, so a
     corrupted IPC message can cost a re-schedule but never an edit.
     """
-    name, source, policy, regions, verify, trials, seed, telemetry = payload
+    name, source, policy, regions, verify, trials, seed, telemetry, tables = payload
     model = _worker_model(name, source)
+    if tables and model.tables is None:
+        # The parent schedules through compiled stall tables; attach
+        # them here too. The eager prefix is loaded from the disk cache
+        # keyed by the model's content digest — compiled once (usually
+        # by the parent), read by every worker — and tables cannot
+        # change schedules, only their cost, so a worker that misses
+        # the cache and recompiles still returns identical results.
+        from ..pipeline.tables import attach_tables
+
+        attach_tables(model)
     recorder = MetricsRecorder() if telemetry else None
     scheduler = ListScheduler(model, policy, recorder)
     out = []
@@ -360,6 +370,7 @@ class ParallelScheduler:
                 self.verify_trials,
                 self.verify_seed,
                 self.recorder.enabled,
+                self.model.tables is not None,
             )
 
         context = _mp_context(self.start_method)

@@ -12,6 +12,14 @@ from .stalls import (
     walk,
 )
 from .state import HeldInterval, PipelineState
+from .tables import (
+    LeanPipeline,
+    PipelineTables,
+    TableMiss,
+    attach_tables,
+    compile_tables,
+    detach_tables,
+)
 from .timing import TimedRun, timed_run
 from .viz import schedule_chart, unit_occupancy
 
@@ -20,16 +28,22 @@ __all__ = [
     "BlockTiming",
     "Hazard",
     "HeldInterval",
+    "LeanPipeline",
     "MAX_STALL_SEARCH",
     "OoOConfig",
     "OoORun",
     "OoOSimulator",
     "PipelineDeadlock",
     "PipelineState",
+    "PipelineTables",
+    "TableMiss",
     "TimedRun",
     "WalkResult",
     "all_hazards",
+    "attach_tables",
     "attribute_stalls",
+    "compile_tables",
+    "detach_tables",
     "explain_stall",
     "issue",
     "ooo_timed_run",

@@ -103,7 +103,9 @@ def explain_stall(
     """The first hazard preventing ``inst`` from issuing at ``cycle``,
     or None when it can issue immediately."""
     timing = state.model.timing(inst)
-    hazards = _collect_hazards(cycle, state, _prepare(timing), first_only=True)
+    hazards = _collect_hazards(
+        cycle, state, _prepare(timing, state.model), first_only=True
+    )
     return hazards[0] if hazards else None
 
 
@@ -115,7 +117,9 @@ def all_hazards(
     :func:`explain_stall`'s answer; the rest are the overlapping hazards
     it hides."""
     timing = state.model.timing(inst)
-    return _collect_hazards(cycle, state, _prepare(timing), first_only=False)
+    return _collect_hazards(
+        cycle, state, _prepare(timing, state.model), first_only=False
+    )
 
 
 def stall_breakdown(

@@ -29,9 +29,19 @@ class HeldInterval:
 
 class PipelineState:
     """Absolute-cycle occupancy and register history for one in-order
-    instruction stream."""
+    instruction stream.
 
-    def __init__(self, model: MachineModel) -> None:
+    When the model carries compiled transition tables
+    (:mod:`repro.pipeline.tables`), the state additionally tracks which
+    table state its structural occupancy corresponds to (``sid``,
+    relative to absolute cycle ``origin``). The occupancy timeline and
+    register history are maintained identically either way — the tables
+    only replace the stall *search*, never the committed state — so
+    attribution, visualization, and diagnosis read the same data in
+    both modes.
+    """
+
+    def __init__(self, model: MachineModel, *, use_tables: bool = True) -> None:
         self.model = model
         self._capacity = list(model.unit_capacity)
         self._unit_index = model.unit_index
@@ -41,6 +51,13 @@ class PipelineState:
         self.write_cy: dict[Reg, int] = {}
         #: register -> last absolute cycle it was read.
         self.read_cy: dict[Reg, int] = {}
+        #: compiled transition tables, when attached to the model.
+        self.tables = getattr(model, "tables", None) if use_tables else None
+        #: table state id of the occupancy at/after ``origin`` (None
+        #: once tracking is lost, e.g. past the enumeration budget).
+        self.sid: int | None = 0 if self.tables is not None else None
+        #: absolute cycle ``sid`` is relative to.
+        self.origin = 0
 
     # -- unit timeline -------------------------------------------------------
 

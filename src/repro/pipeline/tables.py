@@ -1,0 +1,518 @@
+"""Compiled stall-transition tables: the interpreted walker as data.
+
+``pipeline_stalls`` is the inner loop of every scheduling decision and
+is re-evaluated per candidate per cycle. Spawn already collapses
+instructions with identical resource traces into timing groups
+(:class:`~repro.spawn.model.MachineModel`); this module pushes that to
+its conclusion: it enumerates the *structural* pipeline states a
+machine can reach and compiles a transition table
+
+    ``(state-id, timing-group) -> (fit offset, next-state-id)``
+
+so the scheduler's hot path becomes dictionary lookups with no interval
+arithmetic.
+
+Why the table only needs the structural dimension
+-------------------------------------------------
+Every register hazard in :func:`repro.pipeline.stalls._fits` is a
+monotone lower bound on the start cycle: ``RAW`` requires
+``start >= write_cy[reg] - rel``, ``WAW`` requires
+``start >= write_cy[reg] - rel``, and ``WAR`` requires
+``start >= last_read[reg] + 1 - rel``. A check that passes at ``s``
+therefore passes at every later cycle, so the earliest legal issue is
+the first *structural* fit at or after the register lower bound — and
+structural occupancy is a pure function of (current state, timing
+group). Register history stays in the per-stream dictionaries exactly
+as in the interpreted walker.
+
+State encoding and bounds
+-------------------------
+A state is the tuple of per-cycle free-unit rows relative to the
+current cycle, trimmed of trailing idle rows. No trace event occurs
+more than ``window - 1`` cycles after issue (``window`` = the largest
+group's ``max_event_cycle + 1``), so occupancy never extends more than
+``window`` cycles past the last issue and every state has at most
+``window`` rows — the "issue width × max latency × unit counts" bound.
+The *reachable* subset of that space is still far too large to
+enumerate eagerly on real machines (the shipped SPARC models blow
+through 100k states while a breadth-first frontier is still growing),
+so the compiler is demand-driven: a small deterministic breadth-first
+prefix is compiled at attach time (and persisted under the model's
+content digest so parallel workers and later processes reuse it), and
+every state actually visited during scheduling is interned and its
+transitions memoized on first use. Once ``budget`` distinct states have
+been interned, new states stop being recorded and queries from unknown
+states fall back to the interpreted walker (counted as
+``pipeline.table_fallbacks``); tracking resumes for free once the
+pipeline drains.
+
+Transitions are *computed by the interpreted walker itself* — a scratch
+:class:`~repro.pipeline.state.PipelineState` is loaded with the state's
+rows and searched with the group's trace — so table and interpreter
+agree by construction; the differential battery in
+``tests/pipeline/test_table_differential.py`` enforces it end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from ..isa.registers import reg_code
+from ..spawn.model import InstructionTiming, MachineModel
+from .state import PipelineState
+
+#: Default cap on distinct interned states per model. Real workloads
+#: visit far fewer (hundreds to a few thousand); the cap bounds memory
+#: on adversarial inputs.
+DEFAULT_BUDGET = 50_000
+
+#: Default number of states pre-enumerated breadth-first at attach
+#: time. This prefix is deterministic, so it is what the on-disk cache
+#: stores and what every worker process starts from.
+DEFAULT_EAGER_STATES = 256
+
+#: On-disk cache format version (bump on any layout change).
+_CACHE_VERSION = 1
+
+#: Environment override for the on-disk table cache directory.
+CACHE_DIR_ENV = "REPRO_TABLE_CACHE_DIR"
+
+
+def _default_cache_dir() -> str:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else "any"
+    return os.path.join(tempfile.gettempdir(), f"repro-tables-{uid}")
+
+
+class PipelineTables:
+    """Interned structural states + memoized transitions for one model.
+
+    ``keys[sid]`` is the canonical row tuple of state ``sid`` (state 0
+    is the empty machine); ``transitions[sid][group]`` maps a timing
+    group to ``(fit, next_sid)`` where ``fit`` is the offset of the
+    earliest structural fit from the queried cycle and ``next_sid`` the
+    state after committing there (None when the successor was past the
+    budget — the stall answer is still valid, only tracking is lost).
+    """
+
+    def __init__(self, model: MachineModel, *, budget: int = DEFAULT_BUDGET) -> None:
+        self.model = model
+        self.budget = budget
+        self.window = self._window(model)
+        self.capacity = tuple(model.unit_capacity)
+        self.keys: list[tuple] = [()]
+        self.ids: dict[tuple, int] = {(): 0}
+        self.advance: list[int | None] = [0]  # empty advances to itself
+        self.transitions: list[dict[int, tuple[int, int | None]]] = [{}]
+        #: True once an intern was refused because of the budget.
+        self.exhausted = False
+        #: group id -> prepared events for the group's bare trace.
+        self._group_prepared: dict[int, object] = {}
+
+    @staticmethod
+    def _window(model: MachineModel) -> int:
+        spans = [
+            model.group_trace(g).max_event_cycle + 1
+            for g in range(model.group_count)
+        ]
+        return max(spans, default=1)
+
+    @property
+    def states(self) -> int:
+        return len(self.keys)
+
+    # -- interning -----------------------------------------------------------
+
+    def _intern(self, key: tuple) -> int | None:
+        sid = self.ids.get(key)
+        if sid is not None:
+            return sid
+        if len(self.keys) >= self.budget:
+            self.exhausted = True
+            return None
+        sid = len(self.keys)
+        self.ids[key] = sid
+        self.keys.append(key)
+        self.advance.append(None)
+        self.transitions.append({})
+        return sid
+
+    def intern_from_state(self, state: PipelineState, origin: int) -> int | None:
+        """Intern the live occupancy of ``state`` at/after ``origin``."""
+        free = state._free
+        length = len(free)
+        capacity = self.capacity
+        rows = [
+            tuple(free[c]) if c < length else capacity
+            for c in range(origin, origin + self.window)
+        ]
+        while rows and rows[-1] == capacity:
+            rows.pop()
+        return self._intern(tuple(rows))
+
+    def advance_to(self, sid: int, cycles: int) -> int | None:
+        """The state ``cycles`` idle cycles after state ``sid``."""
+        keys = self.keys
+        advance = self.advance
+        while cycles > 0:
+            key = keys[sid]
+            if not key:
+                return sid  # empty stays empty
+            if cycles >= len(key):
+                return 0  # all occupancy expires
+            nxt = advance[sid]
+            if nxt is None:
+                nxt = self._intern(key[1:])
+                if nxt is None:
+                    return None
+                advance[sid] = nxt
+            sid = nxt
+            cycles -= 1
+        return sid
+
+    # -- transitions ---------------------------------------------------------
+
+    def lookup(self, sid: int, group: int) -> tuple[int, int | None] | None:
+        """The transition for issuing ``group`` from state ``sid``,
+        learning (and memoizing) it on first use. None only when the
+        group's trace does not fit the compiled window (cannot happen
+        for groups known at attach time)."""
+        transition = self.transitions[sid].get(group)
+        if transition is None:
+            transition = self._learn(sid, group)
+            if transition is None:
+                return None
+            self.transitions[sid][group] = transition
+        return transition
+
+    def _learn(self, sid: int, group: int) -> tuple[int, int | None] | None:
+        from .stalls import _prepare_uncached, _search
+
+        trace = self.model.group_trace(group)
+        if trace.max_event_cycle + 1 > self.window:
+            # A timing group formed after the tables were compiled, with
+            # a longer trace than the window bound: its successors would
+            # violate the row-count invariant, so it stays interpreted.
+            return None
+        prepared = self._group_prepared.get(group)
+        if prepared is None:
+            bare = InstructionTiming(group=group, trace=trace, reads=(), writes=())
+            prepared = _prepare_uncached(bare)
+            self._group_prepared[group] = prepared
+        scratch = PipelineState(self.model, use_tables=False)
+        scratch._free = [list(row) for row in self.keys[sid]]
+        fit = _search(0, scratch, prepared)
+        from .stalls import _materialize
+
+        for interval in _materialize(fit, 0, prepared).intervals:
+            scratch.commit_interval(interval)
+        next_sid = self.intern_from_state(scratch, fit)
+        return fit, next_sid
+
+    # -- eager enumeration ---------------------------------------------------
+
+    def enumerate(self, max_states: int) -> None:
+        """Breadth-first enumeration from the empty machine: intern up
+        to ``max_states`` states and memoize every transition among
+        them. Deterministic, so the result is safe to persist and share
+        under the model's content digest."""
+        limit = min(max_states, self.budget)
+        groups = list(range(self.model.group_count))
+        frontier = 0
+        while frontier < len(self.keys) and len(self.keys) < limit:
+            sid = frontier
+            key = self.keys[sid]
+            if key and self.advance[sid] is None:
+                self.advance[sid] = self._intern(key[1:])
+            for group in groups:
+                if group not in self.transitions[sid]:
+                    transition = self._learn(sid, group)
+                    if transition is not None:
+                        self.transitions[sid][group] = transition
+                if len(self.keys) >= limit:
+                    break
+            frontier += 1
+        # Enumeration stopping at `limit` is not budget exhaustion: the
+        # lazy path may still intern states up to `budget`.
+        self.exhausted = len(self.keys) >= self.budget
+
+    # -- persistence ---------------------------------------------------------
+
+    def _groups_fingerprint(self) -> str:
+        """Order-sensitive digest of the group-id -> trace-signature
+        assignment. Group ids are handed out in formation order, so a
+        model that scheduled before the tables were attached can number
+        the same signatures differently than a freshly built one; a
+        persisted table is only valid under the exact assignment it was
+        compiled with."""
+        import hashlib
+
+        signatures = [
+            self.model.group_trace(g).signature()
+            for g in range(self.model.group_count)
+        ]
+        return hashlib.sha256(repr(signatures).encode()).hexdigest()[:16]
+
+    def payload(self) -> dict:
+        """The deterministic, JSON-serializable compiled prefix."""
+        return {
+            "version": _CACHE_VERSION,
+            "window": self.window,
+            "capacity": list(self.capacity),
+            "groups": self.model.group_count,
+            "groups_sig": self._groups_fingerprint(),
+            "keys": [[list(row) for row in key] for key in self.keys],
+            "advance": self.advance,
+            "transitions": [
+                sorted(
+                    (group, fit, next_sid)
+                    for group, (fit, next_sid) in table.items()
+                )
+                for table in self.transitions
+            ],
+        }
+
+    def load_payload(self, payload: dict) -> bool:
+        """Adopt a persisted prefix; False when it does not match this
+        model (stale format, different group set or unit inventory)."""
+        if (
+            payload.get("version") != _CACHE_VERSION
+            or payload.get("window") != self.window
+            or tuple(payload.get("capacity", ())) != self.capacity
+            or payload.get("groups") != self.model.group_count
+            or payload.get("groups_sig") != self._groups_fingerprint()
+        ):
+            return False
+        keys = [
+            tuple(tuple(row) for row in key) for key in payload["keys"]
+        ]
+        if not keys or keys[0] != ():
+            return False
+        if len(keys) > self.budget:
+            keys = keys[: self.budget]
+        known = len(keys)
+        self.keys = keys
+        self.ids = {key: sid for sid, key in enumerate(keys)}
+        self.advance = [
+            sid if sid is not None and sid < known else None
+            for sid in payload["advance"][:known]
+        ]
+        self.advance[0] = 0
+        self.transitions = [
+            {
+                group: (fit, next_sid if (next_sid is None or next_sid < known) else None)
+                for group, fit, next_sid in table
+            }
+            for table in payload["transitions"][:known]
+        ]
+        return True
+
+
+class TableMiss(Exception):
+    """A lean table walk hit a state the tables cannot serve; the
+    caller must redo the work with the full interpreted machinery."""
+
+
+def _lean_accesses(
+    timing: InstructionTiming,
+) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+    """The timing's register accesses with each :class:`Reg` replaced
+    by a dense int code, memoized on the timing object. The coding is
+    a bijection, so the lean history dictionaries partition streams
+    exactly as the Reg-keyed ones do."""
+    try:
+        return timing._lean_reads, timing._lean_writes
+    except AttributeError:
+        reads = tuple((reg_code(reg), rel) for reg, rel in timing.reads)
+        writes = tuple((reg_code(reg), rel) for reg, rel in timing.writes)
+        object.__setattr__(timing, "_lean_reads", reads)
+        object.__setattr__(timing, "_lean_writes", writes)
+        return reads, writes
+
+
+class LeanPipeline:
+    """Table-only pipeline stream: state id + register history, no
+    occupancy timeline, no interval arithmetic.
+
+    This is the promise of the compiled tables made literal — an issue
+    is a couple of dictionary lookups plus register-history updates.
+    The trade is that there is no interpreted walker to fall back to
+    mid-stream (the occupancy rows were never maintained), so the
+    moment a query cannot be served from the tables
+    (:class:`TableMiss`) the caller restarts the whole region on a full
+    :class:`~repro.pipeline.state.PipelineState`. The register
+    lower-bound logic mirrors
+    :func:`repro.pipeline.stalls._table_query`, and the commit mirrors
+    :func:`repro.pipeline.stalls.issue`'s history updates, so lean and
+    full runs are byte-identical where both complete.
+    """
+
+    __slots__ = ("tables", "sid", "origin", "write_cy", "read_cy")
+
+    def __init__(self, tables: PipelineTables) -> None:
+        self.tables = tables
+        self.sid = 0
+        self.origin = 0
+        #: reg code -> cycle its latest written value becomes usable.
+        self.write_cy: dict = {}
+        #: reg code -> latest cycle the reg was read.
+        self.read_cy: dict = {}
+
+    def query(self, cycle: int, timing: InstructionTiming) -> tuple[int, int | None]:
+        """Earliest issue cycle >= ``cycle`` for ``timing``, plus the
+        table state after committing there. Raises :class:`TableMiss`
+        when the tables cannot answer."""
+        reads, writes = _lean_accesses(timing)
+        lb = cycle
+        write_cy = self.write_cy
+        read_cy = self.read_cy
+        for code, rel in reads:  # RAW
+            t = write_cy.get(code, 0) - rel
+            if t > lb:
+                lb = t
+        for code, rel in writes:  # WAW / WAR
+            t = write_cy.get(code, 0) - rel
+            if t > lb:
+                lb = t
+            t = read_cy.get(code, -1) + 1 - rel
+            if t > lb:
+                lb = t
+        sid = self.tables.advance_to(self.sid, lb - self.origin)
+        if sid is None:
+            raise TableMiss
+        transition = self.tables.lookup(sid, timing.group)
+        if transition is None:
+            raise TableMiss
+        fit, next_sid = transition
+        return lb + fit, next_sid
+
+    def commit(
+        self, timing: InstructionTiming, issue_cycle: int, next_sid: int | None
+    ) -> None:
+        """Commit an issue previously answered by :meth:`query` at the
+        same stream position."""
+        if next_sid is None:
+            raise TableMiss  # successor was past the interning budget
+        self.sid = next_sid
+        self.origin = issue_cycle
+        reads, writes = _lean_accesses(timing)
+        read_cy = self.read_cy
+        write_cy = self.write_cy
+        for code, rel in reads:
+            cycle = issue_cycle + rel
+            if cycle > read_cy.get(code, -1):
+                read_cy[code] = cycle
+        for code, rel in writes:
+            write_cy[code] = issue_cycle + rel
+
+
+def _cache_path(digest: str, directory: str) -> str:
+    return os.path.join(directory, f"tables-{digest}-v{_CACHE_VERSION}.json")
+
+
+def _expand_variants(model: MachineModel) -> None:
+    """Form every timing group the ISA can produce, so the group set —
+    and therefore the compiled table content — is complete and
+    deterministic before enumeration."""
+    from ..isa.opcodes import all_mnemonics
+
+    for mnemonic in all_mnemonics():
+        if not model.evaluator.has_sem(mnemonic):
+            continue
+        for uses_imm in (False, True):
+            model._variant(mnemonic, uses_imm)
+
+
+def compile_tables(
+    model: MachineModel,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    eager_states: int = DEFAULT_EAGER_STATES,
+    cache_dir: str | None = None,
+    use_disk_cache: bool = True,
+) -> PipelineTables:
+    """Compile (or load from the content-addressed disk cache) the
+    transition tables for ``model``, without attaching them.
+
+    The eager prefix is persisted under the model's content digest
+    (:func:`repro.parallel.fingerprint.model_digest`) when the model
+    records its SADL source, so parallel workers and later processes
+    skip recompilation.
+    """
+    from ..parallel.fingerprint import model_digest
+
+    _expand_variants(model)
+    tables = PipelineTables(model, budget=budget)
+    path = None
+    if use_disk_cache and model.source is not None:
+        path = _cache_path(model_digest(model), cache_dir or _default_cache_dir())
+    loaded = False
+    if path is not None and os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = tables.load_payload(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
+            loaded = False
+        if not loaded:  # corrupt or stale: recompile below
+            tables = PipelineTables(model, budget=budget)
+    if not loaded:
+        tables.enumerate(eager_states)
+        if path is not None:
+            _atomic_write(path, tables.payload())
+    return tables
+
+
+def attach_tables(
+    model: MachineModel,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    eager_states: int = DEFAULT_EAGER_STATES,
+    cache_dir: str | None = None,
+    use_disk_cache: bool = True,
+) -> PipelineTables:
+    """Compile (or load) transition tables and attach them to ``model``.
+
+    Every :class:`~repro.pipeline.state.PipelineState` built for the
+    model afterwards routes stall walks through the tables; schedules
+    are byte-identical to the interpreted walker. Re-attaching replaces
+    any previous tables. See :func:`compile_tables` for the caching
+    behavior.
+    """
+    tables = compile_tables(
+        model,
+        budget=budget,
+        eager_states=eager_states,
+        cache_dir=cache_dir,
+        use_disk_cache=use_disk_cache,
+    )
+    model.tables = tables
+    return tables
+
+
+def detach_tables(model: MachineModel) -> None:
+    """Return ``model`` to the interpreted walker."""
+    model.tables = None
+
+
+def _atomic_write(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory only costs recompilation.
+        pass

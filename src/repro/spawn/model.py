@@ -75,6 +75,11 @@ class MachineModel:
         self._group_traces: list[Trace] = []
         self._variant_cache: dict[tuple[str, bool], tuple[int, Trace]] = {}
         self._timing_cache: dict[tuple, InstructionTiming] = {}
+        #: compiled stall-transition tables
+        #: (:class:`repro.pipeline.tables.PipelineTables`), attached by
+        #: :func:`repro.pipeline.tables.attach_tables`; None runs the
+        #: interpreted walker.
+        self.tables = None
 
     # -- group formation ----------------------------------------------------
 
@@ -128,14 +133,20 @@ class MachineModel:
         Results are interned per (mnemonic, immediate-use, operand
         registers) — the fields timing depends on — so hot loops in the
         trace-driven timing simulator hit a dictionary, not the
-        evaluator.
+        evaluator. The latest resolution is additionally memoized on
+        the instruction itself (guarded by model identity, since two
+        models resolve the same instruction differently), which is the
+        common hit when one model schedules a region repeatedly.
         """
+        memo = inst.__dict__.get("_timing_memo")
+        if memo is not None and memo[0] is self:
+            return memo[1]
         key = (inst.mnemonic, inst.uses_immediate, inst.rd, inst.rs1, inst.rs2)
-        cached = self._timing_cache.get(key)
-        if cached is not None:
-            return cached
-        timing = self._timing_uncached(inst)
-        self._timing_cache[key] = timing
+        timing = self._timing_cache.get(key)
+        if timing is None:
+            timing = self._timing_uncached(inst)
+            self._timing_cache[key] = timing
+        object.__setattr__(inst, "_timing_memo", (self, timing))
         return timing
 
     def _timing_uncached(self, inst: Instruction) -> InstructionTiming:

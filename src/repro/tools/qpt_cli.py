@@ -30,6 +30,11 @@ pre-schedules regions across N worker processes and ``--cache``
 memoizes schedules in the content-addressed cache (both byte-identical
 to a serial, uncached run); ``benchmarks`` times the serial / parallel /
 warm-cache modes against each other and cross-checks their outputs.
+``--schedule`` routes stall queries through compiled stall-transition
+tables by default (``docs/performance.md``); ``--no-tables`` pins the
+interpreted pipeline walker — output bytes are identical either way,
+and ``codegen --tables`` bakes the same table prefix into the emitted
+standalone module.
 
 ``--superblock`` (with ``--schedule``) additionally schedules across
 profile-guided superblocks — single-entry fall-through chains formed
@@ -93,6 +98,7 @@ from ..obs import (
     stats_payload,
 )
 from ..parallel import ParallelOptions, make_transform, measure_modes, render_report
+from ..pipeline.tables import attach_tables, detach_tables
 from ..pipeline.timing import timed_run
 from ..qpt.profiling import SlowProfiler
 from ..robust import run_chaos_suite, run_fault_injection
@@ -172,6 +178,15 @@ def cmd_instrument(args) -> int:
     if args.schedule:
         policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
         model = load_machine(args.machine)
+        if args.tables:
+            # Compiled stall-transition tables: byte-identical schedules,
+            # ~5x the scheduler throughput. --no-tables pins the
+            # interpreted walker (the differential tests compare the two).
+            attach_tables(model)
+        else:
+            # load_machine memoizes models process-wide; an earlier
+            # --tables run must not leak into this one.
+            detach_tables(model)
         # safe: verify every block, fall back + report on failure.
         # strict: the first quarantine raises a typed error, which the
         # top-level handler turns into exit 1. --jobs pre-schedules (and
@@ -649,7 +664,13 @@ def _benchmarks_run(args) -> int:
 
 
 def cmd_codegen(args) -> int:
-    source = generate_source(load_machine(args.machine))
+    model = load_machine(args.machine)
+    tables = None
+    if args.tables:
+        from ..pipeline.tables import compile_tables
+
+        tables = compile_tables(model)
+    source = generate_source(model, tables=tables)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(source)
@@ -694,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="memoize schedules in the content-addressed "
                    "schedule cache (default on)")
+    p.add_argument("--tables", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="schedule through compiled stall-transition "
+                   "tables (default on; byte-identical to --no-tables, "
+                   "which pins the interpreted pipeline walker)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_instrument)
 
@@ -868,6 +894,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("codegen", help="emit generated pipeline_stalls")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.add_argument("-o", "--output")
+    p.add_argument("--tables", action="store_true",
+                   help="bake the compiled stall-transition table prefix "
+                   "into the generated module")
     p.set_defaults(func=cmd_codegen)
 
     return parser

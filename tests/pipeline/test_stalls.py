@@ -225,3 +225,54 @@ def test_profiling_sequence_cost_matches_paper(ultra, supersparc):
     # than the paper's quoted 4 (which counts execution, not issue).
     timing = BlockSimulator(supersparc).time_block(seq)
     assert timing.issue_cycles in (3, 4)
+
+
+def test_prepare_cache_is_model_keyed():
+    """Regression: the shared prepared-events cache is keyed by the
+    model's content digest. Timing-group ids are handed out per model in
+    formation order, so two different machines routinely assign the same
+    ``(group, reads, writes)`` triple to *different* pipeline traces —
+    ``add`` on hypersparc and ultrasparc is one such pair. A digest-free
+    key would hand the second machine the first machine's prepared
+    events and silently mis-time it."""
+    from repro.pipeline.stalls import _prepare
+    from repro.spawn.library import description_text, load_machine_from_source
+
+    # Fresh models, so the first timing() call forms group 0 on both.
+    hyper = load_machine_from_source(description_text("hypersparc"), "hypersparc")
+    ultra = load_machine_from_source(description_text("ultrasparc"), "ultrasparc")
+    inst = Instruction("add", rd=r(3), rs1=r(1), rs2=r(2))
+    timing_h = hyper.timing(inst)
+    timing_u = ultra.timing(inst)
+    # The collision precondition: identical triple, different traces.
+    assert timing_h.group == timing_u.group
+    assert timing_h.reads == timing_u.reads
+    assert timing_h.writes == timing_u.writes
+    assert timing_h.trace.signature() != timing_u.trace.signature()
+
+    # Warm the shared cache with hypersparc first, then demand the
+    # ultrasparc bundle: it must be built from the ultrasparc trace.
+    prepared_h = _prepare(timing_h, hyper)
+    prepared_u = _prepare(timing_u, ultra)
+    assert prepared_u is not prepared_h
+    assert prepared_u.acquires != prepared_h.acquires
+
+    # Behaviorally: issue streams on the second machine agree with an
+    # independent implementation (the generated standalone module),
+    # which a stale prepared bundle would break.
+    from repro.spawn.codegen import compile_machine
+
+    module = compile_machine(ultra)
+    block = [
+        Instruction("add", rd=r(3), rs1=r(1), rs2=r(2)),
+        Instruction("add", rd=r(9), rs1=r(10), rs2=r(11)),
+        Instruction("add", rd=r(12), rs1=r(13), rs2=r(14)),
+        Instruction("add", rd=r(16), rs1=r(17), rs2=r(18)),
+    ]
+    state = PipelineState(ultra)
+    gen_state = module.GeneratedPipelineState()
+    cycle_i = cycle_g = 0
+    for item in block:
+        cycle_i = issue(cycle_i, state, item).issue_cycle
+        cycle_g = module.issue(cycle_g, gen_state, item)
+        assert cycle_i == cycle_g

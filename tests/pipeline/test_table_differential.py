@@ -1,0 +1,150 @@
+"""Differential battery: compiled stall-transition tables vs the
+interpreted pipeline walker.
+
+Tables are an acceleration, not a semantics change. Over the shipped
+machine descriptions and generated workloads, a table-backed scheduler
+must produce identical schedules (order and cycle counts), identical
+stall counts and hazard-attribution buckets, verified-safe reorderings
+under every verify seed, and — end to end — byte-identical output from
+``qpt instrument --schedule``. Transitions are *learned from* the
+interpreted walker (:meth:`~repro.pipeline.tables.PipelineTables._learn`),
+so agreement is by construction; this battery pins it empirically.
+"""
+
+import json
+
+import pytest
+
+from repro.core.list_scheduler import ListScheduler
+from repro.core.regions import split_regions
+from repro.core.verify import verify_schedule
+from repro.obs.recorder import MetricsRecorder
+from repro.obs.report import TABLE_FALLBACKS, TABLE_HITS
+from repro.pipeline.tables import attach_tables, detach_tables
+from repro.spawn.library import (
+    MACHINES,
+    description_text,
+    load_machine_from_source,
+)
+from repro.tools.qpt_cli import main
+from repro.workloads import WorkloadSpec, generate, sum_loop
+
+VERIFY_SEEDS = (101, 202, 303)
+
+_WORKLOADS = (
+    WorkloadSpec(
+        name="tbl-int", seed=11, kind="int", avg_block_size=11.0, loops=6
+    ),
+    WorkloadSpec(
+        name="tbl-fp", seed=12, kind="fp", avg_block_size=16.0, loops=6
+    ),
+)
+
+
+def _fresh_model(machine):
+    # A private model instance: attach/detach here must not leak into
+    # the process-wide ``load_machine`` cache other tests share.
+    return load_machine_from_source(description_text(machine), machine)
+
+
+def _regions():
+    regions = []
+    for spec in _WORKLOADS:
+        program = generate(spec)
+        for block in program.cfg.blocks:
+            for region in split_regions(list(block.body)):
+                if len(region.instructions) >= 2:
+                    regions.append(list(region.instructions))
+    return regions
+
+
+@pytest.fixture(scope="module")
+def regions():
+    return _regions()
+
+
+def _comparable(snapshot):
+    """Counters and histograms, minus the two counters that say the
+    tables were used. Timers measure wall clock — the thing tables are
+    supposed to change — so they are excluded."""
+    counters = {
+        name: cells
+        for name, cells in snapshot["counters"].items()
+        if name not in (TABLE_HITS, TABLE_FALLBACKS)
+    }
+    return {"counters": counters, "histograms": snapshot["histograms"]}
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_schedules_and_hazard_buckets_identical(machine, regions):
+    """Order, cycle counts, stall totals, and per-bucket hazard
+    attribution must not depend on whether tables answered."""
+    model = _fresh_model(machine)
+
+    recorder = MetricsRecorder()
+    interp = ListScheduler(model, recorder=recorder)
+    baseline = [interp.schedule_region(region) for region in regions]
+    baseline_stats = recorder.metrics.snapshot()
+
+    attach_tables(model, use_disk_cache=False)
+    try:
+        recorder = MetricsRecorder()
+        fast = ListScheduler(model, recorder=recorder)
+        accelerated = [fast.schedule_region(region) for region in regions]
+        table_stats = recorder.metrics.snapshot()
+    finally:
+        detach_tables(model)
+
+    for before, after in zip(baseline, accelerated):
+        assert after.order == before.order
+        assert after.original_cycles == before.original_cycles
+        assert after.scheduled_cycles == before.scheduled_cycles
+
+    # Identical hazard attribution, stall totals, and decision
+    # telemetry — the only difference tables may make is the pair of
+    # counters that say the tables were used.
+    assert _comparable(table_stats) == _comparable(baseline_stats)
+    hits = sum(c["value"] for c in table_stats["counters"].get(TABLE_HITS, ()))
+    assert hits > 0, "tables attached but never answered a query"
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("seed", VERIFY_SEEDS)
+def test_table_schedules_verify(machine, seed, regions):
+    """Table-mode schedules pass differential verification under every
+    verify seed (semantic equivalence, not just same permutation)."""
+    model = _fresh_model(machine)
+    attach_tables(model, use_disk_cache=False)
+    scheduler = ListScheduler(model)
+    for region in regions[:8]:
+        result = scheduler.schedule_region(region)
+        assert verify_schedule(region, result.instructions, seed=seed)
+
+
+def test_cli_output_bytes_identical(tmp_path):
+    """``qpt instrument --schedule`` writes the same executable and
+    sidecar with and without tables."""
+    kernel = sum_loop(9)
+    source = tmp_path / "prog.rxe"
+    source.write_bytes(kernel.executable.to_bytes())
+
+    with_tables = tmp_path / "with.rxe"
+    without = tmp_path / "without.rxe"
+    assert (
+        main(
+            ["instrument", str(source), "-o", str(with_tables), "--schedule",
+             "--tables"]
+        )
+        == 0
+    )
+    assert (
+        main(
+            ["instrument", str(source), "-o", str(without), "--schedule",
+             "--no-tables"]
+        )
+        == 0
+    )
+    assert with_tables.read_bytes() == without.read_bytes()
+    assert json.loads((tmp_path / "with.rxe.json").read_text()) == json.loads(
+        (tmp_path / "without.rxe.json").read_text()
+    )
