@@ -13,6 +13,9 @@ from repro.evaluation import ExperimentConfig, headline_summary, run_profiling_e
 from repro.obs import (
     ANALYZE_STATIC_ESCALATED,
     ANALYZE_STATIC_PASS,
+    ANALYZE_SYMBOLIC_ESCALATED,
+    ANALYZE_SYMBOLIC_PASS,
+    ANALYZE_SYMBOLIC_REFUTED,
     GUARD_BLOCKS_VERIFIED,
     GUARD_FALLBACKS,
     GUARD_QUARANTINED,
@@ -62,6 +65,37 @@ def test_headline_summary(once):
             "static_pass_rate": round(
                 static_pass / (static_pass + static_escalated), 3
             ),
+        }
+    )
+
+    # The symbolic validator picks up the blocks the DAG escalates; the
+    # combined statically-proven rate is the tentpole number — at least
+    # 97% of scheduled blocks proven without a single differential run —
+    # and the per-gate verification wall-time split rides along.
+    symbolic_pass = int(metrics.counter_total(ANALYZE_SYMBOLIC_PASS))
+    symbolic_escalated = int(metrics.counter_total(ANALYZE_SYMBOLIC_ESCALATED))
+    blocks = static_pass + static_escalated
+    proven_rate = (static_pass + symbolic_pass) / blocks if blocks else 1.0
+    assert int(metrics.counter_total(ANALYZE_SYMBOLIC_REFUTED)) == 0
+    assert proven_rate >= 0.97, f"statically-proven rate {proven_rate:.3f}"
+
+    def _span_total(name):
+        cells = metrics.timers.get(name, {})
+        return sum(cell.total for cell in cells.values())
+
+    once.extra_info.update(
+        {
+            "analyze_symbolic_pass": symbolic_pass,
+            "analyze_symbolic_escalated": symbolic_escalated,
+            "symbolic_pass_rate": round(
+                symbolic_pass / (symbolic_pass + symbolic_escalated), 3
+            )
+            if symbolic_pass + symbolic_escalated
+            else 1.0,
+            "statically_proven_rate": round(proven_rate, 3),
+            "verify_wall_static_s": round(_span_total("verify.static"), 4),
+            "verify_wall_symbolic_s": round(_span_total("verify.symbolic"), 4),
+            "verify_wall_dynamic_s": round(_span_total("verify.dynamic"), 4),
         }
     )
 

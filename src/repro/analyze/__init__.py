@@ -13,7 +13,15 @@ Three things live here:
   registers);
 * the **static pre-verifier** :func:`static_verify_schedule`, which
   proves schedule legality from the dependence DAG without execution
-  and gates the guarded scheduler's differential battery.
+  and gates the guarded scheduler's differential battery;
+* the **symbolic translation validator** — a term-level executor over
+  the ISA semantics (:mod:`repro.analyze.symex`) and, on top of it,
+  :func:`symbolic_verify_schedule` / :func:`symbolic_masked_verify`,
+  which prove architectural equivalence of a block and its reordering
+  on *all* inputs (verdicts ``proven``/``refuted``/``inconclusive``,
+  with a :class:`Counterexample` on refutation) — the guard's second
+  gate, after the DAG and before the differential battery — plus the
+  symex-powered image rules (:mod:`repro.analyze.symex_rules`).
 
 CLI surface: ``qpt_cli lint``. Analyzer failures raise
 :class:`repro.errors.AnalysisError`; findings about the analyzed input
@@ -21,6 +29,13 @@ are returned, never raised.
 """
 
 from ..errors import AnalysisError
+from .baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
 from .description_rules import (
     DescriptionContext,
     description_context,
@@ -38,9 +53,18 @@ from .image_rules import (
 )
 from .rules import Rule, get_rule, registered_rules, rule, run_rules, select_rules
 from .static_verify import StaticVerdict, static_verify_schedule
+from .sym_verify import (
+    Counterexample,
+    SymbolicVerdict,
+    symbolic_masked_verify,
+    symbolic_verify_schedule,
+)
+from . import symex_rules as _symex_rules  # noqa: F401 — registers image/* rules
 
 __all__ = [
     "AnalysisError",
+    "BASELINE_VERSION",
+    "Counterexample",
     "DescriptionContext",
     "Finding",
     "ImageContext",
@@ -49,12 +73,16 @@ __all__ = [
     "Rule",
     "SEVERITIES",
     "StaticVerdict",
+    "SymbolicVerdict",
+    "apply_baseline",
     "description_context",
     "encoding_pattern",
+    "finding_key",
     "get_rule",
     "image_context",
     "lint_description",
     "lint_image",
+    "load_baseline",
     "lint_profiled",
     "registered_rules",
     "render_text",
@@ -64,6 +92,9 @@ __all__ = [
     "severity_rank",
     "static_verify_schedule",
     "summarize",
+    "symbolic_masked_verify",
+    "symbolic_verify_schedule",
     "to_json",
     "to_sarif",
+    "write_baseline",
 ]

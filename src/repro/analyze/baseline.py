@@ -1,0 +1,97 @@
+"""Finding baselines: record today's lint findings, fail only on new ones.
+
+A baseline is a JSON file of finding *keys* — rule id plus location
+(file, block, address, mnemonic), deliberately **not** the message text,
+so reworded diagnostics do not resurrect suppressed findings. CI runs
+``qpt lint --baseline known.json --fail-on warning``: findings whose
+keys appear in the baseline are suppressed before the ``--fail-on``
+threshold is applied, so the gate only trips on findings introduced
+since the baseline was written (``--update-baseline`` rewrites it from
+the current run).
+
+Keys are counted, not just set-membership: a baseline recording one
+``image/dead-store`` in block 3 suppresses one such finding — a second,
+new dead store in the same block still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+#: Schema version written to baseline files.
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """The identity a baseline suppresses by: rule + location, never the
+    message."""
+    location = finding.location
+    return "|".join(
+        (
+            finding.rule,
+            location.file or "",
+            "" if location.block is None else str(location.block),
+            "" if location.address is None else f"{location.address:#x}",
+            location.mnemonic or "",
+        )
+    )
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Record ``findings`` (their keys, sorted) as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(finding_key(f) for f in findings),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """The multiset of suppressed finding keys stored at ``path``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline file {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline file {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'!r}"
+        )
+    keys = payload.get("findings")
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise AnalysisError(f"baseline file {path}: 'findings' must be a string list")
+    return Counter(keys)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """(kept findings, suppressed count): each baseline key suppresses
+    as many matching findings as it was recorded times."""
+    budget = Counter(baseline)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "finding_key",
+    "load_baseline",
+    "write_baseline",
+]

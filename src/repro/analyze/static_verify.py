@@ -20,8 +20,12 @@ region's semantics:
   load/store across an instrumentation/original memory boundary under
   the permissive aliasing policy. The DAG deliberately has no edge
   there (the paper's disjointness assumption); whether the assumption
-  holds is not statically decidable, so the differential battery must
-  run.
+  holds is not statically decidable in general, so the symbolic and
+  differential gates must run. One exception stays proven: when both
+  absolute addresses resolve statically (the ``sethi``-plus-immediate
+  counter shape from :func:`~repro.core.dependence._static_addresses`)
+  and their byte intervals are disjoint, the flip is a fact, not an
+  assumption.
 
 The guard (:class:`~repro.robust.GuardedBlockScheduler`) uses this as
 its first gate and counts ``analyze.static_pass`` /
@@ -32,7 +36,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.dependence import SchedulingPolicy, build_dependence_graph
+from ..core.dependence import (
+    SchedulingPolicy,
+    _disjoint_access,
+    _static_addresses,
+    build_dependence_graph,
+)
 from ..core.verify import _recover_order
 from ..isa.instruction import Instruction
 
@@ -106,8 +115,15 @@ def _flipped_cross_side_memory_pair(
 ) -> tuple[Instruction, Instruction] | None:
     """The first (original-order) pair of memory operations on opposite
     tag sides, at least one a store, whose relative order the schedule
-    flipped — or None."""
+    flipped — or None.
+
+    Pairs whose absolute addresses both resolve statically (a ``sethi``
+    base plus immediate, the counter-update shape tracked by
+    :func:`~repro.core.dependence._static_addresses`) and whose byte
+    intervals are provably disjoint are skipped: their reorder is
+    proven, not assumed, so it needs no escalation."""
     position_of = {orig_index: pos for pos, orig_index in enumerate(order)}
+    addresses = _static_addresses(original)
     memory_ops = [
         (index, inst)
         for index, inst in enumerate(original)
@@ -119,8 +135,16 @@ def _flipped_cross_side_memory_pair(
                 continue
             if inst_a.is_instrumentation == inst_b.is_instrumentation:
                 continue  # same side: the DAG already ordered them
-            if position_of[index_a] > position_of[index_b]:
-                return inst_a, inst_b
+            if position_of[index_a] <= position_of[index_b]:
+                continue  # order preserved: nothing assumed
+            addr_a, addr_b = addresses[index_a], addresses[index_b]
+            if (
+                addr_a is not None
+                and addr_b is not None
+                and _disjoint_access(inst_a, addr_a, inst_b, addr_b)
+            ):
+                continue  # disjoint intervals: the flip is proven safe
+            return inst_a, inst_b
     return None
 
 

@@ -1,0 +1,135 @@
+"""Image lint rules powered by the symbolic executor.
+
+The dataflow facts the symbolic executor gathers while validating
+schedules (:mod:`repro.analyze.symex`) double as lint evidence: a
+constant zero divisor is a trap on *every* execution, a condition-code
+definition overwritten before any reader is dead on every path through
+the block, and a store exactly overwritten before any load could
+observe it never mattered. Each rule symbolically executes block
+*bodies* only — terminators and delay slots are control, outside the
+executor's domain — so every claim is path-insensitive and sound:
+nothing after the block can resurrect an intra-block shadowed value.
+
+Blocks containing instructions the executor cannot model are skipped,
+never guessed at. The executor runs under the *restrictive* aliasing
+policy here (no instrumentation-disjointness axiom): lint findings
+should rest on interval facts alone, not on scheduling assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator
+
+from ..eel.cfg import BasicBlock
+from .findings import Finding
+from .image_rules import ImageContext
+from .rules import rule
+from .symex import SymbolicState, SymbolicTrap, SymexUnsupported, sym_execute
+
+
+def _executed_body(
+    block: BasicBlock,
+) -> tuple[SymbolicState, SymbolicTrap | None] | None:
+    """Symbolically execute ``block.body``; None when out of domain.
+
+    A definite trap ends execution (as it would at runtime) but the
+    state gathered up to the trap is still returned — a dead store
+    before a guaranteed trap is still a dead store on the trap-free
+    prefix semantics the other rules reason about."""
+    state = SymbolicState(restrict_memory=True)
+    for index, inst in enumerate(block.body):
+        try:
+            sym_execute(state, inst, index=index)
+        except SymbolicTrap as trap:
+            return state, trap
+        except SymexUnsupported:
+            return None
+    return state, None
+
+
+@rule(
+    "image/guaranteed-trap",
+    category="image",
+    severity="warning",
+    summary="an instruction traps on every execution of its block",
+)
+def _guaranteed_trap(ctx: ImageContext) -> Iterator[Finding]:
+    """A constant zero divisor or a constant misaligned address does not
+    depend on input: every execution reaching the block traps."""
+    for block in ctx.cfg:
+        outcome = _executed_body(block)
+        if outcome is None:
+            continue
+        _, trap = outcome
+        if trap is None:
+            continue
+        inst = block.body[trap.index]
+        yield Finding(
+            "image/guaranteed-trap",
+            "warning",
+            f"{inst.mnemonic} traps on every execution: {trap}",
+            replace(ctx.at(block), mnemonic=inst.mnemonic),
+            fix="guard the operation or remove the unreachable block",
+        )
+
+
+@rule(
+    "image/dead-cc-def",
+    category="image",
+    severity="info",
+    summary="condition codes defined, then overwritten before any reader",
+)
+def _dead_cc_def(ctx: ImageContext) -> Iterator[Finding]:
+    """A ``cc``-setting instruction whose flags are overwritten by a
+    later definition in the same block, with no intervening reader —
+    the non-``cc`` form of the opcode does the same work without
+    serializing against the condition codes."""
+    for block in ctx.cfg:
+        outcome = _executed_body(block)
+        if outcome is None:
+            continue
+        state, _ = outcome
+        for def_index, kill_index, which in state.dead_cc:
+            inst = block.body[def_index]
+            killer = block.body[kill_index]
+            yield Finding(
+                "image/dead-cc-def",
+                "info",
+                f"{inst.mnemonic} defines {which} flags that "
+                f"{killer.mnemonic} overwrites before any reader",
+                replace(ctx.at(block), mnemonic=inst.mnemonic),
+                fix=f"use the non-cc form of {inst.mnemonic}",
+            )
+
+
+@rule(
+    "image/dead-store",
+    category="image",
+    severity="info",
+    summary="store exactly overwritten before any load could observe it",
+)
+def _dead_store(ctx: ImageContext) -> Iterator[Finding]:
+    """Two stores to the *same symbolic address* with no possibly-
+    aliasing access between them: the first value is never observable.
+    Address equality is term identity, so this never fires on merely
+    plausible aliases."""
+    for block in ctx.cfg:
+        outcome = _executed_body(block)
+        if outcome is None:
+            continue
+        state, _ = outcome
+        for store_index, kill_index in state.memory.dead_stores():
+            inst = block.body[store_index]
+            killer = block.body[kill_index]
+            yield Finding(
+                "image/dead-store",
+                "info",
+                f"{inst.mnemonic} is overwritten by {killer.mnemonic} "
+                "before any load could observe it",
+                replace(ctx.at(block), mnemonic=inst.mnemonic),
+                fix="drop the first store",
+            )
+
+
+__all__ = ["_dead_cc_def", "_dead_store", "_guaranteed_trap"]

@@ -90,6 +90,7 @@ from ..eel.cfg import CFG, BasicBlock, Edge
 from ..eel.liveness import LivenessAnalysis
 from ..eel.loops import LoopForest
 from ..isa.instruction import Instruction
+from ..isa.machine_state import MemoryFault
 from ..isa.opcodes import Category
 from ..isa.registers import Reg, RegKind
 from ..isa.semantics import SemanticsError, run_straightline
@@ -97,6 +98,9 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
     ANALYZE_STATIC_ESCALATED,
     ANALYZE_STATIC_PASS,
+    ANALYZE_SYMBOLIC_ESCALATED,
+    ANALYZE_SYMBOLIC_PASS,
+    ANALYZE_SYMBOLIC_REFUTED,
     GUARD_BLOCKS_VERIFIED,
     GUARD_QUARANTINED,
     SB_COMPENSATION,
@@ -344,11 +348,11 @@ def masked_differential(
         error_a = error_b = None
         try:
             run_straightline(state_a, original)
-        except SemanticsError as exc:
+        except (SemanticsError, MemoryFault) as exc:
             error_a = str(exc)
         try:
             run_straightline(state_b, scheduled)
-        except SemanticsError as exc:
+        except (SemanticsError, MemoryFault) as exc:
             error_b = str(exc)
         if error_a is not None or error_b is not None:
             if error_a != error_b:
@@ -393,6 +397,7 @@ class SuperblockScheduler:
         verify_trials: int = 4,
         verify_seed: int = DEFAULT_SEED,
         static_verify: bool = True,
+        symbolic_verify: bool = True,
         cache=None,
         liveness_factory=None,
         provenance=None,
@@ -419,6 +424,7 @@ class SuperblockScheduler:
         self.verify_trials = verify_trials
         self.verify_seed = verify_seed
         self.static_verify = static_verify
+        self.symbolic_verify = symbolic_verify
         self.cache = cache if cache is not None else getattr(self.inner, "cache", None)
         self._cache_context = (
             self.cache.context_for(model, self.policy)
@@ -880,8 +886,10 @@ class SuperblockScheduler:
     def _check_exact(
         self, original: list[Instruction], scheduled: list[Instruction]
     ) -> str | None:
-        """Static proof first, differential escalation second — the same
-        ladder the guarded block scheduler climbs."""
+        """Static DAG proof, then symbolic translation validation, then
+        differential escalation — the same ladder the guarded block
+        scheduler climbs."""
+        structural_checked = False
         if self.static_verify:
             from ..analyze.static_verify import static_verify_schedule  # lazy
 
@@ -894,6 +902,27 @@ class SuperblockScheduler:
             if verdict.refuted:
                 return "; ".join(verdict.reasons) or "statically refuted"
             self.recorder.count(ANALYZE_STATIC_ESCALATED)
+            structural_checked = True
+        if self.symbolic_verify:
+            from ..analyze.sym_verify import symbolic_verify_schedule  # lazy
+
+            verdict = symbolic_verify_schedule(
+                original,
+                scheduled,
+                policy=self.policy,
+                check_structure=not structural_checked,
+                seed=self.verify_seed,
+            )
+            if verdict.proven:
+                self.recorder.count(ANALYZE_SYMBOLIC_PASS)
+                return None
+            if verdict.refuted:
+                self.recorder.count(ANALYZE_SYMBOLIC_REFUTED)
+                reasons = list(verdict.reasons)
+                if verdict.counterexample is not None:
+                    reasons.append(f"counterexample: {verdict.counterexample}")
+                return "; ".join(reasons) or "symbolically refuted"
+            self.recorder.count(ANALYZE_SYMBOLIC_ESCALATED)
         result = verify_schedule(
             original,
             scheduled,
@@ -954,10 +983,33 @@ class SuperblockScheduler:
                 # compute ourselves (the oracle is untrusted here).
                 if fresh_liveness is None:
                     fresh_liveness = LivenessAnalysis(cfg)
+                live = fresh_liveness.live_in(taken.dst)
+                if self.symbolic_verify:
+                    from ..analyze.sym_verify import symbolic_masked_verify  # lazy
+
+                    verdict = symbolic_masked_verify(
+                        exit_orig,
+                        exit_new,
+                        live,
+                        policy=self.policy,
+                        seed=self.verify_seed,
+                    )
+                    if verdict.proven:
+                        self.recorder.count(ANALYZE_SYMBOLIC_PASS)
+                        continue
+                    if verdict.refuted:
+                        self.recorder.count(ANALYZE_SYMBOLIC_REFUTED)
+                        reasons = list(verdict.reasons)
+                        if verdict.counterexample is not None:
+                            reasons.append(
+                                f"counterexample: {verdict.counterexample}"
+                            )
+                        return f"side exit at boundary {i}: " + "; ".join(reasons)
+                    self.recorder.count(ANALYZE_SYMBOLIC_ESCALATED)
                 result = masked_differential(
                     exit_orig,
                     exit_new,
-                    fresh_liveness.live_in(taken.dst),
+                    live,
                     trials=self.verify_trials,
                     seed=self.verify_seed,
                 )

@@ -24,8 +24,13 @@ from dataclasses import dataclass, field
 
 from ..errors import VerificationError
 from ..isa.instruction import Instruction
-from ..isa.machine_state import MachineState
+from ..isa.machine_state import MachineState, MemoryFault
 from ..isa.semantics import SemanticsError, run_straightline
+
+#: Faults a differential trial may legitimately raise. Both orders
+#: faulting identically is agreement — hardware traps either way — and
+#: a one-sided fault is a divergence; neither may crash the battery.
+_TRIAL_FAULTS = (SemanticsError, MemoryFault)
 from .dependence import SchedulingPolicy, build_dependence_graph
 
 #: Registers seeded with random values in differential runs.
@@ -114,11 +119,11 @@ def verify_schedule(
         error_a = error_b = None
         try:
             run_straightline(state_a, original)
-        except SemanticsError as exc:
+        except _TRIAL_FAULTS as exc:
             error_a = str(exc)
         try:
             run_straightline(state_b, scheduled)
-        except SemanticsError as exc:
+        except _TRIAL_FAULTS as exc:
             error_b = str(exc)
         if (error_a is None) != (error_b is None):
             failures.append(

@@ -32,7 +32,9 @@ from .ledger import group_series
 
 #: Metric-name fragments → direction. First match wins; checked in
 #: order against the *last* path component, lowercased.
-_HIGHER_BETTER = ("hidden", "hit_rate", "speedup", "ipc", "caught")
+_HIGHER_BETTER = (
+    "hidden", "hit_rate", "speedup", "ipc", "caught", "pass_rate", "proven_rate",
+)
 _LOWER_BETTER = (
     "wall",
     "quarantined",
@@ -48,6 +50,7 @@ _LOWER_BETTER = (
     "retr",
     "degraded",
     "rejected",
+    "refuted",
     "corrupt",
 )
 

@@ -91,6 +91,9 @@ PARALLEL_DEGRADED = "parallel.degraded_serial"
 #: to the full dynamic battery; and lint findings, labeled by severity.
 ANALYZE_STATIC_PASS = "analyze.static_pass"
 ANALYZE_STATIC_ESCALATED = "analyze.static_escalated"
+ANALYZE_SYMBOLIC_PASS = "analyze.symbolic_pass"
+ANALYZE_SYMBOLIC_REFUTED = "analyze.symbolic_refuted"
+ANALYZE_SYMBOLIC_ESCALATED = "analyze.symbolic_escalated"
 ANALYZE_FINDINGS = "analyze.findings"
 
 #: The four hazard buckets, in reporting order.
@@ -278,6 +281,14 @@ def analyze_table(metrics: MetricsRegistry) -> str:
             f"static pre-verifier: {proven}/{total} blocks proven statically "
             f"({escalated} escalated to differential execution)"
         )
+    sym_pass = int(metrics.counter_total(ANALYZE_SYMBOLIC_PASS))
+    sym_refuted = int(metrics.counter_total(ANALYZE_SYMBOLIC_REFUTED))
+    sym_escalated = int(metrics.counter_total(ANALYZE_SYMBOLIC_ESCALATED))
+    if sym_pass or sym_refuted or sym_escalated:
+        lines.append(
+            f"symbolic validator: {sym_pass} proven, {sym_refuted} refuted "
+            f"({sym_escalated} escalated to differential execution)"
+        )
     findings = int(metrics.counter_total(ANALYZE_FINDINGS))
     if findings:
         series = metrics.counter_series(ANALYZE_FINDINGS)
@@ -323,6 +334,9 @@ SUMMARY_COUNTERS = {
     "parallel_degraded_serial": PARALLEL_DEGRADED,
     "analyze_static_pass": ANALYZE_STATIC_PASS,
     "analyze_static_escalated": ANALYZE_STATIC_ESCALATED,
+    "analyze_symbolic_pass": ANALYZE_SYMBOLIC_PASS,
+    "analyze_symbolic_refuted": ANALYZE_SYMBOLIC_REFUTED,
+    "analyze_symbolic_escalated": ANALYZE_SYMBOLIC_ESCALATED,
     "analyze_findings": ANALYZE_FINDINGS,
 }
 

@@ -32,6 +32,7 @@ from ..errors import BudgetExceeded, ParallelError, ReproError, VerificationErro
 from .faults import (
     MODEL_FAULTS,
     SCHEDULER_MUTATIONS,
+    SYMBOLIC_MUTATIONS,
     ClobberingProfiler,
     CorruptedModel,
     FaultInjectionReport,
@@ -45,6 +46,7 @@ from .faults import (
     inject_model_faults,
     inject_scheduler_faults,
     inject_superblock_faults,
+    inject_symbolic_faults,
     run_fault_injection,
 )
 from .guard import GuardBudget, GuardedBlockScheduler, QuarantineReport
@@ -76,6 +78,7 @@ __all__ = [
     "QuarantineReport",
     "ReproError",
     "SCHEDULER_MUTATIONS",
+    "SYMBOLIC_MUTATIONS",
     "SabotagedScheduler",
     "ShardFailure",
     "ShardSupervisor",
@@ -89,6 +92,7 @@ __all__ = [
     "inject_model_faults",
     "inject_scheduler_faults",
     "inject_superblock_faults",
+    "inject_symbolic_faults",
     "run_chaos_suite",
     "run_fault_injection",
 ]

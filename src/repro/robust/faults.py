@@ -22,6 +22,12 @@ a silently wrong output:
   mutation (swapping a dependent pair, dropping or duplicating an
   instruction) to each block's schedule. Every sabotaged block must be
   quarantined by the guard's ``verify_schedule`` check.
+* **symbolic-validator faults** (:func:`inject_symbolic_faults`) aim
+  the same corruptions — plus block reversal and immediate tampering —
+  at the static→symbolic proof chain instead of the dynamic guard. A
+  corrupted block the chain calls *proven* is a false proof unless a
+  differential battery confirms the corruption was semantically
+  harmless; the must-catch bar is zero false proofs.
 * **instrumentation faults** (:func:`inject_clobber_faults`) make the
   profiler deliberately pick *live* registers as counter scratch — the
   snippets corrupt program state, yet every block is a perfectly legal
@@ -433,6 +439,138 @@ def inject_scheduler_faults(
                 injected=inner.mutations_applied,
                 caught=min(caught, inner.mutations_applied),
                 details=tuple(str(q) for q in guard.quarantine[:1]),
+            )
+        )
+    return outcomes
+
+
+def _mutate_reverse(
+    scheduled: list[Instruction], policy: SchedulingPolicy
+) -> list[Instruction] | None:
+    out = list(reversed(scheduled))
+    if [str(i) for i in out] == [str(i) for i in scheduled]:
+        return None
+    return out
+
+
+def _mutate_tamper_immediate(
+    scheduled: list[Instruction], policy: SchedulingPolicy
+) -> list[Instruction] | None:
+    from dataclasses import replace
+
+    for index, inst in enumerate(scheduled):
+        if inst.imm is not None and inst.memory is None and not inst.is_control:
+            out = list(scheduled)
+            out[index] = replace(inst, imm=inst.imm ^ 1)
+            return out
+    return None
+
+
+#: Corruptions aimed at the static→symbolic proof chain. The bool says
+#: whether the chain may use its structural (permutation + DAG) gates:
+#: immediate tampering runs with them disabled, forcing the *semantic*
+#: term comparison to notice the changed constant on its own.
+SYMBOLIC_MUTATIONS: dict[str, tuple[Callable, bool]] = {
+    "swap-dependent-pair": (_mutate_swap_dependent, True),
+    "drop-instruction": (_mutate_drop_last, True),
+    "duplicate-instruction": (_mutate_duplicate_first, True),
+    "reverse-block": (_mutate_reverse, True),
+    "tamper-immediate": (_mutate_tamper_immediate, False),
+}
+
+
+def inject_symbolic_faults(
+    model: MachineModel,
+    executable: Executable,
+    *,
+    policy: SchedulingPolicy | None = None,
+    verify_trials: int = 4,
+    verify_seed: int = DEFAULT_SEED,
+) -> list[FaultOutcome]:
+    """``symbolic-false-proof``: corrupt real schedules and demand the
+    static→symbolic chain never calls a corrupted block proven.
+
+    One exception is legitimate: a corruption the differential battery
+    itself cannot distinguish from the original (a reversal of fully
+    independent instructions, say) is semantically harmless, and proving
+    it is correct behavior — so a surviving proof only counts as an
+    escape when differential execution confirms actual divergence."""
+    from ..analyze import static_verify_schedule, symbolic_verify_schedule
+    from ..core.verify import verify_schedule
+    from ..eel.cfg import build_cfg
+    from ..errors import ReproError
+
+    policy = policy or SchedulingPolicy()
+    scheduler = BlockScheduler(model, policy)
+    outcomes: list[FaultOutcome] = []
+    for name, (mutate, structural) in SYMBOLIC_MUTATIONS.items():
+        injected = caught = 0
+        details: list[str] = []
+        for block in build_cfg(executable):
+            body = list(block.body)
+            if len(body) < 2:
+                continue
+            scheduled = scheduler.schedule_body(body)
+            mutated = mutate(scheduled, policy)
+            if mutated is None or [str(i) for i in mutated] == [
+                str(i) for i in scheduled
+            ]:
+                continue
+            injected += 1
+            static_proven = False
+            if structural:
+                static = static_verify_schedule(body, mutated, policy=policy)
+                if static.refuted:
+                    caught += 1
+                    continue
+                static_proven = static.proven
+            if static_proven:
+                proven = True
+            else:
+                verdict = symbolic_verify_schedule(
+                    body,
+                    mutated,
+                    policy=policy,
+                    check_structure=structural,
+                    seed=verify_seed,
+                )
+                proven = verdict.proven
+            if not proven:
+                caught += 1
+                continue
+            # The corrupted block was proven: acceptable only when the
+            # battery agrees the corruption changed nothing observable.
+            try:
+                harmless = verify_schedule(
+                    body,
+                    mutated,
+                    policy=policy,
+                    trials=verify_trials,
+                    seed=verify_seed,
+                ).ok
+            except ReproError:
+                # Both orders fault identically on the battery's inputs
+                # (the proof covered the trap); nothing divergent ran.
+                harmless = True
+                if len(details) < 2:
+                    details.append(
+                        f"block {block.index}: differential battery faulted "
+                        "on both orders; proof stands"
+                    )
+            if harmless:
+                caught += 1
+            elif len(details) < 2:
+                details.append(
+                    f"block {block.index}: {name} proven but differential "
+                    "execution diverges — a false proof"
+                )
+        outcomes.append(
+            FaultOutcome(
+                fault=f"false-proof-{name}",
+                layer="analyze",
+                injected=injected,
+                caught=caught,
+                details=tuple(details),
             )
         )
     return outcomes
@@ -865,6 +1003,15 @@ def run_fault_injection(
             policy=policy,
             recorder=recorder,
             verify_trials=verify_trials,
+            verify_seed=verify_seed,
+        )
+    )
+    report.outcomes.extend(
+        inject_symbolic_faults(
+            model,
+            executable,
+            policy=policy,
+            verify_trials=max(verify_trials, 4),
             verify_seed=verify_seed,
         )
     )

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass
 
 from ..analyze.static_verify import static_verify_schedule
+from ..analyze.sym_verify import symbolic_verify_schedule
 from ..core.block_scheduler import BlockScheduler, SchedulerStats
 from ..core.dependence import SchedulingPolicy, build_dependence_graph
 from ..core.regions import join_regions, split_regions
@@ -46,6 +47,9 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.report import (
     ANALYZE_STATIC_ESCALATED,
     ANALYZE_STATIC_PASS,
+    ANALYZE_SYMBOLIC_ESCALATED,
+    ANALYZE_SYMBOLIC_PASS,
+    ANALYZE_SYMBOLIC_REFUTED,
     GUARD_BLOCKS_VERIFIED,
     GUARD_CACHE_SERVED,
     GUARD_FALLBACKS,
@@ -132,6 +136,7 @@ class GuardedBlockScheduler:
         verify_trials: int = 4,
         verify_seed: int = DEFAULT_SEED,
         static_verify: bool = True,
+        symbolic_verify: bool = True,
         validate_model: bool = True,
         cache=None,
         clock=time.perf_counter,
@@ -157,6 +162,7 @@ class GuardedBlockScheduler:
         self.verify_trials = verify_trials
         self.verify_seed = verify_seed
         self.static_verify = static_verify
+        self.symbolic_verify = symbolic_verify
         self._clock = clock
         self._elapsed = 0.0
         self.quarantine: list[QuarantineReport] = []
@@ -296,33 +302,62 @@ class GuardedBlockScheduler:
     def _verify(
         self, original: list[Instruction], scheduled: list[Instruction]
     ) -> VerificationResult:
-        """Static proof first; differential execution only when the
-        static verdict is inconclusive.
+        """The verification gate chain: static DAG proof, then symbolic
+        translation validation, then differential execution for whatever
+        remains inconclusive.
 
         A static *refutation* is final — it is exactly the dynamic
         verifier's permutation/DAG checks, so the dynamic verdict would
         be the same failure. A static *proof* means every reordered
         pair is fully ordered by the dependence DAG, so both orders
         compute identical states and the differential battery cannot
-        fail; skipping it changes nothing but cost.
+        fail; skipping it changes nothing but cost. The symbolic gate
+        extends the proof to reorders the DAG cannot decide (memory
+        moves across the instrumentation/original boundary): identical
+        architectural terms on both sides subsume the battery, a
+        witness-confirmed mismatch is a final refutation, and anything
+        else escalates — so guarded output stays byte-identical.
         """
+        structural_checked = False
         if self.static_verify:
-            static = static_verify_schedule(
-                original, scheduled, policy=self.policy
-            )
+            with self.recorder.span("verify.static"):
+                static = static_verify_schedule(
+                    original, scheduled, policy=self.policy
+                )
             if static.proven:
                 self.recorder.count(ANALYZE_STATIC_PASS)
                 return VerificationResult(True)
             if static.refuted:
                 return VerificationResult(False, list(static.reasons))
             self.recorder.count(ANALYZE_STATIC_ESCALATED)
-        return verify_schedule(
-            original,
-            scheduled,
-            policy=self.policy,
-            trials=self.verify_trials,
-            seed=self.verify_seed,
-        )
+            structural_checked = True
+        if self.symbolic_verify:
+            with self.recorder.span("verify.symbolic"):
+                verdict = symbolic_verify_schedule(
+                    original,
+                    scheduled,
+                    policy=self.policy,
+                    check_structure=not structural_checked,
+                    seed=self.verify_seed,
+                )
+            if verdict.proven:
+                self.recorder.count(ANALYZE_SYMBOLIC_PASS)
+                return VerificationResult(True)
+            if verdict.refuted:
+                self.recorder.count(ANALYZE_SYMBOLIC_REFUTED)
+                reasons = list(verdict.reasons)
+                if verdict.counterexample is not None:
+                    reasons.append(f"counterexample: {verdict.counterexample}")
+                return VerificationResult(False, reasons)
+            self.recorder.count(ANALYZE_SYMBOLIC_ESCALATED)
+        with self.recorder.span("verify.dynamic"):
+            return verify_schedule(
+                original,
+                scheduled,
+                policy=self.policy,
+                trials=self.verify_trials,
+                seed=self.verify_seed,
+            )
 
     # -- schedule cache ----------------------------------------------------------
 

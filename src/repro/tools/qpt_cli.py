@@ -16,6 +16,10 @@ Operates on RXE executables:
    $ python -m repro.tools.qpt_cli explain prog.rxe --block 1
    $ python -m repro.tools.qpt_cli lint prog.rxe --format sarif -o prog.sarif
    $ python -m repro.tools.qpt_cli lint --sadl my_machine.sadl --fail-on warning
+   $ python -m repro.tools.qpt_cli lint prog.rxe --baseline known.json \\
+         --fail-on warning
+   $ python -m repro.tools.qpt_cli verify prog.rxe --machine ultrasparc \\
+         --symbolic --min-proven 0.97 --ledger
    $ python -m repro.tools.qpt_cli validate --machine supersparc
    $ python -m repro.tools.qpt_cli benchmarks --machine ultrasparc --jobs 4 \\
          --ledger
@@ -52,7 +56,16 @@ clean serial run (``docs/robustness.md``).
 ``lint`` runs the static analyzer (``docs/static_analysis.md``) over an
 executable image or a SADL machine description and emits text, JSON, or
 SARIF findings; ``--fail-on`` picks the severity that makes the exit
-code nonzero.
+code nonzero. ``--baseline known.json`` suppresses previously recorded
+findings (``--update-baseline`` rewrites the file from this run), so
+the exit code only trips on *new* findings.
+``verify`` schedules every block of an image and climbs the guard's
+verification ladder on each — dependence-DAG proof, then symbolic
+translation validation (``--no-symbolic`` disables the second gate),
+then the randomized differential battery — reporting per-gate verdict
+counts and wall time; ``--min-proven R`` exits nonzero when the
+statically-proven rate (DAG + symbolic combined) falls below R, and
+``--ledger`` appends a ``verify`` record the benchmarks gate tracks.
 
 ``explain`` prints one block's decision provenance — for every placed
 instruction, the cycle chosen, every rejected ready candidate, and the
@@ -374,6 +387,21 @@ def cmd_lint(args) -> int:
         )
         category = "description"
 
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        from ..analyze.baseline import write_baseline
+
+        write_baseline(args.baseline, findings)
+        print(f"wrote baseline {args.baseline} ({len(findings)} finding(s))")
+    suppressed = 0
+    if args.baseline and not args.update_baseline:
+        from ..analyze.baseline import apply_baseline, load_baseline
+
+        findings, suppressed = apply_baseline(findings, load_baseline(args.baseline))
+
     rules = select_rules(category, disable=disable)
     if args.format == "json":
         rendered = json.dumps(to_json(findings, rules=rules), indent=2)
@@ -387,6 +415,8 @@ def cmd_lint(args) -> int:
         print(f"wrote {args.output} ({len(findings)} finding(s))")
     else:
         print(rendered)
+    if suppressed:
+        print(f"({suppressed} finding(s) suppressed by baseline {args.baseline})")
 
     _finish_obs(args, recorder)
     threshold = severity_rank(args.fail_on)
@@ -400,6 +430,164 @@ def _lint_model(args):
 
         return load_superscalar(args.synthetic_width)
     return load_machine(args.machine)
+
+
+def cmd_verify(args) -> int:
+    """Schedule every block and climb the verification ladder on each:
+    static DAG proof → symbolic translation validation → randomized
+    differential battery — the same chain the guard runs, with per-gate
+    tallies and wall time reported (and optionally gated/ledgered)."""
+    import time as _time
+
+    from ..analyze import static_verify_schedule, symbolic_verify_schedule
+    from ..core.block_scheduler import BlockScheduler
+    from ..core.verify import verify_schedule
+    from ..eel.cfg import build_cfg
+
+    model = _lint_model(args)
+    executable = _load(args.input)
+    policy = SchedulingPolicy(fill_delay_slots=args.fill_delay_slots)
+    scheduler = BlockScheduler(model, policy)
+    cfg = build_cfg(executable)
+
+    counts = {
+        "blocks": 0,
+        "static_proven": 0,
+        "symbolic_proven": 0,
+        "dynamic_verified": 0,
+        "refuted": 0,
+    }
+    wall = {"static": 0.0, "symbolic": 0.0, "dynamic": 0.0}
+    failures: list[str] = []
+
+    def _fail(block, reasons) -> None:
+        counts["refuted"] += 1
+        failures.append(
+            f"block {block.index} @ {block.address:#x}: " + "; ".join(reasons)
+        )
+
+    start = _time.perf_counter()
+    for block in cfg:
+        body = list(block.body)
+        if not body:
+            continue
+        scheduled = scheduler.schedule_body(body)
+        counts["blocks"] += 1
+        t0 = _time.perf_counter()
+        static = static_verify_schedule(body, scheduled, policy=policy)
+        wall["static"] += _time.perf_counter() - t0
+        if static.proven:
+            counts["static_proven"] += 1
+            continue
+        if static.refuted:
+            _fail(block, static.reasons)
+            continue
+        if args.symbolic:
+            t0 = _time.perf_counter()
+            verdict = symbolic_verify_schedule(
+                body,
+                scheduled,
+                policy=policy,
+                check_structure=False,
+                seed=args.verify_seed,
+            )
+            wall["symbolic"] += _time.perf_counter() - t0
+            if verdict.proven:
+                counts["symbolic_proven"] += 1
+                continue
+            if verdict.refuted:
+                reasons = list(verdict.reasons)
+                if verdict.counterexample is not None:
+                    reasons.append(f"counterexample: {verdict.counterexample}")
+                _fail(block, reasons)
+                continue
+        t0 = _time.perf_counter()
+        result = verify_schedule(
+            body,
+            scheduled,
+            policy=policy,
+            trials=args.verify_trials,
+            seed=args.verify_seed,
+        )
+        wall["dynamic"] += _time.perf_counter() - t0
+        if result.ok:
+            counts["dynamic_verified"] += 1
+        else:
+            _fail(block, result.failures)
+    total_wall = _time.perf_counter() - start
+
+    blocks = counts["blocks"]
+    proven = counts["static_proven"] + counts["symbolic_proven"]
+    proven_rate = proven / blocks if blocks else 1.0
+    escalated = blocks - counts["static_proven"]
+    symbolic_pass_rate = (
+        counts["symbolic_proven"] / escalated if escalated else 1.0
+    )
+
+    payload = {
+        "machine": model.name,
+        "symbolic": bool(args.symbolic),
+        **counts,
+        "statically_proven_rate": round(proven_rate, 4),
+        "symbolic_pass_rate": round(symbolic_pass_rate, 4),
+        "wall_static_s": round(wall["static"], 6),
+        "wall_symbolic_s": round(wall["symbolic"], 6),
+        "wall_dynamic_s": round(wall["dynamic"], 6),
+        "failures": failures,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{args.input}: {blocks} blocks scheduled on {model.name}; "
+            f"{counts['static_proven']} proven by the dependence DAG, "
+            f"{counts['symbolic_proven']} proven symbolically, "
+            f"{counts['dynamic_verified']} verified differentially, "
+            f"{counts['refuted']} refuted"
+        )
+        print(
+            f"statically-proven rate (DAG + symbolic): {proven_rate:.1%}  "
+            f"symbolic pass rate on escalations: {symbolic_pass_rate:.1%}"
+        )
+        print(
+            f"verification wall time: static {wall['static'] * 1e3:.1f} ms, "
+            f"symbolic {wall['symbolic'] * 1e3:.1f} ms, "
+            f"dynamic {wall['dynamic'] * 1e3:.1f} ms"
+        )
+        for failure in failures:
+            print(f"  refuted: {failure}")
+    if args.ledger is not None:
+        record = make_record(
+            "verify",
+            run={
+                "workload": args.input,
+                "machine": model.name,
+                "symbolic": bool(args.symbolic),
+            },
+            digests=_ledger_digests(model, policy),
+            wall_s=total_wall,
+            results={
+                "blocks": blocks,
+                "statically_proven_rate": round(proven_rate, 4),
+                "symbolic_pass_rate": round(symbolic_pass_rate, 4),
+                "refuted": counts["refuted"],
+                "wall_static_s": round(wall["static"], 6),
+                "wall_symbolic_s": round(wall["symbolic"], 6),
+                "wall_dynamic_s": round(wall["dynamic"], 6),
+            },
+        )
+        append_record(args.ledger, record)
+        print(f"appended verify record to {args.ledger}")
+    if failures:
+        return 1
+    if args.min_proven is not None and proven_rate < args.min_proven:
+        print(
+            f"error: statically-proven rate {proven_rate:.4f} below "
+            f"--min-proven {args.min_proven}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_chart(args) -> int:
@@ -772,10 +960,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable a rule by id (repeatable)")
     p.add_argument("--list-rules", action="store_true",
                    help="list every registered rule and exit")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this JSON baseline "
+                   "so --fail-on only trips on new findings")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE from this run's findings")
     p.add_argument("-o", "--output", metavar="FILE",
                    help="write the report to FILE instead of stdout")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "verify",
+        help="schedule every block and prove each schedule correct: "
+        "static DAG proof, then symbolic translation validation, then "
+        "the randomized differential battery",
+    )
+    p.add_argument("input", help="RXE executable to schedule and verify")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc",
+                   help="machine model to schedule for (default %(default)s)")
+    p.add_argument("--synthetic-width", type=int, metavar="N",
+                   help="use an N-wide synthetic machine instead of "
+                   "--machine")
+    p.add_argument("--fill-delay-slots", action="store_true",
+                   help="schedule under the delay-slot-refill policy")
+    p.add_argument("--symbolic", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run the symbolic translation validator between "
+                   "the static and differential gates (default on)")
+    p.add_argument("--verify-seed", type=int, default=DEFAULT_SEED,
+                   help="RNG seed for witness and differential runs "
+                   "(default %(default)s)")
+    p.add_argument("--verify-trials", type=int, default=4,
+                   help="differential trials per escalated block "
+                   "(default %(default)s)")
+    p.add_argument("--min-proven", type=float, metavar="RATE",
+                   help="exit nonzero unless the statically-proven rate "
+                   "(DAG + symbolic) reaches RATE")
+    p.add_argument("--json", action="store_true",
+                   help="emit the verification summary as JSON")
+    p.add_argument("--ledger", metavar="PATH", nargs="?",
+                   const=DEFAULT_LEDGER_NAME, default=None,
+                   help="append a verify record to this run ledger "
+                   "(default %(const)s when given without a path)")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("chart", help="render one block's pipeline schedule")
     p.add_argument("input")

@@ -1,0 +1,95 @@
+"""Lint baselines: keys, persistence, and counted suppression."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    BASELINE_VERSION,
+    Finding,
+    Location,
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+
+
+def _finding(rule="image/dead-store", block=3, address=0x2040, message="dead store"):
+    return Finding(
+        rule=rule,
+        severity="info",
+        message=message,
+        location=Location(
+            file="a.rxe", mnemonic="st", block=block, address=address
+        ),
+    )
+
+
+def test_finding_key_is_rule_plus_location_never_the_message():
+    assert finding_key(_finding()) == "image/dead-store|a.rxe|3|0x2040|st"
+    assert finding_key(_finding(message="reworded")) == finding_key(_finding())
+
+
+def test_finding_key_tolerates_missing_location_fields():
+    bare = Finding(rule="image/dead-cc-def", severity="info", message="x")
+    assert finding_key(bare) == "image/dead-cc-def||||"
+
+
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "base.json"
+    write_baseline(path, [_finding(), _finding(), _finding(block=4)])
+    baseline = load_baseline(path)
+    assert baseline[finding_key(_finding())] == 2
+    assert baseline[finding_key(_finding(block=4))] == 1
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert payload["findings"] == sorted(payload["findings"])
+
+
+def test_apply_baseline_suppresses_by_count():
+    baseline = load_baseline_from([_finding()])
+    kept, suppressed = apply_baseline([_finding(), _finding()], baseline)
+    assert suppressed == 1
+    assert len(kept) == 1  # the second dead store in block 3 is *new*
+
+
+def load_baseline_from(findings):
+    from collections import Counter
+
+    return Counter(finding_key(f) for f in findings)
+
+
+def test_apply_baseline_keeps_unrelated_findings():
+    baseline = load_baseline_from([_finding()])
+    other = _finding(rule="image/guaranteed-trap", block=9)
+    kept, suppressed = apply_baseline([other], baseline)
+    assert suppressed == 0
+    assert kept == [other]
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(AnalysisError, match="not found"):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_load_invalid_json_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(AnalysisError, match="not valid JSON"):
+        load_baseline(path)
+
+
+def test_load_wrong_version_raises(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(AnalysisError, match="unsupported version"):
+        load_baseline(path)
+
+
+def test_load_malformed_findings_raises(tmp_path):
+    path = tmp_path / "mixed.json"
+    path.write_text(json.dumps({"version": BASELINE_VERSION, "findings": [1]}))
+    with pytest.raises(AnalysisError, match="string list"):
+        load_baseline(path)

@@ -126,3 +126,41 @@ def test_static_gate_off_runs_no_static_checks():
     SlowProfiler(sum_loop(12).executable).instrument(guard)
     assert recorder.metrics.counter_total(ANALYZE_STATIC_PASS) == 0
     assert recorder.metrics.counter_total(ANALYZE_STATIC_ESCALATED) == 0
+
+
+# -- statically resolved disjoint intervals (sethi counter bases) -----------------
+
+
+def test_disjoint_static_intervals_flip_is_proven():
+    """A cross-side flip whose addresses both resolve statically (sethi
+    base + immediate) to disjoint byte intervals needs no escalation —
+    the disjointness is proven, not assumed."""
+    sethi = Instruction("sethi", rd=r(20), imm=0xC0)
+    store = Instruction("st", rd=r(11), rs1=r(20), imm=0).retag(TAG_INSTRUMENTATION)
+    load = Instruction("ld", rd=r(10), rs1=r(20), imm=8)
+    verdict = static_verify_schedule([sethi, store, load], [sethi, load, store])
+    assert verdict.proven
+
+
+def test_overlapping_static_intervals_flip_stays_inconclusive():
+    # Same shape, but the word at +0 and a load at +2 overlap: the flip
+    # is not provably safe, so it must still escalate.
+    sethi = Instruction("sethi", rd=r(20), imm=0xC0)
+    store = Instruction("st", rd=r(11), rs1=r(20), imm=0).retag(TAG_INSTRUMENTATION)
+    load = Instruction("ld", rd=r(10), rs1=r(20), imm=2)
+    verdict = static_verify_schedule([sethi, store, load], [sethi, load, store])
+    assert verdict.inconclusive
+    assert "assumed, not proven" in verdict.reasons[0]
+
+
+def test_clobbered_sethi_base_invalidates_static_resolution():
+    # Redefining the base register between sethi and the access kills
+    # the static resolution, so the flip escalates even at +8.
+    sethi = Instruction("sethi", rd=r(20), imm=0xC0)
+    clobber = Instruction("add", rd=r(20), rs1=r(20), imm=4)
+    store = Instruction("st", rd=r(11), rs1=r(20), imm=0).retag(TAG_INSTRUMENTATION)
+    load = Instruction("ld", rd=r(10), rs1=r(24), imm=8)
+    verdict = static_verify_schedule(
+        [sethi, clobber, store, load], [sethi, clobber, load, store]
+    )
+    assert verdict.inconclusive

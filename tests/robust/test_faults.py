@@ -27,6 +27,7 @@ def test_full_harness_is_clean_on_ultrasparc():
         "model",
         "encoding",
         "scheduler",
+        "analyze",
         "instrumentation",
         "cache",
         "superblock",
@@ -82,3 +83,19 @@ def test_superblock_liveness_fault_injected_and_caught():
     assert outcome.injected >= 2
     # ...and guarded verification quarantines every one of them.
     assert outcome.escaped == 0, outcome.details
+
+
+def test_symbolic_validator_faults_all_caught():
+    """Every mutated schedule must be refuted, or — when a proof
+    survives — confirmed harmless by the differential battery; a false
+    proof is the one outcome the validator may never produce."""
+    from repro.robust import SYMBOLIC_MUTATIONS, inject_symbolic_faults
+
+    outcomes = inject_symbolic_faults(MACHINE, default_workload())
+    assert {o.fault for o in outcomes} == {
+        f"false-proof-{name}" for name in SYMBOLIC_MUTATIONS
+    }
+    for outcome in outcomes:
+        assert outcome.layer == "analyze"
+        assert outcome.injected > 0, outcome.fault
+        assert outcome.escaped == 0, f"{outcome.fault}: {outcome.details}"

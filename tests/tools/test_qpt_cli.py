@@ -604,3 +604,129 @@ def test_faults_ledger_appends_record(tmp_path, capsys):
     assert record["results"]["clean"] == (rc == 0)
     assert set(record["digests"]) == {"model", "policy", "context"}
     assert record["wall_s"] > 0
+
+
+# -- verify: the static → symbolic → dynamic ladder as a command ------------------
+
+
+def test_verify_reports_proven_rate(program, capsys):
+    path, _ = program
+    assert main(["verify", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "statically-proven rate" in out
+    assert "symbolic pass rate" in out
+    assert "verification wall time" in out
+
+
+def test_verify_json_payload(program, capsys):
+    path, _ = program
+    assert main(["verify", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["blocks"] > 0
+    assert payload["refuted"] == 0
+    assert payload["statically_proven_rate"] >= 0.97
+    for key in ("symbolic_pass_rate", "wall_static_s", "wall_symbolic_s",
+                "wall_dynamic_s"):
+        assert key in payload
+
+
+def test_verify_no_symbolic_still_verifies(program, capsys):
+    path, _ = program
+    assert main(["verify", str(path), "--no-symbolic"]) == 0
+    payload_args = ["verify", str(path), "--no-symbolic", "--json"]
+    capsys.readouterr()
+    assert main(payload_args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["symbolic"] is False
+    assert payload["symbolic_proven"] == 0
+
+
+def test_verify_min_proven_gate_fails(program, capsys):
+    path, _ = program
+    assert main(["verify", str(path), "--min-proven", "1.01"]) == 1
+    assert "below --min-proven" in capsys.readouterr().err
+
+
+def test_verify_writes_ledger_record(tmp_path, program, capsys):
+    path, _ = program
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["verify", str(path), "--ledger", str(ledger)]) == 0
+    records = [json.loads(line) for line in ledger.read_text().splitlines()]
+    assert len(records) == 1
+    record = records[0]
+    assert record["kind"] == "verify"
+    results = record["results"]
+    assert results["statically_proven_rate"] >= 0.97
+    assert {"blocks", "symbolic_pass_rate", "refuted"} <= set(results)
+
+
+# -- lint --baseline: suppress known findings, fail only on new ones --------------
+
+
+@pytest.fixture
+def findings_image(tmp_path):
+    # One image, two symex-powered findings: a dead store (info) and a
+    # guaranteed misaligned trap (warning) — enough to trip --fail-on.
+    from repro.workloads.kernels import _assemble
+
+    exe = _assemble(
+        """
+            set 0x30000, %o2
+            set 7, %o0
+            st %o0, [%o2]
+            st %o0, [%o2]
+            set 0x30001, %o3
+            lduh [%o3], %o1
+            retl
+            nop
+        """
+    )
+    path = tmp_path / "findings.rxe"
+    path.write_bytes(exe.to_bytes())
+    return path
+
+
+def test_lint_baseline_roundtrip(tmp_path, findings_image, capsys):
+    baseline = tmp_path / "base.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(findings_image),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert "wrote baseline" in capsys.readouterr().out
+    payload = json.loads(baseline.read_text())
+    assert any("image/dead-store" in key for key in payload["findings"])
+    assert any("image/guaranteed-trap" in key for key in payload["findings"])
+
+    # With the baseline applied the known findings no longer trip the gate.
+    assert (
+        main(
+            [
+                "lint",
+                str(findings_image),
+                "--baseline",
+                str(baseline),
+                "--fail-on",
+                "warning",
+            ]
+        )
+        == 0
+    )
+    assert "suppressed by baseline" in capsys.readouterr().out
+
+
+def test_lint_without_baseline_fails_on_warning(findings_image, capsys):
+    assert main(["lint", str(findings_image), "--fail-on", "warning"]) == 1
+    assert "image/guaranteed-trap" in capsys.readouterr().out
+
+
+def test_lint_missing_baseline_is_an_error(tmp_path, findings_image, capsys):
+    missing = tmp_path / "absent.json"
+    assert main(["lint", str(findings_image), "--baseline", str(missing)]) != 0
