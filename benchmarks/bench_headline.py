@@ -123,6 +123,7 @@ def test_headline_summary(once):
         program,
         benchmark="headline-scaling",
         jobs=4,
+        repeats=5,
     )
     save_result("parallel_scaling.txt", render_report(report) + "\n")
     assert report.identical, render_report(report)

@@ -1,0 +1,80 @@
+"""Serving quickstart: a daemon, a client, a batch, the stats.
+
+Starts the ``qpt serve`` scheduling daemon on a private port (in a
+background thread here, so the example is self-contained — ``python -m
+repro.tools.qpt_cli serve`` runs the same daemon as a process), submits
+one batch mixing the three job kinds, verifies the served image against
+a local build byte for byte, and reads the operational stats back.
+
+Run:  python examples/serve_client.py
+
+See docs/serving.md for the protocol and operations guide.
+"""
+
+import threading
+
+from repro.core import SchedulingPolicy
+from repro.parallel import ParallelOptions, make_transform
+from repro.qpt import SlowProfiler
+from repro.serve import (
+    SchedulingService,
+    ServeClient,
+    ServeDaemon,
+    ServiceConfig,
+    decode_result_executable,
+    encode_job,
+)
+from repro.spawn import load_machine
+from repro.workloads.generator import WorkloadSpec, generate
+
+WORKLOAD = {"name": "serve-demo", "seed": 9, "kind": "int", "avg_block_size": 8.0}
+
+# -- 1. start a daemon ------------------------------------------------------------
+
+service = SchedulingService(ServiceConfig(jobs=2))
+server = ServeDaemon(service, port=0)  # port 0: the OS picks a free one
+threading.Thread(target=server.serve_forever, daemon=True).start()
+print(f"daemon up at {server.url}")
+
+client = ServeClient(server.server_address[1])
+client.wait_ready()
+
+# -- 2. one batch, three kinds ----------------------------------------------------
+
+response = client.batch(
+    [
+        encode_job("instrument", workload=WORKLOAD, id="profiled"),
+        encode_job("schedule", workload=WORKLOAD, id="bare"),
+        encode_job("verify", workload=WORKLOAD, id="proven"),
+    ]
+)
+for result in response["results"]:
+    line = f"  {result['id']:>9}: ok={result['ok']} wall={result['wall_ms']:.1f}ms"
+    if "verified" in result:
+        line += f" verified={result['verified']}"
+    print(line)
+
+# -- 3. the served bytes are exactly what a local build produces ------------------
+
+served = decode_result_executable(response["results"][0])
+local = SlowProfiler(generate(WorkloadSpec(**WORKLOAD)).executable).instrument(
+    make_transform(
+        load_machine("ultrasparc"),
+        SchedulingPolicy(fill_delay_slots=True),
+        options=ParallelOptions(jobs=1),
+    )
+)
+assert served == local.executable.to_bytes()
+print("served image is byte-identical to a local serial build")
+
+# -- 4. operational stats (the /stats endpoint) -----------------------------------
+
+stats = client.stats()
+print(
+    f"requests={stats['requests']} "
+    f"p50={stats['latency_ms']['p50']:.1f}ms "
+    f"caches={list(stats['caches'])}"
+)
+
+client.shutdown()
+server.server_close()

@@ -89,6 +89,14 @@ class BlockScheduler:
         self._cache_context = (
             cache.context_for(model, self.policy) if cache is not None else None
         )
+        #: Optional ``{block index: [region digest, ...]}`` installed by
+        #: :class:`~repro.parallel.executor.ParallelScheduler` — the
+        #: digests its collect pass already computed for each block's
+        #: non-empty regions, in order, so the layout pass's cache
+        #: probes skip re-canonicalizing. Purely an optimization: a
+        #: stale hint keys lookup *and* insert consistently, so the
+        #: worst it can cost is a miss, never a wrong replay.
+        self.digest_hints: dict[int, list[str]] | None = None
 
     # The editor transform protocol.
     def __call__(
@@ -96,6 +104,8 @@ class BlockScheduler:
     ) -> tuple[list[Instruction], Instruction | None]:
         if self.provenance is not None:
             self.provenance.current_block = block.index
+        if self.digest_hints is not None:
+            self._block_hints = self.digest_hints.get(block.index)
         with self.recorder.span("core.schedule_block", block=block.index):
             scheduled = self.schedule_body(body)
             delay = block.delay
@@ -121,20 +131,45 @@ class BlockScheduler:
         """Split ``body`` and schedule each region (None for empty ones),
         consulting and populating the schedule cache when one is set."""
         regions = split_regions(body)
+        hints = getattr(self, "_block_hints", None)
+        self._block_hints = None
+        busy = [region for region in regions if region.instructions]
+        if hints is not None and len(hints) != len(busy):
+            # A hint list that doesn't line up region-for-region is
+            # discarded wholesale — better an honest re-digest than a
+            # misattributed one.
+            hints = None
         results: list[ScheduleResult | None] = []
+        scheduled = 0
         for region in regions:
             if not region.instructions:
                 results.append(None)
                 continue
-            results.append(self._schedule_region(list(region.instructions)))
+            hint = hints[scheduled] if hints is not None else None
+            scheduled += 1
+            results.append(
+                self._schedule_region(list(region.instructions), digest_hint=hint)
+            )
         for result in results:
             if result is not None:
                 self.stats.merge(result)
         return regions, results
 
-    def _schedule_region(self, region: list[Instruction]) -> ScheduleResult:
+    def _schedule_region(
+        self, region: list[Instruction], *, digest_hint: str | None = None
+    ) -> ScheduleResult:
+        digest = None
         if self.cache is not None:
-            entry = self.cache.lookup(self._cache_context, region)
+            # Canonicalize once: the digest from the (miss) lookup is
+            # what the insert below would otherwise recompute — or,
+            # better, the digest the parallel collect pass already
+            # computed for this exact region. Imported locally — core
+            # must not import repro.parallel at module scope (the
+            # package initializes executor, which imports this module).
+            from ..parallel.fingerprint import region_digest
+
+            digest = digest_hint if digest_hint is not None else region_digest(region)
+            entry = self.cache.lookup(self._cache_context, region, digest=digest)
             if entry is not None:
                 result = entry.replay(region)
                 if self.recorder.enabled:
@@ -142,7 +177,7 @@ class BlockScheduler:
                 return result
         result = self.scheduler.schedule_region(region)
         if self.cache is not None:
-            self.cache.insert(self._cache_context, region, result)
+            self.cache.insert(self._cache_context, region, result, digest=digest)
         return result
 
     def _replay_attribution(self, instructions: list[Instruction]) -> None:

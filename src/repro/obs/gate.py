@@ -34,9 +34,11 @@ from .ledger import group_series
 #: order against the *last* path component, lowercased.
 _HIGHER_BETTER = (
     "hidden", "hit_rate", "speedup", "ipc", "caught", "pass_rate", "proven_rate",
+    "throughput",
 )
 _LOWER_BETTER = (
     "wall",
+    "latency",
     "quarantined",
     "fallback",
     "escaped",
@@ -78,7 +80,12 @@ def metric_direction(metric: str) -> str:
 
 
 def _rel_floor(metric: str) -> float:
-    return _WALL_REL_FLOOR if "wall" in metric.lower() else _DEFAULT_REL_FLOOR
+    # Latency and throughput series are wall-clock measurements too:
+    # serving percentiles swing with host load just like wall_s does.
+    path = metric.lower()
+    if any(fragment in path for fragment in ("wall", "latency", "throughput")):
+        return _WALL_REL_FLOOR
+    return _DEFAULT_REL_FLOOR
 
 
 def flatten_metrics(record: dict) -> dict[str, float]:

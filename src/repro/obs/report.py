@@ -86,6 +86,21 @@ PARALLEL_SHARD_RETRIES = "parallel.shard_retries"
 PARALLEL_IPC_REJECTED = "parallel.ipc_rejected"
 PARALLEL_DEGRADED = "parallel.degraded_serial"
 
+#: Persistent worker pools (``repro.parallel.pool``): pools spawned,
+#: builds served by an already-warm pool, and pools retired after a
+#: crash/hang teardown (the next build respawns fresh workers).
+POOL_SPAWNS = "pool.spawns"
+POOL_REUSES = "pool.reuses"
+POOL_RETIRES = "pool.retires"
+
+#: Scheduling daemon (``repro.serve``): requests admitted, requests
+#: refused by admission control, batches executed through the shared
+#: service, and requests that failed with an error response.
+SERVE_REQUESTS = "serve.requests"
+SERVE_REJECTED = "serve.rejected"
+SERVE_BATCHES = "serve.batches"
+SERVE_ERRORS = "serve.errors"
+
 #: Static pre-verifier (``repro.analyze``): blocks proven legal from the
 #: dependence DAG alone (differential execution skipped) vs. escalated
 #: to the full dynamic battery; and lint findings, labeled by severity.
@@ -267,6 +282,14 @@ def cache_table(metrics: MetricsRegistry) -> str:
             f"{retries} shard retries, {rejected} IPC results rejected"
             + (", degraded to serial" if degraded else "")
         )
+    spawns = int(metrics.counter_total(POOL_SPAWNS))
+    reuses = int(metrics.counter_total(POOL_REUSES))
+    if spawns or reuses:
+        pool_retires = int(metrics.counter_total(POOL_RETIRES))
+        lines.append(
+            f"  worker pool: {spawns} spawned, {reuses} builds served warm"
+            + (f", {pool_retires} retired" if pool_retires else "")
+        )
     return "\n".join(lines)
 
 
@@ -332,6 +355,13 @@ SUMMARY_COUNTERS = {
     "parallel_shard_retries": PARALLEL_SHARD_RETRIES,
     "parallel_ipc_rejected": PARALLEL_IPC_REJECTED,
     "parallel_degraded_serial": PARALLEL_DEGRADED,
+    "pool_spawns": POOL_SPAWNS,
+    "pool_reuses": POOL_REUSES,
+    "pool_retires": POOL_RETIRES,
+    "serve_requests": SERVE_REQUESTS,
+    "serve_rejected": SERVE_REJECTED,
+    "serve_batches": SERVE_BATCHES,
+    "serve_errors": SERVE_ERRORS,
     "analyze_static_pass": ANALYZE_STATIC_PASS,
     "analyze_static_escalated": ANALYZE_STATIC_ESCALATED,
     "analyze_symbolic_pass": ANALYZE_SYMBOLIC_PASS,

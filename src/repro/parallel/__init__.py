@@ -12,6 +12,11 @@ Two cooperating pieces (see ``docs/performance.md``):
   parallel, and warm-cache runs emit byte-identical executables; the
   differential suite in ``tests/parallel/`` holds that equivalence.
 
+Worker processes come from the persistent spawn-once pool in
+:mod:`repro.parallel.pool` — models stay hot and compiled pipeline
+tables stay attached across builds, which is what makes parallel-cold
+faster than serial instead of slower (see ``docs/performance.md``).
+
 Both compose with guarded scheduling: the guard serves only *verified*
 entries and inserts only after a block's proof passes, so memoization
 never weakens the safety contract.
@@ -39,25 +44,43 @@ from .fingerprint import (
     region_digest,
     superblock_digest,
 )
+from .pool import (
+    InlineLease,
+    PoolLease,
+    PoolManager,
+    acquire_pool,
+    effective_workers,
+    pool_stats,
+    shutdown_pools,
+    warm_pool,
+)
 
 __all__ = [
     "CachedSchedule",
     "CachedSuperblockPlan",
     "DEFAULT_CACHE_ENTRIES",
+    "InlineLease",
     "ModeTiming",
     "ParallelOptions",
     "ParallelScheduler",
+    "PoolLease",
+    "PoolManager",
     "ScalingReport",
     "ScheduleCache",
+    "acquire_pool",
     "canonical_region",
     "context_digest",
+    "effective_workers",
     "make_transform",
     "measure_modes",
     "model_digest",
     "model_identity",
     "policy_digest",
     "policy_identity",
+    "pool_stats",
     "region_digest",
     "render_report",
+    "shutdown_pools",
     "superblock_digest",
+    "warm_pool",
 ]

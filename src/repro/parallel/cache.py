@@ -197,6 +197,7 @@ class ScheduleCache:
         region: Sequence[Instruction],
         *,
         require_verified: bool = False,
+        digest: str | None = None,
     ) -> CachedSchedule | None:
         """The cached schedule for ``region`` under ``context``, or None.
 
@@ -205,8 +206,14 @@ class ScheduleCache:
         checksum no longer matches its payload is dropped and counted
         (``schedule_cache.corrupt_dropped``), then treated as a miss —
         corruption costs a re-schedule, never correctness.
+
+        ``digest`` lets a caller that already canonicalized ``region``
+        (:func:`~repro.parallel.fingerprint.region_digest`) skip the
+        recomputation — canonicalization is the expensive half of a
+        cache probe, and the parallel executor touches each region
+        several times per build.
         """
-        key = (context, region_digest(region))
+        key = (context, digest if digest is not None else region_digest(region))
         entry = self._entries.get(key)
         if entry is not None and entry.checksum != _entry_checksum(key, entry):
             del self._entries[key]
@@ -229,24 +236,33 @@ class ScheduleCache:
         result: ScheduleResult,
         *,
         verified: bool = False,
+        digest: str | None = None,
     ) -> CachedSchedule:
         """Memoize ``result`` for ``region``; returns the stored entry.
 
         A verified insert upgrades an existing unverified entry; an
-        unverified insert never downgrades a verified one.
+        unverified insert never downgrades a verified one. ``digest``
+        as in :meth:`lookup` — a precomputed region digest.
         """
-        key = (context, region_digest(region))
+        key = (context, digest if digest is not None else region_digest(region))
         existing = self._entries.get(key)
         if existing is not None and existing.verified and not verified:
             self._entries.move_to_end(key)
             return existing
+        order = tuple(result.order)
         entry = CachedSchedule(
-            order=tuple(result.order),
+            order=order,
             original_cycles=result.original_cycles,
             scheduled_cycles=result.scheduled_cycles,
             verified=verified,
+            checksum=schedule_checksum(
+                f"{key[0]}:{key[1]}",
+                order,
+                result.original_cycles,
+                result.scheduled_cycles,
+                verified,
+            ),
         )
-        entry = replace(entry, checksum=_entry_checksum(key, entry))
         self._entries[key] = entry
         self._entries.move_to_end(key)
         self.inserts += 1
@@ -263,13 +279,15 @@ class ScheduleCache:
         region: Sequence[Instruction],
         *,
         require_verified: bool = False,
+        digest: str | None = None,
     ) -> bool:
         """Membership check without touching LRU order or counters.
 
         A checksum-corrupt entry reports absent (it would be dropped at
         lookup), but is left in place — ``contains`` stays read-only.
+        ``digest`` as in :meth:`lookup` — a precomputed region digest.
         """
-        key = (context, region_digest(region))
+        key = (context, digest if digest is not None else region_digest(region))
         entry = self._entries.get(key)
         if entry is None or entry.checksum != _entry_checksum(key, entry):
             return False

@@ -29,6 +29,22 @@ the SADL source the model carries. Models without source (synthetic or
 fault-injected ones) degrade to the serial path, counted under
 ``parallel.serial_fallbacks``.
 
+Worker processes are *persistent* (:mod:`repro.parallel.pool`): the
+optimistic round leases a shared spawn-once pool whose workers hold
+hot models with compiled pipeline tables attached at startup, so
+repeated builds pay IPC and scheduling — not fork, model rebuild, and
+table attach — and shards are sized adaptively to amortize that IPC
+over larger region batches. On a host whose OS offers only one CPU the
+pool degrades further, to an in-process fast path
+(:class:`~repro.parallel.pool.InlineLease`): the same worker entry
+point runs on the same warm table-attached model with zero IPC,
+because fan-out that time-slices a single core is pure overhead.
+Cautious retry rounds still run in fresh single-worker pools for exact
+crash attribution, and a pool the supervisor kills is retired so the
+next build respawns clean workers
+(``ParallelOptions(persistent_pool=False)`` restores the historical
+pool-per-build behavior).
+
 Workers are supervised (:mod:`repro.robust.supervise`): each shard gets
 a wall-clock deadline, a dead or hung worker costs a bounded, bisecting
 retry rather than the build, and whatever the supervisor quarantines is
@@ -49,7 +65,6 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from functools import lru_cache
 
 from ..core.block_scheduler import BlockScheduler, SchedulerStats
 from ..core.dependence import SchedulingPolicy
@@ -75,10 +90,15 @@ from ..robust.supervise import (
     SupervisionOutcome,
     SupervisionPolicy,
 )
-from ..spawn.library import load_machine_from_source
 from ..spawn.model import MachineModel
 from .cache import DEFAULT_CACHE_ENTRIES, ScheduleCache
 from .fingerprint import region_digest, schedule_checksum
+from .pool import acquire_pool, warm_worker_model, worker_model
+
+
+#: Smallest shard the adaptive chunker will cut: below this, the pickle
+#: round-trip costs more than the regions' scheduling is worth.
+MIN_SHARD_REGIONS = 16
 
 
 @dataclass(frozen=True)
@@ -95,6 +115,8 @@ class ParallelOptions:
     to the platform default elsewhere. ``shard_deadline_s`` and
     ``max_shard_retries`` parameterize worker supervision
     (:class:`~repro.robust.supervise.SupervisionPolicy`).
+    ``persistent_pool=False`` opts out of the shared spawn-once worker
+    pool and builds an ephemeral pool per edit (the pre-pool behavior).
     """
 
     jobs: int = 1
@@ -103,6 +125,7 @@ class ParallelOptions:
     start_method: str | None = None
     shard_deadline_s: float = DEFAULT_SHARD_DEADLINE_S
     max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES
+    persistent_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -125,10 +148,25 @@ class ParallelOptions:
 # -- worker side -----------------------------------------------------------------
 
 
-@lru_cache(maxsize=8)
+#: Parent-side region digests for the *current* build, keyed by
+#: ``id(region)``. Only the inline fast path reads it: when
+#: ``_schedule_shard`` runs in the parent process, the region object
+#: it received IS the object ``_collect_shards`` digested — no IPC
+#: happened, so recomputing the self-authenticating digest would prove
+#: nothing. A real worker process must never consult it (its regions
+#: are fresh unpickles whose ids can collide with a stale fork-time
+#: snapshot), hence the ``parent_process()`` guard at the use site.
+_PARENT_DIGESTS: dict[int, str] = {}
+
+
 def _worker_model(name: str, source: str) -> MachineModel:
-    """Rebuild (once per worker process) the model from its SADL source."""
-    return load_machine_from_source(source, name)
+    """Rebuild (once per worker process) the model from its SADL source.
+
+    Delegates to the pool module's process-wide cache so persistent
+    workers keep models hot across builds — and, under ``fork``,
+    inherit entries the parent prewarmed before the pool spawned.
+    """
+    return worker_model(name, source)
 
 
 def _schedule_shard(payload):
@@ -150,21 +188,24 @@ def _schedule_shard(payload):
     corrupted IPC message can cost a re-schedule but never an edit.
     """
     name, source, policy, regions, verify, trials, seed, telemetry, tables = payload
-    model = _worker_model(name, source)
-    if tables and model.tables is None:
-        # The parent schedules through compiled stall tables; attach
-        # them here too. The eager prefix is loaded from the disk cache
-        # keyed by the model's content digest — compiled once (usually
-        # by the parent), read by every worker — and tables cannot
-        # change schedules, only their cost, so a worker that misses
-        # the cache and recompiles still returns identical results.
-        from ..pipeline.tables import attach_tables
-
-        attach_tables(model)
+    # Tables attach on a worker's *first* contact with a model and stay
+    # attached for the process lifetime — in a persistent pool that is
+    # effectively "at startup". The eager prefix is loaded from the
+    # disk cache keyed by the model's content digest — compiled once
+    # (usually by the parent), read by every worker — and tables cannot
+    # change schedules, only their cost, so a worker that misses the
+    # cache and recompiles still returns identical results.
+    model = warm_worker_model(name, source, tables)
     recorder = MetricsRecorder() if telemetry else None
     scheduler = ListScheduler(model, policy, recorder)
+    # In-parent (inline pool) execution may reuse collect-time digests;
+    # see _PARENT_DIGESTS for why child processes must not.
+    known_digests = (
+        _PARENT_DIGESTS if multiprocessing.parent_process() is None else {}
+    )
     out = []
     for region in regions:
+        known = known_digests.get(id(region))
         region = list(region)
         result = scheduler.schedule_region(region)
         verified = False
@@ -178,7 +219,7 @@ def _schedule_shard(payload):
                     seed=seed,
                 )
             )
-        digest = region_digest(region)
+        digest = known if known is not None else region_digest(region)
         out.append(
             (
                 digest,
@@ -195,6 +236,14 @@ def _schedule_shard(payload):
                 ),
             )
         )
+    if tables:
+        # Give back what this shard learned: states interned beyond the
+        # eager prefix go to the disk cache (size-guarded, so steady
+        # state writes nothing) and the next fresh process skips the
+        # first-pass learning cost entirely.
+        from ..pipeline.tables import persist_learned
+
+        persist_learned(model)
     snapshot = recorder.metrics.snapshot() if recorder is not None else None
     return out, snapshot
 
@@ -247,6 +296,7 @@ class ParallelScheduler:
         start_method: str | None = None,
         shard_deadline_s: float = DEFAULT_SHARD_DEADLINE_S,
         max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        persistent_pool: bool = True,
         worker_fn=None,
     ) -> None:
         if getattr(inner, "cache", None) is not cache:
@@ -266,6 +316,7 @@ class ParallelScheduler:
         self.verify_trials = getattr(inner, "verify_trials", verify_trials)
         self.verify_seed = getattr(inner, "verify_seed", verify_seed)
         self.start_method = start_method
+        self.persistent_pool = persistent_pool
         self.supervision_policy = SupervisionPolicy(
             shard_deadline_s=shard_deadline_s, max_retries=max_shard_retries
         )
@@ -281,6 +332,17 @@ class ParallelScheduler:
         #: worker results rejected by parent-side integrity validation
         #: during the last ``prepare``.
         self.ipc_rejected = 0
+        #: id(region) -> region digest, computed once in
+        #: ``_collect_shards`` and reused by merge/validate/insert —
+        #: canonicalization is the expensive half of a cache probe, and
+        #: without this each region paid it up to four times per build.
+        self._digests: dict[int, str] = {}
+        #: block index -> digest of each non-empty region in split
+        #: order, for *every* block walked at collect time (hits and
+        #: duplicates included). Handed to a plain inner
+        #: :class:`BlockScheduler` as ``digest_hints`` so the layout
+        #: pass skips re-canonicalizing regions collect just digested.
+        self._block_digests: dict[int, list[str]] = {}
 
     # Delegated observers, so callers see one transform interface.
 
@@ -315,6 +377,13 @@ class ParallelScheduler:
             self.recorder.count(PARALLEL_FALLBACKS)
             return
         shards = self._collect_shards(editor, skip_blocks)
+        # Hand the layout pass the digests collect just computed. Only a
+        # plain BlockScheduler takes hints: the guarded scheduler's
+        # verify-and-memoize flow keys its own digests, and a hint that
+        # went stale would merely cost a cache miss there anyway — but
+        # there is no need to reason about it, so it gets none.
+        if type(self.inner) is BlockScheduler:
+            self.inner.digest_hints = self._block_digests
         if not shards:
             return
         name, source = spec
@@ -329,19 +398,30 @@ class ParallelScheduler:
         shards per worker so a program with few routines still spreads
         across the pool. Chunking cannot affect the result: each region
         schedules independently and the parent inserts shard results in
-        submission order."""
+        submission order.
+
+        Shards are sized adaptively: at most two shards per worker
+        (enough slack for stragglers without drowning the build in
+        round-trips) and never smaller than
+        :data:`MIN_SHARD_REGIONS` regions, so each IPC round-trip
+        carries enough scheduling work to amortize its pickling cost —
+        a persistent pool makes dispatch cheap, not free."""
         seen: set[str] = set()
         work: list[list[Instruction]] = []
+        self._digests = {}
+        self._block_digests = {}
         for routine in split_routines(editor.executable, editor.cfg):
             for block in routine.blocks:
                 if block.index in skip_blocks:
                     continue
                 body = editor.block_body(block)
+                block_digests = self._block_digests.setdefault(block.index, [])
                 for region in split_regions(body):
                     instructions = list(region.instructions)
                     if not instructions:
                         continue
                     digest = region_digest(instructions)
+                    block_digests.append(digest)
                     if digest in seen:
                         continue
                     seen.add(digest)
@@ -349,12 +429,15 @@ class ParallelScheduler:
                         self._context,
                         instructions,
                         require_verified=self.verify_in_workers,
+                        digest=digest,
                     ):
                         continue
                     work.append(instructions)
+                    self._digests[id(instructions)] = digest
         if not work:
             return []
-        chunk = max(1, -(-len(work) // (self.jobs * 4)))
+        shards = max(1, min(self.jobs * 2, -(-len(work) // MIN_SHARD_REGIONS)))
+        chunk = -(-len(work) // shards)
         return [work[i : i + chunk] for i in range(0, len(work), chunk)]
 
     def _run_shards(
@@ -370,12 +453,41 @@ class ParallelScheduler:
                 self.verify_trials,
                 self.verify_seed,
                 self.recorder.enabled,
-                self.model.tables is not None,
+                # Workers always schedule through compiled tables (they
+                # attach once per process, from the shared disk cache)
+                # even when the parent runs interpreted: tables are
+                # schedule-invariant, so this is free speed, not drift.
+                True,
             )
 
         context = _mp_context(self.start_method)
+        leased = False
 
-        def pool_factory(queued: int) -> ProcessPoolExecutor:
+        def pool_factory(queued: int):
+            # The supervisor's first call is the optimistic round over
+            # the shared warm pool; every later call is a cautious
+            # single-unit retry, which gets a fresh ephemeral pool so
+            # crash attribution stays exact and killing it cannot cost
+            # the warm workers. Only the stock entry point may lease
+            # the shared pool at all: an injected worker function
+            # (chaos fault injectors) depends on ambient process state
+            # — environment variables set *after* a shared pool forked
+            # are invisible to its workers — and must get fresh
+            # processes it can kill.
+            nonlocal leased
+            if (
+                self.persistent_pool
+                and not leased
+                and self.worker_fn is _schedule_shard
+            ):
+                leased = True
+                return acquire_pool(
+                    jobs=self.jobs,
+                    context=context,
+                    warm=(name, source),
+                    recorder=self.recorder,
+                    allow_inline=True,
+                )
             return ProcessPoolExecutor(
                 max_workers=max(1, min(self.jobs, queued)), mp_context=context
             )
@@ -387,7 +499,16 @@ class ParallelScheduler:
             policy=self.supervision_policy,
             recorder=self.recorder,
         )
-        outcome = supervisor.run(shards)
+        # Publish collect-time digests for the inline fast path (ids
+        # are unique among live objects, and the regions stay alive in
+        # ``shards`` until the pops below, so entries cannot alias
+        # across concurrent builds in other threads).
+        _PARENT_DIGESTS.update(self._digests)
+        try:
+            outcome = supervisor.run(shards)
+        finally:
+            for region_id in self._digests:
+                _PARENT_DIGESTS.pop(region_id, None)
         self.supervision = outcome
         # Merge in hierarchical key order: cache state after warming is
         # independent of worker completion and retry interleaving.
@@ -412,7 +533,8 @@ class ParallelScheduler:
             self.recorder.count(PARALLEL_IPC_REJECTED)
             return
         for region, result in zip(shard, results):
-            unpacked = self._validate_result(region, result)
+            digest = self._digests.get(id(region))
+            unpacked = self._validate_result(region, result, digest)
             if unpacked is None:
                 self.ipc_rejected += 1
                 self.recorder.count(PARALLEL_IPC_REJECTED)
@@ -433,18 +555,21 @@ class ParallelScheduler:
                     scheduled_cycles=scheduled_cycles,
                 ),
                 verified=verified,
+                digest=digest,
             )
             self.warmed_regions += 1
             self.recorder.count(PARALLEL_REGIONS)
 
-    def _validate_result(self, region, result):
+    def _validate_result(self, region, result, expected_digest: str | None = None):
         """Integrity-check one worker result against the region the
         parent shipped; None when it must be rejected.
 
         Three independent checks: the digest binds the result to *this*
-        region's content; the order must be a permutation of the
-        region's indices (a corrupted permutation could otherwise drop
-        or duplicate instructions); the checksum binds the cycle counts
+        region's content (``expected_digest`` is the parent-side digest
+        computed at collect time, recomputed here only if the caller
+        has none); the order must be a permutation of the region's
+        indices (a corrupted permutation could otherwise drop or
+        duplicate instructions); the checksum binds the cycle counts
         and verified bit to the digest, catching tampering between the
         worker computing and the parent consuming.
         """
@@ -455,7 +580,9 @@ class ParallelScheduler:
             order = tuple(int(i) for i in order)
         except (TypeError, ValueError):
             return None
-        if digest != region_digest(region):
+        if expected_digest is None:
+            expected_digest = region_digest(region)
+        if digest != expected_digest:
             return None
         if sorted(order) != list(range(len(region))):
             return None
@@ -552,6 +679,7 @@ def make_transform(
             start_method=options.start_method,
             shard_deadline_s=options.shard_deadline_s,
             max_shard_retries=options.max_shard_retries,
+            persistent_pool=options.persistent_pool,
         )
     if superblock:
         config = superblock if isinstance(superblock, SuperblockConfig) else None

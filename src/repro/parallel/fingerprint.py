@@ -61,37 +61,41 @@ def _renaming_allowed(region: Sequence[Instruction]) -> bool:
 
 
 def canonical_region(region: Sequence[Instruction]) -> tuple:
-    """The canonical (renaming-invariant) form of a straight-line region."""
+    """The canonical (renaming-invariant) form of a straight-line region.
+
+    This runs three times per unique region in a parallel build
+    (collect-time dedup, the worker's self-authenticating digest, the
+    layout pass's cache probe), so the operand loop is written flat —
+    local-variable lookups and an explicit renaming dict — rather than
+    through a per-operand closure.
+    """
     rename = _renaming_allowed(region)
-    # %g0 keeps index 0; other integer registers are numbered from 1.
-    next_index = {RegKind.INT: 1, RegKind.FP: 0}
-    mapping: dict[Reg, int] = {}
-
-    def canon(reg: Reg | None) -> tuple | None:
-        if reg is None:
-            return None
-        if not rename or reg.kind not in _RENAMABLE or reg.is_zero:
-            return (reg.kind.value, reg.index)
-        canonical = mapping.get(reg)
-        if canonical is None:
-            canonical = next_index[reg.kind]
-            next_index[reg.kind] = canonical + 1
-            mapping[reg] = canonical
-        return (reg.kind.value, canonical)
-
-    return tuple(
-        (
-            inst.mnemonic,
-            canon(inst.rd),
-            canon(inst.rs1),
-            canon(inst.rs2),
-            inst.imm,
-            inst.annul,
-            inst.target,
-            inst.tag,
-        )
-        for inst in region
-    )
+    # Keyed by the *canonical per-register pair*; maps to its renamed
+    # pair. %g0 keeps index 0; other integer registers number from 1.
+    mapping: dict[tuple, tuple] = {}
+    next_index = {RegKind.INT.value: 1, RegKind.FP.value: 0}
+    renamable = frozenset(kind.value for kind in _RENAMABLE)
+    out = []
+    for inst in region:
+        row = [inst.mnemonic, None, None, None]
+        for slot, reg in ((1, inst.rd), (2, inst.rs1), (3, inst.rs2)):
+            if reg is None:
+                continue
+            kind = reg.kind.value
+            concrete = (kind, reg.index)
+            if not rename or kind not in renamable or reg.is_zero:
+                row[slot] = concrete
+                continue
+            canonical = mapping.get(concrete)
+            if canonical is None:
+                index = next_index[kind]
+                next_index[kind] = index + 1
+                canonical = (kind, index)
+                mapping[concrete] = canonical
+            row[slot] = canonical
+        row += (inst.imm, inst.annul, inst.target, inst.tag)
+        out.append(tuple(row))
+    return tuple(out)
 
 
 def region_digest(region: Sequence[Instruction]) -> str:

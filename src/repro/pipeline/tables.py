@@ -112,6 +112,13 @@ class PipelineTables:
         self.exhausted = False
         #: group id -> prepared events for the group's bare trace.
         self._group_prepared: dict[int, object] = {}
+        #: how many states the on-disk cache entry held when these
+        #: tables were compiled/loaded (0 when no disk cache is in
+        #: play); :func:`persist_learned` compares against it.
+        self.persisted_states = 0
+        #: where :func:`compile_tables` read/wrote the disk entry, so
+        #: lazily learned states can be persisted back to the same file.
+        self.cache_path: str | None = None
 
     @staticmethod
     def _window(model: MachineModel) -> int:
@@ -258,7 +265,11 @@ class PipelineTables:
         return hashlib.sha256(repr(signatures).encode()).hexdigest()[:16]
 
     def payload(self) -> dict:
-        """The deterministic, JSON-serializable compiled prefix."""
+        """The JSON-serializable table content: every interned state and
+        memoized transition, eager prefix and lazily learned alike.
+        (The eager prefix is deterministic; learned states depend on
+        what was scheduled, but every persisted transition was computed
+        by the interpreted walker, so any superset is equally valid.)"""
         return {
             "version": _CACHE_VERSION,
             "window": self.window,
@@ -463,6 +474,9 @@ def compile_tables(
         tables.enumerate(eager_states)
         if path is not None:
             _atomic_write(path, tables.payload())
+    if path is not None:
+        tables.cache_path = path
+        tables.persisted_states = tables.states
     return tables
 
 
@@ -496,6 +510,47 @@ def attach_tables(
 def detach_tables(model: MachineModel) -> None:
     """Return ``model`` to the interpreted walker."""
     model.tables = None
+
+
+#: Don't bother persisting fewer than this many newly learned states:
+#: re-learning them costs less than a cache write is worth.
+PERSIST_MIN_GROWTH = 64
+
+
+def persist_learned(
+    model: MachineModel, *, min_growth: int = PERSIST_MIN_GROWTH
+) -> bool:
+    """Write states learned lazily *during scheduling* back to the
+    disk cache, so the next process to attach this model's tables
+    starts with them instead of re-learning.
+
+    The eager BFS prefix covers the structurally common states, but a
+    real workload's first pass still interns on the order of a thousand
+    additional states (`pipeline.table_fallbacks` territory) — work
+    that was previously redone by every fresh worker process. Persisting
+    is last-writer-wins with a size guard: if the on-disk entry already
+    holds at least as many states (another worker got there first),
+    nothing is written. Returns True when a write happened. No-ops
+    when the model's tables did not come through the disk cache, and
+    after a successful persist until another ``min_growth`` states are
+    learned — steady state writes nothing.
+    """
+    tables = model.tables
+    if tables is None or tables.cache_path is None:
+        return False
+    if tables.states - tables.persisted_states < min_growth:
+        return False
+    try:
+        with open(tables.cache_path, "r", encoding="utf-8") as handle:
+            on_disk = len(json.load(handle).get("keys", ()))
+    except (OSError, ValueError, TypeError):
+        on_disk = 0
+    if on_disk >= tables.states:
+        tables.persisted_states = tables.states
+        return False
+    _atomic_write(tables.cache_path, tables.payload())
+    tables.persisted_states = tables.states
+    return True
 
 
 def _atomic_write(path: str, payload: dict) -> None:

@@ -1,0 +1,51 @@
+"""``repro.serve`` — the scheduling daemon and its client.
+
+The one-shot CLI pays model construction, table compilation, and
+worker-pool spawn on *every* invocation; a build system calling it in
+a loop pays them hundreds of times. This package keeps that state hot
+in one long-lived process: :class:`SchedulingService` is the engine
+(models, pool, cross-request schedule cache, admission control),
+:mod:`~repro.serve.daemon` wraps it in a loopback HTTP server
+(``qpt serve``), :mod:`~repro.serve.protocol` defines the versioned
+JSON batch envelope, and :class:`ServeClient` is the stdlib client.
+
+Determinism carries over unchanged: a served build replays the exact
+serial code path over the shared cache, so daemon output is
+byte-identical to ``qpt instrument`` — the differential tests in
+``tests/serve/`` round-trip both and compare. See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeUnavailable
+from .daemon import DEFAULT_HOST, ServeDaemon, run_daemon
+from .protocol import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeBatch,
+    ServeJob,
+    decode_batch,
+    decode_result_executable,
+    encode_batch,
+    encode_job,
+)
+from .service import AdmissionRefused, SchedulingService, ServiceConfig
+
+__all__ = [
+    "AdmissionRefused",
+    "DEFAULT_HOST",
+    "JOB_KINDS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SchedulingService",
+    "ServeBatch",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeJob",
+    "ServeUnavailable",
+    "ServiceConfig",
+    "decode_batch",
+    "decode_result_executable",
+    "encode_batch",
+    "encode_job",
+    "run_daemon",
+]

@@ -1,0 +1,106 @@
+"""A minimal stdlib client for the ``qpt serve`` daemon.
+
+:class:`ServeClient` wraps :mod:`http.client` — no dependencies, safe
+to vendor into a build system. One connection per call keeps the
+client trivially thread-safe; the daemon is on loopback, so connection
+setup is noise next to a build.
+
+.. code-block:: python
+
+    client = ServeClient(port=43211)
+    client.wait_ready()
+    response = client.batch([
+        encode_job("instrument", executable=image_bytes, id="a"),
+        encode_job("schedule", workload={"name": "w", "seed": 1,
+                                         "kind": "int",
+                                         "avg_block_size": 8.0}),
+    ])
+    for result in response["results"]:
+        assert result["ok"], result["error"]
+
+See ``docs/serving.md`` and ``examples/serve_client.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ..errors import ReproError
+from .protocol import encode_batch, encode_job  # re-exported for callers
+
+__all__ = ["ServeClient", "ServeUnavailable", "encode_job"]
+
+
+class ServeUnavailable(ReproError):
+    """The daemon could not be reached or refused the request."""
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``."""
+
+    def __init__(
+        self, port: int, host: str = "127.0.0.1", *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeUnavailable(
+                    f"daemon at {self.host}:{self.port} unreachable: {exc}"
+                )
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError as exc:
+                raise ServeUnavailable(f"daemon answered non-JSON: {exc}")
+            if response.status >= 400:
+                detail = decoded.get("error") if isinstance(decoded, dict) else None
+                raise ServeUnavailable(
+                    f"{method} {path} -> {response.status}: "
+                    f"{detail if detail is not None else raw[:200]!r}"
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def batch(self, jobs: list[dict]) -> dict:
+        """POST one envelope of :func:`~repro.serve.protocol.encode_job`
+        dicts; returns the decoded response envelope."""
+        return self._request("POST", "/v1/batch", encode_batch(jobs))
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown", {})
+
+    def wait_ready(self, *, timeout: float = 30.0, interval: float = 0.05) -> None:
+        """Poll ``/healthz`` until the daemon answers (daemon startup is
+        asynchronous when spawned as a subprocess)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.health().get("ok"):
+                    return
+            except ServeUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+            time.sleep(interval)

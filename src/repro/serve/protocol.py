@@ -1,0 +1,208 @@
+"""The serve wire protocol: versioned JSON batches.
+
+One request is one *batch* of independent jobs; the daemon schedules
+each through the shared service and answers with one result per job,
+in request order. The envelope is deliberately tiny and versioned so
+clients and daemons can drift independently::
+
+    request  = {"version": 1, "jobs": [job, ...]}
+    job      = {"kind": "schedule" | "instrument" | "verify",
+                "machine": "ultrasparc",            # optional
+                "id": "anything",                   # optional, echoed back
+                "executable": "<base64 RXE image>", # or "workload": {...}
+                "jobs": 4,                          # worker fan-out, optional
+                "options": {"fill_delay_slots": true,
+                            "safe": false,
+                            "return_executable": true}}
+    response = {"version": 1, "results": [result, ...], "service": {...}}
+    result   = {"id": ..., "ok": true, "wall_ms": 12.3,
+                "text_digest": "sha256:...",
+                "executable": "<base64>",           # when requested
+                "stats": {...}}                     # per-kind summary
+
+``workload`` carries :class:`~repro.workloads.generator.WorkloadSpec`
+fields and is generated daemon-side — handy for load drivers and tests
+that should not ship megabytes of identical images per request.
+
+Decoding is strict: an unknown version, kind, or malformed field
+raises :class:`ProtocolError` (a :class:`~repro.errors.ReproError`),
+which the daemon maps to HTTP 400 — never a traceback, never a
+half-run batch.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: Bumped on any incompatible envelope change; the daemon answers only
+#: its own version and says so in the error message.
+PROTOCOL_VERSION = 1
+
+#: The admissible job kinds, in documentation order.
+JOB_KINDS = ("schedule", "instrument", "verify")
+
+#: Job options the protocol understands; anything else is a client bug
+#: and is rejected rather than silently ignored.
+KNOWN_OPTIONS = frozenset(
+    {"fill_delay_slots", "safe", "superblock", "return_executable"}
+)
+
+
+class ProtocolError(ReproError):
+    """A request the daemon refuses to interpret."""
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """One decoded job of a batch."""
+
+    kind: str
+    machine: str | None = None
+    id: str | None = None
+    executable: bytes | None = None
+    workload: dict | None = None
+    #: worker fan-out for this job; 0 means "the daemon's default".
+    jobs: int = 0
+    fill_delay_slots: bool = True
+    safe: bool = False
+    superblock: bool = False
+    return_executable: bool = True
+
+
+@dataclass(frozen=True)
+class ServeBatch:
+    """One decoded request envelope."""
+
+    jobs: tuple[ServeJob, ...] = field(default_factory=tuple)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def decode_batch(payload) -> ServeBatch:
+    """Validate and decode one request envelope (already JSON-parsed)."""
+    _require(isinstance(payload, dict), "request must be a JSON object")
+    version = payload.get("version")
+    _require(
+        version == PROTOCOL_VERSION,
+        f"protocol version {version!r} not supported "
+        f"(this daemon speaks version {PROTOCOL_VERSION})",
+    )
+    raw_jobs = payload.get("jobs")
+    _require(
+        isinstance(raw_jobs, list) and raw_jobs,
+        "request must carry a non-empty 'jobs' list",
+    )
+    unknown = set(payload) - {"version", "jobs"}
+    _require(not unknown, f"unknown request field(s): {', '.join(sorted(unknown))}")
+    return ServeBatch(jobs=tuple(_decode_job(i, job) for i, job in enumerate(raw_jobs)))
+
+
+def _decode_job(index: int, raw) -> ServeJob:
+    where = f"jobs[{index}]"
+    _require(isinstance(raw, dict), f"{where} must be a JSON object")
+    unknown = set(raw) - {"kind", "machine", "id", "executable", "workload", "jobs", "options"}
+    _require(not unknown, f"{where}: unknown field(s): {', '.join(sorted(unknown))}")
+    kind = raw.get("kind")
+    _require(
+        kind in JOB_KINDS,
+        f"{where}: kind must be one of {', '.join(JOB_KINDS)} (got {kind!r})",
+    )
+    executable = raw.get("executable")
+    workload = raw.get("workload")
+    _require(
+        (executable is None) != (workload is None),
+        f"{where}: exactly one of 'executable' or 'workload' is required",
+    )
+    if executable is not None:
+        _require(isinstance(executable, str), f"{where}: 'executable' must be base64 text")
+        try:
+            executable = base64.b64decode(executable, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise ProtocolError(f"{where}: 'executable' is not valid base64: {exc}")
+    if workload is not None:
+        _require(isinstance(workload, dict), f"{where}: 'workload' must be an object")
+    jobs = raw.get("jobs", 0)
+    _require(
+        isinstance(jobs, int) and not isinstance(jobs, bool) and jobs >= 0,
+        f"{where}: 'jobs' must be a non-negative integer",
+    )
+    options = raw.get("options") or {}
+    _require(isinstance(options, dict), f"{where}: 'options' must be an object")
+    unknown = set(options) - KNOWN_OPTIONS
+    _require(
+        not unknown,
+        f"{where}: unknown option(s): {', '.join(sorted(unknown))} "
+        f"(known: {', '.join(sorted(KNOWN_OPTIONS))})",
+    )
+    for name in KNOWN_OPTIONS & set(options):
+        _require(isinstance(options[name], bool), f"{where}: option {name!r} must be a boolean")
+    machine = raw.get("machine")
+    _require(
+        machine is None or isinstance(machine, str),
+        f"{where}: 'machine' must be a string",
+    )
+    job_id = raw.get("id")
+    if job_id is not None:
+        job_id = str(job_id)
+    return ServeJob(
+        kind=kind,
+        machine=machine,
+        id=job_id,
+        executable=executable,
+        workload=dict(workload) if workload is not None else None,
+        jobs=jobs,
+        fill_delay_slots=options.get("fill_delay_slots", True),
+        safe=options.get("safe", False),
+        superblock=options.get("superblock", False),
+        return_executable=options.get("return_executable", True),
+    )
+
+
+# -- client-side encoding helpers ------------------------------------------------
+
+
+def encode_job(
+    kind: str,
+    *,
+    executable: bytes | None = None,
+    workload: dict | None = None,
+    machine: str | None = None,
+    id: str | None = None,
+    jobs: int = 0,
+    **options,
+) -> dict:
+    """One job dict ready for :func:`encode_batch` (client side)."""
+    job: dict = {"kind": kind}
+    if machine is not None:
+        job["machine"] = machine
+    if id is not None:
+        job["id"] = id
+    if executable is not None:
+        job["executable"] = base64.b64encode(executable).decode("ascii")
+    if workload is not None:
+        job["workload"] = dict(workload)
+    if jobs:
+        job["jobs"] = jobs
+    if options:
+        job["options"] = options
+    return job
+
+
+def encode_batch(jobs: list[dict]) -> dict:
+    """The request envelope for a list of :func:`encode_job` dicts."""
+    return {"version": PROTOCOL_VERSION, "jobs": list(jobs)}
+
+
+def decode_result_executable(result: dict) -> bytes:
+    """The edited image a result carries, decoded (client side)."""
+    encoded = result.get("executable")
+    if not encoded:
+        raise ProtocolError("result carries no 'executable' field")
+    return base64.b64decode(encoded)

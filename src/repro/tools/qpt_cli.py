@@ -23,7 +23,9 @@ Operates on RXE executables:
    $ python -m repro.tools.qpt_cli validate --machine supersparc
    $ python -m repro.tools.qpt_cli benchmarks --machine ultrasparc --jobs 4 \\
          --ledger
+   $ python -m repro.tools.qpt_cli benchmarks scaling --jobs 4
    $ python -m repro.tools.qpt_cli benchmarks gate --warn-only
+   $ python -m repro.tools.qpt_cli serve --port 0 --jobs 4 --ledger
    $ python -m repro.tools.qpt_cli report --format html -o observatory.html
    $ python -m repro.tools.qpt_cli codegen --machine ultrasparc -o ps.py
 
@@ -66,6 +68,16 @@ then the randomized differential battery — reporting per-gate verdict
 counts and wall time; ``--min-proven R`` exits nonzero when the
 statically-proven rate (DAG + symbolic combined) falls below R, and
 ``--ledger`` appends a ``verify`` record the benchmarks gate tracks.
+
+``serve`` runs the scheduling daemon (``docs/serving.md``): a loopback
+HTTP server that keeps machine models, compiled pipeline tables, the
+persistent worker pool, and a cross-request schedule cache hot, and
+answers batched instrument/schedule/verify requests byte-identically
+to the one-shot commands above. ``--port 0`` (the default) picks a
+free port and prints it; admission control (``--max-batch-jobs``,
+``--max-pending``) sheds load with HTTP 429 instead of queueing
+without bound, and ``--ledger`` appends a ``kind="serve"`` record
+(throughput, latency percentiles) on shutdown.
 
 ``explain`` prints one block's decision provenance — for every placed
 instruction, the cycle chosen, every rejected ready candidate, and the
@@ -786,6 +798,14 @@ def _benchmarks_run(args) -> int:
 
     from ..workloads.generator import WorkloadSpec, generate
 
+    cpus = os.cpu_count() or 1
+    if args.jobs > cpus:
+        print(
+            f"warning: --jobs {args.jobs} exceeds the {cpus} CPU(s) the OS "
+            "reports; extra workers only add scheduling overhead here "
+            "(the persistent pool degrades to its in-process fast path)",
+            file=sys.stderr,
+        )
     model = load_machine(args.machine)
     failures = 0
     for seed in args.seeds:
@@ -848,6 +868,42 @@ def _benchmarks_run(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from ..robust.guard import GuardBudget
+    from ..serve import ServiceConfig, run_daemon
+
+    budget = None
+    if args.max_block_instructions is not None or args.block_deadline_s is not None:
+        budget = GuardBudget(
+            max_block_instructions=args.max_block_instructions,
+            block_deadline_s=args.block_deadline_s,
+        )
+    config = ServiceConfig(
+        jobs=args.jobs,
+        machine=args.machine,
+        max_batch_jobs=args.max_batch_jobs,
+        max_pending=args.max_pending,
+        guard_budget=budget,
+        ledger_path=args.ledger or DEFAULT_LEDGER_NAME,
+    )
+    service = run_daemon(
+        config,
+        host=args.host,
+        port=args.port,
+        ledger=args.ledger is not None,
+        # The ready line must reach a parent that is polling our pipe
+        # before the first request can be sent.
+        announce=lambda message: print(message, flush=True),
+    )
+    stats = service.stats()
+    print(
+        f"qpt serve: stopped after {stats['requests']} request(s) in "
+        f"{stats['batches']} batch(es) "
+        f"({stats['rejected']} rejected, {stats['errors']} errored)"
+    )
     return 0
 
 
@@ -1090,10 +1146,11 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-check the outputs are byte-identical; 'benchmarks gate' "
         "checks the newest ledger records against their noise bands",
     )
-    p.add_argument("action", nargs="?", choices=("run", "gate"),
+    p.add_argument("action", nargs="?", choices=("run", "scaling", "gate"),
                    default="run",
-                   help="'run' measures (the default); 'gate' regression-"
-                   "checks the ledger instead")
+                   help="'run' (or its alias 'scaling') measures the "
+                   "serial/parallel/warm matrix (the default); 'gate' "
+                   "regression-checks the ledger instead")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")
     p.add_argument("--jobs", type=int, default=4, metavar="N")
     p.add_argument("--seeds", type=int, nargs="+", default=[11, 12, 13],
@@ -1118,6 +1175,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warn-only", action="store_true",
                    help="gate: report regressions but exit 0")
     p.set_defaults(func=cmd_benchmarks)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon: batched instrument/schedule/"
+        "verify requests over loopback HTTP, hot models and a shared "
+        "schedule cache across requests",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default %(default)s; keep it local)")
+    p.add_argument("--port", type=int, default=0, metavar="N",
+                   help="0 (the default) picks a free port, printed on "
+                   "the ready line")
+    p.add_argument("--jobs", type=int, default=4, metavar="N",
+                   help="default worker fan-out per request "
+                   "(default %(default)s)")
+    p.add_argument("--machine", choices=MACHINES, default="ultrasparc",
+                   help="default machine for jobs that don't name one")
+    p.add_argument("--max-batch-jobs", type=int, default=64, metavar="N",
+                   help="admission control: largest admissible batch "
+                   "(default %(default)s)")
+    p.add_argument("--max-pending", type=int, default=8, metavar="N",
+                   help="admission control: batches allowed to queue "
+                   "before new arrivals get 429 (default %(default)s)")
+    p.add_argument("--max-block-instructions", type=int, default=None,
+                   metavar="N",
+                   help="guard budget for safe/verify jobs: refuse to "
+                   "schedule larger blocks")
+    p.add_argument("--block-deadline-s", type=float, default=None,
+                   metavar="S",
+                   help="guard budget for safe/verify jobs: per-block "
+                   "schedule+verify deadline")
+    p.add_argument("--ledger", metavar="PATH", nargs="?",
+                   const=DEFAULT_LEDGER_NAME, default=None,
+                   help="append one kind=\"serve\" record on shutdown "
+                   "(default path: %(const)s)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("codegen", help="emit generated pipeline_stalls")
     p.add_argument("--machine", choices=MACHINES, default="ultrasparc")

@@ -1,0 +1,126 @@
+"""Every CLI invocation the docs show must actually parse.
+
+The prose documentation is full of ``python -m repro.tools.qpt_cli
+...`` examples. Each one is a contract: a reader will paste it. This
+module extracts every such invocation from the fenced code blocks of
+the prose docs (plus the CLI's own module docstring) and runs it
+through :func:`repro.tools.qpt_cli.build_parser` — a flag that was
+renamed, a subcommand that was removed, or a newly-required argument
+the example omits all become test failures, not support tickets.
+
+Only *parsing* runs; no example executes. Placeholder operands like
+``prog.rxe`` are fine — argparse does not stat files.
+"""
+
+import re
+import shlex
+
+import pytest
+
+from repro.tools import qpt_cli
+from tests.docs.test_docs import DOC_FILES
+
+#: Subcommands the documentation must demonstrate at least once. The
+#: serving/operations pass added ``serve``; the rest are the operator
+#: surface the docs walk through.
+REQUIRED_COVERAGE = {
+    "instrument",
+    "verify",
+    "explain",
+    "report",
+    "benchmarks",
+    "chaos",
+    "serve",
+}
+
+FENCE = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
+#: How an invocation starts inside a fenced block (optionally behind a
+#: shell prompt and environment assignments).
+LAUNCH = re.compile(r"(?:python[0-9.]*\s+-m\s+repro\.tools\.qpt_cli|(?<![\w./-])qpt)\s")
+
+
+def _joined_lines(block: str):
+    """Physical lines with backslash continuations folded in."""
+    logical = ""
+    for line in block.splitlines():
+        line = line.rstrip()
+        if line.endswith("\\"):
+            logical += line[:-1] + " "
+            continue
+        yield logical + line
+        logical = ""
+    if logical:
+        yield logical
+
+
+def _extract(text: str):
+    """argv lists for every qpt invocation in ``text``'s fenced blocks."""
+    for fence in FENCE.finditer(text):
+        for line in _joined_lines(fence.group(1)):
+            match = LAUNCH.search(line)
+            if match is None:
+                continue
+            rest = line[match.end():].split("#", 1)[0]
+            # Examples chain with shell operators; only the qpt part is ours.
+            rest = re.split(r"&&|\|\||;", rest)[0].strip()
+            try:
+                argv = shlex.split(rest)
+            except ValueError:
+                continue  # prose inside a fence, not a command
+            # An invocation starts with a subcommand word (or --help);
+            # anything else is prose or daemon *output* shown in a
+            # fence (e.g. the "qpt serve: listening on ..." ready line).
+            if argv and (
+                re.fullmatch(r"[a-z][a-z0-9-]*", argv[0]) or argv[0] == "--help"
+            ):
+                yield argv
+
+
+def _documented_invocations():
+    sources = [("qpt_cli docstring", qpt_cli.__doc__ or "")]
+    sources += [
+        (path.name, path.read_text(encoding="utf-8")) for path in DOC_FILES
+    ]
+    seen = set()
+    for name, text in sources:
+        for argv in _extract(text):
+            key = tuple(argv)
+            if key not in seen:
+                seen.add(key)
+                yield pytest.param(argv, id=f"{name}:{' '.join(argv[:4])}")
+
+
+INVOCATIONS = list(_documented_invocations())
+
+
+def test_docs_show_enough_invocations_to_be_worth_checking():
+    assert len(INVOCATIONS) >= 15, (
+        "the docs used to demonstrate the CLI extensively; if examples "
+        "moved, update the extractor in this module"
+    )
+
+
+def test_docs_cover_the_operator_surface():
+    shown = {param.values[0][0] for param in INVOCATIONS}
+    missing = REQUIRED_COVERAGE - shown
+    assert not missing, (
+        f"no doc shows a runnable example for subcommand(s): "
+        f"{', '.join(sorted(missing))}"
+    )
+
+
+@pytest.mark.parametrize("argv", INVOCATIONS)
+def test_documented_invocation_parses(argv):
+    parser = qpt_cli.build_parser()
+    if "--help" in argv or argv == ["help"]:
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(argv)
+        assert excinfo.value.code == 0
+        return
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit:
+        pytest.fail(
+            f"documented CLI example does not parse: qpt {' '.join(argv)}"
+        )
+    assert args.command == argv[0]

@@ -31,6 +31,7 @@ def run_example(name, *args, timeout=300):
         ("custom_machine.py", "generated pipeline_stalls module"),
         ("visualize_schedule.py", "issue cycles"),
         ("error_checking.py", "null-base dereferences detected"),
+        ("serve_client.py", "byte-identical to a local serial build"),
     ],
 )
 def test_example_runs(name, needle):

@@ -146,3 +146,136 @@ def test_parallel_workers_actually_warm_the_cache():
     # The serial layout pass ran entirely on hits.
     assert shared.misses == 0
     assert shared.hits >= transform.warmed_regions
+
+
+# -- the persistent pool joins the matrix ----------------------------------------
+
+
+def pooled_build(program, *, jobs, persistent_pool, cache=None):
+    recorder = MetricsRecorder()
+    transform = make_transform(
+        MACHINE,
+        POLICY,
+        recorder,
+        options=ParallelOptions(jobs=jobs, persistent_pool=persistent_pool),
+        cache=cache,
+    )
+    profiled = SlowProfiler(program.executable, recorder=recorder).instrument(
+        transform
+    )
+    metrics = recorder.metrics
+    buckets = {
+        kind: metrics.counter_total(STALL_CYCLES, kind=kind)
+        for kind in HAZARD_KINDS
+    }
+    buckets["issues"] = metrics.counter_total(ISSUES)
+    return bytes(profiled.executable.text_section().data), transform.stats, buckets
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_persistent_pool_joins_the_differential_matrix(seed):
+    """PR 10's pool must not perturb a single byte, stat, or hazard
+    bucket relative to the fork-per-call executor it replaced."""
+    program = workload(seed)
+    reference = build(program, jobs=1, use_cache=False)
+    for jobs in (2, 4):
+        pooled = pooled_build(program, jobs=jobs, persistent_pool=True,
+                              cache=ScheduleCache())
+        ephemeral = pooled_build(program, jobs=jobs, persistent_pool=False,
+                                 cache=ScheduleCache())
+        assert pooled == reference, f"persistent pool jobs={jobs} diverged"
+        assert ephemeral == reference, f"ephemeral pool jobs={jobs} diverged"
+
+
+def test_forced_real_pool_matches_inline_fast_path(monkeypatch):
+    """REPRO_POOL_INLINE toggles *where* shards run, never what they
+    produce: forked pool workers and the in-process fast path agree."""
+    from repro.parallel.pool import INLINE_ENV
+
+    program = workload(101)
+    reference = build(program, jobs=1, use_cache=False)
+    monkeypatch.setenv(INLINE_ENV, "1")
+    inline = pooled_build(program, jobs=2, persistent_pool=True,
+                          cache=ScheduleCache())
+    monkeypatch.setenv(INLINE_ENV, "0")
+    forked = pooled_build(program, jobs=2, persistent_pool=True,
+                          cache=ScheduleCache())
+    assert inline == reference
+    assert forked == reference
+
+
+# -- the daemon joins the matrix -------------------------------------------------
+
+
+def test_daemon_served_bytes_match_serial_build():
+    """A served instrument request returns the byte-identical image a
+    local serial build produces — HTTP, batching, the shared service
+    cache, and the pool in between change nothing."""
+    import threading
+
+    from repro.serve import (
+        SchedulingService,
+        ServeClient,
+        ServeDaemon,
+        ServiceConfig,
+        decode_result_executable,
+        encode_job,
+    )
+
+    spec = {"name": "diff-serve", "seed": 404, "kind": "int",
+            "avg_block_size": 8.0}
+    program = generate(WorkloadSpec(**spec))
+    recorder = MetricsRecorder()
+    transform = make_transform(
+        MACHINE, POLICY, recorder, options=ParallelOptions(jobs=1)
+    )
+    profiled = SlowProfiler(program.executable, recorder=recorder).instrument(
+        transform
+    )
+    serial_image = profiled.executable.to_bytes()
+
+    service = SchedulingService(ServiceConfig(jobs=2))
+    server = ServeDaemon(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient(server.server_address[1])
+        client.wait_ready(timeout=10.0)
+        for _ in range(2):  # cold then cache-warm: same bytes both times
+            response = client.batch(
+                [encode_job("instrument", workload=spec, id="diff")]
+            )
+            (result,) = response["results"]
+            assert result["ok"], result
+            assert decode_result_executable(result) == serial_image
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def test_cli_stats_json_deterministic_across_jobs(tmp_path, capsys):
+    """`qpt instrument --stats --stats-format json` reports identical
+    hazard attribution at jobs=1 and jobs=2 — the observability series
+    are part of the differential claim, not just the bytes."""
+    import json
+
+    from repro.tools.qpt_cli import main
+
+    program = workload(77)
+    image = tmp_path / "diff.rxe"
+    image.write_bytes(program.executable.to_bytes())
+    payloads = {}
+    outputs = {}
+    for jobs in (1, 2):
+        out = tmp_path / f"diff-{jobs}.qpt.rxe"
+        assert main([
+            "instrument", str(image), "-o", str(out),
+            "--machine", "ultrasparc", "--schedule", "--fill-delay-slots",
+            "--jobs", str(jobs), "--stats", "--stats-format", "json",
+        ]) == 0
+        raw = capsys.readouterr().out
+        payloads[jobs] = json.loads(raw[raw.index("{"):])
+        outputs[jobs] = out.read_bytes()
+    assert outputs[1] == outputs[2]
+    assert payloads[1]["hazards"] == payloads[2]["hazards"]

@@ -45,15 +45,16 @@ def build(program, jobs):
 
 def deterministic_series(metrics):
     """Every counter/histogram series that must match across modes.
-    Timers are wall-clock; ``parallel.*`` and ``schedule_cache.*``
-    describe the execution mode itself (a warmed cache hits where a
-    serial run misses), so only those are mode-variant by design."""
+    Timers are wall-clock; ``parallel.*``, ``schedule_cache.*``, and
+    ``pool.*`` describe the execution mode itself (a warmed cache hits
+    where a serial run misses; a parallel run leases the persistent
+    pool), so only those are mode-variant by design."""
     snap = metrics.snapshot()
     return {
         kind: {
             name: cells
             for name, cells in snap[kind].items()
-            if not name.startswith(("parallel.", "schedule_cache."))
+            if not name.startswith(("parallel.", "schedule_cache.", "pool."))
         }
         for kind in ("counters", "histograms")
     }

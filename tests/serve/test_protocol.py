@@ -1,0 +1,167 @@
+"""The serve wire protocol: strict decode, symmetric encode.
+
+Every rejection path in :func:`repro.serve.protocol.decode_batch` is a
+contract with remote clients — a malformed request must come back as a
+:class:`ProtocolError` (HTTP 400), never a traceback or a silently
+reinterpreted job. These tests enumerate those paths and pin the
+encode helpers to the shapes the decoder accepts.
+"""
+
+import base64
+
+import pytest
+
+from repro.serve import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_batch,
+    decode_result_executable,
+    encode_batch,
+    encode_job,
+)
+
+
+def job(**overrides):
+    base = {"kind": "instrument", "executable": base64.b64encode(b"img").decode()}
+    base.update(overrides)
+    return base
+
+
+def envelope(*jobs, **overrides):
+    payload = {"version": PROTOCOL_VERSION, "jobs": list(jobs) or [job()]}
+    payload.update(overrides)
+    return payload
+
+
+# -- round trip ------------------------------------------------------------------
+
+
+def test_encode_decode_round_trip():
+    image = b"\x00\x01rxe"
+    encoded = encode_batch(
+        [
+            encode_job(
+                "instrument",
+                executable=image,
+                machine="ultrasparc",
+                id="a",
+                jobs=2,
+                safe=True,
+            ),
+            encode_job(
+                "schedule",
+                workload={"name": "w", "seed": 1, "kind": "int", "avg_block_size": 8.0},
+                fill_delay_slots=False,
+                return_executable=False,
+            ),
+        ]
+    )
+    batch = decode_batch(encoded)
+    first, second = batch.jobs
+    assert first.kind == "instrument"
+    assert first.executable == image
+    assert first.machine == "ultrasparc"
+    assert first.id == "a"
+    assert first.jobs == 2
+    assert first.safe is True
+    assert first.fill_delay_slots is True  # the default survives
+    assert second.kind == "schedule"
+    assert second.workload == {
+        "name": "w",
+        "seed": 1,
+        "kind": "int",
+        "avg_block_size": 8.0,
+    }
+    assert second.fill_delay_slots is False
+    assert second.return_executable is False
+
+
+def test_job_kinds_are_the_documented_three():
+    assert JOB_KINDS == ("schedule", "instrument", "verify")
+    for kind in JOB_KINDS:
+        assert decode_batch(envelope(job(kind=kind))).jobs[0].kind == kind
+
+
+# -- envelope rejections ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        None,
+        [],
+        "batch",
+        {"jobs": [{"kind": "instrument"}]},  # no version
+        {"version": 999, "jobs": []},
+        {"version": PROTOCOL_VERSION},  # no jobs
+        {"version": PROTOCOL_VERSION, "jobs": []},  # empty jobs
+        {"version": PROTOCOL_VERSION, "jobs": "not-a-list"},
+        {"version": PROTOCOL_VERSION, "jobs": [{}], "extra": 1},
+    ],
+)
+def test_bad_envelopes_raise(payload):
+    with pytest.raises(ProtocolError):
+        decode_batch(payload)
+
+
+def test_version_mismatch_message_names_both_versions():
+    with pytest.raises(ProtocolError, match="version 2.*speaks version 1"):
+        decode_batch({"version": 2, "jobs": [job()]})
+
+
+# -- job rejections --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "not-a-dict",
+        {"executable": "aGk="},  # no kind
+        job(kind="recompile"),
+        job(typo_field=1),
+        job(executable=None),  # neither payload
+        {
+            "kind": "instrument",
+            "executable": "aGk=",
+            "workload": {"name": "w"},
+        },  # both payloads
+        job(executable="not//valid//base64!!"),
+        job(executable=1234),
+        job(executable=None, workload="not-a-dict"),
+        job(jobs=-1),
+        job(jobs=True),
+        job(jobs="4"),
+        job(options={"nonsense": True}),
+        job(options={"safe": "yes"}),
+        job(options="unsafe"),
+        job(machine=7),
+    ],
+)
+def test_bad_jobs_raise(bad):
+    with pytest.raises(ProtocolError):
+        decode_batch(envelope(bad))
+
+
+def test_job_errors_name_their_index():
+    with pytest.raises(ProtocolError, match=r"jobs\[1\]"):
+        decode_batch(envelope(job(), job(kind="nope")))
+
+
+def test_unknown_option_error_lists_the_known_set():
+    with pytest.raises(ProtocolError, match="fill_delay_slots"):
+        decode_batch(envelope(job(options={"mystery": True})))
+
+
+# -- result helpers --------------------------------------------------------------
+
+
+def test_decode_result_executable_round_trips():
+    image = bytes(range(64))
+    result = {"executable": base64.b64encode(image).decode("ascii")}
+    assert decode_result_executable(result) == image
+
+
+def test_decode_result_executable_requires_the_field():
+    with pytest.raises(ProtocolError):
+        decode_result_executable({"ok": True})
